@@ -1,0 +1,65 @@
+//! Benchmarks for the Astra workflow (Figure 6 / E5) and the LANL CI pipeline
+//! (§5.3.3 / E12): end-to-end cost and distributed-launch scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hpcc_cluster::{astra_workflow, lanl_ci_pipeline, Cluster};
+use hpcc_image::Registry;
+
+fn bench_astra_workflow_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_astra_workflow");
+    group.sample_size(10);
+    for nodes in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let cluster = Cluster::astra(n);
+                let mut registry = Registry::new("registry.sandia.example");
+                let report = astra_workflow(&cluster, &mut registry, "ajyoung", 5432, n);
+                assert!(report.success);
+                report.launches.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_launch_only(c: &mut Criterion) {
+    // Separate the parallel pull+launch step from the build+push steps by
+    // amortizing the build outside the timed closure is not possible with
+    // the current API; instead we measure the delta between 1 node and N
+    // nodes in the group above. This bench holds the build fixed at one
+    // node for a baseline.
+    let mut group = c.benchmark_group("fig6_launch_baseline");
+    group.sample_size(10);
+    group.bench_function("single_node", |b| {
+        b.iter(|| {
+            let cluster = Cluster::astra(1);
+            let mut registry = Registry::new("r");
+            astra_workflow(&cluster, &mut registry, "ajyoung", 5432, 1).success
+        })
+    });
+    group.finish();
+}
+
+fn bench_ci_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanl_ci_pipeline");
+    group.sample_size(10);
+    group.bench_function("three_stage_build_validate", |b| {
+        b.iter(|| {
+            let cluster = Cluster::generic_x86(3);
+            let mut registry = Registry::new("gitlab.lanl.example");
+            let report = lanl_ci_pipeline(&cluster, &mut registry, "builder", 2000);
+            assert!(report.success);
+            report.transcript.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_astra_workflow_scaling,
+    bench_distributed_launch_only,
+    bench_ci_pipeline
+);
+criterion_main!(benches);

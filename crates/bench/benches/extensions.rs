@@ -1,0 +1,168 @@
+//! Benchmarks for the future-work extensions (experiments E18–E21):
+//!
+//! * E18 — §6.2.4 ID-map policies: today's privileged-helper map vs the
+//!   proposed helper-free policy maps.
+//! * E19 — §4.1 overlay storage: copy-up writes and squashing, native vs
+//!   fuse-overlayfs accounting.
+//! * E20 — §6.1/§6.2.5 OCI push: single flattened layer vs base-plus-diff,
+//!   and the dedup benefit of repeated pushes.
+//! * E21 — §6.2.2(1) fakeroot coverage characterization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hpcc_core::{push_to_oci, BuildOptions, Builder, LayerMode};
+use hpcc_fakeroot::{representative_packages, CoverageMatrix};
+use hpcc_kernel::idpolicy::{policy_uid_map, MapPolicy, UniqueRangeAllocator};
+use hpcc_kernel::{Credentials, Gid, Uid, UserNamespace};
+use hpcc_oci::DistributionRegistry;
+use hpcc_runtime::Invoker;
+use hpcc_vfs::{Actor, Filesystem, Mode, OverlayBackend, OverlayFs};
+
+fn bench_idmap_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idmap_policies");
+    let alice = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+    group.bench_function("type2_helper_map_build", |b| {
+        b.iter(|| UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536))
+    });
+    group.bench_function("policy_root_plus_unique_range", |b| {
+        b.iter(|| {
+            let mut alloc = UniqueRangeAllocator::new(200_000, 65_536);
+            policy_uid_map(MapPolicy::RootPlusUniqueRange { count: 65_536 }, &alice, &mut alloc)
+                .unwrap()
+        })
+    });
+    group.bench_function("policy_grants_1000_users", |b| {
+        b.iter(|| {
+            let mut alloc = UniqueRangeAllocator::new(200_000, 65_536);
+            for uid in 1000..2000u32 {
+                alloc.grant(Uid(uid), 65_536).unwrap();
+            }
+            assert!(alloc.verify_disjoint());
+            alloc.granted_users()
+        })
+    });
+    group.finish();
+}
+
+fn base_layer(files: usize) -> Filesystem {
+    let mut fs = Filesystem::new_local();
+    for i in 0..files {
+        fs.install_file(
+            &format!("/usr/lib/pkg/file{i}"),
+            vec![b'x'; 256],
+            Uid::ROOT,
+            Gid::ROOT,
+            Mode::FILE_644,
+        )
+        .unwrap();
+    }
+    fs
+}
+
+fn bench_overlay_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_storage");
+    let creds = Credentials::host_root();
+    let ns = UserNamespace::initial();
+    for backend in [OverlayBackend::Native, OverlayBackend::Fuse] {
+        group.bench_with_input(
+            BenchmarkId::new("copy_up_writes_64_of_512", backend.name()),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let mut ov = OverlayFs::new(vec![base_layer(512)], backend);
+                    let actor = Actor::new(&creds, &ns);
+                    for i in 0..64 {
+                        ov.write_file(&actor, &format!("/usr/lib/pkg/file{i}"), vec![b'y'; 256])
+                            .unwrap();
+                    }
+                    ov.stats().copy_ups * backend.op_overhead() as u64
+                })
+            },
+        );
+    }
+    group.bench_function("squash_512_plus_diff", |b| {
+        let mut ov = OverlayFs::new(vec![base_layer(512)], OverlayBackend::Native);
+        let actor = Actor::new(&creds, &ns);
+        for i in 0..64 {
+            ov.write_file(&actor, &format!("/opt/new/file{i}"), vec![b'z'; 128])
+                .unwrap();
+        }
+        b.iter(|| ov.squash().inode_count())
+    });
+    group.finish();
+}
+
+fn forced_builder() -> Builder {
+    let alice = Invoker::user("alice", 1000, 1000);
+    let mut b = Builder::ch_image(alice);
+    let report = b.build(
+        hpcc_core::centos7_dockerfile(),
+        &BuildOptions::new("foo").with_force(),
+        None,
+    );
+    assert!(report.success);
+    b
+}
+
+fn bench_oci_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oci_push");
+    group.sample_size(20);
+    let builder = forced_builder();
+    group.bench_function("single_flattened_layer", |b| {
+        b.iter(|| {
+            let mut reg = DistributionRegistry::new("r.example.gov", &["alice"]);
+            push_to_oci(&builder, "foo", &mut reg, "hpc/foo", "1", LayerMode::SingleFlattened)
+                .unwrap()
+                .layer_count
+        })
+    });
+    group.bench_function("base_plus_diff_layers", |b| {
+        b.iter(|| {
+            let mut reg = DistributionRegistry::new("r.example.gov", &["alice"]);
+            push_to_oci(&builder, "foo", &mut reg, "hpc/foo", "1", LayerMode::BaseAndDiff)
+                .unwrap()
+                .layer_count
+        })
+    });
+    group.bench_function("ten_iterative_pushes_dedup", |b| {
+        b.iter(|| {
+            let mut reg = DistributionRegistry::new("r.example.gov", &["alice"]);
+            for i in 0..10 {
+                push_to_oci(
+                    &builder,
+                    "foo",
+                    &mut reg,
+                    "hpc/foo",
+                    &format!("v{i}"),
+                    LayerMode::BaseAndDiff,
+                )
+                .unwrap();
+            }
+            reg.blob_stats().dedup_savings()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fakeroot_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fakeroot_coverage");
+    let packages = representative_packages();
+    for arch in ["x86_64", "aarch64"] {
+        group.bench_with_input(BenchmarkId::new("characterize", arch), &arch, |b, &arch| {
+            b.iter(|| {
+                let m = CoverageMatrix::characterize(&packages, arch);
+                m.uninstallable_everywhere().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_idmap_policies,
+    bench_overlay_storage,
+    bench_oci_push,
+    bench_fakeroot_coverage
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Benchmarks for Table 1 (fakeroot implementation comparison) and the
+//! Figure 7 interposition micro-operations (experiments E6, E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hpcc_bench::{flavor_can_install_centos_openssh, flavor_can_install_debian_openssh_client};
+use hpcc_fakeroot::{FakerootSession, Flavor};
+use hpcc_kernel::{Credentials, Gid, Uid, UserNamespace};
+use hpcc_vfs::{Actor, FileType, Filesystem, Mode};
+
+fn bench_table1_package_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_flavor_package_coverage");
+    group.sample_size(20);
+    for flavor in Flavor::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("centos7_openssh", flavor.to_string()),
+            &flavor,
+            |b, &f| b.iter(|| flavor_can_install_centos_openssh(f)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("debian10_openssh_client", flavor.to_string()),
+            &flavor,
+            |b, &f| b.iter(|| flavor_can_install_debian_openssh_client(f)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_interposition_overhead(c: &mut Criterion) {
+    // How much the wrapper costs per intercepted call vs a plain stat.
+    let mut group = c.benchmark_group("fig7_interposition_ops");
+    let mut fs = Filesystem::new_local();
+    fs.install_dir("/w", Uid(1000), Gid(1000), Mode::new(0o755)).unwrap();
+    let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+    let ns = UserNamespace::initial();
+    let actor = Actor::new(&creds, &ns);
+    for i in 0..512 {
+        fs.write_file(&actor, &format!("/w/f{}", i), b"x".to_vec(), Mode::FILE_644)
+            .unwrap();
+    }
+    for flavor in Flavor::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("chown_512_files", flavor.to_string()),
+            &flavor,
+            |b, &f| {
+                b.iter(|| {
+                    let mut s = FakerootSession::new(f);
+                    for i in 0..512 {
+                        s.chown(&mut fs, &actor, &format!("/w/f{}", i), Some(Uid(0)), Some(Gid(0)))
+                            .unwrap();
+                    }
+                    s.db.len()
+                })
+            },
+        );
+    }
+    group.bench_function("wrapped_stat", |b| {
+        let mut s = FakerootSession::new(Flavor::Fakeroot);
+        s.chown(&mut fs, &actor, "/w/f0", Some(Uid(74)), Some(Gid(74))).unwrap();
+        b.iter(|| s.stat(&fs, &actor, "/w/f0").unwrap())
+    });
+    group.bench_function("plain_stat", |b| {
+        b.iter(|| fs.stat(&actor, "/w/f0").unwrap())
+    });
+    group.bench_function("mknod_fake_device", |b| {
+        b.iter(|| {
+            let mut s = FakerootSession::new(Flavor::Pseudo);
+            let mut fs2 = fs.clone();
+            s.mknod(&mut fs2, &actor, "/w/dev0", FileType::CharDevice, 1, 3, Mode::new(0o640))
+                .unwrap();
+            s.db.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_db_persistence(c: &mut Criterion) {
+    // Table 1 persistency column: save/restore cost scaling with lie count.
+    let mut group = c.benchmark_group("lie_database_persistence");
+    for n in [64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::new("save_load", n), &n, |b, &n| {
+            let mut db = hpcc_fakeroot::LieDatabase::new();
+            for i in 0..n {
+                db.record_chown(&format!("/pkg/file{}", i), (i % 1000) as u32, (i % 1000) as u32);
+            }
+            b.iter(|| {
+                let text = db.save();
+                hpcc_fakeroot::LieDatabase::load(&text).unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_package_coverage,
+    bench_interposition_overhead,
+    bench_db_persistence
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Benchmarks for the storage-driver ablation (E14), the shared-filesystem
+//! xattr clash (E16), and the push ownership policies (E17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hpcc_bench::{alice, push_policy_comparison};
+use hpcc_core::{centos7_dockerfile, BuildOptions, Builder, PushOwnership};
+use hpcc_image::{Image, ImageConfig, Registry};
+use hpcc_kernel::{Credentials, Gid, Sysctl, Uid, UserNamespace};
+use hpcc_runtime::{prepare_rootfs, IdPersistence, StorageDriver};
+use hpcc_vfs::{Actor, Filesystem, FsBackend, Mode};
+
+fn sample_image(files: usize) -> Image {
+    let mut fs = Filesystem::new_local();
+    for i in 0..files {
+        fs.install_file(
+            &format!("/usr/lib/pkg/file{}.so", i),
+            vec![0u8; 256],
+            Uid(0),
+            Gid(0),
+            Mode::new(0o755),
+        )
+        .unwrap();
+    }
+    let creds = Credentials::host_root();
+    let ns = UserNamespace::initial();
+    let actor = Actor::new(&creds, &ns);
+    Image::from_fs_preserved("base:bench", &fs, &actor, ImageConfig::default()).unwrap()
+}
+
+fn bench_storage_drivers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_driver_rootfs_prepare");
+    let image = sample_image(256);
+    let sysctl = Sysctl::modern();
+    for driver in StorageDriver::ALL {
+        group.bench_with_input(BenchmarkId::new("local_disk", driver.name()), &driver, |b, &d| {
+            b.iter(|| {
+                let persistence = match d {
+                    StorageDriver::FuseOverlayFs => IdPersistence::UserXattrs,
+                    _ => IdPersistence::SingleUser,
+                };
+                prepare_rootfs(&image, d, FsBackend::LocalDisk, &sysctl, 1000, persistence)
+                    .unwrap()
+                    .1
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharedfs_xattr_clash(c: &mut Criterion) {
+    // E16: podman-style xattr ID persistence succeeds on local/tmpfs storage
+    // and fails on default NFS/Lustre; the bench measures the check + copy.
+    let mut group = c.benchmark_group("sharedfs_xattr_id_mapping");
+    let image = sample_image(128);
+    let sysctl = Sysctl::modern();
+    let backends: [(&str, FsBackend); 4] = [
+        ("tmpfs", FsBackend::Tmpfs),
+        ("local_disk", FsBackend::LocalDisk),
+        ("nfs_default", FsBackend::default_nfs()),
+        ("lustre_default", FsBackend::default_lustre()),
+    ];
+    for (name, backend) in backends {
+        group.bench_with_input(BenchmarkId::new("fuse_overlayfs", name), &backend, |b, &be| {
+            b.iter(|| {
+                prepare_rootfs(
+                    &image,
+                    StorageDriver::FuseOverlayFs,
+                    be,
+                    &sysctl,
+                    1000,
+                    IdPersistence::UserXattrs,
+                )
+                .is_ok()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_push_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_ownership_policies");
+    group.sample_size(20);
+    // Build once; measure the push path under each policy.
+    let mut builder = Builder::ch_image(alice());
+    let r = builder.build(centos7_dockerfile(), &BuildOptions::new("c7").with_force(), None);
+    assert!(r.success);
+    for (name, policy) in [
+        ("flatten", PushOwnership::Flatten),
+        ("preserve", PushOwnership::Preserve),
+        ("fakeroot_db", PushOwnership::FromFakerootDb),
+    ] {
+        group.bench_function(BenchmarkId::new("push", name), |b| {
+            b.iter(|| {
+                let mut registry = Registry::new("r");
+                builder
+                    .push("c7", "x/openssh:1", &mut registry, policy)
+                    .unwrap()
+            })
+        });
+    }
+    group.bench_function("policy_uid_comparison", |b| {
+        b.iter(push_policy_comparison)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_storage_drivers,
+    bench_sharedfs_xattr_clash,
+    bench_push_policies
+);
+criterion_main!(benches);

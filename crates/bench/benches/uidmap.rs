@@ -1,0 +1,116 @@
+//! Benchmarks for UID/GID map translation and privileged-helper validation
+//! (experiment E1 — Figures 1, 4, 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use hpcc_kernel::{Credentials, Gid, IdMap, Uid, UserNamespace};
+use hpcc_runtime::SubIdDb;
+
+fn bench_idmap_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uidmap_translation");
+    let type2 = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
+    let type3 = UserNamespace::type3(Uid(1000), Gid(1000));
+    let mut rng = StdRng::seed_from_u64(42);
+    let probes: Vec<u32> = (0..4096).map(|_| rng.gen_range(0..70_000)).collect();
+    group.bench_function("type2_ns_to_host_4096", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&p| type2.uid_to_host(Uid(p)).is_some())
+                .count()
+        })
+    });
+    group.bench_function("type3_ns_to_host_4096", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&p| type3.uid_to_host(Uid(p)).is_some())
+                .count()
+        })
+    });
+    group.bench_function("type2_host_to_ns_display_4096", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|&p| type2.display_uid(Uid(p + 190_000)).0 as u64)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_map_rendering_and_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uidmap_procfs_roundtrip");
+    for entries in [2usize, 16, 128] {
+        group.bench_with_input(BenchmarkId::new("render_parse", entries), &entries, |b, &n| {
+            let map = IdMap::from_entries(
+                (0..n as u32)
+                    .map(|i| hpcc_kernel::IdMapEntry::new(i * 1000, 200_000 + i * 1000, 1000))
+                    .collect(),
+            )
+            .unwrap();
+            b.iter(|| IdMap::parse_procfs(&map.render_procfs()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_subid_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subuid_database");
+    for users in [16usize, 256, 2048] {
+        group.bench_with_input(BenchmarkId::new("validate", users), &users, |b, &n| {
+            let mut db = SubIdDb::new();
+            for i in 0..n {
+                db.add_range(&format!("user{}", i), 200_000 + (i as u32) * 65_536, 65_536);
+            }
+            b.iter(|| db.validate(100_000).is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("parse", users), &users, |b, &n| {
+            let mut db = SubIdDb::new();
+            for i in 0..n {
+                db.add_range(&format!("user{}", i), 200_000 + (i as u32) * 65_536, 65_536);
+            }
+            let text = db.render();
+            b.iter(|| SubIdDb::parse(&text).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_credential_syscalls(c: &mut Criterion) {
+    // Figure 3's syscall sequence, in both namespace types.
+    let mut group = c.benchmark_group("credential_syscalls");
+    let type2 = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
+    let type3 = UserNamespace::type3(Uid(1000), Gid(1000));
+    let base = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)])
+        .entered_own_namespace();
+    group.bench_function("apt_sandbox_drop_type2", |b| {
+        b.iter(|| {
+            let mut creds = base.clone();
+            hpcc_kernel::creds::sys_setgroups(&mut creds, &type2, &[Gid(65_534)]).unwrap();
+            hpcc_kernel::creds::sys_setegid(&mut creds, &type2, Gid(65_534)).unwrap();
+            hpcc_kernel::creds::sys_seteuid(&mut creds, &type2, Uid(100)).unwrap();
+            creds.euid
+        })
+    });
+    group.bench_function("apt_sandbox_drop_type3_fails", |b| {
+        b.iter(|| {
+            let mut creds = base.clone();
+            let a = hpcc_kernel::creds::sys_setgroups(&mut creds, &type3, &[Gid(65_534)]).is_err();
+            let b2 = hpcc_kernel::creds::sys_setegid(&mut creds, &type3, Gid(65_534)).is_err();
+            let c2 = hpcc_kernel::creds::sys_seteuid(&mut creds, &type3, Uid(100)).is_err();
+            (a, b2, c2)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_idmap_translation,
+    bench_map_rendering_and_parsing,
+    bench_subid_validation,
+    bench_credential_syscalls
+);
+criterion_main!(benches);

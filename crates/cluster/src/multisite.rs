@@ -1,0 +1,242 @@
+//! Multi-site, multi-architecture CI/CD (paper §6.3).
+//!
+//! The paper's impact section argues that low-privilege build "will allow
+//! CI/CD pipelines to execute directly on supercomputing resources … perhaps
+//! in parallel across multiple supercomputers or node types to automatically
+//! produce specialized container images." This module runs that pipeline:
+//! one CI job per site builds the same Dockerfile on that site's login-node
+//! architecture with a fully unprivileged `ch-image --force` build, pushes the
+//! result to a shared OCI registry, and the registry's multi-architecture
+//! index accretes one entry per architecture. Compute nodes at every site can
+//! then pull the variant matching their own CPUs — the problem that motivated
+//! building on Astra in the first place (§4.2) disappears.
+
+use crossbeam::thread;
+
+use hpcc_core::{push_to_oci, BuildOptions, Builder, LayerMode};
+use hpcc_image::Digest;
+use hpcc_oci::{DistributionRegistry, Platform};
+use hpcc_runtime::Invoker;
+
+use crate::cluster::Cluster;
+
+/// One participating site: a machine plus the CI user that builds there.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Site name used in reports (e.g. `astra`, `generic-x86`).
+    pub name: String,
+    /// The machine.
+    pub cluster: Cluster,
+    /// The CI user running the build job on the login node.
+    pub invoker: Invoker,
+}
+
+impl Site {
+    /// A site around an existing cluster.
+    pub fn new(name: &str, cluster: Cluster, invoker: Invoker) -> Self {
+        Site {
+            name: name.to_string(),
+            cluster,
+            invoker,
+        }
+    }
+
+    /// The architecture CI builds target at this site (the login node's).
+    pub fn arch(&self) -> String {
+        self.cluster
+            .login_nodes()
+            .first()
+            .map(|n| n.arch.clone())
+            .unwrap_or_else(|| "x86_64".to_string())
+    }
+}
+
+/// Result of one site's CI job.
+#[derive(Debug, Clone)]
+pub struct SiteBuildResult {
+    /// Site name.
+    pub site: String,
+    /// Architecture built for.
+    pub arch: String,
+    /// Whether the unprivileged build succeeded.
+    pub build_ok: bool,
+    /// RUN instructions rewritten by `--force`.
+    pub instructions_modified: usize,
+    /// Manifest digest in the registry, if the push succeeded.
+    pub manifest_digest: Option<Digest>,
+    /// Whether a compute node at this site could pull its own architecture
+    /// back out of the registry afterwards.
+    pub pull_ok: bool,
+}
+
+/// Report of a whole multi-site pipeline run.
+#[derive(Debug, Clone)]
+pub struct MultiSiteReport {
+    /// Per-site results, in input order.
+    pub results: Vec<SiteBuildResult>,
+    /// Platforms present in the registry's index for the pushed tag.
+    pub index_platforms: Vec<Platform>,
+    /// True if every site built, pushed, and pulled successfully.
+    pub success: bool,
+}
+
+/// Runs the §6.3 pipeline: every site builds `dockerfile_text` for its own
+/// architecture in parallel (one CI job per site), pushes to `repo:tag` in the
+/// shared registry, and finally verifies that each site's compute nodes can
+/// pull their own architecture.
+///
+/// Builds run concurrently on one thread per site (crossbeam scoped threads —
+/// each site's builder is independent); registry pushes are serialized, as
+/// they would be by the registry service itself.
+pub fn multisite_ci(
+    sites: &[Site],
+    dockerfile_text: &str,
+    registry: &mut DistributionRegistry,
+    repo: &str,
+    tag: &str,
+) -> MultiSiteReport {
+    // Phase 1: parallel unprivileged builds, one per site.
+    let built: Vec<(usize, String, String, Builder, bool, usize)> = thread::scope(|s| {
+        let handles: Vec<_> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, site)| {
+                let df = dockerfile_text.to_string();
+                s.spawn(move |_| {
+                    let arch = site.arch();
+                    let mut builder = Builder::ch_image(site.invoker.clone());
+                    let report = builder.build(
+                        &df,
+                        &BuildOptions::new(tag).with_force().with_arch(&arch),
+                        None,
+                    );
+                    (
+                        i,
+                        site.name.clone(),
+                        arch,
+                        builder,
+                        report.success,
+                        report.instructions_modified,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("site build thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    // Phase 2: serialized pushes into the shared registry, then per-site pull
+    // verification from a compute node of the site's architecture.
+    let mut results = Vec::with_capacity(sites.len());
+    let mut ordered = built;
+    ordered.sort_by_key(|r| r.0);
+    for (i, site_name, arch, builder, build_ok, modified) in ordered {
+        let mut manifest_digest = None;
+        if build_ok {
+            manifest_digest = push_to_oci(
+                &builder,
+                tag,
+                registry,
+                repo,
+                tag,
+                LayerMode::SingleFlattened,
+            )
+            .ok()
+            .map(|r| r.manifest_digest);
+        }
+        let platform = Platform::from_uname(&arch).unwrap_or_else(Platform::linux_amd64);
+        let pull_ok = manifest_digest.is_some()
+            && registry
+                .pull_for_platform(&sites[i].invoker.name, repo, tag, &platform)
+                .is_ok();
+        results.push(SiteBuildResult {
+            site: site_name,
+            arch,
+            build_ok,
+            instructions_modified: modified,
+            manifest_digest,
+            pull_ok,
+        });
+    }
+    let index_platforms = registry
+        .index(repo, tag)
+        .map(|i| i.platforms())
+        .unwrap_or_default();
+    let success = results.iter().all(|r| r.build_ok && r.pull_ok);
+    MultiSiteReport {
+        results,
+        index_platforms,
+        success,
+    }
+}
+
+/// The two-site configuration the paper implies: Astra (aarch64) plus a
+/// generic x86-64 machine, with the same CI user at both.
+pub fn astra_plus_x86_sites(user: &str, uid: u32) -> Vec<Site> {
+    vec![
+        Site::new(
+            "astra",
+            Cluster::astra(4),
+            Invoker::user(user, uid, uid),
+        ),
+        Site::new(
+            "generic-x86",
+            Cluster::generic_x86(4),
+            Invoker::user(user, uid, uid),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_core::centos7_dockerfile;
+
+    fn registry() -> DistributionRegistry {
+        DistributionRegistry::new("registry.example.gov", &["ci-runner"])
+    }
+
+    #[test]
+    fn two_sites_produce_a_two_platform_index() {
+        let sites = astra_plus_x86_sites("ci-runner", 6000);
+        let mut reg = registry();
+        let report = multisite_ci(&sites, centos7_dockerfile(), &mut reg, "atse/app", "1.0");
+        assert!(report.success, "{:?}", report.results);
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.index_platforms.len(), 2);
+        let archs: Vec<String> = report.results.iter().map(|r| r.arch.clone()).collect();
+        assert!(archs.contains(&"aarch64".to_string()));
+        assert!(archs.contains(&"x86_64".to_string()));
+        // Every site's build needed --force rewrites (the openssh install).
+        assert!(report.results.iter().all(|r| r.instructions_modified > 0));
+    }
+
+    #[test]
+    fn each_site_pulls_its_own_architecture() {
+        let sites = astra_plus_x86_sites("ci-runner", 6000);
+        let mut reg = registry();
+        let report = multisite_ci(&sites, centos7_dockerfile(), &mut reg, "atse/app", "2.0");
+        assert!(report.results.iter().all(|r| r.pull_ok));
+        // An architecture nobody built remains unavailable.
+        assert!(reg
+            .pull_for_platform("ci-runner", "atse/app", "2.0", &Platform::linux_ppc64le())
+            .is_err());
+    }
+
+    #[test]
+    fn single_site_index_has_one_platform() {
+        let sites = vec![Site::new(
+            "astra",
+            Cluster::astra(2),
+            Invoker::user("ci-runner", 6000, 6000),
+        )];
+        let mut reg = registry();
+        let report = multisite_ci(&sites, centos7_dockerfile(), &mut reg, "atse/app", "3.0");
+        assert!(report.success);
+        assert_eq!(report.index_platforms.len(), 1);
+        assert_eq!(report.index_platforms[0], Platform::linux_arm64());
+    }
+}

@@ -1,0 +1,1002 @@
+//! Container image builders for the three privilege types.
+//!
+//! * [`BuilderKind::Docker`] — Type I baseline (privileged daemon build).
+//! * [`BuilderKind::RootlessPodman`] — Type II: privileged user-namespace
+//!   maps via `newuidmap`/`newgidmap`, no Dockerfile changes needed (paper §4).
+//! * [`BuilderKind::ChImage`] — Type III: fully unprivileged, with optional
+//!   `--force` automatic injection of `fakeroot(1)` (paper §5).
+
+use std::collections::HashMap;
+
+use hpcc_distro::{base_image, catalog_for, Catalog};
+use hpcc_fakeroot::LieDatabase;
+use hpcc_image::{Digest, Image, ImageConfig, Registry};
+use hpcc_kernel::{Credentials, Sysctl, UserNamespace};
+use hpcc_runtime::{Container, Invoker, PrivilegeType, StorageDriver, SubIdDb};
+use hpcc_shell::ExecEnv;
+use hpcc_vfs::{Actor, Filesystem, FsBackend, Mode};
+
+use crate::cache::{BuildCache, CachedState};
+use crate::dockerfile::{Dockerfile, Instruction};
+use crate::force::{detect_config, ForceConfig};
+
+/// Which build tool (and therefore privilege model) to emulate.
+#[derive(Debug, Clone)]
+pub enum BuilderKind {
+    /// Docker-style Type I build: requires host root.
+    Docker,
+    /// Rootless-Podman-style Type II build.
+    RootlessPodman {
+        /// `/etc/subuid` / `/etc/subgid` contents.
+        subuid: SubIdDb,
+        /// Storage driver.
+        driver: StorageDriver,
+        /// Backend for container storage.
+        backend: FsBackend,
+        /// Kernel configuration of the build node.
+        sysctl: Sysctl,
+    },
+    /// Charliecloud-style Type III build (`ch-image`).
+    ChImage,
+}
+
+/// Options for one build.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Tag for the resulting image (e.g. `foo`).
+    pub tag: String,
+    /// Enable `--force` fakeroot injection (Type III only).
+    pub force: bool,
+    /// Enable the per-instruction build cache.
+    pub use_cache: bool,
+    /// Target CPU architecture.
+    pub arch: String,
+}
+
+impl BuildOptions {
+    /// Options with a tag and defaults (no force, no cache, x86-64).
+    pub fn new(tag: &str) -> Self {
+        BuildOptions {
+            tag: tag.to_string(),
+            force: false,
+            use_cache: false,
+            arch: "x86_64".to_string(),
+        }
+    }
+
+    /// Enables `--force`.
+    pub fn with_force(mut self) -> Self {
+        self.force = true;
+        self
+    }
+
+    /// Enables the build cache.
+    pub fn with_cache(mut self) -> Self {
+        self.use_cache = true;
+        self
+    }
+
+    /// Sets the architecture.
+    pub fn with_arch(mut self, arch: &str) -> Self {
+        self.arch = arch.to_string();
+        self
+    }
+}
+
+/// A locally stored built image.
+#[derive(Debug, Clone)]
+pub struct BuiltImage {
+    /// Tag.
+    pub tag: String,
+    /// Image filesystem as built.
+    pub fs: Filesystem,
+    /// Image configuration.
+    pub config: ImageConfig,
+    /// Fakeroot lie database accumulated during the build (Type III).
+    pub fakeroot_db: LieDatabase,
+    /// The base image reference used by `FROM`.
+    pub base_reference: String,
+    /// Architecture.
+    pub arch: String,
+    /// Privilege type used.
+    pub privilege: PrivilegeType,
+}
+
+/// Report of one build: the transcript reproduces the shape of the paper's
+/// figures.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Transcript lines.
+    pub transcript: Vec<String>,
+    /// Whether the build succeeded.
+    pub success: bool,
+    /// The tag built.
+    pub tag: String,
+    /// Total instructions executed.
+    pub instructions_total: usize,
+    /// RUN instructions rewritten by `--force`.
+    pub instructions_modified: usize,
+    /// RUN instructions that *could* be rewritten.
+    pub modifiable_runs: usize,
+    /// Name of the matched force configuration, if any.
+    pub force_config: Option<String>,
+    /// Cache hits during this build.
+    pub cache_hits: usize,
+    /// Cache misses during this build.
+    pub cache_misses: usize,
+    /// Error message if the build failed.
+    pub error: Option<String>,
+}
+
+impl BuildReport {
+    /// The transcript as one string.
+    pub fn transcript_text(&self) -> String {
+        self.transcript.join("\n")
+    }
+}
+
+/// Ownership policy when pushing a built image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOwnership {
+    /// Flatten to root:root, clear setuid/setgid (Charliecloud default, §6.1).
+    Flatten,
+    /// Preserve the namespace view of ownership (Podman/Docker).
+    Preserve,
+    /// Reconstruct ownership from the fakeroot lie database (§6.2.2 item 2).
+    FromFakerootDb,
+}
+
+/// A container image builder.
+pub struct Builder {
+    /// The build tool emulated.
+    pub kind: BuilderKind,
+    /// The invoking user.
+    pub invoker: Invoker,
+    cache: BuildCache,
+    store: HashMap<String, BuiltImage>,
+}
+
+struct BuildEnv {
+    fs: Filesystem,
+    creds: Credentials,
+    userns: UserNamespace,
+    catalog: Catalog,
+    base_reference: String,
+}
+
+impl Builder {
+    /// Creates a builder.
+    pub fn new(kind: BuilderKind, invoker: Invoker) -> Self {
+        Builder {
+            kind,
+            invoker,
+            cache: BuildCache::new(),
+            store: HashMap::new(),
+        }
+    }
+
+    /// Convenience: a `ch-image` (Type III) builder for an unprivileged user.
+    pub fn ch_image(invoker: Invoker) -> Self {
+        Builder::new(BuilderKind::ChImage, invoker)
+    }
+
+    /// Convenience: a rootless Podman (Type II) builder with sensible
+    /// defaults (local storage, VFS driver as on RHEL 7, Figure 4 subuid map).
+    pub fn rootless_podman(invoker: Invoker, subuid: SubIdDb) -> Self {
+        Builder::new(
+            BuilderKind::RootlessPodman {
+                subuid,
+                driver: StorageDriver::Vfs,
+                backend: FsBackend::LocalDisk,
+                sysctl: Sysctl::rhel76(),
+            },
+            invoker,
+        )
+    }
+
+    /// Convenience: a Docker (Type I) builder; the invoker must be root.
+    pub fn docker() -> Self {
+        Builder::new(BuilderKind::Docker, Invoker::root())
+    }
+
+    /// The privilege type this builder operates at.
+    pub fn privilege_type(&self) -> PrivilegeType {
+        match self.kind {
+            BuilderKind::Docker => PrivilegeType::TypeI,
+            BuilderKind::RootlessPodman { .. } => PrivilegeType::TypeII,
+            BuilderKind::ChImage => PrivilegeType::TypeIII,
+        }
+    }
+
+    /// A previously built image by tag.
+    pub fn image(&self, tag: &str) -> Option<&BuiltImage> {
+        self.store.get(tag)
+    }
+
+    /// Tags of all locally stored images.
+    pub fn tags(&self) -> Vec<String> {
+        let mut t: Vec<String> = self.store.keys().cloned().collect();
+        t.sort();
+        t
+    }
+
+    /// Clears the per-instruction build cache.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    fn setup_from(&self, reference: &str, arch: &str) -> Result<BuildEnv, String> {
+        // Local tag takes precedence over remote base images (the LANL
+        // three-stage pipeline chains FROM on locally built tags, §5.3.3).
+        if let Some(built) = self.store.get(reference) {
+            let catalog = catalog_for(&built.base_reference, arch)
+                .ok_or_else(|| format!("no catalog for {}", built.base_reference))?;
+            return Ok(BuildEnv {
+                fs: built.fs.clone(),
+                creds: self.container_creds(),
+                userns: self.container_userns(),
+                catalog,
+                base_reference: built.base_reference.clone(),
+            });
+        }
+        let base = base_image(reference, arch)
+            .ok_or_else(|| format!("error: no base image: {}", reference))?;
+        // Package the canonical root-owned base tree as an image, then let
+        // the runtime instantiate it under the right privilege type.
+        let root_creds = Credentials::host_root();
+        let host_ns = UserNamespace::initial();
+        let actor = Actor::new(&root_creds, &host_ns);
+        let mut cfg = ImageConfig::default();
+        cfg.architecture = arch.to_string();
+        let image = Image::from_fs_preserved(reference, &base.fs, &actor, cfg)
+            .map_err(|e| format!("error: cannot package base image: {}", e))?;
+        let container = match &self.kind {
+            BuilderKind::Docker => Container::launch_type1(&image, None),
+            BuilderKind::RootlessPodman {
+                subuid,
+                driver,
+                backend,
+                sysctl,
+            } => Container::launch_type2(&image, &self.invoker, subuid, *driver, *backend, sysctl),
+            BuilderKind::ChImage => Container::launch_type3(&image, &self.invoker),
+        }
+        .map_err(|e| format!("error: cannot create build container: {}", e))?;
+        Ok(BuildEnv {
+            fs: container.rootfs,
+            creds: container.creds,
+            userns: container.userns,
+            catalog: base.catalog,
+            base_reference: reference.to_string(),
+        })
+    }
+
+    fn container_creds(&self) -> Credentials {
+        match self.kind {
+            BuilderKind::Docker => Credentials::host_root(),
+            _ => self.invoker.host_creds().entered_own_namespace(),
+        }
+    }
+
+    fn container_userns(&self) -> UserNamespace {
+        match &self.kind {
+            BuilderKind::Docker => UserNamespace::initial(),
+            BuilderKind::RootlessPodman { subuid, .. } => {
+                let range = subuid.ranges_for(&self.invoker.name).first().copied();
+                match range {
+                    Some(r) => UserNamespace::type2(self.invoker.uid, self.invoker.gid, r.start, r.count),
+                    None => UserNamespace::type3(self.invoker.uid, self.invoker.gid),
+                }
+            }
+            BuilderKind::ChImage => UserNamespace::type3(self.invoker.uid, self.invoker.gid),
+        }
+    }
+
+    /// Builds a Dockerfile. `context` is the build-context filesystem used by
+    /// `COPY` instructions.
+    pub fn build(
+        &mut self,
+        dockerfile_text: &str,
+        options: &BuildOptions,
+        context: Option<&Filesystem>,
+    ) -> BuildReport {
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+        let mut report = BuildReport {
+            transcript: Vec::new(),
+            success: false,
+            tag: options.tag.clone(),
+            instructions_total: 0,
+            instructions_modified: 0,
+            modifiable_runs: 0,
+            force_config: None,
+            cache_hits: 0,
+            cache_misses: 0,
+            error: None,
+        };
+        let dockerfile = match Dockerfile::parse(dockerfile_text) {
+            Ok(d) => d,
+            Err(e) => {
+                report.error = Some(e.to_string());
+                report.transcript.push(format!("error: {}", e));
+                return report;
+            }
+        };
+
+        let mut env: Option<BuildEnv> = None;
+        let mut config = ImageConfig::default();
+        config.architecture = options.arch.clone();
+        let mut fakeroot_db = LieDatabase::new();
+        let mut force_cfg: Option<ForceConfig> = None;
+        let mut force_initialized = false;
+        let mut parent: Option<Digest> = None;
+
+        for (idx, instruction) in dockerfile.instructions.iter().enumerate() {
+            let n = idx + 1;
+            report.instructions_total = n;
+            let display = Self::display_instruction(n, instruction);
+            let cache_key_text = format!(
+                "{:?}|force={}|{}",
+                self.privilege_type(),
+                options.force,
+                Self::instruction_key(instruction)
+            );
+            let state_id = BuildCache::state_id(parent.as_ref(), &cache_key_text);
+
+            if options.use_cache {
+                if let Some(hit) = self.cache.lookup(&state_id) {
+                    report.transcript.push(format!("{} (cached)", display));
+                    if let Some(e) = env.as_mut() {
+                        e.fs = hit.fs;
+                    } else if let Instruction::From { image, .. } = instruction {
+                        // FROM served from cache: rebuild the env around the
+                        // cached filesystem.
+                        match self.setup_from(image, &options.arch) {
+                            Ok(mut fresh) => {
+                                fresh.fs = hit.fs;
+                                env = Some(fresh);
+                            }
+                            Err(msg) => {
+                                report.error = Some(msg.clone());
+                                report.transcript.push(msg);
+                                return report;
+                            }
+                        }
+                    }
+                    config = hit.config;
+                    fakeroot_db = hit.fakeroot_db;
+                    parent = Some(state_id);
+                    // Force-config detection still applies after FROM.
+                    if let (Instruction::From { .. }, BuilderKind::ChImage) =
+                        (instruction, &self.kind)
+                    {
+                        if let Some(e) = &env {
+                            force_cfg = detect_config(&e.fs, &e.creds, &e.userns);
+                            if options.force {
+                                if let Some(cfg) = &force_cfg {
+                                    report.force_config = Some(cfg.name.to_string());
+                                    report.transcript.push(format!(
+                                        "will use --force: {}: {}",
+                                        cfg.name, cfg.description
+                                    ));
+                                }
+                            }
+                            force_initialized = {
+                                // If fakeroot is already in the cached image the
+                                // init phase is satisfied.
+                                let actor = Actor::new(&e.creds, &e.userns);
+                                e.fs.exists(&actor, "/usr/bin/fakeroot")
+                            };
+                        }
+                    }
+                    continue;
+                }
+            }
+
+            match instruction {
+                Instruction::From { image, .. } => {
+                    report.transcript.push(display.clone());
+                    match self.setup_from(image, &options.arch) {
+                        Ok(e) => {
+                            if let BuilderKind::ChImage = self.kind {
+                                force_cfg = detect_config(&e.fs, &e.creds, &e.userns);
+                                if options.force {
+                                    if let Some(cfg) = &force_cfg {
+                                        report.force_config = Some(cfg.name.to_string());
+                                        report.transcript.push(format!(
+                                            "will use --force: {}: {}",
+                                            cfg.name, cfg.description
+                                        ));
+                                    }
+                                }
+                            }
+                            env = Some(e);
+                        }
+                        Err(msg) => {
+                            report.error = Some(msg.clone());
+                            report.transcript.push(msg);
+                            return report;
+                        }
+                    }
+                }
+                Instruction::Run(cmd) => {
+                    report.transcript.push(display.clone());
+                    let Some(e) = env.as_mut() else {
+                        report.error = Some("error: RUN before FROM".to_string());
+                        report.transcript.push("error: RUN before FROM".to_string());
+                        return report;
+                    };
+                    let modifiable = force_cfg
+                        .as_ref()
+                        .map(|c| c.run_is_modifiable(cmd))
+                        .unwrap_or(false);
+                    if modifiable {
+                        report.modifiable_runs += 1;
+                    }
+                    let wrap = matches!(self.kind, BuilderKind::ChImage) && options.force && modifiable;
+
+                    let mut shell = ExecEnv::new(
+                        &mut e.fs,
+                        e.creds.clone(),
+                        &e.userns,
+                        &e.catalog,
+                        &options.arch,
+                    );
+                    shell.fakeroot_db = fakeroot_db.clone();
+
+                    // --force initialization before the first modified RUN.
+                    if wrap && !force_initialized {
+                        let cfg = force_cfg.as_ref().expect("wrap implies config");
+                        let mut init_failed = None;
+                        for (i, step) in cfg.init_steps.iter().enumerate() {
+                            report.transcript.push(format!(
+                                "workarounds: init step {}: checking: $ {}",
+                                i + 1,
+                                step.check
+                            ));
+                            let check = shell.run_command(&step.check);
+                            if check.success() {
+                                continue;
+                            }
+                            report
+                                .transcript
+                                .push(format!("workarounds: init step {}: $ {}", i + 1, step.apply));
+                            let apply = shell.run_command(&step.apply);
+                            report.transcript.extend(apply.lines.clone());
+                            if !apply.success() {
+                                init_failed = Some(apply.status);
+                                break;
+                            }
+                        }
+                        if let Some(status) = init_failed {
+                            let msg = format!(
+                                "error: build failed: --force initialization exited with {}",
+                                status
+                            );
+                            report.error = Some(msg.clone());
+                            report.transcript.push(msg);
+                            return report;
+                        }
+                        force_initialized = true;
+                    }
+
+                    let result = if wrap {
+                        report.instructions_modified += 1;
+                        report.transcript.push(format!(
+                            "workarounds: RUN: new command: [ 'fakeroot', '/bin/sh', '-c', '{}' ]",
+                            cmd
+                        ));
+                        shell.run_wrapped(cmd)
+                    } else {
+                        shell.run_command(cmd)
+                    };
+                    fakeroot_db = shell.fakeroot_db.clone();
+                    report.transcript.extend(result.lines.clone());
+                    if !result.success() {
+                        let msg =
+                            format!("error: build failed: RUN command exited with {}", result.status);
+                        report.transcript.push(msg.clone());
+                        if matches!(self.kind, BuilderKind::ChImage)
+                            && !options.force
+                            && force_cfg.is_some()
+                            && report.modifiable_runs > 0
+                        {
+                            report.transcript.push(
+                                "hint: --force may fix this failure; see ch-image(1)".to_string(),
+                            );
+                        }
+                        report.error = Some(msg);
+                        report.cache_hits = self.cache.hits() - hits_before;
+                        report.cache_misses = self.cache.misses() - misses_before;
+                        return report;
+                    }
+                }
+                Instruction::Copy { sources, dest } => {
+                    report.transcript.push(display.clone());
+                    let Some(e) = env.as_mut() else {
+                        report.error = Some("error: COPY before FROM".to_string());
+                        return report;
+                    };
+                    let Some(ctx) = context else {
+                        let msg = format!("error: COPY {}: no build context", sources.join(" "));
+                        report.error = Some(msg.clone());
+                        report.transcript.push(msg);
+                        return report;
+                    };
+                    for src in sources {
+                        let dst = if dest.ends_with('/') {
+                            format!("{}{}", dest, src.rsplit('/').next().unwrap_or(src))
+                        } else {
+                            dest.clone()
+                        };
+                        let root_creds = Credentials::host_root();
+                        let host_ns = UserNamespace::initial();
+                        let actor = Actor::new(&root_creds, &host_ns);
+                        match ctx.read_file(&actor, &format!("/{}", src.trim_start_matches('/'))) {
+                            Ok(content) => {
+                                e.fs
+                                    .install_file(
+                                        &dst,
+                                        content,
+                                        e.creds.euid,
+                                        e.creds.egid,
+                                        Mode::FILE_644,
+                                    )
+                                    .ok();
+                            }
+                            Err(_) => {
+                                let msg = format!("error: COPY {}: not found in context", src);
+                                report.error = Some(msg.clone());
+                                report.transcript.push(msg);
+                                return report;
+                            }
+                        }
+                    }
+                }
+                Instruction::Env { key, value } => {
+                    report.transcript.push(display.clone());
+                    config.env.insert(key.clone(), value.clone());
+                }
+                Instruction::Workdir(path) => {
+                    report.transcript.push(display.clone());
+                    config.workdir = path.clone();
+                    if let Some(e) = env.as_mut() {
+                        let actor = Actor::new(&e.creds, &e.userns);
+                        if !e.fs.exists(&actor, path) {
+                            let _ = e.fs.install_dir(path, e.creds.euid, e.creds.egid, Mode::DIR_755);
+                        }
+                    }
+                }
+                Instruction::Label { key, value } => {
+                    report.transcript.push(display.clone());
+                    config.labels.insert(key.clone(), value.clone());
+                }
+                Instruction::Cmd(args) => {
+                    report.transcript.push(display.clone());
+                    config.cmd = args.clone();
+                }
+                Instruction::Entrypoint(args) => {
+                    report.transcript.push(display.clone());
+                    config.entrypoint = args.clone();
+                }
+                Instruction::User(_)
+                | Instruction::Arg { .. }
+                | Instruction::Expose(_)
+                | Instruction::Volume(_) => {
+                    report.transcript.push(display.clone());
+                }
+            }
+
+            if options.use_cache {
+                if let Some(e) = &env {
+                    self.cache.store(CachedState {
+                        fs: e.fs.clone(),
+                        config: config.clone(),
+                        fakeroot_db: fakeroot_db.clone(),
+                        state_id,
+                    });
+                }
+            }
+            parent = Some(state_id);
+        }
+
+        let Some(e) = env else {
+            report.error = Some("error: Dockerfile has no FROM".to_string());
+            return report;
+        };
+        if matches!(self.kind, BuilderKind::ChImage) && options.force && report.force_config.is_some()
+        {
+            report.transcript.push(format!(
+                "--force: init OK & modified {} RUN instructions",
+                report.instructions_modified
+            ));
+        }
+        report.transcript.push(format!(
+            "grown in {} instructions: {}",
+            report.instructions_total, options.tag
+        ));
+        self.store.insert(
+            options.tag.clone(),
+            BuiltImage {
+                tag: options.tag.clone(),
+                fs: e.fs,
+                config,
+                fakeroot_db,
+                base_reference: e.base_reference,
+                arch: options.arch.clone(),
+                privilege: self.privilege_type(),
+            },
+        );
+        report.success = true;
+        report.cache_hits = self.cache.hits() - hits_before;
+        report.cache_misses = self.cache.misses() - misses_before;
+        report
+    }
+
+    fn instruction_key(instruction: &Instruction) -> String {
+        format!("{:?}", instruction)
+    }
+
+    fn display_instruction(n: usize, instruction: &Instruction) -> String {
+        match instruction {
+            Instruction::From { image, alias } => match alias {
+                Some(a) => format!("{} FROM {} AS {}", n, image, a),
+                None => format!("{} FROM {}", n, image),
+            },
+            Instruction::Run(cmd) => format!("{} RUN [ '/bin/sh', '-c', '{}' ]", n, cmd),
+            Instruction::Copy { sources, dest } => {
+                format!("{} COPY {} {}", n, sources.join(" "), dest)
+            }
+            Instruction::Env { key, value } => format!("{} ENV {}={}", n, key, value),
+            Instruction::Arg { name, .. } => format!("{} ARG {}", n, name),
+            Instruction::Workdir(p) => format!("{} WORKDIR {}", n, p),
+            Instruction::User(u) => format!("{} USER {}", n, u),
+            Instruction::Label { key, value } => format!("{} LABEL {}={}", n, key, value),
+            Instruction::Cmd(args) => format!("{} CMD {:?}", n, args),
+            Instruction::Entrypoint(args) => format!("{} ENTRYPOINT {:?}", n, args),
+            Instruction::Expose(p) => format!("{} EXPOSE {}", n, p),
+            Instruction::Volume(v) => format!("{} VOLUME {}", n, v),
+        }
+    }
+
+    /// Pushes a built image to a registry under `reference`, applying the
+    /// chosen ownership policy (paper §6.1, §6.2.2).
+    pub fn push(
+        &mut self,
+        tag: &str,
+        reference: &str,
+        registry: &mut Registry,
+        ownership: PushOwnership,
+    ) -> Result<Digest, String> {
+        let built = self
+            .store
+            .get(tag)
+            .ok_or_else(|| format!("no such image: {}", tag))?;
+        let creds = self.container_creds();
+        let userns = self.container_userns();
+        let actor = Actor::new(&creds, &userns);
+        let mut cfg = built.config.clone();
+        cfg.architecture = built.arch.clone();
+        let image = match ownership {
+            PushOwnership::Flatten => Image::from_fs_flattened(reference, &built.fs, &actor, cfg),
+            PushOwnership::Preserve => Image::from_fs_preserved(reference, &built.fs, &actor, cfg),
+            PushOwnership::FromFakerootDb => Image::from_fs_with_ownership_db(
+                reference,
+                &built.fs,
+                &actor,
+                cfg,
+                built.fakeroot_db.ownership_map(),
+            ),
+        }
+        .map_err(|e| format!("push failed: {}", e))?;
+        registry
+            .push(&self.invoker.name, &image)
+            .map_err(|e| format!("push failed: {}", e))
+    }
+
+    /// Pulls an image from a registry and stores it locally under `tag`,
+    /// unpacking it per this builder's privilege type (a Type III pull
+    /// changes ownership to the invoking user, paper §5.2).
+    pub fn pull(
+        &mut self,
+        registry: &mut Registry,
+        reference: &str,
+        tag: &str,
+    ) -> Result<(), String> {
+        let image = registry.pull(reference).map_err(|e| e.to_string())?;
+        let force_owner = match self.kind {
+            BuilderKind::Docker => None,
+            _ => Some((self.invoker.uid, self.invoker.gid)),
+        };
+        let fs = image.unpack(force_owner).map_err(|e| e.to_string())?;
+        self.store.insert(
+            tag.to_string(),
+            BuiltImage {
+                tag: tag.to_string(),
+                fs,
+                config: image.config.clone(),
+                fakeroot_db: LieDatabase::new(),
+                base_reference: reference.to_string(),
+                arch: image.config.architecture.clone(),
+                privilege: self.privilege_type(),
+            },
+        );
+        Ok(())
+    }
+}
+
+/// Figure-4 style default subuid database for one user.
+pub fn default_subuid_for(user: &str) -> SubIdDb {
+    let mut db = SubIdDb::new();
+    db.add_range(user, 200_000, 65_536);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dockerfile::{
+        centos7_dockerfile, centos7_fr_dockerfile, debian10_dockerfile, debian10_fr_dockerfile,
+    };
+    use hpcc_kernel::{Gid, Uid};
+
+    fn alice() -> Invoker {
+        Invoker::user("alice", 1000, 1000)
+    }
+
+    #[test]
+    fn figure2_plain_type3_build_fails_on_chown() {
+        let mut b = Builder::ch_image(alice());
+        let r = b.build(centos7_dockerfile(), &BuildOptions::new("foo"), None);
+        assert!(!r.success);
+        let t = r.transcript_text();
+        assert!(t.contains("1 FROM centos:7"));
+        assert!(t.contains("2 RUN [ '/bin/sh', '-c', 'echo hello' ]"));
+        assert!(t.contains("hello"));
+        assert!(t.contains("Error unpacking rpm package openssh-7.4p1-21.el7.x86_64"));
+        assert!(t.contains("cpio: chown"));
+        assert!(t.contains("error: build failed: RUN command exited with 1"));
+        // The hint the paper mentions was omitted from Figure 2.
+        assert!(t.contains("--force may fix"));
+    }
+
+    #[test]
+    fn figure3_plain_type3_debian_build_fails_on_privilege_drop() {
+        let mut b = Builder::ch_image(alice());
+        let r = b.build(
+            debian10_dockerfile(),
+            &BuildOptions::new("foo").with_arch("amd64"),
+            None,
+        );
+        assert!(!r.success);
+        let t = r.transcript_text();
+        assert!(t.contains("E: setgroups 65534 failed - setgroups (1: Operation not permitted)"));
+        assert!(t.contains("E: setegid 65534 failed - setegid (22: Invalid argument)"));
+        assert!(t.contains("E: seteuid 100 failed - seteuid (22: Invalid argument)"));
+        assert!(t.contains("error: build failed: RUN command exited with 100"));
+    }
+
+    #[test]
+    fn figure8_manually_modified_centos_dockerfile_succeeds() {
+        let mut b = Builder::ch_image(alice());
+        let r = b.build(centos7_fr_dockerfile(), &BuildOptions::new("foo"), None);
+        assert!(r.success, "{}", r.transcript_text());
+        let t = r.transcript_text();
+        assert!(t.contains("Complete!"));
+        assert!(t.contains("grown in 5 instructions: foo"));
+        assert_eq!(r.instructions_modified, 0, "no automatic modification");
+    }
+
+    #[test]
+    fn figure9_manually_modified_debian_dockerfile_succeeds() {
+        let mut b = Builder::ch_image(alice());
+        let r = b.build(
+            debian10_fr_dockerfile(),
+            &BuildOptions::new("foo").with_arch("amd64"),
+            None,
+        );
+        assert!(r.success, "{}", r.transcript_text());
+        let t = r.transcript_text();
+        assert!(t.contains("Setting up pseudo (1.9.0+git20180920-1) ..."));
+        assert!(t.contains("W: chown to root:adm of file /var/log/apt/term.log failed"));
+        assert!(t.contains("Setting up openssh-client (1:7.9p1-10+deb10u2) ..."));
+        assert!(t.contains("grown in 6 instructions: foo"));
+    }
+
+    #[test]
+    fn figure10_force_build_centos_unmodified_dockerfile() {
+        let mut b = Builder::ch_image(alice());
+        let r = b.build(
+            centos7_dockerfile(),
+            &BuildOptions::new("foo").with_force(),
+            None,
+        );
+        assert!(r.success, "{}", r.transcript_text());
+        let t = r.transcript_text();
+        assert!(t.contains("will use --force: rhel7: CentOS/RHEL 7"));
+        assert!(t.contains("workarounds: init step 1: checking: $ command -v fakeroot"));
+        assert!(t.contains("workarounds: init step 1: $ set -ex;"));
+        assert!(t.contains("+ yum install -y epel-release"));
+        assert!(t.contains(
+            "workarounds: RUN: new command: [ 'fakeroot', '/bin/sh', '-c', 'yum install -y openssh' ]"
+        ));
+        assert!(t.contains("--force: init OK & modified 1 RUN instructions"));
+        assert!(t.contains("grown in 3 instructions: foo"));
+        assert_eq!(r.force_config.as_deref(), Some("rhel7"));
+        assert_eq!(r.instructions_modified, 1);
+    }
+
+    #[test]
+    fn figure11_force_build_debian_unmodified_dockerfile() {
+        let mut b = Builder::ch_image(alice());
+        let r = b.build(
+            debian10_dockerfile(),
+            &BuildOptions::new("foo").with_force().with_arch("amd64"),
+            None,
+        );
+        assert!(r.success, "{}", r.transcript_text());
+        let t = r.transcript_text();
+        assert!(t.contains("will use --force: debderiv: Debian (9, 10) or Ubuntu (16, 18, 20)"));
+        assert!(t.contains("workarounds: init step 1: checking: $ apt-config dump"));
+        assert!(t.contains("workarounds: init step 1: $ echo 'APT::Sandbox::User"));
+        assert!(t.contains("workarounds: init step 2: checking: $ command -v fakeroot"));
+        assert!(t.contains("workarounds: init step 2: $ apt-get update && apt-get install -y pseudo"));
+        assert!(t.contains("Setting up pseudo (1.9.0+git20180920-1) ..."));
+        assert!(t.contains(
+            "workarounds: RUN: new command: [ 'fakeroot', '/bin/sh', '-c', 'apt-get update' ]"
+        ));
+        assert!(t.contains(
+            "workarounds: RUN: new command: [ 'fakeroot', '/bin/sh', '-c', 'apt-get install -y openssh-client' ]"
+        ));
+        assert!(t.contains("--force: init OK & modified 2 RUN instructions"));
+        assert!(t.contains("grown in 4 instructions: foo"));
+        assert_eq!(r.instructions_modified, 2);
+    }
+
+    #[test]
+    fn rootless_podman_builds_both_dockerfiles_unmodified() {
+        // Paper §4.1: "the examples detailed in Figures 2 and 3 will both
+        // succeed as expected" under properly configured rootless Podman.
+        let mut b = Builder::rootless_podman(alice(), default_subuid_for("alice"));
+        let r = b.build(centos7_dockerfile(), &BuildOptions::new("c7"), None);
+        assert!(r.success, "{}", r.transcript_text());
+        assert_eq!(r.instructions_modified, 0);
+        let r = b.build(
+            debian10_dockerfile(),
+            &BuildOptions::new("d10").with_arch("amd64"),
+            None,
+        );
+        assert!(r.success, "{}", r.transcript_text());
+        // Ownership inside the image really is multi-UID (subordinate IDs).
+        let img = b.image("c7").unwrap();
+        assert!(img.fs.distinct_owner_uids().len() > 1);
+    }
+
+    #[test]
+    fn docker_type1_builds_but_requires_root() {
+        let mut b = Builder::docker();
+        assert_eq!(b.privilege_type(), PrivilegeType::TypeI);
+        let r = b.build(centos7_dockerfile(), &BuildOptions::new("c7"), None);
+        assert!(r.success, "{}", r.transcript_text());
+        let img = b.image("c7").unwrap();
+        // Type I keeps real root ownership.
+        assert!(img.fs.distinct_owner_uids().contains(&Uid(0)));
+    }
+
+    #[test]
+    fn podman_without_subuid_ranges_fails_to_create_container() {
+        let mut b = Builder::rootless_podman(alice(), SubIdDb::new());
+        let r = b.build(centos7_dockerfile(), &BuildOptions::new("c7"), None);
+        assert!(!r.success);
+        assert!(r.transcript_text().contains("cannot create build container"));
+    }
+
+    #[test]
+    fn build_cache_hits_on_rebuild() {
+        let mut b = Builder::ch_image(alice());
+        let opts = BuildOptions::new("foo").with_force().with_cache();
+        let first = b.build(centos7_dockerfile(), &opts, None);
+        assert!(first.success);
+        assert_eq!(first.cache_hits, 0);
+        let second = b.build(centos7_dockerfile(), &opts, None);
+        assert!(second.success, "{}", second.transcript_text());
+        assert_eq!(second.cache_hits, 3, "{}", second.transcript_text());
+        assert!(second.transcript_text().contains("(cached)"));
+        // Extending the Dockerfile reuses the prefix.
+        let extended = format!("{}RUN echo extra\n", centos7_dockerfile());
+        let third = b.build(&extended, &opts, None);
+        assert!(third.success);
+        assert_eq!(third.cache_hits, 3);
+        assert!(third.transcript_text().contains("echo extra"));
+    }
+
+    #[test]
+    fn copy_uses_build_context() {
+        let mut ctx = Filesystem::new_local();
+        ctx.install_file("/app.c", b"int main(){}".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        let mut b = Builder::ch_image(alice());
+        let df = "FROM centos:7\nCOPY app.c /src/app.c\nRUN gcc -o /src/app /src/app.c\n";
+        let r = b.build(df, &BuildOptions::new("app"), Some(&ctx));
+        assert!(!r.success, "gcc is not installed in the base image");
+        let df2 = "FROM centos:7\nRUN yum install -y gcc\nCOPY app.c /src/app.c\nRUN gcc -o /src/app /src/app.c\n";
+        let r = b.build(df2, &BuildOptions::new("app"), Some(&ctx));
+        assert!(r.success, "{}", r.transcript_text());
+        let img = b.image("app").unwrap();
+        let actor_creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let ns = UserNamespace::initial();
+        let actor = Actor::new(&actor_creds, &ns);
+        assert!(img.fs.exists(&actor, "/src/app.c"));
+    }
+
+    #[test]
+    fn from_local_tag_chains_builds() {
+        let mut b = Builder::ch_image(alice());
+        let base = "FROM centos:7\nRUN yum install -y openmpi\n";
+        assert!(b.build(base, &BuildOptions::new("stage1"), None).success);
+        let app = "FROM stage1\nRUN yum install -y spack\nENV STACK=atse\n";
+        let r = b.build(app, &BuildOptions::new("stage2"), None);
+        assert!(r.success, "{}", r.transcript_text());
+        let img = b.image("stage2").unwrap();
+        assert_eq!(img.config.env.get("STACK").unwrap(), "atse");
+        let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let ns = UserNamespace::initial();
+        let actor = Actor::new(&creds, &ns);
+        assert!(img.fs.exists(&actor, "/usr/lib64/openmpi/bin/mpirun"));
+        assert!(img.fs.exists(&actor, "/opt/spack/bin/spack"));
+    }
+
+    #[test]
+    fn push_flatten_and_pull_roundtrip() {
+        let mut registry = Registry::new("registry.lanl.example");
+        let mut b = Builder::ch_image(alice());
+        let r = b.build(
+            centos7_dockerfile(),
+            &BuildOptions::new("foo").with_force(),
+            None,
+        );
+        assert!(r.success);
+        let digest = b
+            .push("foo", "hpc/openssh:1.0", &mut registry, PushOwnership::Flatten)
+            .unwrap();
+        assert!(digest.to_oci_string().starts_with("sha256:"));
+        // Pull back as a different user.
+        let mut b2 = Builder::ch_image(Invoker::user("bob", 1001, 1001));
+        b2.pull(&mut registry, "hpc/openssh:1.0", "openssh").unwrap();
+        let img = b2.image("openssh").unwrap();
+        // Every unpacked entry (not counting the filesystem root inode) is
+        // owned by the pulling user.
+        for (path, ino) in img.fs.walk() {
+            assert_eq!(img.fs.inode(ino).unwrap().uid, Uid(1001), "{}", path);
+        }
+    }
+
+    #[test]
+    fn push_with_fakeroot_db_preserves_intended_ownership() {
+        let mut registry = Registry::new("r");
+        let mut b = Builder::ch_image(alice());
+        let r = b.build(
+            centos7_dockerfile(),
+            &BuildOptions::new("foo").with_force(),
+            None,
+        );
+        assert!(r.success);
+        b.push("foo", "hpc/openssh:ids", &mut registry, PushOwnership::FromFakerootDb)
+            .unwrap();
+        let image = registry.pull("hpc/openssh:ids").unwrap();
+        // The ssh-keysign helper's intended group (999) survives the push.
+        let entries = hpcc_vfs::tar::list(&image.layers[0].tar).unwrap();
+        let keysign = entries
+            .iter()
+            .find(|e| e.path == "usr/libexec/openssh/ssh-keysign")
+            .unwrap();
+        assert_eq!(keysign.gid, 999);
+    }
+
+    #[test]
+    fn unknown_base_image_reports_error() {
+        let mut b = Builder::ch_image(alice());
+        let r = b.build("FROM alpine:3.14\nRUN echo hi\n", &BuildOptions::new("x"), None);
+        assert!(!r.success);
+        assert!(r.transcript_text().contains("no base image"));
+    }
+}

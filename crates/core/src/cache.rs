@@ -1,0 +1,145 @@
+//! Per-instruction build cache.
+//!
+//! The paper lists the lack of a build cache as a Charliecloud disadvantage
+//! (§6.1 item 3): "This caching can greatly accelerate repetitive builds,
+//! such as during iterative development." This module provides the cache so
+//! the repository can both reproduce the cache-less behaviour and quantify
+//! the improvement (EXPERIMENTS.md E15).
+
+use std::collections::HashMap;
+
+use hpcc_fakeroot::LieDatabase;
+use hpcc_image::{sha256_str, Digest, ImageConfig};
+use hpcc_vfs::Filesystem;
+
+/// A cached build state: the filesystem and metadata after executing an
+/// instruction.
+#[derive(Debug, Clone)]
+pub struct CachedState {
+    /// Image filesystem snapshot.
+    pub fs: Filesystem,
+    /// Image configuration snapshot.
+    pub config: ImageConfig,
+    /// Fakeroot lie database snapshot.
+    pub fakeroot_db: LieDatabase,
+    /// State identifier (chain digest).
+    pub state_id: Digest,
+}
+
+/// The cache: chain-digest keyed snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct BuildCache {
+    entries: HashMap<String, CachedState>,
+    hits: usize,
+    misses: usize,
+}
+
+impl BuildCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the state id for executing `instruction` on top of `parent`.
+    pub fn state_id(parent: Option<&Digest>, instruction: &str) -> Digest {
+        let parent_str = parent
+            .map(|d| d.to_oci_string())
+            .unwrap_or_else(|| "scratch".to_string());
+        sha256_str(&format!("{}\n{}", parent_str, instruction))
+    }
+
+    /// Looks up a state, counting a hit or miss.
+    pub fn lookup(&mut self, id: &Digest) -> Option<CachedState> {
+        match self.entries.get(&id.to_oci_string()) {
+            Some(state) => {
+                self.hits += 1;
+                Some(state.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a state.
+    pub fn store(&mut self, state: CachedState) {
+        self.entries.insert(state.state_id.to_oci_string(), state);
+    }
+
+    /// Number of cached states.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Clears everything (including statistics).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_state(id: Digest) -> CachedState {
+        CachedState {
+            fs: Filesystem::new_local(),
+            config: ImageConfig::default(),
+            fakeroot_db: LieDatabase::new(),
+            state_id: id,
+        }
+    }
+
+    #[test]
+    fn state_id_chains() {
+        let a = BuildCache::state_id(None, "FROM centos:7");
+        let b = BuildCache::state_id(Some(&a), "RUN echo hello");
+        let b2 = BuildCache::state_id(Some(&a), "RUN echo hello");
+        assert_eq!(b, b2);
+        assert_ne!(a, b);
+        // Different parent -> different id for the same instruction.
+        let other_parent = BuildCache::state_id(None, "FROM debian:buster");
+        assert_ne!(BuildCache::state_id(Some(&other_parent), "RUN echo hello"), b);
+    }
+
+    #[test]
+    fn lookup_hit_and_miss_counting() {
+        let mut cache = BuildCache::new();
+        let id = BuildCache::state_id(None, "FROM centos:7");
+        assert!(cache.lookup(&id).is_none());
+        cache.store(dummy_state(id));
+        assert!(cache.lookup(&id).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cache = BuildCache::new();
+        let id = BuildCache::state_id(None, "x");
+        cache.store(dummy_state(id));
+        cache.lookup(&id);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! `hpcc-core`: low-privilege HPC container build — the paper's primary
+//! contribution.
+//!
+//! A Dockerfile interpreter plus three builders matching the privilege
+//! taxonomy: a Docker-style Type I baseline, a rootless-Podman-style Type II
+//! builder (privileged user-namespace maps), and a Charliecloud `ch-image`
+//! style Type III builder with optional `--force` automatic injection of
+//! `fakeroot(1)` workarounds (paper §5.3), a per-instruction build cache
+//! (§6.1 item 3), and registry push/pull with ownership flattening (§6.1) or
+//! fakeroot-database ownership reconstruction (§6.2.2).
+//!
+//! Two extension modules cover the paper's forward-looking material:
+//! [`multistage`] builds multi-stage Dockerfiles (the single-file form of the
+//! §5.3.3 chained-Dockerfile pipeline) and [`ocipush`] exports built images to
+//! an OCI distribution registry as single flattened layers or base-plus-diff
+//! layer stacks, carrying the §6.2.5 flatten annotation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod cache;
+pub mod dockerfile;
+pub mod force;
+pub mod multistage;
+pub mod ocipush;
+
+pub use builder::{
+    default_subuid_for, BuildOptions, BuildReport, Builder, BuilderKind, BuiltImage, PushOwnership,
+};
+pub use cache::{BuildCache, CachedState};
+pub use dockerfile::{
+    centos7_dockerfile, centos7_fr_dockerfile, debian10_dockerfile, debian10_fr_dockerfile,
+    Dockerfile, Instruction, ParseError,
+};
+pub use force::{detect_config, ForceConfig, InitStep};
+pub use multistage::{build_multistage, MultiStagePlan, MultiStageReport};
+pub use ocipush::{push_to_oci, LayerMode, OciPushReport};

@@ -1,0 +1,304 @@
+//! `/etc/passwd` and `/etc/group` handling.
+//!
+//! Translation between numeric IDs and names is a user-space operation that
+//! may differ between host and container (paper §2.1.1 footnote 4); the
+//! distribution layer owns it.
+
+use std::collections::BTreeMap;
+
+use hpcc_kernel::{Gid, Uid};
+use hpcc_vfs::{Actor, Filesystem, Mode};
+
+/// One `/etc/passwd` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PasswdEntry {
+    /// Login name.
+    pub name: String,
+    /// UID.
+    pub uid: u32,
+    /// Primary GID.
+    pub gid: u32,
+    /// Home directory.
+    pub home: String,
+    /// Login shell.
+    pub shell: String,
+}
+
+/// One `/etc/group` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupEntry {
+    /// Group name.
+    pub name: String,
+    /// GID.
+    pub gid: u32,
+    /// Member login names.
+    pub members: Vec<String>,
+}
+
+/// Parsed user/group database for an image or host.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserDb {
+    /// passwd entries in file order.
+    pub users: Vec<PasswdEntry>,
+    /// group entries in file order.
+    pub groups: Vec<GroupEntry>,
+}
+
+impl UserDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a user (and returns self for chaining).
+    pub fn with_user(mut self, name: &str, uid: u32, gid: u32, home: &str, shell: &str) -> Self {
+        self.users.push(PasswdEntry {
+            name: name.to_string(),
+            uid,
+            gid,
+            home: home.to_string(),
+            shell: shell.to_string(),
+        });
+        self
+    }
+
+    /// Adds a group.
+    pub fn with_group(mut self, name: &str, gid: u32, members: &[&str]) -> Self {
+        self.groups.push(GroupEntry {
+            name: name.to_string(),
+            gid,
+            members: members.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds a user entry in place.
+    pub fn add_user(&mut self, name: &str, uid: u32, gid: u32, home: &str, shell: &str) {
+        self.users.push(PasswdEntry {
+            name: name.to_string(),
+            uid,
+            gid,
+            home: home.to_string(),
+            shell: shell.to_string(),
+        });
+    }
+
+    /// Adds a group entry in place.
+    pub fn add_group(&mut self, name: &str, gid: u32, members: &[&str]) {
+        self.groups.push(GroupEntry {
+            name: name.to_string(),
+            gid,
+            members: members.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+
+    /// Looks up a user by name.
+    pub fn user_by_name(&self, name: &str) -> Option<&PasswdEntry> {
+        self.users.iter().find(|u| u.name == name)
+    }
+
+    /// Looks up a user name by UID.
+    pub fn name_for_uid(&self, uid: Uid) -> Option<String> {
+        self.users
+            .iter()
+            .find(|u| u.uid == uid.0)
+            .map(|u| u.name.clone())
+    }
+
+    /// Looks up a group name by GID.
+    pub fn name_for_gid(&self, gid: Gid) -> Option<String> {
+        self.groups
+            .iter()
+            .find(|g| g.gid == gid.0)
+            .map(|g| g.name.clone())
+    }
+
+    /// Display name for a UID: the passwd name, or the numeric value, with
+    /// the overflow UID rendered as `nobody`.
+    pub fn display_uid(&self, uid: Uid) -> String {
+        if uid.0 == hpcc_kernel::OVERFLOW_ID {
+            return "nobody".to_string();
+        }
+        self.name_for_uid(uid).unwrap_or_else(|| uid.0.to_string())
+    }
+
+    /// Display name for a GID (`nogroup` for the overflow GID).
+    pub fn display_gid(&self, gid: Gid) -> String {
+        if gid.0 == hpcc_kernel::OVERFLOW_ID {
+            return "nogroup".to_string();
+        }
+        self.name_for_gid(gid).unwrap_or_else(|| gid.0.to_string())
+    }
+
+    /// Renders `/etc/passwd`.
+    pub fn render_passwd(&self) -> String {
+        let mut out = String::new();
+        for u in &self.users {
+            out.push_str(&format!(
+                "{}:x:{}:{}::{}:{}\n",
+                u.name, u.uid, u.gid, u.home, u.shell
+            ));
+        }
+        out
+    }
+
+    /// Renders `/etc/group`.
+    pub fn render_group(&self) -> String {
+        let mut out = String::new();
+        for g in &self.groups {
+            out.push_str(&format!("{}:x:{}:{}\n", g.name, g.gid, g.members.join(",")));
+        }
+        out
+    }
+
+    /// Parses `/etc/passwd` content.
+    pub fn parse_passwd(text: &str) -> Vec<PasswdEntry> {
+        text.lines()
+            .filter_map(|line| {
+                let f: Vec<&str> = line.split(':').collect();
+                if f.len() < 7 {
+                    return None;
+                }
+                Some(PasswdEntry {
+                    name: f[0].to_string(),
+                    uid: f[2].parse().ok()?,
+                    gid: f[3].parse().ok()?,
+                    home: f[5].to_string(),
+                    shell: f[6].to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Parses `/etc/group` content.
+    pub fn parse_group(text: &str) -> Vec<GroupEntry> {
+        text.lines()
+            .filter_map(|line| {
+                let f: Vec<&str> = line.split(':').collect();
+                if f.len() < 4 {
+                    return None;
+                }
+                Some(GroupEntry {
+                    name: f[0].to_string(),
+                    gid: f[2].parse().ok()?,
+                    members: f[3]
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.to_string())
+                        .collect(),
+                })
+            })
+            .collect()
+    }
+
+    /// Loads the database from an image filesystem.
+    pub fn load_from(fs: &Filesystem, actor: &Actor) -> Self {
+        let passwd = fs
+            .read_to_string(actor, "/etc/passwd")
+            .unwrap_or_default();
+        let group = fs.read_to_string(actor, "/etc/group").unwrap_or_default();
+        UserDb {
+            users: Self::parse_passwd(&passwd),
+            groups: Self::parse_group(&group),
+        }
+    }
+
+    /// Writes the database into an image filesystem as `/etc/passwd` and
+    /// `/etc/group` (owned by root, mode 0644).
+    pub fn store_into(&self, fs: &mut Filesystem) {
+        fs.install_file(
+            "/etc/passwd",
+            self.render_passwd().into_bytes(),
+            Uid::ROOT,
+            Gid::ROOT,
+            Mode::FILE_644,
+        )
+        .expect("install /etc/passwd");
+        fs.install_file(
+            "/etc/group",
+            self.render_group().into_bytes(),
+            Uid::ROOT,
+            Gid::ROOT,
+            Mode::FILE_644,
+        )
+        .expect("install /etc/group");
+    }
+
+    /// Mapping of user name -> uid for quick lookups.
+    pub fn uid_map(&self) -> BTreeMap<String, u32> {
+        self.users.iter().map(|u| (u.name.clone(), u.uid)).collect()
+    }
+}
+
+/// The standard system users shared by both model distributions.
+pub fn base_system_users() -> UserDb {
+    UserDb::new()
+        .with_user("root", 0, 0, "/root", "/bin/bash")
+        .with_user("bin", 1, 1, "/bin", "/sbin/nologin")
+        .with_user("daemon", 2, 2, "/sbin", "/sbin/nologin")
+        .with_user("adm", 3, 4, "/var/adm", "/sbin/nologin")
+        .with_user("mail", 8, 12, "/var/spool/mail", "/sbin/nologin")
+        .with_user("nobody", 65534, 65534, "/", "/sbin/nologin")
+        .with_group("root", 0, &[])
+        .with_group("bin", 1, &[])
+        .with_group("daemon", 2, &[])
+        .with_group("adm", 4, &[])
+        .with_group("tty", 5, &[])
+        .with_group("mail", 12, &[])
+        .with_group("nogroup", 65534, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_kernel::{Credentials, UserNamespace};
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let db = base_system_users().with_user("sshd", 74, 74, "/var/empty/sshd", "/sbin/nologin");
+        let users = UserDb::parse_passwd(&db.render_passwd());
+        assert_eq!(users.len(), db.users.len());
+        assert_eq!(users.iter().find(|u| u.name == "sshd").unwrap().uid, 74);
+        let groups = UserDb::parse_group(&db.render_group());
+        assert_eq!(groups.len(), db.groups.len());
+    }
+
+    #[test]
+    fn display_names_handle_overflow_ids() {
+        let db = base_system_users();
+        assert_eq!(db.display_uid(Uid(0)), "root");
+        assert_eq!(db.display_uid(Uid(65534)), "nobody");
+        assert_eq!(db.display_gid(Gid(65534)), "nogroup");
+        assert_eq!(db.display_uid(Uid(4242)), "4242");
+    }
+
+    #[test]
+    fn store_and_load_from_image() {
+        let mut fs = Filesystem::new_local();
+        let db = base_system_users().with_user("_apt", 100, 65534, "/nonexistent", "/usr/sbin/nologin");
+        db.store_into(&mut fs);
+        let creds = Credentials::host_root();
+        let ns = UserNamespace::initial();
+        let actor = Actor::new(&creds, &ns);
+        let loaded = UserDb::load_from(&fs, &actor);
+        assert_eq!(loaded.user_by_name("_apt").unwrap().uid, 100);
+        assert_eq!(loaded, db);
+    }
+
+    #[test]
+    fn uid_map_contains_all_users() {
+        let db = base_system_users();
+        let m = db.uid_map();
+        assert_eq!(m.get("root"), Some(&0));
+        assert_eq!(m.get("nobody"), Some(&65534));
+    }
+
+    #[test]
+    fn add_user_in_place() {
+        let mut db = base_system_users();
+        db.add_user("user_apt", 100, 65534, "/nonexistent", "/bin/false");
+        db.add_group("ssh_keys", 999, &[]);
+        assert!(db.user_by_name("user_apt").is_some());
+        assert_eq!(db.name_for_gid(Gid(999)).unwrap(), "ssh_keys");
+    }
+}

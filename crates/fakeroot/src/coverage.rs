@@ -1,0 +1,316 @@
+//! Characterizing wrapper coverage and placement (paper §6.2.2 items 1–3).
+//!
+//! The paper's recommendations for Type III implementations are:
+//!
+//! 1. *Fix `fakeroot(1)`* — "Not all implementations can install all
+//!    packages; characterize the scope of the problem and address it." The
+//!    [`CoverageMatrix`] does the characterization: given the system calls
+//!    each package's install scriptlets and payload need, it reports which
+//!    wrapper flavours can install which packages on which architectures.
+//! 2. *Preserve file ownership* — already handled by
+//!    [`crate::db::LieDatabase::ownership_map`] feeding layer export.
+//! 3. *Move `fakeroot(1)`* — "Rather than installing in the image itself, the
+//!    wrapper could be moved into the container implementation." The
+//!    [`WrapperPlacement`] comparison models what that buys: no packages
+//!    installed into the image, no init steps, and the lie database living
+//!    with the builder rather than inside the image.
+
+use std::collections::BTreeMap;
+
+use crate::flavor::{Flavor, InterceptOp};
+
+/// The wrapper requirements of one package install: which interceptions its
+/// payload and scriptlets exercise, and whether any of its tools are
+/// statically linked (which defeats `LD_PRELOAD` wrappers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageNeeds {
+    /// Package name.
+    pub name: String,
+    /// Interceptions the install requires.
+    pub ops: Vec<InterceptOp>,
+    /// True if the package's install path runs statically linked executables.
+    pub static_binaries: bool,
+}
+
+impl PackageNeeds {
+    /// Convenience constructor.
+    pub fn new(name: &str, ops: &[InterceptOp], static_binaries: bool) -> Self {
+        PackageNeeds {
+            name: name.to_string(),
+            ops: ops.to_vec(),
+            static_binaries,
+        }
+    }
+}
+
+/// A representative workload of packages the paper's examples and production
+/// pipeline install, with the wrapper functionality each needs.
+pub fn representative_packages() -> Vec<PackageNeeds> {
+    vec![
+        // Figure 2/8/10: the openssh payload chowns root:ssh_keys and installs
+        // setuid helpers.
+        PackageNeeds::new("openssh", &[InterceptOp::Chown, InterceptOp::Chmod, InterceptOp::Stat], false),
+        // Figure 3/9/11: openssh-client plus APT's own bookkeeping.
+        PackageNeeds::new("openssh-client", &[InterceptOp::Chown, InterceptOp::Stat], false),
+        // A package shipping device nodes (e.g. a udev-style package).
+        PackageNeeds::new("dev-nodes", &[InterceptOp::Mknod, InterceptOp::Stat], false),
+        // A package that chowns symlinks (alternatives-style layouts).
+        PackageNeeds::new("alternatives", &[InterceptOp::Lchown, InterceptOp::Stat], false),
+        // A package setting file capabilities via xattrs (e.g. iputils' ping).
+        PackageNeeds::new("iputils", &[InterceptOp::Xattr, InterceptOp::Chown, InterceptOp::Stat], false),
+        // A package whose maintainer scripts invoke a statically linked tool
+        // (busybox-style), invisible to LD_PRELOAD wrappers.
+        PackageNeeds::new("static-tools", &[InterceptOp::Chown, InterceptOp::Stat], true),
+        // MPI and compiler stacks need no privileged calls at all.
+        PackageNeeds::new("openmpi", &[InterceptOp::Stat], false),
+    ]
+}
+
+/// One cell of the coverage matrix: can this flavour install this package on
+/// this architecture, and if not, why not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Install works under this wrapper.
+    Works,
+    /// An interception the package needs is missing.
+    MissingOp(InterceptOp),
+    /// The package runs statically linked tools and the wrapper is LD_PRELOAD.
+    StaticBinaries,
+    /// The wrapper does not support the CPU architecture.
+    Architecture,
+}
+
+impl Verdict {
+    /// True if the install succeeds.
+    pub fn works(&self) -> bool {
+        matches!(self, Verdict::Works)
+    }
+}
+
+/// The coverage characterization of §6.2.2 item 1.
+#[derive(Debug, Clone)]
+pub struct CoverageMatrix {
+    /// Architecture the characterization ran on.
+    pub arch: String,
+    /// (package, flavor) → verdict.
+    pub cells: BTreeMap<(String, Flavor), Verdict>,
+    packages: Vec<String>,
+}
+
+impl CoverageMatrix {
+    /// Characterizes every flavour against every package for an architecture.
+    pub fn characterize(packages: &[PackageNeeds], arch: &str) -> Self {
+        let mut cells = BTreeMap::new();
+        for pkg in packages {
+            for flavor in Flavor::ALL {
+                let verdict = Self::verdict(flavor, pkg, arch);
+                cells.insert((pkg.name.clone(), flavor), verdict);
+            }
+        }
+        CoverageMatrix {
+            arch: arch.to_string(),
+            cells,
+            packages: packages.iter().map(|p| p.name.clone()).collect(),
+        }
+    }
+
+    fn verdict(flavor: Flavor, pkg: &PackageNeeds, arch: &str) -> Verdict {
+        if !flavor.supports_architecture(arch) {
+            return Verdict::Architecture;
+        }
+        if pkg.static_binaries && !flavor.supports_static_binaries() {
+            return Verdict::StaticBinaries;
+        }
+        for op in &pkg.ops {
+            if !flavor.intercepts(*op) {
+                return Verdict::MissingOp(*op);
+            }
+        }
+        Verdict::Works
+    }
+
+    /// The verdict for one (package, flavour) pair.
+    pub fn cell(&self, package: &str, flavor: Flavor) -> Option<&Verdict> {
+        self.cells.get(&(package.to_string(), flavor))
+    }
+
+    /// Fraction of packages a flavour can install, 0.0–1.0.
+    pub fn success_rate(&self, flavor: Flavor) -> f64 {
+        let total = self.packages.len();
+        if total == 0 {
+            return 1.0;
+        }
+        let ok = self
+            .packages
+            .iter()
+            .filter(|p| {
+                self.cells
+                    .get(&((*p).clone(), flavor))
+                    .map(|v| v.works())
+                    .unwrap_or(false)
+            })
+            .count();
+        ok as f64 / total as f64
+    }
+
+    /// Packages no single flavour can install — the residual gap a robust
+    /// `fakeroot(1)` (or a Type II build) would have to close.
+    pub fn uninstallable_everywhere(&self) -> Vec<String> {
+        self.packages
+            .iter()
+            .filter(|p| {
+                Flavor::ALL.iter().all(|f| {
+                    !self
+                        .cells
+                        .get(&((*p).clone(), *f))
+                        .map(|v| v.works())
+                        .unwrap_or(false)
+                })
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the matrix as an aligned text table (one row per package).
+    pub fn render(&self) -> String {
+        let mut out = format!("{:<16}", format!("arch={}", self.arch));
+        for f in Flavor::ALL {
+            out.push_str(&format!("{:<14}", f.info().name));
+        }
+        out.push('\n');
+        for pkg in &self.packages {
+            out.push_str(&format!("{:<16}", pkg));
+            for f in Flavor::ALL {
+                let cell = match self.cells.get(&(pkg.clone(), f)) {
+                    Some(Verdict::Works) => "ok".to_string(),
+                    Some(Verdict::MissingOp(op)) => format!("no {:?}", op),
+                    Some(Verdict::StaticBinaries) => "static".to_string(),
+                    Some(Verdict::Architecture) => "no arch".to_string(),
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!("{:<14}", cell));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Where the wrapper lives (§6.2.2 item 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrapperPlacement {
+    /// Installed into the image being built (today's Charliecloud behaviour):
+    /// EPEL/pseudo must be installed first and the wrapper ships in the image.
+    InImage,
+    /// Provided by the container implementation (libfakeroot injected by the
+    /// builder): nothing added to the image, lie database owned by the builder.
+    InRuntime,
+}
+
+/// What a placement costs, for the ablation bench and DESIGN.md table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementCost {
+    /// Placement under comparison.
+    pub placement: WrapperPlacement,
+    /// Packages that must be installed into the image before the first
+    /// wrapped RUN (EPEL + fakeroot, or pseudo).
+    pub extra_image_packages: u32,
+    /// Whether the wrapper binary remains in the pushed image.
+    pub wrapper_in_pushed_image: bool,
+    /// Whether the lie database is directly available to the push path
+    /// without re-reading state files out of the image.
+    pub db_available_to_push: bool,
+    /// Init steps the `--force` machinery must run.
+    pub init_steps: u32,
+}
+
+impl WrapperPlacement {
+    /// The cost profile of this placement for a RHEL 7 style build (two
+    /// packages: epel-release and fakeroot).
+    pub fn cost(self) -> PlacementCost {
+        match self {
+            WrapperPlacement::InImage => PlacementCost {
+                placement: self,
+                extra_image_packages: 2,
+                wrapper_in_pushed_image: true,
+                db_available_to_push: false,
+                init_steps: 1,
+            },
+            WrapperPlacement::InRuntime => PlacementCost {
+                placement: self,
+                extra_image_packages: 0,
+                wrapper_in_pushed_image: false,
+                db_available_to_push: true,
+                init_steps: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_covers_more_packages_than_fakeroot() {
+        let m = CoverageMatrix::characterize(&representative_packages(), "x86_64");
+        // The paper's observation (§5.1 / Figure 9): packages exist that
+        // fakeroot cannot install but pseudo can.
+        assert!(m.success_rate(Flavor::Pseudo) > m.success_rate(Flavor::Fakeroot));
+        assert_eq!(
+            m.cell("iputils", Flavor::Fakeroot),
+            Some(&Verdict::MissingOp(InterceptOp::Xattr))
+        );
+        assert!(m.cell("iputils", Flavor::Pseudo).unwrap().works());
+    }
+
+    #[test]
+    fn static_binaries_defeat_ld_preload_but_not_ptrace() {
+        let m = CoverageMatrix::characterize(&representative_packages(), "x86_64");
+        assert_eq!(m.cell("static-tools", Flavor::Fakeroot), Some(&Verdict::StaticBinaries));
+        assert_eq!(m.cell("static-tools", Flavor::Pseudo), Some(&Verdict::StaticBinaries));
+        assert!(m.cell("static-tools", Flavor::FakerootNg).unwrap().works());
+    }
+
+    #[test]
+    fn ptrace_wrapper_unavailable_on_aarch64() {
+        // On Astra's aarch64 the ptrace implementation does not exist, so the
+        // static-binaries package becomes uninstallable under every wrapper.
+        let m = CoverageMatrix::characterize(&representative_packages(), "aarch64");
+        assert_eq!(m.cell("openssh", Flavor::FakerootNg), Some(&Verdict::Architecture));
+        assert_eq!(m.uninstallable_everywhere(), vec!["static-tools".to_string()]);
+        // On x86-64 nothing is uninstallable everywhere.
+        let m86 = CoverageMatrix::characterize(&representative_packages(), "x86_64");
+        assert!(m86.uninstallable_everywhere().is_empty());
+    }
+
+    #[test]
+    fn success_rates_are_bounded_and_mpi_always_works() {
+        let m = CoverageMatrix::characterize(&representative_packages(), "x86_64");
+        for f in Flavor::ALL {
+            let r = m.success_rate(f);
+            assert!((0.0..=1.0).contains(&r));
+            assert!(m.cell("openmpi", f).unwrap().works());
+        }
+    }
+
+    #[test]
+    fn render_has_one_row_per_package() {
+        let pkgs = representative_packages();
+        let m = CoverageMatrix::characterize(&pkgs, "x86_64");
+        let text = m.render();
+        assert_eq!(text.lines().count(), pkgs.len() + 1);
+        assert!(text.contains("pseudo"));
+    }
+
+    #[test]
+    fn runtime_placement_removes_image_side_costs() {
+        let in_image = WrapperPlacement::InImage.cost();
+        let in_runtime = WrapperPlacement::InRuntime.cost();
+        assert!(in_image.extra_image_packages > in_runtime.extra_image_packages);
+        assert!(in_image.wrapper_in_pushed_image);
+        assert!(!in_runtime.wrapper_in_pushed_image);
+        assert!(in_runtime.db_available_to_push);
+        assert_eq!(in_runtime.init_steps, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The lie database: `fakeroot(1)` "remembers which lies it told, to make
+//! later intercepted system calls return consistent results" (paper §5.1).
+
+use std::collections::BTreeMap;
+
+use hpcc_kernel::{Errno, KResult};
+use hpcc_vfs::{FileType, Mode};
+
+/// A recorded lie about one path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LieRecord {
+    /// Pretended owner UID (in-container value).
+    pub uid: u32,
+    /// Pretended owner GID (in-container value).
+    pub gid: u32,
+    /// Pretended mode (may include setuid/setgid the real file lacks).
+    pub mode: Option<Mode>,
+    /// Pretended file type (e.g. a character device that is really a regular
+    /// file).
+    pub file_type: Option<FileType>,
+    /// Pretended device numbers.
+    pub rdev: Option<(u32, u32)>,
+}
+
+impl LieRecord {
+    /// A plain ownership lie.
+    pub fn ownership(uid: u32, gid: u32) -> Self {
+        LieRecord {
+            uid,
+            gid,
+            mode: None,
+            file_type: None,
+            rdev: None,
+        }
+    }
+}
+
+/// The per-session database of lies, keyed by absolute in-container path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LieDatabase {
+    records: BTreeMap<String, LieRecord>,
+}
+
+impl LieDatabase {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded lies.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no lies were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks up a lie.
+    pub fn get(&self, path: &str) -> Option<&LieRecord> {
+        self.records.get(path)
+    }
+
+    /// Records or merges an ownership lie.
+    pub fn record_chown(&mut self, path: &str, uid: u32, gid: u32) {
+        self.records
+            .entry(path.to_string())
+            .and_modify(|r| {
+                r.uid = uid;
+                r.gid = gid;
+            })
+            .or_insert_with(|| LieRecord::ownership(uid, gid));
+    }
+
+    /// Records a mode lie.
+    pub fn record_chmod(&mut self, path: &str, mode: Mode) {
+        self.records
+            .entry(path.to_string())
+            .and_modify(|r| r.mode = Some(mode))
+            .or_insert_with(|| LieRecord {
+                uid: 0,
+                gid: 0,
+                mode: Some(mode),
+                file_type: None,
+                rdev: None,
+            });
+    }
+
+    /// Records a device-node lie.
+    pub fn record_mknod(&mut self, path: &str, file_type: FileType, major: u32, minor: u32) {
+        self.records
+            .entry(path.to_string())
+            .and_modify(|r| {
+                r.file_type = Some(file_type);
+                r.rdev = Some((major, minor));
+            })
+            .or_insert_with(|| LieRecord {
+                uid: 0,
+                gid: 0,
+                mode: None,
+                file_type: Some(file_type),
+                rdev: Some((major, minor)),
+            });
+    }
+
+    /// Removes a lie (e.g. when the underlying file is unlinked).
+    pub fn forget(&mut self, path: &str) {
+        self.records.remove(path);
+    }
+
+    /// Renames lies when the underlying file moves.
+    pub fn rename(&mut self, from: &str, to: &str) {
+        if let Some(r) = self.records.remove(from) {
+            self.records.insert(to.to_string(), r);
+        }
+    }
+
+    /// Iterates over all recorded lies.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &LieRecord)> {
+        self.records.iter()
+    }
+
+    /// Exports the ownership view as a path → (uid, gid) map: the input to
+    /// the paper's §6.2.2 "preserve file ownership on push" suggestion.
+    pub fn ownership_map(&self) -> BTreeMap<String, (u32, u32)> {
+        self.records
+            .iter()
+            .map(|(p, r)| (p.trim_start_matches('/').to_string(), (r.uid, r.gid)))
+            .collect()
+    }
+
+    /// Serializes to the save-file format (`fakeroot -s`): one line per path.
+    pub fn save(&self) -> String {
+        let mut out = String::new();
+        for (path, r) in &self.records {
+            let (ft, maj, min) = match (r.file_type, r.rdev) {
+                (Some(FileType::CharDevice), Some((a, b))) => ('c', a, b),
+                (Some(FileType::BlockDevice), Some((a, b))) => ('b', a, b),
+                _ => ('-', 0, 0),
+            };
+            out.push_str(&format!(
+                "{} {} {} {} {} {} {}\n",
+                path,
+                r.uid,
+                r.gid,
+                r.mode.map(|m| m.bits()).unwrap_or(0xFFFF),
+                ft,
+                maj,
+                min
+            ));
+        }
+        out
+    }
+
+    /// Restores from the save-file format (`fakeroot -i`).
+    pub fn load(text: &str) -> KResult<Self> {
+        let mut db = LieDatabase::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() != 7 {
+                return Err(Errno::EINVAL);
+            }
+            let uid: u32 = f[1].parse().map_err(|_| Errno::EINVAL)?;
+            let gid: u32 = f[2].parse().map_err(|_| Errno::EINVAL)?;
+            let mode_raw: u32 = f[3].parse().map_err(|_| Errno::EINVAL)?;
+            let mode = if mode_raw == 0xFFFF {
+                None
+            } else {
+                Some(Mode::new(mode_raw as u16))
+            };
+            let (file_type, rdev) = match f[4] {
+                "c" => (
+                    Some(FileType::CharDevice),
+                    Some((
+                        f[5].parse().map_err(|_| Errno::EINVAL)?,
+                        f[6].parse().map_err(|_| Errno::EINVAL)?,
+                    )),
+                ),
+                "b" => (
+                    Some(FileType::BlockDevice),
+                    Some((
+                        f[5].parse().map_err(|_| Errno::EINVAL)?,
+                        f[6].parse().map_err(|_| Errno::EINVAL)?,
+                    )),
+                ),
+                _ => (None, None),
+            };
+            db.records.insert(
+                f[0].to_string(),
+                LieRecord {
+                    uid,
+                    gid,
+                    mode,
+                    file_type,
+                    rdev,
+                },
+            );
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chown_lies_merge() {
+        let mut db = LieDatabase::new();
+        db.record_chown("/f", 74, 74);
+        db.record_chown("/f", 0, 0);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get("/f").unwrap().uid, 0);
+    }
+
+    #[test]
+    fn mknod_and_chmod_lies_compose() {
+        let mut db = LieDatabase::new();
+        db.record_mknod("/dev/null", FileType::CharDevice, 1, 3);
+        db.record_chmod("/dev/null", Mode::new(0o666));
+        let r = db.get("/dev/null").unwrap();
+        assert_eq!(r.file_type, Some(FileType::CharDevice));
+        assert_eq!(r.rdev, Some((1, 3)));
+        assert_eq!(r.mode, Some(Mode::new(0o666)));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut db = LieDatabase::new();
+        db.record_chown("/var/empty/sshd", 74, 74);
+        db.record_mknod("/dev/console", FileType::CharDevice, 5, 1);
+        db.record_chmod("/usr/bin/passwd", Mode::new(0o4755));
+        let text = db.save();
+        let restored = LieDatabase::load(&text).unwrap();
+        assert_eq!(restored, db);
+    }
+
+    #[test]
+    fn load_rejects_malformed_lines() {
+        assert!(LieDatabase::load("a b c").is_err());
+        assert!(LieDatabase::load("/f x y 0 - 0 0").is_err());
+    }
+
+    #[test]
+    fn forget_and_rename() {
+        let mut db = LieDatabase::new();
+        db.record_chown("/a", 1, 1);
+        db.rename("/a", "/b");
+        assert!(db.get("/a").is_none());
+        assert_eq!(db.get("/b").unwrap().uid, 1);
+        db.forget("/b");
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn ownership_map_strips_leading_slash() {
+        let mut db = LieDatabase::new();
+        db.record_chown("/var/log/apt/term.log", 0, 4);
+        let m = db.ownership_map();
+        assert_eq!(m.get("var/log/apt/term.log"), Some(&(0, 4)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Linux capabilities (`capabilities(7)`).
+//!
+//! Only the capabilities relevant to the paper's analysis are modelled. The
+//! paper treats "UID 0 inside the namespace" and "holding all capabilities
+//! within the namespace" as equivalent (§2.1.1, footnote 5); this module
+//! provides the capability sets that make that equivalence concrete.
+
+use std::fmt;
+
+/// The subset of Linux capabilities exercised by container build workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Capability {
+    /// Make arbitrary changes to file UIDs and GIDs (`chown(2)`).
+    CapChown,
+    /// Bypass file read/write/execute permission checks.
+    CapDacOverride,
+    /// Bypass permission checks on operations that normally require the
+    /// filesystem UID of the process to match the UID of the file.
+    CapFowner,
+    /// Make arbitrary manipulations of process GIDs and the supplementary
+    /// group list (`setgid(2)`, `setgroups(2)`), and write `gid_map`.
+    CapSetgid,
+    /// Make arbitrary manipulations of process UIDs and write `uid_map`.
+    CapSetuid,
+    /// Bind a socket to Internet domain privileged ports (< 1024).
+    CapNetBindService,
+    /// Create special files using `mknod(2)`.
+    CapMknod,
+    /// Perform a range of system administration operations (mounts, ...).
+    CapSysAdmin,
+    /// Use `chroot(2)`.
+    CapSysChroot,
+    /// Set file capabilities / extended privileged attributes.
+    CapSetfcap,
+    /// Override resource limits (used by cgroup manipulation).
+    CapSysResource,
+}
+
+impl Capability {
+    /// Every capability modelled, in kernel numbering order.
+    pub const ALL: [Capability; 11] = [
+        Capability::CapChown,
+        Capability::CapDacOverride,
+        Capability::CapFowner,
+        Capability::CapSetgid,
+        Capability::CapSetuid,
+        Capability::CapNetBindService,
+        Capability::CapMknod,
+        Capability::CapSysAdmin,
+        Capability::CapSysChroot,
+        Capability::CapSetfcap,
+        Capability::CapSysResource,
+    ];
+
+    /// Bit index used inside [`CapabilitySet`].
+    fn bit(self) -> u32 {
+        match self {
+            Capability::CapChown => 0,
+            Capability::CapDacOverride => 1,
+            Capability::CapFowner => 2,
+            Capability::CapSetgid => 3,
+            Capability::CapSetuid => 4,
+            Capability::CapNetBindService => 5,
+            Capability::CapMknod => 6,
+            Capability::CapSysAdmin => 7,
+            Capability::CapSysChroot => 8,
+            Capability::CapSetfcap => 9,
+            Capability::CapSysResource => 10,
+        }
+    }
+
+    /// Conventional `CAP_*` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Capability::CapChown => "CAP_CHOWN",
+            Capability::CapDacOverride => "CAP_DAC_OVERRIDE",
+            Capability::CapFowner => "CAP_FOWNER",
+            Capability::CapSetgid => "CAP_SETGID",
+            Capability::CapSetuid => "CAP_SETUID",
+            Capability::CapNetBindService => "CAP_NET_BIND_SERVICE",
+            Capability::CapMknod => "CAP_MKNOD",
+            Capability::CapSysAdmin => "CAP_SYS_ADMIN",
+            Capability::CapSysChroot => "CAP_SYS_CHROOT",
+            Capability::CapSetfcap => "CAP_SETFCAP",
+            Capability::CapSysResource => "CAP_SYS_RESOURCE",
+        }
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of capabilities, stored as a bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CapabilitySet {
+    bits: u32,
+}
+
+impl CapabilitySet {
+    /// The empty set: a fully unprivileged process.
+    pub const fn empty() -> Self {
+        CapabilitySet { bits: 0 }
+    }
+
+    /// The full set, as held by UID 0 or by a process that created a user
+    /// namespace (it gains all capabilities *within* that namespace).
+    pub fn full() -> Self {
+        let mut s = CapabilitySet::empty();
+        for c in Capability::ALL {
+            s.add(c);
+        }
+        s
+    }
+
+    /// A set containing exactly the given capabilities.
+    pub fn of(caps: &[Capability]) -> Self {
+        let mut s = CapabilitySet::empty();
+        for &c in caps {
+            s.add(c);
+        }
+        s
+    }
+
+    /// Adds a capability.
+    pub fn add(&mut self, cap: Capability) {
+        self.bits |= 1 << cap.bit();
+    }
+
+    /// Removes a capability.
+    pub fn remove(&mut self, cap: Capability) {
+        self.bits &= !(1 << cap.bit());
+    }
+
+    /// Membership test.
+    pub fn has(&self, cap: Capability) -> bool {
+        self.bits & (1 << cap.bit()) != 0
+    }
+
+    /// True if no capability is held.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// True if every modelled capability is held.
+    pub fn is_full(&self) -> bool {
+        *self == CapabilitySet::full()
+    }
+
+    /// Drops every capability (as `execve(2)` of a non-setuid binary does for
+    /// a process whose effective UID is not 0).
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+
+    /// Iterator over held capabilities.
+    pub fn iter(&self) -> impl Iterator<Item = Capability> + '_ {
+        Capability::ALL.into_iter().filter(|c| self.has(*c))
+    }
+
+    /// Number of capabilities held.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+}
+
+impl fmt::Display for CapabilitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("(none)");
+        }
+        if self.is_full() {
+            return f.write_str("(all)");
+        }
+        let names: Vec<&str> = self.iter().map(|c| c.name()).collect();
+        f.write_str(&names.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_nothing() {
+        let s = CapabilitySet::empty();
+        for c in Capability::ALL {
+            assert!(!s.has(c));
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn full_set_has_everything() {
+        let s = CapabilitySet::full();
+        for c in Capability::ALL {
+            assert!(s.has(c));
+        }
+        assert!(s.is_full());
+        assert_eq!(s.len(), Capability::ALL.len());
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut s = CapabilitySet::empty();
+        s.add(Capability::CapSetuid);
+        assert!(s.has(Capability::CapSetuid));
+        assert!(!s.has(Capability::CapSetgid));
+        s.remove(Capability::CapSetuid);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn of_builds_exact_set() {
+        let s = CapabilitySet::of(&[Capability::CapChown, Capability::CapMknod]);
+        assert!(s.has(Capability::CapChown));
+        assert!(s.has(Capability::CapMknod));
+        assert!(!s.has(Capability::CapSysAdmin));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CapabilitySet::empty().to_string(), "(none)");
+        assert_eq!(CapabilitySet::full().to_string(), "(all)");
+        let s = CapabilitySet::of(&[Capability::CapSetuid]);
+        assert_eq!(s.to_string(), "CAP_SETUID");
+    }
+
+    #[test]
+    fn clear_drops_all() {
+        let mut s = CapabilitySet::full();
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn names_are_cap_prefixed() {
+        for c in Capability::ALL {
+            assert!(c.name().starts_with("CAP_"), "{}", c.name());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Content-addressed blob storage and the two-phase upload protocol of the
+//! OCI distribution specification.
+//!
+//! The registry in the Astra workflow (paper Figure 6, a GitLab Container
+//! Registry) stores layer tars and config documents as content-addressed
+//! blobs. Content addressing is also what makes iterative-development pushes
+//! cheap for multi-layer builders: unchanged layers are already present and
+//! are skipped (`HEAD` before `PUT`), which is one half of the build-cache
+//! story the paper notes Charliecloud lacks (§6.1 disadvantage 3).
+
+use std::collections::{BTreeMap, HashMap};
+
+use hpcc_image::{sha256, Digest};
+
+use crate::error::ApiError;
+
+/// A content-addressed blob store.
+#[derive(Debug, Clone, Default)]
+pub struct BlobStore {
+    blobs: HashMap<Digest, Vec<u8>>,
+    /// Bytes actually stored (deduplicated).
+    stored_bytes: u64,
+    /// Bytes offered for upload including duplicates (what a naive store
+    /// would hold) — the difference is the dedup saving.
+    offered_bytes: u64,
+    uploads_started: u64,
+    uploads_completed: u64,
+}
+
+impl BlobStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        BlobStore::default()
+    }
+
+    /// True if a blob with this digest is present (`HEAD /v2/.../blobs/<d>`).
+    pub fn has(&self, digest: &Digest) -> bool {
+        self.blobs.contains_key(digest)
+    }
+
+    /// Fetches a blob (`GET /v2/.../blobs/<d>`).
+    pub fn get(&self, digest: &Digest) -> Result<&[u8], ApiError> {
+        self.blobs
+            .get(digest)
+            .map(|v| v.as_slice())
+            .ok_or(ApiError::BlobUnknown)
+    }
+
+    /// Stores a blob directly (monolithic upload), verifying the digest the
+    /// client claims matches the content.
+    pub fn put(&mut self, claimed: &Digest, data: Vec<u8>) -> Result<(), ApiError> {
+        let actual = sha256(&data);
+        if actual != *claimed {
+            return Err(ApiError::DigestInvalid);
+        }
+        self.offered_bytes += data.len() as u64;
+        if !self.blobs.contains_key(&actual) {
+            self.stored_bytes += data.len() as u64;
+            self.blobs.insert(actual, data);
+        }
+        Ok(())
+    }
+
+    /// Number of distinct blobs stored.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Bytes stored after deduplication.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Bytes that would be stored without deduplication.
+    pub fn offered_bytes(&self) -> u64 {
+        self.offered_bytes
+    }
+
+    /// Bytes saved by content-addressed deduplication.
+    pub fn dedup_savings(&self) -> u64 {
+        self.offered_bytes - self.stored_bytes
+    }
+
+    /// Uploads started (chunked protocol).
+    pub fn uploads_started(&self) -> u64 {
+        self.uploads_started
+    }
+
+    /// Uploads completed (chunked protocol).
+    pub fn uploads_completed(&self) -> u64 {
+        self.uploads_completed
+    }
+
+    /// Begins a chunked upload session (`POST /v2/.../blobs/uploads/`).
+    pub fn begin_upload(&mut self) -> UploadSession {
+        self.uploads_started += 1;
+        UploadSession {
+            buffer: Vec::new(),
+            session_id: self.uploads_started,
+        }
+    }
+
+    /// Completes a chunked upload (`PUT .../uploads/<id>?digest=<d>`). The
+    /// claimed digest must match the accumulated content.
+    pub fn complete_upload(
+        &mut self,
+        session: UploadSession,
+        claimed: &Digest,
+    ) -> Result<Digest, ApiError> {
+        let actual = sha256(&session.buffer);
+        if actual != *claimed {
+            return Err(ApiError::DigestInvalid);
+        }
+        self.put(claimed, session.buffer)?;
+        self.uploads_completed += 1;
+        Ok(actual)
+    }
+
+    /// Deletes a blob (garbage collection after untagging).
+    pub fn delete(&mut self, digest: &Digest) -> Result<(), ApiError> {
+        match self.blobs.remove(digest) {
+            Some(data) => {
+                self.stored_bytes -= data.len() as u64;
+                Ok(())
+            }
+            None => Err(ApiError::BlobUnknown),
+        }
+    }
+
+    /// Garbage-collects every blob not in the referenced set; returns the
+    /// number of blobs removed.
+    pub fn gc(&mut self, referenced: &BTreeMap<Digest, ()>) -> usize {
+        let stale: Vec<Digest> = self
+            .blobs
+            .keys()
+            .filter(|d| !referenced.contains_key(*d))
+            .copied()
+            .collect();
+        for d in &stale {
+            let _ = self.delete(d);
+        }
+        stale.len()
+    }
+}
+
+/// An in-progress chunked blob upload.
+#[derive(Debug, Clone)]
+pub struct UploadSession {
+    buffer: Vec<u8>,
+    session_id: u64,
+}
+
+impl UploadSession {
+    /// Appends a chunk (`PATCH .../uploads/<id>`).
+    pub fn append(&mut self, chunk: &[u8]) {
+        self.buffer.extend_from_slice(chunk);
+    }
+
+    /// Bytes received so far.
+    pub fn received(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Opaque session identifier.
+    pub fn id(&self) -> u64 {
+        self.session_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_verifies_digest() {
+        let mut store = BlobStore::new();
+        let data = b"layer contents".to_vec();
+        let good = sha256(&data);
+        let bad = sha256(b"something else");
+        assert_eq!(store.put(&bad, data.clone()).unwrap_err(), ApiError::DigestInvalid);
+        store.put(&good, data.clone()).unwrap();
+        assert!(store.has(&good));
+        assert_eq!(store.get(&good).unwrap(), data.as_slice());
+    }
+
+    #[test]
+    fn duplicate_puts_are_deduplicated() {
+        let mut store = BlobStore::new();
+        let data = vec![7u8; 1000];
+        let d = sha256(&data);
+        store.put(&d, data.clone()).unwrap();
+        store.put(&d, data.clone()).unwrap();
+        store.put(&d, data).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stored_bytes(), 1000);
+        assert_eq!(store.offered_bytes(), 3000);
+        assert_eq!(store.dedup_savings(), 2000);
+    }
+
+    #[test]
+    fn chunked_upload_accumulates_and_verifies() {
+        let mut store = BlobStore::new();
+        let mut session = store.begin_upload();
+        session.append(b"hello ");
+        session.append(b"world");
+        assert_eq!(session.received(), 11);
+        let digest = sha256(b"hello world");
+        let stored = store.complete_upload(session, &digest).unwrap();
+        assert_eq!(stored, digest);
+        assert!(store.has(&digest));
+        assert_eq!(store.uploads_completed(), 1);
+    }
+
+    #[test]
+    fn chunked_upload_with_wrong_digest_is_rejected() {
+        let mut store = BlobStore::new();
+        let mut session = store.begin_upload();
+        session.append(b"data");
+        let wrong = sha256(b"other");
+        assert_eq!(
+            store.complete_upload(session, &wrong).unwrap_err(),
+            ApiError::DigestInvalid
+        );
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn gc_removes_unreferenced_blobs() {
+        let mut store = BlobStore::new();
+        let keep = b"keep".to_vec();
+        let drop_ = b"drop".to_vec();
+        let dk = sha256(&keep);
+        let dd = sha256(&drop_);
+        store.put(&dk, keep).unwrap();
+        store.put(&dd, drop_).unwrap();
+        let mut referenced = BTreeMap::new();
+        referenced.insert(dk, ());
+        assert_eq!(store.gc(&referenced), 1);
+        assert!(store.has(&dk));
+        assert!(!store.has(&dd));
+    }
+
+    #[test]
+    fn get_missing_blob_is_blob_unknown() {
+        let store = BlobStore::new();
+        assert_eq!(store.get(&sha256(b"nope")).unwrap_err(), ApiError::BlobUnknown);
+    }
+}

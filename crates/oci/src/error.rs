@@ -1,0 +1,79 @@
+//! The error codes of the OCI distribution specification (the subset a
+//! build-and-push workflow can hit).
+
+/// Registry API errors. Names and HTTP status codes follow the OCI
+/// distribution spec's error-code table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiError {
+    /// `BLOB_UNKNOWN` — blob unknown to registry (404).
+    BlobUnknown,
+    /// `DIGEST_INVALID` — provided digest did not match uploaded content (400).
+    DigestInvalid,
+    /// `MANIFEST_UNKNOWN` — manifest unknown (404).
+    ManifestUnknown,
+    /// `MANIFEST_INVALID` — manifest failed validation (400).
+    ManifestInvalid,
+    /// `NAME_UNKNOWN` — repository name not known to registry (404).
+    NameUnknown,
+    /// `UNAUTHORIZED` — authentication required (401).
+    Unauthorized,
+    /// `DENIED` — requested access to the resource is denied (403).
+    Denied,
+    /// `UNSUPPORTED` — the operation is unsupported (405); used for the
+    /// flatten-annotation policy violations of paper §6.2.5.
+    Unsupported,
+}
+
+impl ApiError {
+    /// The OCI error-code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            ApiError::BlobUnknown => "BLOB_UNKNOWN",
+            ApiError::DigestInvalid => "DIGEST_INVALID",
+            ApiError::ManifestUnknown => "MANIFEST_UNKNOWN",
+            ApiError::ManifestInvalid => "MANIFEST_INVALID",
+            ApiError::NameUnknown => "NAME_UNKNOWN",
+            ApiError::Unauthorized => "UNAUTHORIZED",
+            ApiError::Denied => "DENIED",
+            ApiError::Unsupported => "UNSUPPORTED",
+        }
+    }
+
+    /// The HTTP status the registry returns alongside the code.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ApiError::BlobUnknown | ApiError::ManifestUnknown | ApiError::NameUnknown => 404,
+            ApiError::DigestInvalid | ApiError::ManifestInvalid => 400,
+            ApiError::Unauthorized => 401,
+            ApiError::Denied => 403,
+            ApiError::Unsupported => 405,
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.code(), self.http_status())
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_statuses_align() {
+        assert_eq!(ApiError::BlobUnknown.code(), "BLOB_UNKNOWN");
+        assert_eq!(ApiError::BlobUnknown.http_status(), 404);
+        assert_eq!(ApiError::Unauthorized.http_status(), 401);
+        assert_eq!(ApiError::Denied.http_status(), 403);
+        assert_eq!(ApiError::DigestInvalid.http_status(), 400);
+    }
+
+    #[test]
+    fn display_is_code_plus_status() {
+        assert_eq!(ApiError::ManifestUnknown.to_string(), "MANIFEST_UNKNOWN (404)");
+    }
+}

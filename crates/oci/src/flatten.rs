@@ -1,0 +1,125 @@
+//! The ownership-flattening annotation proposed by the paper (§6.2.5).
+//!
+//! The paper argues that file ownership inside HPC application containers is
+//! usually an artifact of legacy distribution tooling, and that a flattened
+//! file tree (all files owned by one user, as Charliecloud and Singularity SIF
+//! produce) is sufficient and often advantageous. It proposes "a potential
+//! extension to the OCI specification and/or the Dockerfile language
+//! [allowing] explicit marking of images to disallow, allow, or require them
+//! to be ownership-flattened." This module implements that extension.
+
+use hpcc_image::OwnershipMode;
+
+use crate::error::ApiError;
+
+/// The annotation key carried in image manifests (and the Dockerfile
+/// directive `# flatten=<policy>` the `hpcc-core` builder understands).
+pub const FLATTEN_ANNOTATION: &str = "org.hpc.container.ownership.flatten";
+
+/// The three policy values of the proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlattenPolicy {
+    /// The image must retain distinct ownership: flattened pushes are
+    /// rejected (e.g. a containerized multi-user web service or database
+    /// acting on behalf of multiple users, §2.1.1).
+    Disallow,
+    /// Either form is acceptable — the default, matching today's behaviour.
+    #[default]
+    Allow,
+    /// The image must be flattened: pushes that preserve multiple IDs are
+    /// rejected (e.g. export-controlled sites that refuse to leak site UIDs).
+    Require,
+}
+
+impl FlattenPolicy {
+    /// The annotation value string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlattenPolicy::Disallow => "disallow",
+            FlattenPolicy::Allow => "allow",
+            FlattenPolicy::Require => "require",
+        }
+    }
+
+    /// Parses an annotation value. Unknown values are an error so that typos
+    /// do not silently weaken a `require` policy.
+    pub fn parse(value: &str) -> Result<Self, ApiError> {
+        match value {
+            "disallow" => Ok(FlattenPolicy::Disallow),
+            "allow" => Ok(FlattenPolicy::Allow),
+            "require" => Ok(FlattenPolicy::Require),
+            _ => Err(ApiError::ManifestInvalid),
+        }
+    }
+
+    /// Checks an image's ownership mode against the policy. This is what a
+    /// registry (or an admission controller in front of it) enforces at push
+    /// time, and what a runtime may re-check at pull time.
+    pub fn check(self, ownership: OwnershipMode) -> Result<(), ApiError> {
+        match (self, ownership) {
+            (FlattenPolicy::Disallow, OwnershipMode::Flattened) => Err(ApiError::Unsupported),
+            (FlattenPolicy::Require, OwnershipMode::Preserved) => Err(ApiError::Unsupported),
+            _ => Ok(()),
+        }
+    }
+
+    /// True if a Type III (fully unprivileged) builder, which can only produce
+    /// flattened images, can satisfy this policy — the interoperability
+    /// question the proposal is meant to make explicit.
+    pub fn satisfiable_by_type3(self) -> bool {
+        !matches!(self, FlattenPolicy::Disallow)
+    }
+}
+
+impl std::fmt::Display for FlattenPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_all_values() {
+        for p in [FlattenPolicy::Disallow, FlattenPolicy::Allow, FlattenPolicy::Require] {
+            assert_eq!(FlattenPolicy::parse(p.as_str()).unwrap(), p);
+        }
+        assert_eq!(
+            FlattenPolicy::parse("flattened-please").unwrap_err(),
+            ApiError::ManifestInvalid
+        );
+    }
+
+    #[test]
+    fn default_is_allow() {
+        assert_eq!(FlattenPolicy::default(), FlattenPolicy::Allow);
+        assert!(FlattenPolicy::Allow.check(OwnershipMode::Flattened).is_ok());
+        assert!(FlattenPolicy::Allow.check(OwnershipMode::Preserved).is_ok());
+    }
+
+    #[test]
+    fn disallow_rejects_flattened_images() {
+        assert_eq!(
+            FlattenPolicy::Disallow
+                .check(OwnershipMode::Flattened)
+                .unwrap_err(),
+            ApiError::Unsupported
+        );
+        assert!(FlattenPolicy::Disallow.check(OwnershipMode::Preserved).is_ok());
+        assert!(!FlattenPolicy::Disallow.satisfiable_by_type3());
+    }
+
+    #[test]
+    fn require_rejects_preserved_images() {
+        assert_eq!(
+            FlattenPolicy::Require
+                .check(OwnershipMode::Preserved)
+                .unwrap_err(),
+            ApiError::Unsupported
+        );
+        assert!(FlattenPolicy::Require.check(OwnershipMode::Flattened).is_ok());
+        assert!(FlattenPolicy::Require.satisfiable_by_type3());
+    }
+}

@@ -1,0 +1,435 @@
+//! Container instances for the three privilege types.
+//!
+//! A [`Container`] owns a writable root filesystem, the user namespace it
+//! executes in, and the credentials of its processes. The three constructors
+//! mirror the paper's taxonomy: Type I (privileged, Docker-style), Type II
+//! (rootless Podman with privileged helpers), and Type III (Charliecloud,
+//! fully unprivileged).
+
+use hpcc_kernel::{Credentials, Errno, Gid, KResult, Sysctl, Uid, UserNamespace};
+use hpcc_vfs::{tar, Actor, Filesystem, FsBackend, Mode};
+
+use hpcc_image::Image;
+
+use crate::privilege::PrivilegeType;
+use crate::storage::{prepare_rootfs, IdPersistence, StorageCost, StorageDriver};
+use crate::subid::SubIdDb;
+
+/// A running (or buildable) container.
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Privilege type used to create it.
+    pub privilege: PrivilegeType,
+    /// The container's root filesystem.
+    pub rootfs: Filesystem,
+    /// The user namespace its processes run in.
+    pub userns: UserNamespace,
+    /// Credentials of the container's initial process (host IDs).
+    pub creds: Credentials,
+    /// CPU architecture of the image.
+    pub arch: String,
+    /// Storage accounting from rootfs preparation.
+    pub storage_cost: StorageCost,
+}
+
+/// Parameters describing the invoking host user.
+#[derive(Debug, Clone)]
+pub struct Invoker {
+    /// Login name (for `/etc/subuid` lookups).
+    pub name: String,
+    /// Host UID.
+    pub uid: Uid,
+    /// Host GID.
+    pub gid: Gid,
+    /// Supplementary groups.
+    pub groups: Vec<Gid>,
+}
+
+impl Invoker {
+    /// A typical unprivileged HPC user.
+    pub fn user(name: &str, uid: u32, gid: u32) -> Self {
+        Invoker {
+            name: name.to_string(),
+            uid: Uid(uid),
+            gid: Gid(gid),
+            groups: vec![Gid(gid)],
+        }
+    }
+
+    /// Host-root invoker (for Type I).
+    pub fn root() -> Self {
+        Invoker {
+            name: "root".to_string(),
+            uid: Uid::ROOT,
+            gid: Gid::ROOT,
+            groups: vec![Gid::ROOT],
+        }
+    }
+
+    /// Credentials on the host.
+    pub fn host_creds(&self) -> Credentials {
+        if self.uid.is_root() {
+            Credentials::host_root()
+        } else {
+            Credentials::unprivileged_user(self.uid, self.gid, self.groups.clone())
+        }
+    }
+}
+
+fn add_pseudo_filesystems(fs: &mut Filesystem) {
+    // /proc and /sys are kernel-owned mounts: owned by *host* root, which in
+    // an unprivileged namespace displays as `nobody` (paper §4.1.1).
+    fs.install_dir("/proc", Uid::ROOT, Gid::ROOT, Mode::new(0o555)).ok();
+    fs.install_dir("/sys", Uid::ROOT, Gid::ROOT, Mode::new(0o555)).ok();
+    fs.install_file("/proc/cpuinfo", b"processor\t: 0\n".to_vec(), Uid::ROOT, Gid::ROOT, Mode::new(0o444))
+        .ok();
+}
+
+impl Container {
+    /// Type I: privileged setup, shared IDs with the host. Root inside the
+    /// container **is** root on the host.
+    pub fn launch_type1(image: &Image, arch_check: Option<&str>) -> KResult<Container> {
+        if let Some(host_arch) = arch_check {
+            check_arch(image, host_arch)?;
+        }
+        let mut rootfs = image.unpack(None)?;
+        add_pseudo_filesystems(&mut rootfs);
+        Ok(Container {
+            privilege: PrivilegeType::TypeI,
+            rootfs,
+            userns: UserNamespace::initial(),
+            creds: Credentials::host_root(),
+            arch: image.config.architecture.clone(),
+            storage_cost: StorageCost::default(),
+        })
+    }
+
+    /// Type II: rootless-Podman-style. Requires subordinate ranges in
+    /// `/etc/subuid`/`/etc/subgid`; the container root filesystem stores
+    /// subordinate host IDs (or xattrs, depending on the driver), which is
+    /// why shared filesystems are unsupported for container storage
+    /// (paper §4.2).
+    pub fn launch_type2(
+        image: &Image,
+        invoker: &Invoker,
+        subuid: &SubIdDb,
+        driver: StorageDriver,
+        backend: FsBackend,
+        sysctl: &Sysctl,
+    ) -> KResult<Container> {
+        let ranges = subuid.ranges_for(&invoker.name);
+        let range = ranges.first().ok_or(Errno::EPERM)?;
+        let userns = UserNamespace::type2(invoker.uid, invoker.gid, range.start, range.count);
+        let persistence = match driver {
+            StorageDriver::FuseOverlayFs => IdPersistence::UserXattrs,
+            _ => IdPersistence::SubordinateIds,
+        };
+        let (mut base, cost) =
+            prepare_rootfs(image, driver, backend, sysctl, invoker.uid.0, persistence)?;
+        // Re-map recorded container IDs to subordinate host IDs (what really
+        // happens when the rootless engine extracts layers inside the userns).
+        remap_ownership_into(&mut base, &userns)?;
+        add_pseudo_filesystems(&mut base);
+        Ok(Container {
+            privilege: PrivilegeType::TypeII,
+            rootfs: base,
+            userns,
+            creds: invoker.host_creds().entered_own_namespace(),
+            arch: image.config.architecture.clone(),
+            storage_cost: cost,
+        })
+    }
+
+    /// Type III: Charliecloud-style, fully unprivileged. All image files
+    /// become owned by the invoking user (paper §5.2), and only one UID/GID
+    /// is mapped.
+    pub fn launch_type3(image: &Image, invoker: &Invoker) -> KResult<Container> {
+        let mut rootfs = image.unpack(Some((invoker.uid, invoker.gid)))?;
+        add_pseudo_filesystems(&mut rootfs);
+        let userns = UserNamespace::type3(invoker.uid, invoker.gid);
+        Ok(Container {
+            privilege: PrivilegeType::TypeIII,
+            rootfs,
+            userns,
+            creds: invoker.host_creds().entered_own_namespace(),
+            arch: image.config.architecture.clone(),
+            storage_cost: StorageCost::default(),
+        })
+    }
+
+    /// "Unprivileged Podman" (paper §4.1.1, Figure 5): no subordinate ranges,
+    /// single-ID map, `--ignore_chown_errors`. Functionally close to Type III
+    /// but retains Podman's storage stack.
+    pub fn launch_podman_unprivileged(
+        image: &Image,
+        invoker: &Invoker,
+        driver: StorageDriver,
+        backend: FsBackend,
+        sysctl: &Sysctl,
+    ) -> KResult<Container> {
+        let (mut rootfs, cost) = prepare_rootfs(
+            image,
+            driver,
+            backend,
+            sysctl,
+            invoker.uid.0,
+            IdPersistence::SingleUser,
+        )?;
+        add_pseudo_filesystems(&mut rootfs);
+        let userns = UserNamespace::type3(invoker.uid, invoker.gid);
+        Ok(Container {
+            privilege: PrivilegeType::TypeIII,
+            rootfs,
+            userns,
+            creds: invoker.host_creds().entered_own_namespace(),
+            arch: image.config.architecture.clone(),
+            storage_cost: cost,
+        })
+    }
+
+    /// An [`Actor`] for operations performed by the container's root process.
+    pub fn actor(&self) -> Actor<'_> {
+        Actor::new(&self.creds, &self.userns)
+    }
+
+    /// True if the container's processes appear to be root inside the
+    /// namespace.
+    pub fn appears_root(&self) -> bool {
+        self.creds.appears_root_in(&self.userns)
+    }
+
+    /// True if the containerized processes hold real host privilege.
+    pub fn host_privileged(&self) -> bool {
+        self.privilege == PrivilegeType::TypeI
+    }
+
+    /// The UID that `/proc` appears to be owned by inside the container —
+    /// `nobody` for unprivileged namespaces (paper §4.1.1).
+    pub fn proc_owner_view(&self) -> Uid {
+        let st = self.rootfs.lstat(&self.actor(), "/proc");
+        match st {
+            Ok(s) => s.uid_view,
+            Err(_) => Uid::NOBODY,
+        }
+    }
+}
+
+/// Checks that an image's architecture can execute on a host architecture
+/// (paper §4.2: existing x86_64 containers would not execute on Astra's
+/// aarch64 nodes).
+pub fn check_arch(image: &Image, host_arch: &str) -> KResult<()> {
+    let img_arch = &image.config.architecture;
+    if img_arch.is_empty() || img_arch == host_arch {
+        Ok(())
+    } else {
+        Err(Errno::ENOSYS) // exec format error stand-in
+    }
+}
+
+fn remap_ownership_into(fs: &mut Filesystem, ns: &UserNamespace) -> KResult<()> {
+    let paths: Vec<(String, hpcc_vfs::Ino)> = fs.walk();
+    for (_, ino) in paths {
+        let (uid, gid) = {
+            let inode = fs.inode(ino)?;
+            (inode.uid, inode.gid)
+        };
+        let host_uid = ns.uid_to_host(uid).unwrap_or(ns.owner_host_uid);
+        let host_gid = ns.gid_to_host(gid).unwrap_or(ns.owner_host_gid);
+        let inode = fs.inode_mut(ino)?;
+        inode.uid = host_uid;
+        inode.gid = host_gid;
+    }
+    Ok(())
+}
+
+/// Packs a container's rootfs back into a tar archive from *inside* the
+/// namespace (correct in-container IDs, paper §2.1.2).
+pub fn export_rootfs(container: &Container) -> KResult<Vec<u8>> {
+    tar::pack(
+        &container.rootfs,
+        &container.actor(),
+        "/",
+        &tar::PackOptions {
+            ownership: tar::OwnershipPolicy::NamespaceView,
+            skip_devices: true,
+            clear_setid: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_image::ImageConfig;
+
+    fn sample_image(arch: &str) -> Image {
+        let mut fs = Filesystem::new_local();
+        fs.install_file("/bin/sh", b"elf".to_vec(), Uid(0), Gid(0), Mode::EXEC_755)
+            .unwrap();
+        fs.install_file(
+            "/var/empty/sshd/.keep",
+            b"".to_vec(),
+            Uid(74),
+            Gid(74),
+            Mode::FILE_644,
+        )
+        .unwrap();
+        let creds = Credentials::host_root();
+        let ns = UserNamespace::initial();
+        let actor = Actor::new(&creds, &ns);
+        let mut cfg = ImageConfig::default();
+        cfg.architecture = arch.to_string();
+        Image::from_fs_preserved("base:1", &fs, &actor, cfg).unwrap()
+    }
+
+    fn alice() -> Invoker {
+        Invoker::user("alice", 1000, 1000)
+    }
+
+    fn subdb() -> SubIdDb {
+        let mut db = SubIdDb::new();
+        db.add_range("alice", 200_000, 65_536);
+        db
+    }
+
+    #[test]
+    fn type1_root_is_host_root() {
+        let c = Container::launch_type1(&sample_image("x86_64"), None).unwrap();
+        assert!(c.appears_root());
+        assert!(c.host_privileged());
+        // IDs are shared with the host: the sshd file keeps UID 74.
+        let st = c.rootfs.stat(&c.actor(), "/var/empty/sshd/.keep").unwrap();
+        assert_eq!(st.uid_host, Uid(74));
+    }
+
+    #[test]
+    fn type2_maps_container_ids_to_subordinate_hosts() {
+        let c = Container::launch_type2(
+            &sample_image("x86_64"),
+            &alice(),
+            &subdb(),
+            StorageDriver::Vfs,
+            FsBackend::LocalDisk,
+            &Sysctl::rhel76(),
+        )
+        .unwrap();
+        assert!(c.appears_root());
+        assert!(!c.host_privileged());
+        let st = c.rootfs.stat(&c.actor(), "/var/empty/sshd/.keep").unwrap();
+        assert_eq!(st.uid_view, Uid(74));
+        assert_eq!(st.uid_host, Uid(200_073));
+        // Container root files are owned by alice on the host.
+        let sh = c.rootfs.stat(&c.actor(), "/bin/sh").unwrap();
+        assert_eq!(sh.uid_host, Uid(1000));
+        assert_eq!(sh.uid_view, Uid(0));
+    }
+
+    #[test]
+    fn type2_requires_subuid_ranges() {
+        let err = Container::launch_type2(
+            &sample_image("x86_64"),
+            &alice(),
+            &SubIdDb::new(),
+            StorageDriver::Vfs,
+            FsBackend::LocalDisk,
+            &Sysctl::rhel76(),
+        )
+        .unwrap_err();
+        assert_eq!(err, Errno::EPERM);
+    }
+
+    #[test]
+    fn type2_on_nfs_storage_fails() {
+        let err = Container::launch_type2(
+            &sample_image("x86_64"),
+            &alice(),
+            &subdb(),
+            StorageDriver::Vfs,
+            FsBackend::default_nfs(),
+            &Sysctl::rhel76(),
+        )
+        .unwrap_err();
+        assert_eq!(err, Errno::EPERM);
+    }
+
+    #[test]
+    fn type3_flattens_to_invoker_and_appears_root() {
+        let c = Container::launch_type3(&sample_image("x86_64"), &alice()).unwrap();
+        assert!(c.appears_root());
+        assert!(!c.host_privileged());
+        let st = c.rootfs.stat(&c.actor(), "/var/empty/sshd/.keep").unwrap();
+        assert_eq!(st.uid_host, Uid(1000));
+        // Inside the namespace it displays as root (the single mapped ID).
+        assert_eq!(st.uid_view, Uid(0));
+    }
+
+    #[test]
+    fn proc_appears_owned_by_nobody_in_unprivileged_modes() {
+        let t3 = Container::launch_type3(&sample_image("x86_64"), &alice()).unwrap();
+        assert_eq!(t3.proc_owner_view(), Uid::NOBODY);
+        let pu = Container::launch_podman_unprivileged(
+            &sample_image("x86_64"),
+            &alice(),
+            StorageDriver::Vfs,
+            FsBackend::Tmpfs,
+            &Sysctl::modern(),
+        )
+        .unwrap();
+        assert_eq!(pu.proc_owner_view(), Uid::NOBODY);
+        // Type II maps host root? No — host root is not in the map either, so
+        // /proc also shows nobody; Type I shows root.
+        let t1 = Container::launch_type1(&sample_image("x86_64"), None).unwrap();
+        assert_eq!(t1.proc_owner_view(), Uid::ROOT);
+    }
+
+    #[test]
+    fn arch_mismatch_refuses_to_run() {
+        let x86_image = sample_image("x86_64");
+        assert_eq!(check_arch(&x86_image, "aarch64").unwrap_err(), Errno::ENOSYS);
+        assert!(check_arch(&x86_image, "x86_64").is_ok());
+        assert_eq!(
+            Container::launch_type1(&x86_image, Some("aarch64")).unwrap_err(),
+            Errno::ENOSYS
+        );
+    }
+
+    #[test]
+    fn export_from_type2_preserves_container_ids() {
+        let c = Container::launch_type2(
+            &sample_image("x86_64"),
+            &alice(),
+            &subdb(),
+            StorageDriver::Vfs,
+            FsBackend::LocalDisk,
+            &Sysctl::rhel76(),
+        )
+        .unwrap();
+        let archive = export_rootfs(&c).unwrap();
+        let entries = tar::list(&archive).unwrap();
+        let sshd = entries
+            .iter()
+            .find(|e| e.path == "var/empty/sshd/.keep")
+            .unwrap();
+        assert_eq!(sshd.uid, 74);
+        let sh = entries.iter().find(|e| e.path == "bin/sh").unwrap();
+        assert_eq!(sh.uid, 0);
+    }
+
+    #[test]
+    fn type2_with_fuse_overlayfs_records_xattrs() {
+        let c = Container::launch_type2(
+            &sample_image("x86_64"),
+            &alice(),
+            &subdb(),
+            StorageDriver::FuseOverlayFs,
+            FsBackend::LocalDisk,
+            &Sysctl::modern(),
+        )
+        .unwrap();
+        let v = c
+            .rootfs
+            .get_xattr(&c.actor(), "/bin/sh", "user.containers.override_stat")
+            .unwrap();
+        assert!(!v.is_empty());
+    }
+}

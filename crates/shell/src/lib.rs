@@ -1,0 +1,14 @@
+//! `hpcc-shell`: a minimal POSIX-ish shell for executing Dockerfile `RUN`
+//! instructions and the workaround commands `ch-image --force` injects
+//! (paper Figures 8–11): `;`, `&&`, `||`, `!`, pipes, redirection, quoting,
+//! `if … then … fi`, glob expansion, and builtins for the package managers
+//! and the `fakeroot` wrapper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exec;
+pub mod parse;
+
+pub use exec::{CmdResult, ExecEnv};
+pub use parse::{parse_line, tokenize, Connector, Pipeline, SimpleCommand, Statement, Token};

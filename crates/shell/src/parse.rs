@@ -1,0 +1,382 @@
+//! Tokenizer and parser for the small shell subset needed by the paper's
+//! Dockerfiles and by `ch-image --force`'s injected workaround commands
+//! (Figures 8–11): command sequences (`;`, `&&`, `||`), negation (`!`),
+//! pipes, output redirection, single/double quoting, `if … then … fi`, and
+//! glob expansion of `*` in path arguments.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A word (possibly produced from a quoted string).
+    Word(String),
+    /// `;`
+    Semi,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `|`
+    Pipe,
+    /// `>`
+    RedirectOut,
+    /// `!`
+    Bang,
+}
+
+/// Splits a command line into tokens, honouring single and double quotes.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut current = String::new();
+    let mut has_current = false;
+
+    let flush = |current: &mut String, has: &mut bool, tokens: &mut Vec<Token>| {
+        if *has {
+            tokens.push(Token::Word(std::mem::take(current)));
+            *has = false;
+        }
+    };
+
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                has_current = true;
+                for q in chars.by_ref() {
+                    if q == '\'' {
+                        break;
+                    }
+                    current.push(q);
+                }
+            }
+            '"' => {
+                has_current = true;
+                for q in chars.by_ref() {
+                    if q == '"' {
+                        break;
+                    }
+                    current.push(q);
+                }
+            }
+            ' ' | '\t' | '\n' => flush(&mut current, &mut has_current, &mut tokens),
+            ';' => {
+                flush(&mut current, &mut has_current, &mut tokens);
+                tokens.push(Token::Semi);
+            }
+            '&' => {
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    flush(&mut current, &mut has_current, &mut tokens);
+                    tokens.push(Token::AndAnd);
+                } else {
+                    current.push('&');
+                    has_current = true;
+                }
+            }
+            '|' => {
+                flush(&mut current, &mut has_current, &mut tokens);
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    tokens.push(Token::OrOr);
+                } else {
+                    tokens.push(Token::Pipe);
+                }
+            }
+            '>' => {
+                flush(&mut current, &mut has_current, &mut tokens);
+                tokens.push(Token::RedirectOut);
+            }
+            '!' => {
+                if has_current {
+                    current.push('!');
+                } else {
+                    tokens.push(Token::Bang);
+                }
+            }
+            _ => {
+                current.push(c);
+                has_current = true;
+            }
+        }
+    }
+    flush(&mut current, &mut has_current, &mut tokens);
+    tokens
+}
+
+/// One simple command: argv plus optional stdout redirection target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleCommand {
+    /// Command and arguments.
+    pub argv: Vec<String>,
+    /// `> path` target, if any.
+    pub redirect: Option<String>,
+}
+
+/// A pipeline: one or more simple commands connected by `|`, possibly negated
+/// with a leading `!`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Stages, in order.
+    pub stages: Vec<SimpleCommand>,
+    /// Leading `!`.
+    pub negated: bool,
+}
+
+/// How a statement is joined to the *next* statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connector {
+    /// `;` (or end of input).
+    Seq,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A pipeline with its trailing connector.
+    Pipeline(Pipeline, Connector),
+    /// `if <cond>; then <body>; fi` with its trailing connector.
+    If {
+        /// Condition statements.
+        condition: Vec<Statement>,
+        /// Body statements.
+        body: Vec<Statement>,
+        /// Trailing connector.
+        connector: Connector,
+    },
+}
+
+/// Parses a token stream into statements.
+pub fn parse(tokens: &[Token]) -> Vec<Statement> {
+    let mut pos = 0;
+    parse_statements(tokens, &mut pos, true)
+}
+
+fn parse_statements(tokens: &[Token], pos: &mut usize, top_level: bool) -> Vec<Statement> {
+    let mut statements = Vec::new();
+    while *pos < tokens.len() {
+        // Stop keywords for nested lists.
+        if let Token::Word(w) = &tokens[*pos] {
+            if !top_level && (w == "then" || w == "fi") {
+                break;
+            }
+            if w == "if" {
+                *pos += 1;
+                let condition = parse_statements(tokens, pos, false);
+                // Consume `then`.
+                if let Some(Token::Word(w)) = tokens.get(*pos) {
+                    if w == "then" {
+                        *pos += 1;
+                    }
+                }
+                let body = parse_statements(tokens, pos, false);
+                // Consume `fi`.
+                if let Some(Token::Word(w)) = tokens.get(*pos) {
+                    if w == "fi" {
+                        *pos += 1;
+                    }
+                }
+                let connector = parse_connector(tokens, pos);
+                statements.push(Statement::If {
+                    condition,
+                    body,
+                    connector,
+                });
+                continue;
+            }
+        }
+        // Skip stray separators.
+        if matches!(tokens[*pos], Token::Semi) {
+            *pos += 1;
+            continue;
+        }
+        let pipeline = parse_pipeline(tokens, pos);
+        if pipeline.stages.is_empty() || pipeline.stages.iter().all(|s| s.argv.is_empty()) {
+            if *pos < tokens.len() {
+                *pos += 1;
+            }
+            continue;
+        }
+        let connector = parse_connector(tokens, pos);
+        statements.push(Statement::Pipeline(pipeline, connector));
+    }
+    statements
+}
+
+fn parse_connector(tokens: &[Token], pos: &mut usize) -> Connector {
+    match tokens.get(*pos) {
+        Some(Token::AndAnd) => {
+            *pos += 1;
+            Connector::And
+        }
+        Some(Token::OrOr) => {
+            *pos += 1;
+            Connector::Or
+        }
+        Some(Token::Semi) => {
+            *pos += 1;
+            Connector::Seq
+        }
+        _ => Connector::Seq,
+    }
+}
+
+fn parse_pipeline(tokens: &[Token], pos: &mut usize) -> Pipeline {
+    let mut negated = false;
+    if matches!(tokens.get(*pos), Some(Token::Bang)) {
+        negated = true;
+        *pos += 1;
+    }
+    let mut stages = Vec::new();
+    let mut current = SimpleCommand {
+        argv: Vec::new(),
+        redirect: None,
+    };
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            Token::Word(w) => {
+                // Keywords end the pipeline when they start a new statement.
+                if (w == "then" || w == "fi") && current.argv.is_empty() {
+                    break;
+                }
+                current.argv.push(w.clone());
+                *pos += 1;
+            }
+            Token::RedirectOut => {
+                *pos += 1;
+                if let Some(Token::Word(target)) = tokens.get(*pos) {
+                    current.redirect = Some(target.clone());
+                    *pos += 1;
+                }
+            }
+            Token::Pipe => {
+                *pos += 1;
+                stages.push(std::mem::replace(
+                    &mut current,
+                    SimpleCommand {
+                        argv: Vec::new(),
+                        redirect: None,
+                    },
+                ));
+            }
+            Token::Semi | Token::AndAnd | Token::OrOr | Token::Bang => break,
+        }
+    }
+    if !current.argv.is_empty() || current.redirect.is_some() {
+        stages.push(current);
+    }
+    Pipeline { stages, negated }
+}
+
+/// Parses a full command line.
+pub fn parse_line(input: &str) -> Vec<Statement> {
+    parse(&tokenize(input))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_respects_quotes() {
+        // The Figure 9 line: echo 'APT::Sandbox::User "root"; ' > /etc/apt/...
+        let t = tokenize("echo 'APT::Sandbox::User \"root\"; ' > /etc/apt/apt.conf.d/no-sandbox");
+        assert_eq!(t[0], Token::Word("echo".into()));
+        assert_eq!(t[1], Token::Word("APT::Sandbox::User \"root\"; ".into()));
+        assert_eq!(t[2], Token::RedirectOut);
+        assert_eq!(t[3], Token::Word("/etc/apt/apt.conf.d/no-sandbox".into()));
+    }
+
+    #[test]
+    fn tokenize_operators() {
+        let t = tokenize("a && b || c ; ! d | e");
+        assert!(t.contains(&Token::AndAnd));
+        assert!(t.contains(&Token::OrOr));
+        assert!(t.contains(&Token::Semi));
+        assert!(t.contains(&Token::Bang));
+        assert!(t.contains(&Token::Pipe));
+    }
+
+    #[test]
+    fn parse_simple_command() {
+        let s = parse_line("yum install -y openssh");
+        assert_eq!(s.len(), 1);
+        match &s[0] {
+            Statement::Pipeline(p, _) => {
+                assert_eq!(p.stages[0].argv, vec!["yum", "install", "-y", "openssh"]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_and_sequence() {
+        let s = parse_line("apt-get update && apt-get install -y pseudo");
+        assert_eq!(s.len(), 2);
+        match &s[0] {
+            Statement::Pipeline(_, c) => assert_eq!(*c, Connector::And),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_if_then_fi() {
+        // The rhel7 init step of Figure 10 line 8.
+        let cmd = "set -ex; if ! grep -Eq '\\[epel\\]' /etc/yum.conf /etc/yum.repos.d/*; then yum install -y epel-release; yum-config-manager --disable epel; fi; yum --enablerepo=epel install -y fakeroot;";
+        let s = parse_line(cmd);
+        assert_eq!(s.len(), 3, "{:?}", s);
+        match &s[1] {
+            Statement::If {
+                condition, body, ..
+            } => {
+                assert_eq!(condition.len(), 1);
+                assert_eq!(body.len(), 2);
+                match &condition[0] {
+                    Statement::Pipeline(p, _) => assert!(p.negated),
+                    _ => panic!(),
+                }
+            }
+            other => panic!("expected if, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_pipe_with_negation() {
+        // The debderiv check of Figure 11 line 7.
+        let cmd = "apt-config dump | fgrep -q 'APT::Sandbox::User \"root\" ' || ! fgrep -q _apt /etc/passwd";
+        let s = parse_line(cmd);
+        assert_eq!(s.len(), 2);
+        match &s[0] {
+            Statement::Pipeline(p, c) => {
+                assert_eq!(p.stages.len(), 2);
+                assert_eq!(p.stages[0].argv[0], "apt-config");
+                assert_eq!(p.stages[1].argv[0], "fgrep");
+                assert_eq!(*c, Connector::Or);
+            }
+            _ => panic!(),
+        }
+        match &s[1] {
+            Statement::Pipeline(p, _) => assert!(p.negated),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn redirect_to_dev_null() {
+        let s = parse_line("command -v fakeroot > /dev/null");
+        match &s[0] {
+            Statement::Pipeline(p, _) => {
+                assert_eq!(p.stages[0].redirect.as_deref(), Some("/dev/null"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_lines() {
+        assert!(parse_line("").is_empty());
+        assert!(parse_line("   ;;  ").is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Actors: the (credentials, user namespace) pair that performs VFS
+//! operations, plus UNIX permission evaluation.
+//!
+//! Permission evaluation follows the order **user, group, other — first match
+//! governs** (paper §2.1.4), which is what makes the `setgroups(2)` trap
+//! possible: dropping a group can *increase* access by changing which triplet
+//! applies.
+
+use hpcc_kernel::{Capability, Credentials, Errno, KResult, UserNamespace};
+
+use crate::inode::Inode;
+use crate::mode::Access;
+
+/// An acting subject: credentials plus the user namespace they execute in.
+#[derive(Debug, Clone, Copy)]
+pub struct Actor<'a> {
+    /// Credentials (host IDs).
+    pub creds: &'a Credentials,
+    /// The user namespace the process is a member of.
+    pub userns: &'a UserNamespace,
+}
+
+impl<'a> Actor<'a> {
+    /// Creates an actor.
+    pub fn new(creds: &'a Credentials, userns: &'a UserNamespace) -> Self {
+        Actor { creds, userns }
+    }
+
+    /// True if the actor holds `cap` *and* that capability is effective over
+    /// the given inode: the kernel requires the inode's owner and group to be
+    /// mapped into the actor's user namespace (`capable_wrt_inode_uidgid`).
+    ///
+    /// This single rule is why "root in the container" cannot `chown(2)`
+    /// distribution files to unmapped system users in a Type III container
+    /// (paper §2.3) while a Type II container with a 65536-wide map can.
+    pub fn cap_over_inode(&self, inode: &Inode, cap: Capability) -> bool {
+        self.creds.has_cap(cap)
+            && self.userns.uid_to_ns(inode.uid).is_some()
+            && self.userns.gid_to_ns(inode.gid).is_some()
+    }
+
+    /// True if the actor is the inode's owner.
+    pub fn owns(&self, inode: &Inode) -> bool {
+        self.creds.euid == inode.uid
+    }
+
+    /// Evaluates a DAC access request against an inode.
+    pub fn check_access(&self, inode: &Inode, access: Access) -> KResult<()> {
+        // CAP_DAC_OVERRIDE bypasses read/write/execute checks.
+        if self.cap_over_inode(inode, Capability::CapDacOverride) {
+            return Ok(());
+        }
+        // First match governs: user, then group, then other.
+        let bits = if self.creds.euid == inode.uid {
+            inode.mode.user_bits()
+        } else if self.creds.in_group(inode.gid) {
+            inode.mode.group_bits()
+        } else {
+            inode.mode.other_bits()
+        };
+        if access.satisfied_by(bits) {
+            Ok(())
+        } else {
+            Err(Errno::EACCES)
+        }
+    }
+
+    /// True if the actor may change the inode's metadata as its owner or via
+    /// CAP_FOWNER.
+    pub fn may_change_metadata(&self, inode: &Inode) -> bool {
+        self.owns(inode) || self.cap_over_inode(inode, Capability::CapFowner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inode::InodeData;
+    use crate::mode::Mode;
+    use hpcc_kernel::{Gid, Uid};
+    use std::collections::BTreeMap;
+
+    fn inode(uid: u32, gid: u32, mode: u16) -> Inode {
+        Inode {
+            ino: 1,
+            data: InodeData::file(b"x".to_vec()),
+            uid: Uid(uid),
+            gid: Gid(gid),
+            mode: Mode::new(mode),
+            nlink: 1,
+            xattrs: BTreeMap::new(),
+            mtime: 0,
+        }
+    }
+
+    #[test]
+    fn owner_bits_govern_even_if_group_would_allow() {
+        // File 0o470: owner has only read... wait, 4=r for owner, 7 for group.
+        // Owner gets r--, group rwx. The owner matching first means the owner
+        // cannot write even though they are also in the group.
+        let ns = UserNamespace::initial();
+        let creds = Credentials::unprivileged_user(Uid(10), Gid(20), vec![Gid(20)]);
+        let actor = Actor::new(&creds, &ns);
+        let ino = inode(10, 20, 0o470);
+        assert!(actor.check_access(&ino, Access::READ).is_ok());
+        assert!(actor.check_access(&ino, Access::WRITE).is_err());
+    }
+
+    #[test]
+    fn reboot_example_from_section_214() {
+        // /bin/reboot root:managers rwx---r-x : managers cannot execute, but
+        // everyone else can. Dropping the managers group flips access.
+        let ns = UserNamespace::initial();
+        let reboot = inode(0, 500, 0o705);
+        let manager = Credentials::unprivileged_user(Uid(10), Gid(100), vec![Gid(100), Gid(500)]);
+        let actor = Actor::new(&manager, &ns);
+        assert_eq!(
+            actor.check_access(&reboot, Access::EXECUTE).unwrap_err(),
+            Errno::EACCES
+        );
+        // After dropping group 500 (via setgroups), the "other" triplet governs.
+        let mut dropped = manager.clone();
+        dropped.supplementary = vec![Gid(100)];
+        let actor = Actor::new(&dropped, &ns);
+        assert!(actor.check_access(&reboot, Access::EXECUTE).is_ok());
+    }
+
+    #[test]
+    fn unmapped_group_access_persists_inside_namespace() {
+        // Paper §2.1.1 case 3: access via an unmapped supplementary group
+        // still works inside the namespace (host IDs govern).
+        let alice = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000), Gid(2000)]);
+        let ns = UserNamespace::type3(Uid(1000), Gid(1000));
+        let actor = Actor::new(&alice, &ns);
+        let shared = inode(999, 2000, 0o640);
+        assert!(actor.check_access(&shared, Access::READ).is_ok());
+        assert!(actor.check_access(&shared, Access::WRITE).is_err());
+    }
+
+    #[test]
+    fn dac_override_requires_mapped_owner() {
+        // A containerized "root" (full caps in a Type III namespace) can
+        // bypass DAC on files owned by the invoking user (mapped to root) but
+        // not on files owned by unmapped users.
+        let alice = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let ns = UserNamespace::type3(Uid(1000), Gid(1000));
+        let container_creds = alice.entered_own_namespace();
+        let actor = Actor::new(&container_creds, &ns);
+
+        let own_file = inode(1000, 1000, 0o000);
+        assert!(actor.check_access(&own_file, Access::READ_WRITE).is_ok());
+
+        let bobs_file = inode(1001, 1001, 0o600);
+        assert_eq!(
+            actor.check_access(&bobs_file, Access::READ).unwrap_err(),
+            Errno::EACCES
+        );
+    }
+
+    #[test]
+    fn host_root_bypasses_everything() {
+        let root = Credentials::host_root();
+        let ns = UserNamespace::initial();
+        let actor = Actor::new(&root, &ns);
+        let f = inode(1000, 1000, 0o000);
+        assert!(actor.check_access(&f, Access::READ_WRITE).is_ok());
+        assert!(actor.may_change_metadata(&f));
+    }
+
+    #[test]
+    fn cap_over_inode_denied_for_unmapped_owner() {
+        let alice = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let ns = UserNamespace::type3(Uid(1000), Gid(1000));
+        let creds = alice.entered_own_namespace();
+        let actor = Actor::new(&creds, &ns);
+        let own = inode(1000, 1000, 0o644);
+        let foreign = inode(74, 74, 0o644);
+        assert!(actor.cap_over_inode(&own, Capability::CapChown));
+        assert!(!actor.cap_over_inode(&foreign, Capability::CapChown));
+    }
+}

@@ -1,0 +1,1293 @@
+//! The in-memory filesystem and its syscall-level operations.
+//!
+//! All metadata (ownership, modes, xattrs, device numbers) is stored with
+//! **host** IDs; operations take an [`Actor`] whose user namespace determines
+//! how IDs are translated and which privileged operations are permitted. This
+//! is the substrate on which package installation either fails (`cpio: chown`,
+//! Figure 2) or succeeds depending on the container privilege type.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hpcc_kernel::{Capability, Errno, Gid, KResult, Uid, UsernsId};
+
+use crate::actor::Actor;
+use crate::inode::{Ino, Inode, InodeData, Stat};
+use crate::mode::{Access, FileType, Mode};
+use crate::sharedfs::FsBackend;
+
+/// Maximum symlink traversals before `ELOOP`.
+const MAX_SYMLINK_DEPTH: u32 = 40;
+
+/// An in-memory POSIX-like filesystem.
+#[derive(Debug, Clone)]
+pub struct Filesystem {
+    inodes: HashMap<Ino, Inode>,
+    next_ino: Ino,
+    root: Ino,
+    clock: u64,
+    /// Storage backend, which determines xattr/device support and shared
+    /// semantics.
+    pub backend: FsBackend,
+    /// The user namespace that "owns" this filesystem (the mount's
+    /// `s_user_ns`). Host filesystems are owned by the initial namespace.
+    pub owner_userns: UsernsId,
+    /// Mounted read-only.
+    pub readonly: bool,
+}
+
+impl Filesystem {
+    /// Creates an empty filesystem with a root directory owned by root:root.
+    pub fn new(backend: FsBackend) -> Self {
+        let mut inodes = HashMap::new();
+        inodes.insert(
+            1,
+            Inode {
+                ino: 1,
+                data: InodeData::empty_dir(),
+                uid: Uid::ROOT,
+                gid: Gid::ROOT,
+                mode: Mode::new(0o755),
+                nlink: 2,
+                xattrs: BTreeMap::new(),
+                mtime: 0,
+            },
+        );
+        Filesystem {
+            inodes,
+            next_ino: 2,
+            root: 1,
+            clock: 1,
+            backend,
+            owner_userns: UsernsId::INIT,
+            readonly: false,
+        }
+    }
+
+    /// Creates a filesystem on local disk (the default backend).
+    pub fn new_local() -> Self {
+        Filesystem::new(FsBackend::LocalDisk)
+    }
+
+    /// Root inode number.
+    pub fn root_ino(&self) -> Ino {
+        self.root
+    }
+
+    /// Number of inodes.
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Sum of regular-file sizes, in bytes.
+    pub fn total_file_bytes(&self) -> u64 {
+        self.inodes
+            .values()
+            .filter_map(|i| match &i.data {
+                InodeData::Regular { content } => Some(content.len() as u64),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Borrow an inode.
+    pub fn inode(&self, ino: Ino) -> KResult<&Inode> {
+        self.inodes.get(&ino).ok_or(Errno::ENOENT)
+    }
+
+    /// Mutably borrow an inode.
+    pub fn inode_mut(&mut self, ino: Ino) -> KResult<&mut Inode> {
+        self.inodes.get_mut(&ino).ok_or(Errno::ENOENT)
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn alloc(&mut self, data: InodeData, uid: Uid, gid: Gid, mode: Mode) -> Ino {
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        let mtime = self.tick();
+        self.inodes.insert(
+            ino,
+            Inode {
+                ino,
+                data,
+                uid,
+                gid,
+                mode,
+                nlink: 1,
+                xattrs: BTreeMap::new(),
+                mtime,
+            },
+        );
+        ino
+    }
+
+    // ----------------------------------------------------------------- paths
+
+    /// Splits a path into normalized components (handles `//`, `.`, `..`).
+    pub fn components(path: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for part in path.split('/') {
+            match part {
+                "" | "." => {}
+                ".." => {
+                    out.pop();
+                }
+                p => out.push(p.to_string()),
+            }
+        }
+        out
+    }
+
+    fn lookup_in_dir(&self, dir: Ino, name: &str) -> KResult<Ino> {
+        let inode = self.inode(dir)?;
+        match &inode.data {
+            InodeData::Directory { entries } => entries.get(name).copied().ok_or(Errno::ENOENT),
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    fn resolve_inner(
+        &self,
+        actor: &Actor,
+        path: &str,
+        follow_final: bool,
+        depth: u32,
+    ) -> KResult<Ino> {
+        if depth > MAX_SYMLINK_DEPTH {
+            return Err(Errno::ELOOP);
+        }
+        let comps = Self::components(path);
+        let mut cur = self.root;
+        for (i, name) in comps.iter().enumerate() {
+            let is_last = i + 1 == comps.len();
+            let dir_inode = self.inode(cur)?;
+            if !dir_inode.is_dir() {
+                return Err(Errno::ENOTDIR);
+            }
+            actor.check_access(dir_inode, Access::EXECUTE)?;
+            let child = self.lookup_in_dir(cur, name)?;
+            let child_inode = self.inode(child)?;
+            if child_inode.is_symlink() && (!is_last || follow_final) {
+                let target = match &child_inode.data {
+                    InodeData::Symlink { target } => target.clone(),
+                    _ => unreachable!(),
+                };
+                let resolved_path = if target.starts_with('/') {
+                    let rest = comps[i + 1..].join("/");
+                    if rest.is_empty() {
+                        target
+                    } else {
+                        format!("{}/{}", target, rest)
+                    }
+                } else {
+                    let parent = comps[..i].join("/");
+                    let rest = comps[i + 1..].join("/");
+                    let mut p = format!("/{}/{}", parent, target);
+                    if !rest.is_empty() {
+                        p = format!("{}/{}", p, rest);
+                    }
+                    p
+                };
+                return self.resolve_inner(actor, &resolved_path, follow_final, depth + 1);
+            }
+            cur = child;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves a path, following symlinks (including a final symlink).
+    pub fn resolve(&self, actor: &Actor, path: &str) -> KResult<Ino> {
+        self.resolve_inner(actor, path, true, 0)
+    }
+
+    /// Resolves a path without following a final symlink (`lstat` semantics).
+    pub fn resolve_no_follow(&self, actor: &Actor, path: &str) -> KResult<Ino> {
+        self.resolve_inner(actor, path, false, 0)
+    }
+
+    /// Resolves the parent directory of `path`, returning `(parent_ino,
+    /// final_name)`.
+    pub fn resolve_parent(&self, actor: &Actor, path: &str) -> KResult<(Ino, String)> {
+        let comps = Self::components(path);
+        let name = comps.last().ok_or(Errno::EINVAL)?.clone();
+        let parent_path = format!("/{}", comps[..comps.len() - 1].join("/"));
+        let parent = self.resolve(actor, &parent_path)?;
+        if !self.inode(parent)?.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok((parent, name))
+    }
+
+    /// True if the path exists (for the given actor's view).
+    pub fn exists(&self, actor: &Actor, path: &str) -> bool {
+        self.resolve(actor, path).is_ok()
+    }
+
+    /// True if the path exists and is a directory.
+    pub fn is_dir(&self, actor: &Actor, path: &str) -> bool {
+        self.resolve(actor, path)
+            .and_then(|i| self.inode(i))
+            .map(|i| i.is_dir())
+            .unwrap_or(false)
+    }
+
+    // ---------------------------------------------------- unchecked installs
+
+    /// Installs a directory (and any missing ancestors) without permission
+    /// checks. Used by base-image construction and archive extraction when
+    /// acting as the image author.
+    pub fn install_dir(&mut self, path: &str, uid: Uid, gid: Gid, mode: Mode) -> KResult<Ino> {
+        let comps = Self::components(path);
+        let mut cur = self.root;
+        for name in comps {
+            let existing = {
+                let inode = self.inode(cur)?;
+                if !inode.is_dir() {
+                    return Err(Errno::ENOTDIR);
+                }
+                inode.entries().get(&name).copied()
+            };
+            cur = match existing {
+                Some(i) => i,
+                None => {
+                    let ino = self.alloc(InodeData::empty_dir(), uid, gid, mode);
+                    self.inode_mut(cur)?.entries_mut().insert(name, ino);
+                    ino
+                }
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Installs a regular file without permission checks, creating parent
+    /// directories as needed (parents get mode 0755 with the same owner).
+    pub fn install_file(
+        &mut self,
+        path: &str,
+        content: impl Into<Vec<u8>>,
+        uid: Uid,
+        gid: Gid,
+        mode: Mode,
+    ) -> KResult<Ino> {
+        let comps = Self::components(path);
+        if comps.is_empty() {
+            return Err(Errno::EINVAL);
+        }
+        let dir_path = comps[..comps.len() - 1].join("/");
+        let parent = self.install_dir(&dir_path, uid, gid, Mode::new(0o755))?;
+        let name = comps.last().unwrap().clone();
+        let content = content.into();
+        if let Some(&existing) = self.inode(parent)?.entries().get(&name) {
+            let tick = self.tick();
+            let inode = self.inode_mut(existing)?;
+            inode.data = InodeData::file(content);
+            inode.uid = uid;
+            inode.gid = gid;
+            inode.mode = mode;
+            inode.mtime = tick;
+            return Ok(existing);
+        }
+        let ino = self.alloc(InodeData::file(content), uid, gid, mode);
+        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        Ok(ino)
+    }
+
+    /// Installs a symlink without permission checks.
+    pub fn install_symlink(
+        &mut self,
+        path: &str,
+        target: &str,
+        uid: Uid,
+        gid: Gid,
+    ) -> KResult<Ino> {
+        let comps = Self::components(path);
+        if comps.is_empty() {
+            return Err(Errno::EINVAL);
+        }
+        let dir_path = comps[..comps.len() - 1].join("/");
+        let parent = self.install_dir(&dir_path, uid, gid, Mode::new(0o755))?;
+        let name = comps.last().unwrap().clone();
+        let ino = self.alloc(
+            InodeData::Symlink {
+                target: target.to_string(),
+            },
+            uid,
+            gid,
+            Mode::new(0o777),
+        );
+        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        Ok(ino)
+    }
+
+    /// Installs a character device node without permission checks. Fails with
+    /// `EPERM` on backends that do not support device nodes.
+    pub fn install_char_device(
+        &mut self,
+        path: &str,
+        major: u32,
+        minor: u32,
+        uid: Uid,
+        gid: Gid,
+        mode: Mode,
+    ) -> KResult<Ino> {
+        if !self.backend.supports_device_nodes() {
+            return Err(Errno::EPERM);
+        }
+        let comps = Self::components(path);
+        if comps.is_empty() {
+            return Err(Errno::EINVAL);
+        }
+        let dir_path = comps[..comps.len() - 1].join("/");
+        let parent = self.install_dir(&dir_path, uid, gid, Mode::new(0o755))?;
+        let name = comps.last().unwrap().clone();
+        let ino = self.alloc(InodeData::CharDevice { major, minor }, uid, gid, mode);
+        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        Ok(ino)
+    }
+
+    // -------------------------------------------------------- checked ops
+
+    fn check_writable(&self) -> KResult<()> {
+        if self.readonly {
+            Err(Errno::EROFS)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// `mkdir(2)`.
+    pub fn mkdir(&mut self, actor: &Actor, path: &str, mode: Mode) -> KResult<Ino> {
+        self.check_writable()?;
+        let (parent, name) = self.resolve_parent(actor, path)?;
+        let parent_inode = self.inode(parent)?;
+        actor.check_access(parent_inode, Access::WRITE)?;
+        if parent_inode.entries().contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let gid = if parent_inode.mode.is_setgid() {
+            parent_inode.gid
+        } else {
+            actor.creds.egid
+        };
+        let ino = self.alloc(InodeData::empty_dir(), actor.creds.euid, gid, mode);
+        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        Ok(ino)
+    }
+
+    /// Creates or truncates a regular file with the given content
+    /// (open+write+close in one step).
+    pub fn write_file(
+        &mut self,
+        actor: &Actor,
+        path: &str,
+        content: impl Into<Vec<u8>>,
+        mode: Mode,
+    ) -> KResult<Ino> {
+        self.check_writable()?;
+        let (parent, name) = self.resolve_parent(actor, path)?;
+        let content = content.into();
+        let existing = self.inode(parent)?.entries().get(&name).copied();
+        match existing {
+            Some(ino) => {
+                let inode = self.inode(ino)?;
+                if inode.is_dir() {
+                    return Err(Errno::EISDIR);
+                }
+                actor.check_access(inode, Access::WRITE)?;
+                let tick = self.tick();
+                let inode = self.inode_mut(ino)?;
+                inode.data = InodeData::file(content);
+                inode.mtime = tick;
+                Ok(ino)
+            }
+            None => {
+                let parent_inode = self.inode(parent)?;
+                actor.check_access(parent_inode, Access::WRITE)?;
+                let gid = if parent_inode.mode.is_setgid() {
+                    parent_inode.gid
+                } else {
+                    actor.creds.egid
+                };
+                let ino = self.alloc(InodeData::file(content), actor.creds.euid, gid, mode);
+                self.inode_mut(parent)?.entries_mut().insert(name, ino);
+                Ok(ino)
+            }
+        }
+    }
+
+    /// Appends to an existing regular file (creating it if missing).
+    pub fn append_file(
+        &mut self,
+        actor: &Actor,
+        path: &str,
+        content: &[u8],
+        mode: Mode,
+    ) -> KResult<Ino> {
+        self.check_writable()?;
+        match self.resolve(actor, path) {
+            Ok(ino) => {
+                let inode = self.inode(ino)?;
+                actor.check_access(inode, Access::WRITE)?;
+                let tick = self.tick();
+                let inode = self.inode_mut(ino)?;
+                if let InodeData::Regular { content: existing } = &mut inode.data {
+                    existing.extend_from_slice(content);
+                    inode.mtime = tick;
+                    Ok(ino)
+                } else {
+                    Err(Errno::EISDIR)
+                }
+            }
+            Err(Errno::ENOENT) => self.write_file(actor, path, content.to_vec(), mode),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads a regular file's contents.
+    pub fn read_file(&self, actor: &Actor, path: &str) -> KResult<Vec<u8>> {
+        let ino = self.resolve(actor, path)?;
+        let inode = self.inode(ino)?;
+        actor.check_access(inode, Access::READ)?;
+        match &inode.data {
+            InodeData::Regular { content } => Ok(content.clone()),
+            InodeData::Directory { .. } => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Reads a file as UTF-8 text.
+    pub fn read_to_string(&self, actor: &Actor, path: &str) -> KResult<String> {
+        let bytes = self.read_file(actor, path)?;
+        String::from_utf8(bytes).map_err(|_| Errno::EINVAL)
+    }
+
+    /// `unlink(2)`.
+    pub fn unlink(&mut self, actor: &Actor, path: &str) -> KResult<()> {
+        self.check_writable()?;
+        let (parent, name) = self.resolve_parent(actor, path)?;
+        let parent_inode = self.inode(parent)?;
+        actor.check_access(parent_inode, Access::WRITE)?;
+        let target = parent_inode.entries().get(&name).copied().ok_or(Errno::ENOENT)?;
+        if self.inode(target)?.is_dir() {
+            return Err(Errno::EISDIR);
+        }
+        self.inode_mut(parent)?.entries_mut().remove(&name);
+        let inode = self.inode_mut(target)?;
+        inode.nlink = inode.nlink.saturating_sub(1);
+        if inode.nlink == 0 {
+            self.inodes.remove(&target);
+        }
+        Ok(())
+    }
+
+    /// `rmdir(2)`.
+    pub fn rmdir(&mut self, actor: &Actor, path: &str) -> KResult<()> {
+        self.check_writable()?;
+        let (parent, name) = self.resolve_parent(actor, path)?;
+        let parent_inode = self.inode(parent)?;
+        actor.check_access(parent_inode, Access::WRITE)?;
+        let target = parent_inode.entries().get(&name).copied().ok_or(Errno::ENOENT)?;
+        let t = self.inode(target)?;
+        if !t.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        if !t.entries().is_empty() {
+            return Err(Errno::ENOTEMPTY);
+        }
+        self.inode_mut(parent)?.entries_mut().remove(&name);
+        self.inodes.remove(&target);
+        Ok(())
+    }
+
+    /// Recursively removes a path (like `rm -rf`), used by builders to clean
+    /// work trees.
+    pub fn remove_tree(&mut self, actor: &Actor, path: &str) -> KResult<()> {
+        let ino = match self.resolve_no_follow(actor, path) {
+            Ok(i) => i,
+            Err(Errno::ENOENT) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if self.inode(ino)?.is_dir() {
+            let children: Vec<String> = self.inode(ino)?.entries().keys().cloned().collect();
+            for c in children {
+                self.remove_tree(actor, &format!("{}/{}", path, c))?;
+            }
+            self.rmdir(actor, path)
+        } else {
+            self.unlink(actor, path)
+        }
+    }
+
+    /// `symlink(2)`.
+    pub fn symlink(&mut self, actor: &Actor, target: &str, linkpath: &str) -> KResult<Ino> {
+        self.check_writable()?;
+        let (parent, name) = self.resolve_parent(actor, linkpath)?;
+        let parent_inode = self.inode(parent)?;
+        actor.check_access(parent_inode, Access::WRITE)?;
+        if parent_inode.entries().contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let ino = self.alloc(
+            InodeData::Symlink {
+                target: target.to_string(),
+            },
+            actor.creds.euid,
+            actor.creds.egid,
+            Mode::new(0o777),
+        );
+        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        Ok(ino)
+    }
+
+    /// `link(2)`: hard link.
+    pub fn link(&mut self, actor: &Actor, existing: &str, new: &str) -> KResult<()> {
+        self.check_writable()?;
+        let src = self.resolve(actor, existing)?;
+        if self.inode(src)?.is_dir() {
+            return Err(Errno::EPERM);
+        }
+        let (parent, name) = self.resolve_parent(actor, new)?;
+        let parent_inode = self.inode(parent)?;
+        actor.check_access(parent_inode, Access::WRITE)?;
+        if parent_inode.entries().contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        self.inode_mut(parent)?.entries_mut().insert(name, src);
+        self.inode_mut(src)?.nlink += 1;
+        Ok(())
+    }
+
+    /// `rename(2)` within this filesystem.
+    pub fn rename(&mut self, actor: &Actor, from: &str, to: &str) -> KResult<()> {
+        self.check_writable()?;
+        let (from_parent, from_name) = self.resolve_parent(actor, from)?;
+        actor.check_access(self.inode(from_parent)?, Access::WRITE)?;
+        let ino = self
+            .inode(from_parent)?
+            .entries()
+            .get(&from_name)
+            .copied()
+            .ok_or(Errno::ENOENT)?;
+        let (to_parent, to_name) = self.resolve_parent(actor, to)?;
+        actor.check_access(self.inode(to_parent)?, Access::WRITE)?;
+        self.inode_mut(from_parent)?.entries_mut().remove(&from_name);
+        self.inode_mut(to_parent)?.entries_mut().insert(to_name, ino);
+        Ok(())
+    }
+
+    /// `chown(2)` / `fchownat(2)`.
+    ///
+    /// `new_uid`/`new_gid` are **in-namespace** IDs as passed by the caller;
+    /// `None` leaves the corresponding ID unchanged. The privilege rules are
+    /// the ones the paper's analysis rests on:
+    ///
+    /// * the target IDs must be mapped in the caller's namespace, else
+    ///   `EINVAL` — this is what breaks `rpm`/`cpio` in a basic Type III
+    ///   container (Figure 2);
+    /// * changing the owner requires CAP_CHOWN effective over the inode;
+    /// * the owner may change the group to any group they belong to;
+    /// * on shared filesystems, files cannot be created/assigned to
+    ///   subordinate UIDs by unprivileged clients (paper §4.2).
+    pub fn chown(
+        &mut self,
+        actor: &Actor,
+        path: &str,
+        new_uid: Option<Uid>,
+        new_gid: Option<Gid>,
+    ) -> KResult<()> {
+        self.check_writable()?;
+        let ino = self.resolve(actor, path)?;
+        self.chown_ino(actor, ino, new_uid, new_gid)
+    }
+
+    /// `lchown(2)`: like [`Filesystem::chown`] but does not follow a final
+    /// symlink.
+    pub fn lchown(
+        &mut self,
+        actor: &Actor,
+        path: &str,
+        new_uid: Option<Uid>,
+        new_gid: Option<Gid>,
+    ) -> KResult<()> {
+        self.check_writable()?;
+        let ino = self.resolve_no_follow(actor, path)?;
+        self.chown_ino(actor, ino, new_uid, new_gid)
+    }
+
+    fn chown_ino(
+        &mut self,
+        actor: &Actor,
+        ino: Ino,
+        new_uid: Option<Uid>,
+        new_gid: Option<Gid>,
+    ) -> KResult<()> {
+        // Translate in-namespace IDs to host IDs.
+        let host_uid = match new_uid {
+            None => None,
+            Some(u) => Some(actor.userns.uid_to_host(u).ok_or(Errno::EINVAL)?),
+        };
+        let host_gid = match new_gid {
+            None => None,
+            Some(g) => Some(actor.userns.gid_to_host(g).ok_or(Errno::EINVAL)?),
+        };
+        let inode = self.inode(ino)?;
+        let changing_owner = host_uid.map(|u| u != inode.uid).unwrap_or(false);
+        let changing_group = host_gid.map(|g| g != inode.gid).unwrap_or(false);
+
+        let privileged = actor.cap_over_inode(inode, Capability::CapChown);
+        if !privileged {
+            // Unprivileged rules: owner may change group to a group they
+            // belong to; owner changes are not permitted.
+            if changing_owner {
+                return Err(Errno::EPERM);
+            }
+            if changing_group {
+                let g = host_gid.expect("changing_group implies Some");
+                if !(actor.owns(inode) && actor.creds.in_group(g)) {
+                    return Err(Errno::EPERM);
+                }
+            }
+            if !changing_group && !changing_owner && !actor.owns(inode) && host_uid.is_some() {
+                // chown to the same owner by a non-owner still requires
+                // privilege.
+                return Err(Errno::EPERM);
+            }
+        }
+        // Shared-filesystem limitation (paper §4.2): subordinate-UID file
+        // ownership cannot be enforced server-side for unprivileged clients.
+        if let Some(u) = host_uid {
+            if changing_owner
+                && !self.backend.supports_subordinate_uid_creation()
+                && u != actor.creds.euid
+                && !(actor.userns.is_initial() && actor.creds.euid.is_root())
+            {
+                return Err(Errno::EPERM);
+            }
+        }
+        let tick = self.tick();
+        let inode = self.inode_mut(ino)?;
+        if let Some(u) = host_uid {
+            inode.uid = u;
+        }
+        if let Some(g) = host_gid {
+            inode.gid = g;
+        }
+        // chown clears setuid/setgid on regular files (as the kernel does for
+        // non-privileged callers; we apply it uniformly for safety).
+        if inode.file_type() == FileType::Regular && !privileged {
+            inode.mode = inode.mode.without_setid();
+        }
+        inode.mtime = tick;
+        Ok(())
+    }
+
+    /// `chmod(2)`.
+    pub fn chmod(&mut self, actor: &Actor, path: &str, mode: Mode) -> KResult<()> {
+        self.check_writable()?;
+        let ino = self.resolve(actor, path)?;
+        let inode = self.inode(ino)?;
+        if !actor.may_change_metadata(inode) {
+            return Err(Errno::EPERM);
+        }
+        // Setting setgid requires membership of the file's group (or
+        // privilege); otherwise the bit is silently cleared.
+        let mut mode = mode;
+        if mode.is_setgid()
+            && !actor.creds.in_group(inode.gid)
+            && !actor.cap_over_inode(inode, Capability::CapFowner)
+        {
+            mode = Mode::new(mode.bits() & !Mode::SETGID);
+        }
+        let tick = self.tick();
+        let inode = self.inode_mut(ino)?;
+        inode.mode = mode;
+        inode.mtime = tick;
+        Ok(())
+    }
+
+    /// `mknod(2)`: creates a device node, FIFO, or socket. Device nodes
+    /// require CAP_MKNOD effective over the parent directory's filesystem —
+    /// never available in a fully unprivileged container, which is why Type
+    /// III images cannot contain devices (paper §6.1).
+    pub fn mknod(
+        &mut self,
+        actor: &Actor,
+        path: &str,
+        file_type: FileType,
+        major: u32,
+        minor: u32,
+        mode: Mode,
+    ) -> KResult<Ino> {
+        self.check_writable()?;
+        let (parent, name) = self.resolve_parent(actor, path)?;
+        let parent_inode = self.inode(parent)?;
+        actor.check_access(parent_inode, Access::WRITE)?;
+        if parent_inode.entries().contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let data = match file_type {
+            FileType::CharDevice => {
+                if !actor.cap_over_inode(parent_inode, Capability::CapMknod)
+                    || !actor.userns.is_initial()
+                {
+                    return Err(Errno::EPERM);
+                }
+                if !self.backend.supports_device_nodes() {
+                    return Err(Errno::EPERM);
+                }
+                InodeData::CharDevice { major, minor }
+            }
+            FileType::BlockDevice => {
+                if !actor.cap_over_inode(parent_inode, Capability::CapMknod)
+                    || !actor.userns.is_initial()
+                {
+                    return Err(Errno::EPERM);
+                }
+                if !self.backend.supports_device_nodes() {
+                    return Err(Errno::EPERM);
+                }
+                InodeData::BlockDevice { major, minor }
+            }
+            FileType::Fifo => InodeData::Fifo,
+            FileType::Socket => InodeData::Socket,
+            FileType::Regular => InodeData::file(Vec::new()),
+            FileType::Directory | FileType::Symlink => return Err(Errno::EINVAL),
+        };
+        let ino = self.alloc(data, actor.creds.euid, actor.creds.egid, mode);
+        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        Ok(ino)
+    }
+
+    /// `stat(2)`: follows symlinks; IDs are reported both raw and as seen in
+    /// the actor's namespace.
+    pub fn stat(&self, actor: &Actor, path: &str) -> KResult<Stat> {
+        let ino = self.resolve(actor, path)?;
+        Ok(self.stat_ino(actor, ino))
+    }
+
+    /// `lstat(2)`.
+    pub fn lstat(&self, actor: &Actor, path: &str) -> KResult<Stat> {
+        let ino = self.resolve_no_follow(actor, path)?;
+        Ok(self.stat_ino(actor, ino))
+    }
+
+    fn stat_ino(&self, actor: &Actor, ino: Ino) -> Stat {
+        let inode = self.inodes.get(&ino).expect("resolved inode exists");
+        Stat {
+            ino,
+            file_type: inode.file_type(),
+            mode: inode.mode,
+            uid_host: inode.uid,
+            gid_host: inode.gid,
+            uid_view: actor.userns.display_uid(inode.uid),
+            gid_view: actor.userns.display_gid(inode.gid),
+            size: inode.size(),
+            nlink: inode.nlink,
+            rdev: inode.rdev(),
+            mtime: inode.mtime,
+        }
+    }
+
+    /// `readdir(3)`: sorted entry names.
+    pub fn readdir(&self, actor: &Actor, path: &str) -> KResult<Vec<String>> {
+        let ino = self.resolve(actor, path)?;
+        let inode = self.inode(ino)?;
+        if !inode.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        actor.check_access(inode, Access::READ)?;
+        Ok(inode.entries().keys().cloned().collect())
+    }
+
+    // ------------------------------------------------------------- xattrs
+
+    /// `setxattr(2)`. `user.*` attributes require the backend to support
+    /// them; rootless Podman's ID mapping depends on this (paper §6.1).
+    pub fn set_xattr(
+        &mut self,
+        actor: &Actor,
+        path: &str,
+        name: &str,
+        value: &[u8],
+    ) -> KResult<()> {
+        self.check_writable()?;
+        if name.starts_with("user.") && !self.backend.supports_user_xattrs() {
+            return Err(Errno::EOPNOTSUPP);
+        }
+        if name.starts_with("trusted.") {
+            // trusted.* requires CAP_SYS_ADMIN in the initial namespace.
+            if !(actor.creds.has_cap(Capability::CapSysAdmin) && actor.userns.is_initial()) {
+                return Err(Errno::EPERM);
+            }
+        }
+        let ino = self.resolve(actor, path)?;
+        let inode = self.inode(ino)?;
+        actor.check_access(inode, Access::WRITE)?;
+        let inode = self.inode_mut(ino)?;
+        inode.xattrs.insert(name.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    /// `getxattr(2)`.
+    pub fn get_xattr(&self, actor: &Actor, path: &str, name: &str) -> KResult<Vec<u8>> {
+        if name.starts_with("user.") && !self.backend.supports_user_xattrs() {
+            return Err(Errno::EOPNOTSUPP);
+        }
+        let ino = self.resolve(actor, path)?;
+        let inode = self.inode(ino)?;
+        actor.check_access(inode, Access::READ)?;
+        inode.xattrs.get(name).cloned().ok_or(Errno::ENODATA)
+    }
+
+    /// `listxattr(2)`.
+    pub fn list_xattrs(&self, actor: &Actor, path: &str) -> KResult<Vec<String>> {
+        let ino = self.resolve(actor, path)?;
+        let inode = self.inode(ino)?;
+        actor.check_access(inode, Access::READ)?;
+        Ok(inode.xattrs.keys().cloned().collect())
+    }
+
+    // ------------------------------------------------------------ traversal
+
+    /// Walks the whole tree, returning `(absolute_path, ino)` pairs sorted by
+    /// path, excluding the root itself.
+    pub fn walk(&self) -> Vec<(String, Ino)> {
+        let mut out = Vec::new();
+        self.walk_from(self.root, "", &mut out);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn walk_from(&self, dir: Ino, prefix: &str, out: &mut Vec<(String, Ino)>) {
+        let inode = match self.inodes.get(&dir) {
+            Some(i) => i,
+            None => return,
+        };
+        if let InodeData::Directory { entries } = &inode.data {
+            for (name, &child) in entries {
+                let path = format!("{}/{}", prefix, name);
+                out.push((path.clone(), child));
+                if self.inodes.get(&child).map(|c| c.is_dir()).unwrap_or(false) {
+                    self.walk_from(child, &path, out);
+                }
+            }
+        }
+    }
+
+    /// Copies the subtree rooted at `src_path` in `src` into `dst_path` in
+    /// this filesystem, preserving ownership, modes, and xattrs. Performed
+    /// without permission checks (used by runtimes and storage drivers acting
+    /// as the storage owner). Returns the number of inodes copied.
+    pub fn copy_tree_from(
+        &mut self,
+        src: &Filesystem,
+        src_path: &str,
+        dst_path: &str,
+    ) -> KResult<usize> {
+        let root_creds = hpcc_kernel::Credentials::host_root();
+        let host_ns = hpcc_kernel::UserNamespace::initial();
+        let actor = Actor::new(&root_creds, &host_ns);
+        let src_ino = src.resolve(&actor, src_path)?;
+        let mut count = 0;
+        self.copy_inode_recursive(src, src_ino, dst_path, &mut count)?;
+        Ok(count)
+    }
+
+    fn copy_inode_recursive(
+        &mut self,
+        src: &Filesystem,
+        src_ino: Ino,
+        dst_path: &str,
+        count: &mut usize,
+    ) -> KResult<()> {
+        let inode = src.inode(src_ino)?.clone();
+        *count += 1;
+        match &inode.data {
+            InodeData::Directory { entries } => {
+                let ino = self.install_dir(dst_path, inode.uid, inode.gid, inode.mode)?;
+                self.inode_mut(ino)?.xattrs = inode.xattrs.clone();
+                for (name, &child) in entries {
+                    self.copy_inode_recursive(src, child, &format!("{}/{}", dst_path, name), count)?;
+                }
+            }
+            InodeData::Regular { content } => {
+                let ino =
+                    self.install_file(dst_path, content.clone(), inode.uid, inode.gid, inode.mode)?;
+                self.inode_mut(ino)?.xattrs = inode.xattrs.clone();
+            }
+            InodeData::Symlink { target } => {
+                self.install_symlink(dst_path, target, inode.uid, inode.gid)?;
+            }
+            InodeData::CharDevice { major, minor } => {
+                // Device nodes may be unsupported on the destination backend;
+                // propagate the error so callers can decide.
+                self.install_char_device(dst_path, *major, *minor, inode.uid, inode.gid, inode.mode)?;
+            }
+            InodeData::BlockDevice { .. } | InodeData::Fifo | InodeData::Socket => {
+                // Rare in images; recreate as empty regular files to keep the
+                // tree shape (documented simplification).
+                self.install_file(dst_path, Vec::new(), inode.uid, inode.gid, inode.mode)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens ownership of every inode to `new_uid:new_gid` and clears
+    /// setuid/setgid bits — what Charliecloud does on push "to avoid leaking
+    /// site IDs" (paper §6.1).
+    pub fn flatten_ownership(&mut self, new_uid: Uid, new_gid: Gid) {
+        for inode in self.inodes.values_mut() {
+            inode.uid = new_uid;
+            inode.gid = new_gid;
+            inode.mode = inode.mode.without_setid();
+        }
+    }
+
+    /// Returns the distinct host UIDs owning files in this filesystem.
+    pub fn distinct_owner_uids(&self) -> Vec<Uid> {
+        let mut v: Vec<Uid> = self.inodes.values().map(|i| i.uid).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Formats an `ls -lh`-style line for a path, using a resolver that maps
+    /// a numeric ID (as viewed in the actor's namespace) to a name.
+    pub fn ls_line(
+        &self,
+        actor: &Actor,
+        path: &str,
+        user_name: impl Fn(Uid) -> String,
+        group_name: impl Fn(Gid) -> String,
+    ) -> KResult<String> {
+        let st = self.lstat(actor, path)?;
+        let name = Filesystem::components(path)
+            .last()
+            .cloned()
+            .unwrap_or_else(|| "/".to_string());
+        let size_field = match st.rdev {
+            Some((maj, min)) => format!("{}, {}", maj, min),
+            None => format!("{}", st.size),
+        };
+        Ok(format!(
+            "{}{} {} {} {} {} {}",
+            st.file_type.ls_char(),
+            st.mode.render(),
+            st.nlink,
+            user_name(st.uid_view),
+            group_name(st.gid_view),
+            size_field,
+            name
+        ))
+    }
+}
+
+impl Default for Filesystem {
+    fn default() -> Self {
+        Filesystem::new_local()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_kernel::{Credentials, UserNamespace};
+
+    fn root_actor() -> (Credentials, UserNamespace) {
+        (Credentials::host_root(), UserNamespace::initial())
+    }
+
+    fn alice() -> (Credentials, UserNamespace) {
+        (
+            Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]),
+            UserNamespace::initial(),
+        )
+    }
+
+    #[test]
+    fn mkdir_and_write_read_roundtrip() {
+        let mut fs = Filesystem::new_local();
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        fs.mkdir(&actor, "/etc", Mode::DIR_755).unwrap();
+        fs.write_file(&actor, "/etc/hostname", b"astra".to_vec(), Mode::FILE_644)
+            .unwrap();
+        assert_eq!(fs.read_to_string(&actor, "/etc/hostname").unwrap(), "astra");
+        assert_eq!(fs.readdir(&actor, "/etc").unwrap(), vec!["hostname"]);
+    }
+
+    #[test]
+    fn nested_install_creates_parents() {
+        let mut fs = Filesystem::new_local();
+        fs.install_file("/usr/share/doc/README", b"hi".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        assert!(fs.is_dir(&actor, "/usr/share/doc"));
+        assert_eq!(fs.read_file(&actor, "/usr/share/doc/README").unwrap(), b"hi");
+    }
+
+    #[test]
+    fn unprivileged_cannot_write_root_owned_dirs() {
+        let mut fs = Filesystem::new_local();
+        fs.install_dir("/etc", Uid(0), Gid(0), Mode::DIR_755).unwrap();
+        let (creds, ns) = alice();
+        let actor = Actor::new(&creds, &ns);
+        assert_eq!(
+            fs.write_file(&actor, "/etc/shadow", b"x".to_vec(), Mode::FILE_644)
+                .unwrap_err(),
+            Errno::EACCES
+        );
+    }
+
+    #[test]
+    fn chown_requires_privilege_and_mapped_target() {
+        let mut fs = Filesystem::new_local();
+        fs.install_file("/data/file", b"x".to_vec(), Uid(1000), Gid(1000), Mode::FILE_644)
+            .unwrap();
+        // Unprivileged host user cannot chown to another user.
+        let (creds, ns) = alice();
+        let actor = Actor::new(&creds, &ns);
+        assert_eq!(
+            fs.chown(&actor, "/data/file", Some(Uid(0)), None).unwrap_err(),
+            Errno::EPERM
+        );
+        // Container root in a Type III namespace: target UID 74 unmapped -> EINVAL.
+        let c_creds = creds.entered_own_namespace();
+        let t3 = UserNamespace::type3(Uid(1000), Gid(1000));
+        let actor3 = Actor::new(&c_creds, &t3);
+        assert_eq!(
+            fs.chown(&actor3, "/data/file", Some(Uid(74)), None).unwrap_err(),
+            Errno::EINVAL
+        );
+        // Type II namespace: UID 74 maps to 200073 -> succeeds.
+        let t2 = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
+        let actor2 = Actor::new(&c_creds, &t2);
+        fs.chown(&actor2, "/data/file", Some(Uid(74)), Some(Gid(74))).unwrap();
+        let st = fs.stat(&actor2, "/data/file").unwrap();
+        assert_eq!(st.uid_host, Uid(200_073));
+        assert_eq!(st.uid_view, Uid(74));
+    }
+
+    #[test]
+    fn chown_group_by_owner_to_member_group() {
+        let mut fs = Filesystem::new_local();
+        fs.install_file("/home/alice/f", b"x".to_vec(), Uid(1000), Gid(1000), Mode::FILE_644)
+            .unwrap();
+        let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000), Gid(50)]);
+        let ns = UserNamespace::initial();
+        let actor = Actor::new(&creds, &ns);
+        // To a group alice belongs to: OK.
+        fs.chown(&actor, "/home/alice/f", None, Some(Gid(50))).unwrap();
+        // To a group she does not belong to: EPERM.
+        assert_eq!(
+            fs.chown(&actor, "/home/alice/f", None, Some(Gid(999))).unwrap_err(),
+            Errno::EPERM
+        );
+    }
+
+    #[test]
+    fn chown_on_shared_fs_to_subordinate_uid_fails() {
+        // Paper §4.2: Podman's mappers cannot work when storage is NFS.
+        let mut fs = Filesystem::new(FsBackend::default_nfs());
+        fs.install_file("/storage/file", b"x".to_vec(), Uid(1000), Gid(1000), Mode::FILE_644)
+            .unwrap();
+        let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let c_creds = creds.entered_own_namespace();
+        let t2 = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
+        let actor = Actor::new(&c_creds, &t2);
+        assert_eq!(
+            fs.chown(&actor, "/storage/file", Some(Uid(74)), None).unwrap_err(),
+            Errno::EPERM
+        );
+        // On local disk the same operation succeeds.
+        let mut local = Filesystem::new_local();
+        local
+            .install_file("/storage/file", b"x".to_vec(), Uid(1000), Gid(1000), Mode::FILE_644)
+            .unwrap();
+        local.chown(&actor, "/storage/file", Some(Uid(74)), None).unwrap();
+    }
+
+    #[test]
+    fn mknod_device_requires_host_privilege() {
+        let mut fs = Filesystem::new_local();
+        fs.install_dir("/dev", Uid(0), Gid(0), Mode::new(0o777)).unwrap();
+        // Container root (Type III): EPERM.
+        let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let c = creds.entered_own_namespace();
+        let t3 = UserNamespace::type3(Uid(1000), Gid(1000));
+        let actor = Actor::new(&c, &t3);
+        assert_eq!(
+            fs.mknod(&actor, "/dev/null2", FileType::CharDevice, 1, 3, Mode::new(0o666))
+                .unwrap_err(),
+            Errno::EPERM
+        );
+        // Host root: OK.
+        let (r, ns) = root_actor();
+        let ra = Actor::new(&r, &ns);
+        fs.mknod(&ra, "/dev/null2", FileType::CharDevice, 1, 3, Mode::new(0o666))
+            .unwrap();
+        assert_eq!(fs.stat(&ra, "/dev/null2").unwrap().rdev, Some((1, 3)));
+        // FIFOs do not need privilege.
+        fs.mknod(&actor, "/dev/myfifo", FileType::Fifo, 0, 0, Mode::new(0o644))
+            .unwrap();
+    }
+
+    #[test]
+    fn symlink_resolution_and_loops() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.install_file("/etc/real.conf", b"cfg".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        fs.symlink(&actor, "/etc/real.conf", "/etc/link.conf").unwrap();
+        assert_eq!(fs.read_file(&actor, "/etc/link.conf").unwrap(), b"cfg");
+        // Relative symlink.
+        fs.symlink(&actor, "real.conf", "/etc/rel.conf").unwrap();
+        assert_eq!(fs.read_file(&actor, "/etc/rel.conf").unwrap(), b"cfg");
+        // Loop.
+        fs.symlink(&actor, "/a", "/b").unwrap();
+        fs.symlink(&actor, "/b", "/a").unwrap();
+        assert_eq!(fs.resolve(&actor, "/a").unwrap_err(), Errno::ELOOP);
+        // lstat does not follow.
+        assert_eq!(
+            fs.lstat(&actor, "/etc/link.conf").unwrap().file_type,
+            FileType::Symlink
+        );
+    }
+
+    #[test]
+    fn unlink_rmdir_and_remove_tree() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.install_file("/var/log/apt/term.log", b"".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        assert_eq!(fs.rmdir(&actor, "/var/log").unwrap_err(), Errno::ENOTEMPTY);
+        fs.unlink(&actor, "/var/log/apt/term.log").unwrap();
+        fs.rmdir(&actor, "/var/log/apt").unwrap();
+        assert!(!fs.exists(&actor, "/var/log/apt"));
+        fs.install_file("/tmp/a/b/c", b"x".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        fs.remove_tree(&actor, "/tmp/a").unwrap();
+        assert!(!fs.exists(&actor, "/tmp/a"));
+    }
+
+    #[test]
+    fn hard_links_share_inode() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.write_file(&actor, "/f1", b"data".to_vec(), Mode::FILE_644).unwrap();
+        fs.link(&actor, "/f1", "/f2").unwrap();
+        assert_eq!(fs.stat(&actor, "/f1").unwrap().ino, fs.stat(&actor, "/f2").unwrap().ino);
+        assert_eq!(fs.stat(&actor, "/f2").unwrap().nlink, 2);
+        fs.unlink(&actor, "/f1").unwrap();
+        assert_eq!(fs.read_file(&actor, "/f2").unwrap(), b"data");
+    }
+
+    #[test]
+    fn xattrs_depend_on_backend() {
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        let mut local = Filesystem::new_local();
+        local.install_file("/f", b"".to_vec(), Uid(0), Gid(0), Mode::FILE_644).unwrap();
+        local.set_xattr(&actor, "/f", "user.containers.override_stat", b"0:0:0755").unwrap();
+        assert_eq!(
+            local.get_xattr(&actor, "/f", "user.containers.override_stat").unwrap(),
+            b"0:0:0755"
+        );
+        let mut nfs = Filesystem::new(FsBackend::default_nfs());
+        nfs.install_file("/f", b"".to_vec(), Uid(0), Gid(0), Mode::FILE_644).unwrap();
+        assert_eq!(
+            nfs.set_xattr(&actor, "/f", "user.containers.override_stat", b"x")
+                .unwrap_err(),
+            Errno::EOPNOTSUPP
+        );
+    }
+
+    #[test]
+    fn walk_and_copy_tree() {
+        let mut src = Filesystem::new_local();
+        src.install_file("/opt/app/bin/run", b"#!/bin/sh".to_vec(), Uid(0), Gid(0), Mode::EXEC_755)
+            .unwrap();
+        src.install_symlink("/opt/app/current", "bin/run", Uid(0), Gid(0)).unwrap();
+        let mut dst = Filesystem::new_local();
+        let copied = dst.copy_tree_from(&src, "/opt", "/srv/opt").unwrap();
+        assert!(copied >= 4);
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        assert_eq!(dst.read_file(&actor, "/srv/opt/app/bin/run").unwrap(), b"#!/bin/sh");
+        let paths: Vec<String> = dst.walk().into_iter().map(|(p, _)| p).collect();
+        assert!(paths.contains(&"/srv/opt/app/bin/run".to_string()));
+    }
+
+    #[test]
+    fn flatten_ownership_clears_setid_and_owners() {
+        let mut fs = Filesystem::new_local();
+        fs.install_file("/usr/bin/sudo", b"elf".to_vec(), Uid(0), Gid(0), Mode::new(0o4755))
+            .unwrap();
+        fs.install_file("/var/empty/sshd", b"".to_vec(), Uid(74), Gid(74), Mode::FILE_644)
+            .unwrap();
+        assert!(fs.distinct_owner_uids().len() > 1);
+        fs.flatten_ownership(Uid(0), Gid(0));
+        assert_eq!(fs.distinct_owner_uids(), vec![Uid(0)]);
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        assert!(!fs.stat(&actor, "/usr/bin/sudo").unwrap().mode.is_setuid());
+    }
+
+    #[test]
+    fn readonly_fs_rejects_mutation() {
+        let mut fs = Filesystem::new_local();
+        fs.install_file("/f", b"x".to_vec(), Uid(0), Gid(0), Mode::FILE_644).unwrap();
+        fs.readonly = true;
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        assert_eq!(
+            fs.write_file(&actor, "/g", b"y".to_vec(), Mode::FILE_644).unwrap_err(),
+            Errno::EROFS
+        );
+        assert_eq!(fs.unlink(&actor, "/f").unwrap_err(), Errno::EROFS);
+        assert_eq!(fs.read_file(&actor, "/f").unwrap(), b"x");
+    }
+
+    #[test]
+    fn ls_line_matches_figure7_shape() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.install_char_device("/work/test.dev", 1, 1, Uid(0), Gid(0), Mode::new(0o640))
+            .unwrap();
+        let line = fs
+            .ls_line(
+                &actor,
+                "/work/test.dev",
+                |u| if u.is_root() { "root".into() } else { u.to_string() },
+                |g| if g.is_root() { "root".into() } else { g.to_string() },
+            )
+            .unwrap();
+        assert_eq!(line, "crw-r----- 1 root root 1, 1 test.dev");
+    }
+
+    #[test]
+    fn rename_moves_entries() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.write_file(&actor, "/a.txt", b"1".to_vec(), Mode::FILE_644).unwrap();
+        fs.mkdir(&actor, "/dir", Mode::DIR_755).unwrap();
+        fs.rename(&actor, "/a.txt", "/dir/b.txt").unwrap();
+        assert!(!fs.exists(&actor, "/a.txt"));
+        assert_eq!(fs.read_file(&actor, "/dir/b.txt").unwrap(), b"1");
+    }
+
+    #[test]
+    fn components_normalization() {
+        assert_eq!(Filesystem::components("/a//b/./c/../d"), vec!["a", "b", "d"]);
+        assert!(Filesystem::components("/").is_empty());
+    }
+}

@@ -1,0 +1,562 @@
+//! A union/overlay filesystem: read-only lower layers, one writable upper
+//! layer, whiteouts, and copy-up.
+//!
+//! This is the mechanism behind the paper's storage-driver discussion (§4.1):
+//! rootless Podman prefers the *fuse-overlayfs* driver ("unprivileged mount
+//! operations using a fuse-backed overlay file-system") and falls back to the
+//! slow VFS driver on RHEL 7; kernel-native overlayfs mounts inside an
+//! unprivileged user namespace only on newer kernels. It is also what makes
+//! multi-layer OCI images cheap: each build instruction's changes live in one
+//! upper layer, and pushing an image means shipping the per-layer diffs.
+//! Charliecloud's single-layer images (§6.1) correspond to [`OverlayFs::squash`].
+
+use std::collections::BTreeSet;
+
+use hpcc_kernel::{Credentials, Gid, Uid, UserNamespace};
+
+use crate::actor::Actor;
+use crate::fs::Filesystem;
+use crate::inode::Stat;
+use crate::mode::{Access, Mode};
+use hpcc_kernel::{Errno, KResult};
+
+/// Which overlay implementation backs the mount — the distinction §4.1 draws
+/// between kernel overlayfs, fuse-overlayfs, and the VFS (copy-everything)
+/// driver is made by the runtime crate; here we only distinguish native vs
+/// FUSE because it changes who is allowed to mount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlayBackend {
+    /// Kernel-native overlayfs. Mounting inside an unprivileged user
+    /// namespace requires a kernel that allows it (RHEL 8-era, `Sysctl::unprivileged_overlayfs`).
+    Native,
+    /// fuse-overlayfs: a FUSE server running as the user; always mountable by
+    /// an unprivileged user but with user-space overhead.
+    Fuse,
+}
+
+impl OverlayBackend {
+    /// Display name used in transcripts and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            OverlayBackend::Native => "overlay",
+            OverlayBackend::Fuse => "fuse-overlayfs",
+        }
+    }
+
+    /// Relative per-operation overhead factor used by the storage ablation
+    /// bench (FUSE round-trips cost roughly an order of magnitude more than
+    /// in-kernel calls; the exact constant only needs to preserve ordering).
+    pub fn op_overhead(self) -> u32 {
+        match self {
+            OverlayBackend::Native => 1,
+            OverlayBackend::Fuse => 8,
+        }
+    }
+}
+
+/// Counters describing the work an overlay mount has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlayStats {
+    /// Files or directories copied up from a lower layer into the upper layer.
+    pub copy_ups: u64,
+    /// Bytes copied up.
+    pub copy_up_bytes: u64,
+    /// Whiteout entries created.
+    pub whiteouts: u64,
+    /// Writes served directly from the upper layer.
+    pub upper_writes: u64,
+}
+
+/// An overlay mount: an ordered stack of read-only lower layers plus a
+/// writable upper layer.
+#[derive(Debug, Clone)]
+pub struct OverlayFs {
+    /// Lower layers, bottom-most first. Never modified.
+    lowers: Vec<Filesystem>,
+    /// The writable upper layer (the per-instruction diff during a build).
+    upper: Filesystem,
+    /// Paths deleted relative to the lower layers (overlayfs represents these
+    /// as 0:0 character devices in the upper layer).
+    whiteouts: BTreeSet<String>,
+    backend: OverlayBackend,
+    stats: OverlayStats,
+}
+
+fn norm(path: &str) -> String {
+    let comps = Filesystem::components(path);
+    if comps.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", comps.join("/"))
+    }
+}
+
+fn root_actor_creds() -> (Credentials, UserNamespace) {
+    (Credentials::host_root(), UserNamespace::initial())
+}
+
+impl OverlayFs {
+    /// Creates an overlay over `lowers` (bottom-most first) with an empty
+    /// upper layer.
+    pub fn new(lowers: Vec<Filesystem>, backend: OverlayBackend) -> Self {
+        OverlayFs {
+            lowers,
+            upper: Filesystem::new_local(),
+            whiteouts: BTreeSet::new(),
+            backend,
+            stats: OverlayStats::default(),
+        }
+    }
+
+    /// The backend in use.
+    pub fn backend(&self) -> OverlayBackend {
+        self.backend
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> OverlayStats {
+        self.stats
+    }
+
+    /// Number of lower layers.
+    pub fn lower_count(&self) -> usize {
+        self.lowers.len()
+    }
+
+    /// The upper (diff) layer.
+    pub fn upper(&self) -> &Filesystem {
+        &self.upper
+    }
+
+    /// Paths whited-out relative to the lower layers, sorted.
+    pub fn whiteout_paths(&self) -> Vec<String> {
+        self.whiteouts.iter().cloned().collect()
+    }
+
+    /// Finishes the current diff: returns the upper layer and its whiteouts,
+    /// and starts a fresh empty upper on top of the old stack plus that layer.
+    /// This is exactly "one layer per Dockerfile instruction".
+    pub fn commit_layer(&mut self) -> (Filesystem, Vec<String>) {
+        let whiteouts = self.whiteout_paths();
+        let committed = std::mem::take(&mut self.upper);
+        // Apply the whiteouts to a squashed copy? No: the committed layer keeps
+        // only additions/changes; deletions travel as the whiteout list.
+        self.lowers.push(committed.clone());
+        self.whiteouts.clear();
+        self.stats = OverlayStats::default();
+        (committed, whiteouts)
+    }
+
+    fn is_whited_out(&self, path: &str) -> bool {
+        let p = norm(path);
+        if self.whiteouts.contains(&p) {
+            return true;
+        }
+        // A whiteout on an ancestor hides the whole subtree.
+        self.whiteouts
+            .iter()
+            .any(|w| p.starts_with(&format!("{}/", w)))
+    }
+
+    /// The filesystem (upper first, then lowers top-down) that currently
+    /// provides `path`, if any.
+    fn providing_fs(&self, path: &str) -> Option<&Filesystem> {
+        let (creds, ns) = root_actor_creds();
+        let actor = Actor::new(&creds, &ns);
+        if self.upper.exists(&actor, path) {
+            return Some(&self.upper);
+        }
+        if self.is_whited_out(path) {
+            return None;
+        }
+        for lower in self.lowers.iter().rev() {
+            if lower.exists(&actor, path) {
+                return Some(lower);
+            }
+        }
+        None
+    }
+
+    /// True if `path` exists in the merged view.
+    pub fn exists(&self, actor: &Actor, path: &str) -> bool {
+        match self.providing_fs(path) {
+            Some(fs) => fs.exists(actor, path),
+            None => false,
+        }
+    }
+
+    /// `stat(2)` against the merged view.
+    pub fn stat(&self, actor: &Actor, path: &str) -> KResult<Stat> {
+        self.providing_fs(path).ok_or(Errno::ENOENT)?.stat(actor, path)
+    }
+
+    /// Reads a regular file from the merged view.
+    pub fn read_file(&self, actor: &Actor, path: &str) -> KResult<Vec<u8>> {
+        self.providing_fs(path)
+            .ok_or(Errno::ENOENT)?
+            .read_file(actor, path)
+    }
+
+    /// Merged directory listing: union of all layers, minus whiteouts, with
+    /// the upper layer shadowing lowers.
+    pub fn readdir(&self, actor: &Actor, path: &str) -> KResult<Vec<String>> {
+        let mut found_dir = false;
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        let dir = norm(path);
+        for fs in self.layers_top_down() {
+            if fs.is_dir(actor, &dir) {
+                found_dir = true;
+                for name in fs.readdir(actor, &dir)? {
+                    let child = if dir == "/" {
+                        format!("/{}", name)
+                    } else {
+                        format!("{}/{}", dir, name)
+                    };
+                    if !self.is_whited_out(&child) {
+                        names.insert(name);
+                    }
+                }
+            }
+        }
+        if !found_dir {
+            return Err(Errno::ENOENT);
+        }
+        Ok(names.into_iter().collect())
+    }
+
+    fn layers_top_down(&self) -> impl Iterator<Item = &Filesystem> {
+        std::iter::once(&self.upper).chain(self.lowers.iter().rev())
+    }
+
+    /// Ensures every ancestor directory of `path` exists in the upper layer,
+    /// copying metadata from the merged view (the "copy up directory chain"
+    /// step of a copy-up).
+    fn copy_up_parents(&mut self, path: &str) -> KResult<()> {
+        let comps = Filesystem::components(path);
+        if comps.is_empty() {
+            return Ok(());
+        }
+        let (creds, ns) = root_actor_creds();
+        let mut prefix = String::new();
+        for comp in &comps[..comps.len() - 1] {
+            prefix = format!("{}/{}", prefix, comp);
+            let actor = Actor::new(&creds, &ns);
+            if self.upper.exists(&actor, &prefix) {
+                continue;
+            }
+            let (uid, gid, mode) = match self.providing_fs(&prefix) {
+                Some(fs) => {
+                    let st = fs.stat(&actor, &prefix)?;
+                    (st.uid_host, st.gid_host, st.mode)
+                }
+                None => (Uid::ROOT, Gid::ROOT, Mode::DIR_755),
+            };
+            self.upper.install_dir(&prefix, uid, gid, mode)?;
+        }
+        Ok(())
+    }
+
+    /// Copies `path` (a regular file) from its lower layer into the upper
+    /// layer, preserving content and metadata. No-op if already in the upper.
+    fn copy_up(&mut self, path: &str) -> KResult<()> {
+        let (creds, ns) = root_actor_creds();
+        let p = norm(path);
+        {
+            let actor = Actor::new(&creds, &ns);
+            if self.upper.exists(&actor, &p) {
+                return Ok(());
+            }
+        }
+        self.copy_up_parents(&p)?;
+        let actor = Actor::new(&creds, &ns);
+        let src = match self.providing_fs(&p) {
+            Some(fs) => fs,
+            None => return Ok(()), // nothing to copy; caller creates fresh
+        };
+        let st = src.stat(&actor, &p)?;
+        match st.file_type {
+            crate::mode::FileType::Directory => {
+                self.copy_up_parents(&format!("{}/x", p))?;
+                Ok(())
+            }
+            _ => {
+                let content = src.read_file(&actor, &p).unwrap_or_default();
+                self.stats.copy_ups += 1;
+                self.stats.copy_up_bytes += content.len() as u64;
+                self.upper
+                    .install_file(&p, content, st.uid_host, st.gid_host, st.mode)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn check_write_access(&self, actor: &Actor, path: &str) -> KResult<()> {
+        if let Some(fs) = self.providing_fs(path) {
+            let (creds, ns) = root_actor_creds();
+            let root = Actor::new(&creds, &ns);
+            let ino = fs.resolve(&root, path)?;
+            let inode = fs.inode(ino)?;
+            actor.check_access(inode, Access::WRITE)?;
+        }
+        Ok(())
+    }
+
+    /// Writes (creates or replaces) a regular file in the merged view. The
+    /// write always lands in the upper layer; an existing lower file is
+    /// copied up first so unchanged metadata is preserved.
+    pub fn write_file(
+        &mut self,
+        actor: &Actor,
+        path: &str,
+        content: impl Into<Vec<u8>>,
+    ) -> KResult<()> {
+        let p = norm(path);
+        self.check_write_access(actor, &p)?;
+        self.copy_up(&p)?;
+        self.copy_up_parents(&p)?;
+        self.whiteouts.remove(&p);
+        self.stats.upper_writes += 1;
+        let (creds, ns) = root_actor_creds();
+        let root = Actor::new(&creds, &ns);
+        if self.upper.exists(&root, &p) {
+            self.upper.write_file(&root, &p, content, Mode::FILE_644)?;
+        } else {
+            let (uid, gid) = (actor.creds.euid, actor.creds.egid);
+            self.upper
+                .install_file(&p, content.into(), uid, gid, Mode::FILE_644)?;
+        }
+        Ok(())
+    }
+
+    /// Creates a directory in the upper layer.
+    pub fn mkdir(&mut self, actor: &Actor, path: &str, mode: Mode) -> KResult<()> {
+        let p = norm(path);
+        if self.exists(actor, &p) {
+            return Err(Errno::EEXIST);
+        }
+        self.copy_up_parents(&format!("{}/x", p))?;
+        self.whiteouts.remove(&p);
+        let (uid, gid) = (actor.creds.euid, actor.creds.egid);
+        self.upper.install_dir(&p, uid, gid, mode)?;
+        Ok(())
+    }
+
+    /// `chown(2)` in the merged view: metadata-only copy-up then chown in the
+    /// upper layer. Permission rules are the caller's (the actor's namespace
+    /// decides whether chown is allowed at all, exactly as in Figure 2).
+    pub fn chown(&mut self, actor: &Actor, path: &str, uid: Uid, gid: Gid) -> KResult<()> {
+        let p = norm(path);
+        if self.providing_fs(&p).is_none() {
+            return Err(Errno::ENOENT);
+        }
+        self.copy_up(&p)?;
+        self.upper.chown(actor, &p, Some(uid), Some(gid))
+    }
+
+    /// `chmod(2)` in the merged view.
+    pub fn chmod(&mut self, actor: &Actor, path: &str, mode: Mode) -> KResult<()> {
+        let p = norm(path);
+        if self.providing_fs(&p).is_none() {
+            return Err(Errno::ENOENT);
+        }
+        self.copy_up(&p)?;
+        self.upper.chmod(actor, &p, mode)
+    }
+
+    /// Removes a file from the merged view. If it exists in a lower layer a
+    /// whiteout is recorded; if it exists in the upper layer it is unlinked.
+    pub fn unlink(&mut self, actor: &Actor, path: &str) -> KResult<()> {
+        let p = norm(path);
+        let (creds, ns) = root_actor_creds();
+        let root = Actor::new(&creds, &ns);
+        if !self.exists(actor, &p) {
+            return Err(Errno::ENOENT);
+        }
+        self.check_write_access(actor, &p)?;
+        if self.upper.exists(&root, &p) {
+            self.upper.unlink(&root, &p)?;
+        }
+        let in_lower = self
+            .lowers
+            .iter()
+            .any(|l| l.exists(&root, &p) );
+        if in_lower {
+            self.whiteouts.insert(p);
+            self.stats.whiteouts += 1;
+        }
+        Ok(())
+    }
+
+    /// Squashes the merged view into a single flat [`Filesystem`] — the
+    /// single-layer image Charliecloud pushes (§6.1), or what the VFS storage
+    /// driver materializes for every container.
+    pub fn squash(&self) -> Filesystem {
+        let mut flat = Filesystem::new_local();
+        // Bottom-up: later layers overwrite earlier ones.
+        for layer in self.lowers.iter().chain(std::iter::once(&self.upper)) {
+            let _ = flat.copy_tree_from(layer, "/", "/");
+        }
+        // Remove whited-out paths last.
+        let (creds, ns) = root_actor_creds();
+        let root = Actor::new(&creds, &ns);
+        for w in &self.whiteouts {
+            if flat.is_dir(&root, w) {
+                let _ = flat.remove_tree(&root, w);
+            } else if flat.exists(&root, w) {
+                let _ = flat.unlink(&root, w);
+            }
+        }
+        flat
+    }
+
+    /// Total inodes in the merged view (for the storage-cost ablation).
+    pub fn merged_inode_count(&self) -> usize {
+        self.squash().inode_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_kernel::{Credentials, Gid, Uid, UserNamespace};
+
+    fn base_layer() -> Filesystem {
+        let mut fs = Filesystem::new_local();
+        fs.install_dir("/etc", Uid::ROOT, Gid::ROOT, Mode::DIR_755).unwrap();
+        fs.install_dir("/bin", Uid::ROOT, Gid::ROOT, Mode::DIR_755).unwrap();
+        fs.install_file("/etc/os-release", b"CentOS 7".to_vec(), Uid::ROOT, Gid::ROOT, Mode::FILE_644)
+            .unwrap();
+        fs.install_file("/bin/sh", b"#!", Uid::ROOT, Gid::ROOT, Mode::EXEC_755)
+            .unwrap();
+        fs
+    }
+
+    fn root_actor() -> (Credentials, UserNamespace) {
+        (Credentials::host_root(), UserNamespace::initial())
+    }
+
+    #[test]
+    fn merged_view_reads_through_to_lower() {
+        let ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        assert!(ov.exists(&actor, "/etc/os-release"));
+        assert_eq!(ov.read_file(&actor, "/etc/os-release").unwrap(), b"CentOS 7");
+        assert_eq!(ov.stats().copy_ups, 0);
+    }
+
+    #[test]
+    fn write_triggers_copy_up_and_preserves_metadata() {
+        let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        ov.write_file(&actor, "/etc/os-release", b"CentOS 7.9".to_vec()).unwrap();
+        assert_eq!(ov.stats().copy_ups, 1);
+        assert_eq!(ov.read_file(&actor, "/etc/os-release").unwrap(), b"CentOS 7.9");
+        // Lower layer untouched; upper holds the new content.
+        assert!(ov.upper().exists(&actor, "/etc/os-release"));
+        let st = ov.stat(&actor, "/etc/os-release").unwrap();
+        assert_eq!(st.uid_host, Uid::ROOT);
+    }
+
+    #[test]
+    fn new_file_lands_in_upper_without_copy_up() {
+        let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Fuse);
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        ov.write_file(&actor, "/etc/new.conf", b"x".to_vec()).unwrap();
+        assert_eq!(ov.stats().copy_ups, 0);
+        assert_eq!(ov.stats().upper_writes, 1);
+        assert!(ov.exists(&actor, "/etc/new.conf"));
+    }
+
+    #[test]
+    fn unlink_of_lower_file_records_whiteout() {
+        let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        ov.unlink(&actor, "/bin/sh").unwrap();
+        assert!(!ov.exists(&actor, "/bin/sh"));
+        assert_eq!(ov.whiteout_paths(), vec!["/bin/sh".to_string()]);
+        // Re-creating the file removes the whiteout.
+        ov.write_file(&actor, "/bin/sh", b"#!new".to_vec()).unwrap();
+        assert!(ov.exists(&actor, "/bin/sh"));
+        assert!(ov.whiteout_paths().is_empty());
+    }
+
+    #[test]
+    fn readdir_merges_layers_and_hides_whiteouts() {
+        let mut upper_adds = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        upper_adds.write_file(&actor, "/etc/hostname", b"astra".to_vec()).unwrap();
+        upper_adds.unlink(&actor, "/etc/os-release").unwrap();
+        let listing = upper_adds.readdir(&actor, "/etc").unwrap();
+        assert!(listing.contains(&"hostname".to_string()));
+        assert!(!listing.contains(&"os-release".to_string()));
+    }
+
+    #[test]
+    fn squash_produces_flat_filesystem_matching_merged_view() {
+        let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        ov.write_file(&actor, "/etc/motd", b"welcome".to_vec()).unwrap();
+        ov.unlink(&actor, "/bin/sh").unwrap();
+        let flat = ov.squash();
+        let flat_actor = Actor::new(&creds, &ns);
+        assert!(flat.exists(&flat_actor, "/etc/motd"));
+        assert!(!flat.exists(&flat_actor, "/bin/sh"));
+        assert!(flat.exists(&flat_actor, "/etc/os-release"));
+    }
+
+    #[test]
+    fn commit_layer_starts_fresh_diff_on_top() {
+        let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        ov.write_file(&actor, "/etc/layer1", b"1".to_vec()).unwrap();
+        let (layer1, wh1) = ov.commit_layer();
+        assert!(wh1.is_empty());
+        assert!(layer1.exists(&actor, "/etc/layer1"));
+        assert_eq!(ov.lower_count(), 2);
+        // Next instruction's changes land in a fresh upper.
+        ov.write_file(&actor, "/etc/layer2", b"2".to_vec()).unwrap();
+        assert!(!ov.upper().exists(&actor, "/etc/layer1"));
+        assert!(ov.exists(&actor, "/etc/layer1"));
+        assert!(ov.exists(&actor, "/etc/layer2"));
+    }
+
+    #[test]
+    fn unprivileged_actor_cannot_overwrite_root_file() {
+        let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
+        let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let ns = UserNamespace::initial();
+        let actor = Actor::new(&creds, &ns);
+        let err = ov.write_file(&actor, "/etc/os-release", b"haxx".to_vec()).unwrap_err();
+        assert_eq!(err, Errno::EACCES);
+        // And the merged view is unchanged.
+        let (rc, rns) = root_actor();
+        let root = Actor::new(&rc, &rns);
+        assert_eq!(ov.read_file(&root, "/etc/os-release").unwrap(), b"CentOS 7");
+    }
+
+    #[test]
+    fn fuse_backend_is_slower_but_unprivileged() {
+        assert!(OverlayBackend::Fuse.op_overhead() > OverlayBackend::Native.op_overhead());
+        assert_eq!(OverlayBackend::Fuse.name(), "fuse-overlayfs");
+    }
+
+    #[test]
+    fn chown_and_chmod_copy_up_then_modify_upper_only() {
+        let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        ov.chown(&actor, "/etc/os-release", Uid(123), Gid(456)).unwrap();
+        ov.chmod(&actor, "/etc/os-release", Mode::new(0o600)).unwrap();
+        let st = ov.stat(&actor, "/etc/os-release").unwrap();
+        assert_eq!(st.uid_host, Uid(123));
+        assert_eq!(st.mode, Mode::new(0o600));
+        assert_eq!(ov.stats().copy_ups, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Filesystem backends and their feature matrices.
+//!
+//! HPC centres rely on shared parallel filesystems; the paper points out
+//! (§4.2, §6.1, §6.2.1) that rootless Podman's user-xattr-based ID mappings
+//! clash with default-configured Lustre, GPFS and NFS, while `/tmp` or local
+//! disk work. This module models those feature differences.
+
+/// What kind of storage backs a [`crate::fs::Filesystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsBackend {
+    /// Node-local disk (ext4/xfs): everything supported.
+    LocalDisk,
+    /// `tmpfs` (e.g. `/tmp`): everything supported, contents volatile.
+    Tmpfs,
+    /// NFS. `xattr_support` is true only for NFSv4.2 servers on Linux ≥ 5.9
+    /// with RFC 8276 support (paper §6.2.1).
+    Nfs {
+        /// Protocol version (3 or 4).
+        version: u8,
+        /// Whether user xattrs are supported end-to-end.
+        xattr_support: bool,
+    },
+    /// Lustre. xattr support must be enabled on both the metadata server and
+    /// the storage targets (paper §6.2.1).
+    Lustre {
+        /// Enabled on the metadata server.
+        mds_xattr: bool,
+        /// Enabled on the object storage targets.
+        ost_xattr: bool,
+    },
+    /// GPFS / Spectrum Scale. The paper had not evaluated xattr support at
+    /// the time of writing; default-configured installs are treated as
+    /// unsupported.
+    Gpfs {
+        /// Whether user xattrs are enabled.
+        xattr_support: bool,
+    },
+}
+
+impl FsBackend {
+    /// Default NFS as deployed at most centres: v4 without xattr support.
+    pub fn default_nfs() -> Self {
+        FsBackend::Nfs {
+            version: 4,
+            xattr_support: false,
+        }
+    }
+
+    /// Default-configured Lustre: xattrs not enabled for users.
+    pub fn default_lustre() -> Self {
+        FsBackend::Lustre {
+            mds_xattr: false,
+            ost_xattr: false,
+        }
+    }
+
+    /// True if user extended attributes work on this backend.
+    pub fn supports_user_xattrs(&self) -> bool {
+        match self {
+            FsBackend::LocalDisk | FsBackend::Tmpfs => true,
+            FsBackend::Nfs { xattr_support, .. } => *xattr_support,
+            FsBackend::Lustre {
+                mds_xattr,
+                ost_xattr,
+            } => *mds_xattr && *ost_xattr,
+            FsBackend::Gpfs { xattr_support } => *xattr_support,
+        }
+    }
+
+    /// True if device nodes can be created (shared filesystems generally
+    /// refuse them for unprivileged callers; we model them as unsupported on
+    /// network filesystems).
+    pub fn supports_device_nodes(&self) -> bool {
+        matches!(self, FsBackend::LocalDisk | FsBackend::Tmpfs)
+    }
+
+    /// True if the backend is a shared (multi-node-visible) filesystem. The
+    /// Podman UID/GID mappers cannot work when container storage lives here
+    /// (paper §4.2): the server cannot represent subordinate-UID file
+    /// creation.
+    pub fn is_shared(&self) -> bool {
+        matches!(
+            self,
+            FsBackend::Nfs { .. } | FsBackend::Lustre { .. } | FsBackend::Gpfs { .. }
+        )
+    }
+
+    /// True if files can be created as arbitrary (subordinate) host UIDs by a
+    /// client holding a privileged ID map. Network filesystems enforce IDs on
+    /// the server side and refuse (paper §4.2).
+    pub fn supports_subordinate_uid_creation(&self) -> bool {
+        !self.is_shared()
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsBackend::LocalDisk => "local disk",
+            FsBackend::Tmpfs => "tmpfs",
+            FsBackend::Nfs { .. } => "NFS",
+            FsBackend::Lustre { .. } => "Lustre",
+            FsBackend::Gpfs { .. } => "GPFS",
+        }
+    }
+}
+
+impl Default for FsBackend {
+    fn default() -> Self {
+        FsBackend::LocalDisk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_disk_supports_everything() {
+        let b = FsBackend::LocalDisk;
+        assert!(b.supports_user_xattrs());
+        assert!(b.supports_device_nodes());
+        assert!(!b.is_shared());
+        assert!(b.supports_subordinate_uid_creation());
+    }
+
+    #[test]
+    fn default_nfs_lacks_xattrs() {
+        let b = FsBackend::default_nfs();
+        assert!(!b.supports_user_xattrs());
+        assert!(b.is_shared());
+        assert!(!b.supports_subordinate_uid_creation());
+    }
+
+    #[test]
+    fn nfs_with_rfc8276_supports_xattrs() {
+        let b = FsBackend::Nfs {
+            version: 4,
+            xattr_support: true,
+        };
+        assert!(b.supports_user_xattrs());
+        // Still shared: subordinate-UID creation still impossible.
+        assert!(!b.supports_subordinate_uid_creation());
+    }
+
+    #[test]
+    fn lustre_requires_both_mds_and_ost() {
+        assert!(!FsBackend::default_lustre().supports_user_xattrs());
+        assert!(!FsBackend::Lustre {
+            mds_xattr: true,
+            ost_xattr: false
+        }
+        .supports_user_xattrs());
+        assert!(FsBackend::Lustre {
+            mds_xattr: true,
+            ost_xattr: true
+        }
+        .supports_user_xattrs());
+    }
+
+    #[test]
+    fn tmpfs_works_for_podman_storage() {
+        // Paper §4.2: "either /tmp or local disk can be used for container
+        // storage on the login nodes".
+        let b = FsBackend::Tmpfs;
+        assert!(b.supports_user_xattrs());
+        assert!(b.supports_subordinate_uid_creation());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FsBackend::default_nfs().name(), "NFS");
+        assert_eq!(FsBackend::default_lustre().name(), "Lustre");
+        assert_eq!(FsBackend::LocalDisk.name(), "local disk");
+    }
+}

@@ -1,0 +1,49 @@
+//! The Astra container DevOps workflow of paper Figure 6: `podman build` of
+//! the ATSE stack on an aarch64 login node, push to an OCI registry, and
+//! parallel distributed launch on compute nodes. Also demonstrates why the
+//! workflow exists at all: an x86-64 image refuses to run on Astra's Arm
+//! nodes.
+//!
+//! Run with: `cargo run --example astra_workflow`
+
+use hpcc_repro::cluster::{astra_workflow, Cluster};
+use hpcc_repro::image::Registry;
+use hpcc_repro::runtime::check_arch;
+
+fn main() {
+    let astra = Cluster::astra(8);
+    println!(
+        "Cluster: {} ({} login nodes, {} compute nodes, shared fs: {})",
+        astra.name,
+        astra.login_nodes().len(),
+        astra.compute_nodes().len(),
+        astra.shared_fs.name()
+    );
+
+    let mut registry = Registry::new("registry.sandia.example");
+    let report = astra_workflow(&astra, &mut registry, "ajyoung", 5432, 8);
+    println!("{}", report.transcript_text());
+    println!(
+        "\nworkflow {}; {}/{} node launches succeeded",
+        if report.success { "succeeded" } else { "FAILED" },
+        report.launches.iter().filter(|l| l.success).count(),
+        report.launches.len()
+    );
+
+    // Why build on Astra? An image built for x86-64 cannot run there.
+    let generic = Cluster::generic_x86(2);
+    let mut x86_registry = Registry::new("registry.commodity.example");
+    let x86_report = astra_workflow(&generic, &mut x86_registry, "alice", 1000, 2);
+    assert!(x86_report.success);
+    let x86_image = x86_registry.pull("atse/app:x86_64").unwrap();
+    let astra_node = astra.compute_nodes()[0];
+    println!(
+        "\nrunning the x86_64 image on {} ({}): {}",
+        astra_node.name,
+        astra_node.arch,
+        match check_arch(&x86_image, &astra_node.arch) {
+            Ok(()) => "would run".to_string(),
+            Err(e) => format!("refused ({} — exec format error)", e),
+        }
+    );
+}

@@ -1,0 +1,26 @@
+//! The LANL production CI pipeline of paper §5.3.3: three chained
+//! Dockerfiles (OpenMPI base → Spack environment → application) built with
+//! `ch-image --force` on compute nodes, pushed to a private registry, then
+//! pulled and validated — all by a normal unprivileged user.
+//!
+//! Run with: `cargo run --example ci_pipeline`
+
+use hpcc_repro::cluster::{lanl_ci_pipeline, lanl_pipeline_dockerfiles, Cluster};
+use hpcc_repro::image::Registry;
+
+fn main() {
+    println!("Pipeline Dockerfiles:");
+    for (tag, df) in lanl_pipeline_dockerfiles() {
+        println!("--- {} ---\n{}", tag, df);
+    }
+
+    let cluster = Cluster::generic_x86(4);
+    let mut registry = Registry::new("gitlab.lanl.example");
+    let report = lanl_ci_pipeline(&cluster, &mut registry, "ci-builder", 2000);
+    println!("{}", report.transcript_text());
+    println!(
+        "\npipeline {}; registry now holds {:?}",
+        if report.success { "succeeded" } else { "FAILED" },
+        registry.repositories()
+    );
+}

@@ -1,0 +1,97 @@
+//! The paper's future-work proposals (§6.2), exercised end to end:
+//!
+//! 1. §6.2.2 item 1 — characterize which packages each `fakeroot(1)` flavour
+//!    can install, per architecture (the coverage matrix);
+//! 2. §6.2.2 item 3 — what moving the wrapper out of the image and into the
+//!    container implementation buys;
+//! 3. §6.2.4 — the proposed kernel ID-map mechanisms (policy maps without
+//!    privileged helpers, mappable supplementary groups, a kernel-managed
+//!    fake-ownership database);
+//! 4. §6.2.5 — the ownership-flattening annotation enforced by a registry.
+//!
+//! Run with: `cargo run --example future_privileges`
+
+use hpcc_repro::fakeroot::{
+    representative_packages, CoverageMatrix, Flavor, WrapperPlacement,
+};
+use hpcc_repro::image::OwnershipMode;
+use hpcc_repro::kernel::idpolicy::{
+    policy_gid_map, policy_requirements, policy_uid_map, KernelOwnershipDb, MapPolicy,
+    UniqueRangeAllocator,
+};
+use hpcc_repro::kernel::{Credentials, Gid, Owner, Uid};
+use hpcc_repro::oci::FlattenPolicy;
+
+fn main() {
+    println!("== §6.2.2(1): fakeroot coverage characterization ==");
+    for arch in ["x86_64", "aarch64"] {
+        let matrix = CoverageMatrix::characterize(&representative_packages(), arch);
+        println!("{}", matrix.render());
+        for f in Flavor::ALL {
+            println!(
+                "  {:<12} success rate on {}: {:.0}%",
+                f.info().name,
+                arch,
+                matrix.success_rate(f) * 100.0
+            );
+        }
+        println!(
+            "  uninstallable under every wrapper: {:?}\n",
+            matrix.uninstallable_everywhere()
+        );
+    }
+
+    println!("== §6.2.2(3): wrapper in the image vs in the container implementation ==");
+    for placement in [WrapperPlacement::InImage, WrapperPlacement::InRuntime] {
+        let cost = placement.cost();
+        println!(
+            "  {:?}: extra image packages {}, wrapper ships in image {}, init steps {}, lie DB available to push {}",
+            placement,
+            cost.extra_image_packages,
+            cost.wrapper_in_pushed_image,
+            cost.init_steps,
+            cost.db_available_to_push
+        );
+    }
+
+    println!("\n== §6.2.4: proposed kernel ID-map mechanisms ==");
+    let alice = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000), Gid(2000)]);
+    let mut alloc = UniqueRangeAllocator::new(200_000, 65_536);
+    let uid_map = policy_uid_map(MapPolicy::RootPlusUniqueRange { count: 65_536 }, &alice, &mut alloc)
+        .expect("policy map");
+    println!("  root+unique-range UID map (no helpers, no /etc/subuid):");
+    for line in uid_map.render_procfs().lines() {
+        println!("    {}", line);
+    }
+    let gid_map = policy_gid_map(MapPolicy::SupplementaryIdentity, &alice, &mut alloc).unwrap();
+    println!("  supplementary-identity GID map (chgrp to own groups works again):");
+    for line in gid_map.render_procfs().lines() {
+        println!("    {}", line);
+    }
+    let mut db = KernelOwnershipDb::new();
+    db.claim(42, Owner::new(0, 999));
+    println!(
+        "  kernel ownership DB: inode 42 reported as {} while stored as the invoking user",
+        db.effective(42, Owner::new(1000, 1000))
+    );
+    println!("  requirements comparison:");
+    for row in policy_requirements() {
+        println!(
+            "    {:<24} helper={:<5} subid-files={:<5} kernel-change={:<5} multi-id={}",
+            row.policy_name, row.helper_binary, row.subid_files, row.kernel_change, row.multi_id
+        );
+    }
+
+    println!("\n== §6.2.5: ownership-flattening annotation ==");
+    for policy in [FlattenPolicy::Disallow, FlattenPolicy::Allow, FlattenPolicy::Require] {
+        let flattened = policy.check(OwnershipMode::Flattened).is_ok();
+        let preserved = policy.check(OwnershipMode::Preserved).is_ok();
+        println!(
+            "  policy {:<8} -> flattened push {}, preserved push {}, satisfiable by a Type III builder: {}",
+            policy.as_str(),
+            if flattened { "accepted" } else { "rejected" },
+            if preserved { "accepted" } else { "rejected" },
+            policy.satisfiable_by_type3()
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build the paper's CentOS 7 Dockerfile (Figure 2) three ways —
+//! plain Type III (fails), Type III with `--force` (Figure 10, succeeds), and
+//! rootless Podman Type II (succeeds) — then push the forced build to a
+//! registry and pull it back as another user.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hpcc_repro::core::{centos7_dockerfile, BuildOptions, Builder, PushOwnership};
+use hpcc_repro::core::default_subuid_for;
+use hpcc_repro::image::Registry;
+use hpcc_repro::runtime::Invoker;
+
+fn main() {
+    let alice = Invoker::user("alice", 1000, 1000);
+
+    println!("== 1. plain fully-unprivileged (Type III) build: expected to fail ==");
+    let mut ch = Builder::ch_image(alice.clone());
+    let plain = ch.build(centos7_dockerfile(), &BuildOptions::new("foo"), None);
+    println!("{}\n", plain.transcript_text());
+    assert!(!plain.success);
+
+    println!("== 2. ch-image --force: fakeroot injected automatically (Figure 10) ==");
+    let mut ch = Builder::ch_image(alice.clone());
+    let forced = ch.build(
+        centos7_dockerfile(),
+        &BuildOptions::new("foo").with_force(),
+        None,
+    );
+    println!("{}\n", forced.transcript_text());
+    assert!(forced.success);
+
+    println!("== 3. rootless Podman (Type II): unmodified Dockerfile builds ==");
+    let mut podman = Builder::rootless_podman(alice.clone(), default_subuid_for("alice"));
+    let p = podman.build(centos7_dockerfile(), &BuildOptions::new("foo"), None);
+    println!("{}\n", p.transcript_text());
+    assert!(p.success);
+
+    println!("== 4. push (flattened) and pull back as bob ==");
+    let mut registry = Registry::new("registry.example.gov");
+    let digest = ch
+        .push("foo", "hpc/openssh:latest", &mut registry, PushOwnership::Flatten)
+        .expect("push");
+    println!("pushed hpc/openssh:latest ({})", digest.short());
+    let mut bob = Builder::ch_image(Invoker::user("bob", 1001, 1001));
+    bob.pull(&mut registry, "hpc/openssh:latest", "openssh").expect("pull");
+    println!(
+        "bob pulled the image; every file is now owned by bob's UID: {:?}",
+        bob.image("openssh").unwrap().fs.distinct_owner_uids()
+    );
+}

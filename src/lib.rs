@@ -1,0 +1,61 @@
+//! `hpcc-repro`: umbrella crate for the reproduction of
+//! *Minimizing Privilege for Building HPC Containers* (SC 2021).
+//!
+//! Re-exports every sub-crate so examples and downstream users can depend on
+//! a single crate:
+//!
+//! * [`kernel`] — simulated Linux kernel: credentials, capabilities, UID/GID
+//!   maps, user namespaces, sysctl (paper §2.1).
+//! * [`vfs`] — in-memory POSIX filesystem with ownership, permissions,
+//!   devices, xattrs, tar, shared-filesystem backends.
+//! * [`fakeroot`] — `fakeroot(1)` / `fakeroot-ng` / `pseudo` interposition
+//!   (paper §5.1, Table 1).
+//! * [`distro`] — synthetic CentOS 7 / Debian 10 distributions with YUM- and
+//!   APT-like package managers (paper §2.3).
+//! * [`shell`] — the small shell that executes `RUN` instructions.
+//! * [`image`] — OCI-like images, SHA-256 digests, and a registry.
+//! * [`oci`] — the OCI distribution protocol, multi-architecture indexes, and
+//!   the ownership-flattening annotation proposal (paper §6.2.5).
+//! * [`runtime`] — Type I/II/III containers, subordinate IDs, privileged
+//!   helpers, storage drivers (paper §2.2, §3.1, §4.1).
+//! * [`core`] — the paper's contribution: Dockerfile builders with
+//!   `ch-image --force` fakeroot auto-injection (paper §5.3).
+//! * [`cluster`] — HPC cluster substrate and the Astra / LANL CI workflows
+//!   (Figure 6, §5.3.3).
+//!
+//! # Quick start
+//!
+//! ```
+//! use hpcc_repro::core::{Builder, BuildOptions, centos7_dockerfile};
+//! use hpcc_repro::runtime::Invoker;
+//!
+//! // A fully unprivileged (Type III) build of the paper's Figure 2
+//! // Dockerfile fails on chown(2) ...
+//! let alice = Invoker::user("alice", 1000, 1000);
+//! let mut builder = Builder::ch_image(alice.clone());
+//! let plain = builder.build(centos7_dockerfile(), &BuildOptions::new("foo"), None);
+//! assert!(!plain.success);
+//!
+//! // ... and succeeds with `--force` fakeroot injection (Figure 10).
+//! let mut builder = Builder::ch_image(alice);
+//! let forced = builder.build(
+//!     centos7_dockerfile(),
+//!     &BuildOptions::new("foo").with_force(),
+//!     None,
+//! );
+//! assert!(forced.success);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use hpcc_cluster as cluster;
+pub use hpcc_core as core;
+pub use hpcc_distro as distro;
+pub use hpcc_fakeroot as fakeroot;
+pub use hpcc_image as image;
+pub use hpcc_kernel as kernel;
+pub use hpcc_oci as oci;
+pub use hpcc_runtime as runtime;
+pub use hpcc_shell as shell;
+pub use hpcc_vfs as vfs;

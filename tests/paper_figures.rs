@@ -1,0 +1,222 @@
+//! Integration tests spanning crates: every figure and table of the paper is
+//! reproduced end-to-end through the public API of the umbrella crate.
+
+use hpcc_repro::core::{
+    centos7_dockerfile, centos7_fr_dockerfile, debian10_dockerfile, debian10_fr_dockerfile,
+    default_subuid_for, BuildOptions, Builder, PushOwnership,
+};
+use hpcc_repro::fakeroot::{FakerootSession, Flavor};
+use hpcc_repro::image::Registry;
+use hpcc_repro::kernel::{Credentials, Gid, IdMap, Uid, UserNamespace};
+use hpcc_repro::runtime::Invoker;
+use hpcc_repro::vfs::{Actor, FileType, Filesystem, Mode};
+
+fn alice() -> Invoker {
+    Invoker::user("alice", 1000, 1000)
+}
+
+#[test]
+fn figure1_and_figure4_privileged_uid_map() {
+    // /etc/subuid grants alice 65536 subordinate UIDs starting at 200000; the
+    // resulting kernel map sends container root to alice and 1..65536 to the
+    // subordinate range.
+    let map = IdMap::privileged_build(1000, 200_000, 65_536);
+    assert_eq!(map.to_host(0), Some(1000));
+    assert_eq!(map.to_host(1), Some(200_000));
+    assert_eq!(map.to_host(65_536), Some(265_535));
+    assert_eq!(map.to_host(65_537), None);
+    let rendered = map.render_procfs();
+    assert!(rendered.lines().count() == 2);
+    assert_eq!(IdMap::parse_procfs(&rendered).unwrap(), map);
+}
+
+#[test]
+fn figure2_centos_build_fails_unprivileged_then_figure10_force_succeeds() {
+    let mut builder = Builder::ch_image(alice());
+    let plain = builder.build(centos7_dockerfile(), &BuildOptions::new("foo"), None);
+    assert!(!plain.success);
+    assert!(plain.transcript_text().contains("cpio: chown"));
+    assert!(plain
+        .transcript_text()
+        .contains("error: build failed: RUN command exited with 1"));
+
+    let mut builder = Builder::ch_image(alice());
+    let forced = builder.build(
+        centos7_dockerfile(),
+        &BuildOptions::new("foo").with_force(),
+        None,
+    );
+    assert!(forced.success, "{}", forced.transcript_text());
+    assert_eq!(forced.force_config.as_deref(), Some("rhel7"));
+    assert_eq!(forced.instructions_modified, 1);
+    assert!(forced
+        .transcript_text()
+        .contains("--force: init OK & modified 1 RUN instructions"));
+    // The built image really contains the openssh payload.
+    let img = builder.image("foo").unwrap();
+    let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+    let ns = UserNamespace::initial();
+    let actor = Actor::new(&creds, &ns);
+    assert!(img.fs.exists(&actor, "/usr/libexec/openssh/ssh-keysign"));
+    assert!(img.fs.exists(&actor, "/usr/bin/fakeroot"), "fakeroot installed into image (§6.1)");
+}
+
+#[test]
+fn figure3_debian_build_fails_unprivileged_then_figure11_force_succeeds() {
+    let mut builder = Builder::ch_image(alice());
+    let plain = builder.build(
+        debian10_dockerfile(),
+        &BuildOptions::new("foo").with_arch("amd64"),
+        None,
+    );
+    assert!(!plain.success);
+    let t = plain.transcript_text();
+    assert!(t.contains("E: setgroups 65534 failed - setgroups (1: Operation not permitted)"));
+    assert!(t.contains("E: setegid 65534 failed - setegid (22: Invalid argument)"));
+    assert!(t.contains("E: seteuid 100 failed - seteuid (22: Invalid argument)"));
+    assert!(t.contains("error: build failed: RUN command exited with 100"));
+
+    let mut builder = Builder::ch_image(alice());
+    let forced = builder.build(
+        debian10_dockerfile(),
+        &BuildOptions::new("foo").with_force().with_arch("amd64"),
+        None,
+    );
+    assert!(forced.success, "{}", forced.transcript_text());
+    assert_eq!(forced.force_config.as_deref(), Some("debderiv"));
+    assert_eq!(forced.instructions_modified, 2);
+}
+
+#[test]
+fn figure5_unprivileged_podman_single_map_and_nobody_proc() {
+    use hpcc_repro::image::{Image, ImageConfig};
+    use hpcc_repro::kernel::Sysctl;
+    use hpcc_repro::runtime::{Container, StorageDriver};
+    use hpcc_repro::vfs::FsBackend;
+
+    let map = IdMap::single(0, 1234);
+    assert_eq!(map.mapped_count(), 1);
+
+    // Unprivileged Podman: /proc and /sys appear owned by nobody (§4.1.1).
+    let mut fs = Filesystem::new_local();
+    fs.install_file("/bin/sh", b"elf".to_vec(), Uid(0), Gid(0), Mode::EXEC_755)
+        .unwrap();
+    let root = Credentials::host_root();
+    let host = UserNamespace::initial();
+    let actor = Actor::new(&root, &host);
+    let image = Image::from_fs_preserved("base", &fs, &actor, ImageConfig::default()).unwrap();
+    let c = Container::launch_podman_unprivileged(
+        &image,
+        &alice(),
+        StorageDriver::Vfs,
+        FsBackend::Tmpfs,
+        &Sysctl::modern(),
+    )
+    .unwrap();
+    assert_eq!(c.proc_owner_view(), Uid::NOBODY);
+}
+
+#[test]
+fn figure6_astra_workflow_and_lanl_pipeline() {
+    use hpcc_repro::cluster::{astra_workflow, lanl_ci_pipeline, Cluster};
+    let cluster = Cluster::astra(4);
+    let mut registry = Registry::new("registry.sandia.example");
+    let report = astra_workflow(&cluster, &mut registry, "ajyoung", 5432, 4);
+    assert!(report.success, "{}", report.transcript_text());
+    assert_eq!(report.launches.len(), 4);
+
+    let cluster = Cluster::generic_x86(3);
+    let mut registry = Registry::new("gitlab.lanl.example");
+    let report = lanl_ci_pipeline(&cluster, &mut registry, "builder", 2000);
+    assert!(report.success, "{}", report.transcript_text());
+}
+
+#[test]
+fn figure7_fakeroot_lies_are_visible_inside_only() {
+    let mut fs = Filesystem::new_local();
+    fs.install_dir("/work", Uid(1000), Gid(1000), Mode::new(0o755)).unwrap();
+    let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+    let ns = UserNamespace::initial();
+    let actor = Actor::new(&creds, &ns);
+    let mut s = FakerootSession::new(Flavor::Fakeroot);
+    fs.write_file(&actor, "/work/test.file", Vec::new(), Mode::new(0o640)).unwrap();
+    s.chown(&mut fs, &actor, "/work/test.file", Some(Uid(65534)), None).unwrap();
+    s.mknod(&mut fs, &actor, "/work/test.dev", FileType::CharDevice, 1, 1, Mode::new(0o640))
+        .unwrap();
+    // Inside: device + nobody-owned file.
+    assert_eq!(
+        s.stat(&fs, &actor, "/work/test.dev").unwrap().file_type,
+        FileType::CharDevice
+    );
+    assert_eq!(s.stat(&fs, &actor, "/work/test.file").unwrap().uid_view, Uid(65534));
+    // Outside: both are plain files owned by alice.
+    assert_eq!(fs.stat(&actor, "/work/test.dev").unwrap().file_type, FileType::Regular);
+    assert_eq!(fs.stat(&actor, "/work/test.file").unwrap().uid_host, Uid(1000));
+}
+
+#[test]
+fn figures8_and_9_manually_modified_dockerfiles_build() {
+    let mut builder = Builder::ch_image(alice());
+    assert!(builder
+        .build(centos7_fr_dockerfile(), &BuildOptions::new("foo"), None)
+        .success);
+    let mut builder = Builder::ch_image(alice());
+    let r = builder.build(
+        debian10_fr_dockerfile(),
+        &BuildOptions::new("foo").with_arch("amd64"),
+        None,
+    );
+    assert!(r.success, "{}", r.transcript_text());
+    assert!(r.transcript_text().contains("grown in 6 instructions: foo"));
+}
+
+#[test]
+fn table1_flavor_properties_and_coverage() {
+    // Static properties.
+    assert_eq!(Flavor::Fakeroot.info().initial_release, "1997-Jun");
+    assert!(Flavor::FakerootNg.supports_static_binaries());
+    assert!(!Flavor::Pseudo.supports_static_binaries());
+    // Coverage: pseudo strictly covers fakeroot.
+    for op in Flavor::Fakeroot.info().coverage {
+        assert!(Flavor::Pseudo.intercepts(*op));
+    }
+}
+
+#[test]
+fn type2_rootless_podman_builds_unmodified_dockerfiles() {
+    let mut podman = Builder::rootless_podman(alice(), default_subuid_for("alice"));
+    let c = podman.build(centos7_dockerfile(), &BuildOptions::new("c7"), None);
+    assert!(c.success, "{}", c.transcript_text());
+    let d = podman.build(
+        debian10_dockerfile(),
+        &BuildOptions::new("d10").with_arch("amd64"),
+        None,
+    );
+    assert!(d.success, "{}", d.transcript_text());
+    // Image retains multi-UID ownership (the Type II advantage, §6.1).
+    assert!(podman.image("c7").unwrap().fs.distinct_owner_uids().len() > 1);
+}
+
+#[test]
+fn push_policies_affect_recorded_ownership() {
+    let mut registry = Registry::new("r");
+    let mut builder = Builder::ch_image(alice());
+    assert!(builder
+        .build(centos7_dockerfile(), &BuildOptions::new("c7").with_force(), None)
+        .success);
+    builder
+        .push("c7", "a/flat:1", &mut registry, PushOwnership::Flatten)
+        .unwrap();
+    builder
+        .push("c7", "a/db:1", &mut registry, PushOwnership::FromFakerootDb)
+        .unwrap();
+    let flat = registry.pull("a/flat:1").unwrap();
+    assert_eq!(flat.distinct_recorded_uids(), 1);
+    let db = registry.pull("a/db:1").unwrap();
+    let entries = hpcc_repro::vfs::tar::list(&db.layers[0].tar).unwrap();
+    let keysign = entries
+        .iter()
+        .find(|e| e.path == "usr/libexec/openssh/ssh-keysign")
+        .unwrap();
+    assert_eq!(keysign.gid, 999, "fakeroot-db push keeps the intended group");
+}
