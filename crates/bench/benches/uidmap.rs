@@ -2,17 +2,29 @@
 //! (experiment E1 — Figures 1, 4, 5).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use hpcc_kernel::{Credentials, Gid, IdMap, Uid, UserNamespace};
 use hpcc_runtime::SubIdDb;
+
+/// Deterministic xorshift64* probe generator (replaces the external `rand`
+/// dependency, which offline builds cannot fetch).
+fn probe_ids(seed: u64, n: usize, bound: u32) -> Vec<u32> {
+    let mut state = seed.max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) as u32 % bound
+        })
+        .collect()
+}
 
 fn bench_idmap_translation(c: &mut Criterion) {
     let mut group = c.benchmark_group("uidmap_translation");
     let type2 = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
     let type3 = UserNamespace::type3(Uid(1000), Gid(1000));
-    let mut rng = StdRng::seed_from_u64(42);
-    let probes: Vec<u32> = (0..4096).map(|_| rng.gen_range(0..70_000)).collect();
+    let probes: Vec<u32> = probe_ids(42, 4096, 70_000);
     group.bench_function("type2_ns_to_host_4096", |b| {
         b.iter(|| {
             probes

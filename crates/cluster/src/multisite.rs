@@ -11,8 +11,6 @@
 //! then pull the variant matching their own CPUs — the problem that motivated
 //! building on Astra in the first place (§4.2) disappears.
 
-use crossbeam::thread;
-
 use hpcc_core::{push_to_oci, BuildOptions, Builder, LayerMode};
 use hpcc_image::Digest;
 use hpcc_oci::{DistributionRegistry, Platform};
@@ -96,13 +94,13 @@ pub fn multisite_ci(
     tag: &str,
 ) -> MultiSiteReport {
     // Phase 1: parallel unprivileged builds, one per site.
-    let built: Vec<(usize, String, String, Builder, bool, usize)> = thread::scope(|s| {
+    let built: Vec<(usize, String, String, Builder, bool, usize)> = std::thread::scope(|s| {
         let handles: Vec<_> = sites
             .iter()
             .enumerate()
             .map(|(i, site)| {
                 let df = dockerfile_text.to_string();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let arch = site.arch();
                     let mut builder = Builder::ch_image(site.invoker.clone());
                     let report = builder.build(
@@ -125,8 +123,7 @@ pub fn multisite_ci(
             .into_iter()
             .map(|h| h.join().expect("site build thread panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     // Phase 2: serialized pushes into the shared registry, then per-site pull
     // verification from a compute node of the site's architecture.

@@ -160,13 +160,13 @@ pub fn astra_workflow(
         }
     };
     let results = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for node_name in &allocation {
             let node = cluster.node(node_name).cloned();
             let image = image.clone();
             let invoker = invoker.clone();
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let outcome = match node {
                     Some(node) => match check_arch(&image, &node.arch) {
                         Ok(()) => match Container::launch_type3(&image, &invoker) {
@@ -209,8 +209,7 @@ pub fn astra_workflow(
                 results.lock().unwrap().push(outcome);
             });
         }
-    })
-    .expect("launch threads");
+    });
     launches = results.into_inner().unwrap();
     launches.sort_by(|a, b| a.node.cmp(&b.node));
     let all_ok = launches.iter().all(|l| l.success);

@@ -246,8 +246,10 @@ impl Builder {
         let root_creds = Credentials::host_root();
         let host_ns = UserNamespace::initial();
         let actor = Actor::new(&root_creds, &host_ns);
-        let mut cfg = ImageConfig::default();
-        cfg.architecture = arch.to_string();
+        let cfg = ImageConfig {
+            architecture: arch.to_string(),
+            ..Default::default()
+        };
         let image = Image::from_fs_preserved(reference, &base.fs, &actor, cfg)
             .map_err(|e| format!("error: cannot package base image: {}", e))?;
         let container = match &self.kind {
@@ -267,6 +269,30 @@ impl Builder {
             userns: container.userns,
             catalog: base.catalog,
             base_reference: reference.to_string(),
+        })
+    }
+
+    /// Builds the environment for a `FROM` instruction served from the build
+    /// cache: the cached filesystem is adopted as-is (copy-on-write), so the
+    /// base-image tree is never reconstructed and no container is launched.
+    fn env_for_cached_from(
+        &self,
+        reference: &str,
+        arch: &str,
+        cached_fs: &Filesystem,
+    ) -> Result<BuildEnv, String> {
+        let base_reference = match self.store.get(reference) {
+            Some(built) => built.base_reference.clone(),
+            None => reference.to_string(),
+        };
+        let catalog = catalog_for(&base_reference, arch)
+            .ok_or_else(|| format!("error: no base image: {}", reference))?;
+        Ok(BuildEnv {
+            fs: cached_fs.clone(),
+            creds: self.container_creds(),
+            userns: self.container_userns(),
+            catalog,
+            base_reference,
         })
     }
 
@@ -323,8 +349,10 @@ impl Builder {
         };
 
         let mut env: Option<BuildEnv> = None;
-        let mut config = ImageConfig::default();
-        config.architecture = options.arch.clone();
+        let mut config = ImageConfig {
+            architecture: options.arch.clone(),
+            ..Default::default()
+        };
         let mut fakeroot_db = LieDatabase::new();
         let mut force_cfg: Option<ForceConfig> = None;
         let mut force_initialized = false;
@@ -346,15 +374,16 @@ impl Builder {
                 if let Some(hit) = self.cache.lookup(&state_id) {
                     report.transcript.push(format!("{} (cached)", display));
                     if let Some(e) = env.as_mut() {
-                        e.fs = hit.fs;
+                        // Copy-on-write snapshot: a refcount bump, not a deep
+                        // copy of the image tree.
+                        e.fs = hit.fs.clone();
                     } else if let Instruction::From { image, .. } = instruction {
-                        // FROM served from cache: rebuild the env around the
-                        // cached filesystem.
-                        match self.setup_from(image, &options.arch) {
-                            Ok(mut fresh) => {
-                                fresh.fs = hit.fs;
-                                env = Some(fresh);
-                            }
+                        // FROM served from cache: build the env around the
+                        // cached filesystem directly — no base image is
+                        // constructed and no container is launched on the
+                        // fully cached path.
+                        match self.env_for_cached_from(image, &options.arch, &hit.fs) {
+                            Ok(fresh) => env = Some(fresh),
                             Err(msg) => {
                                 report.error = Some(msg.clone());
                                 report.transcript.push(msg);
@@ -362,8 +391,8 @@ impl Builder {
                             }
                         }
                     }
-                    config = hit.config;
-                    fakeroot_db = hit.fakeroot_db;
+                    config = hit.config.clone();
+                    fakeroot_db = hit.fakeroot_db.clone();
                     parent = Some(state_id);
                     // Force-config detection still applies after FROM.
                     if let (Instruction::From { .. }, BuilderKind::ChImage) =
@@ -531,7 +560,7 @@ impl Builder {
                         let root_creds = Credentials::host_root();
                         let host_ns = UserNamespace::initial();
                         let actor = Actor::new(&root_creds, &host_ns);
-                        match ctx.read_file(&actor, &format!("/{}", src.trim_start_matches('/'))) {
+                        match ctx.file_bytes(&actor, &format!("/{}", src.trim_start_matches('/'))) {
                             Ok(content) => {
                                 e.fs
                                     .install_file(

@@ -5,11 +5,18 @@
 //! such as during iterative development." This module provides the cache so
 //! the repository can both reproduce the cache-less behaviour and quantify
 //! the improvement (EXPERIMENTS.md E15).
+//!
+//! The cache is keyed directly on [`Digest`] (32 raw bytes, `Hash + Eq`) —
+//! never on the rendered `sha256:<hex>` string — and a hit returns an
+//! [`Arc`]-shared snapshot. Because [`Filesystem`] snapshots are
+//! copy-on-write, a hit costs a reference-count bump plus O(metadata) on the
+//! first subsequent mutation, not a deep copy of the image tree.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hpcc_fakeroot::LieDatabase;
-use hpcc_image::{sha256_str, Digest, ImageConfig};
+use hpcc_image::{Digest, ImageConfig, Sha256};
 use hpcc_vfs::Filesystem;
 
 /// A cached build state: the filesystem and metadata after executing an
@@ -29,7 +36,7 @@ pub struct CachedState {
 /// The cache: chain-digest keyed snapshots.
 #[derive(Debug, Clone, Default)]
 pub struct BuildCache {
-    entries: HashMap<String, CachedState>,
+    entries: HashMap<Digest, Arc<CachedState>>,
     hits: usize,
     misses: usize,
 }
@@ -41,19 +48,28 @@ impl BuildCache {
     }
 
     /// Computes the state id for executing `instruction` on top of `parent`.
+    ///
+    /// Hashes the parent digest's raw bytes and the instruction text through
+    /// one incremental hasher — no intermediate strings are allocated.
     pub fn state_id(parent: Option<&Digest>, instruction: &str) -> Digest {
-        let parent_str = parent
-            .map(|d| d.to_oci_string())
-            .unwrap_or_else(|| "scratch".to_string());
-        sha256_str(&format!("{}\n{}", parent_str, instruction))
+        let mut h = Sha256::new();
+        match parent {
+            Some(d) => h.update(&d.0),
+            None => h.update(b"scratch"),
+        }
+        h.update(b"\n");
+        h.update(instruction.as_bytes());
+        h.finalize()
     }
 
-    /// Looks up a state, counting a hit or miss.
-    pub fn lookup(&mut self, id: &Digest) -> Option<CachedState> {
-        match self.entries.get(&id.to_oci_string()) {
+    /// Looks up a state, counting a hit or miss. A hit shares the snapshot:
+    /// mutating a filesystem cloned out of it never writes back into the
+    /// cache (copy-on-write).
+    pub fn lookup(&mut self, id: &Digest) -> Option<Arc<CachedState>> {
+        match self.entries.get(id) {
             Some(state) => {
                 self.hits += 1;
-                Some(state.clone())
+                Some(Arc::clone(state))
             }
             None => {
                 self.misses += 1;
@@ -64,7 +80,7 @@ impl BuildCache {
 
     /// Stores a state.
     pub fn store(&mut self, state: CachedState) {
-        self.entries.insert(state.state_id.to_oci_string(), state);
+        self.entries.insert(state.state_id, Arc::new(state));
     }
 
     /// Number of cached states.
@@ -141,5 +157,65 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn hit_path_shares_file_bytes_and_mutations_do_not_leak_back() {
+        use hpcc_kernel::{Credentials, Gid, Uid, UserNamespace};
+        use hpcc_vfs::{Actor, Mode};
+
+        let creds = Credentials::host_root();
+        let ns = UserNamespace::initial();
+        let actor = Actor::new(&creds, &ns);
+
+        let id = BuildCache::state_id(None, "FROM centos:7");
+        let mut state = dummy_state(id);
+        state
+            .fs
+            .install_file("/bin/tool", vec![9u8; 8192], Uid(0), Gid(0), Mode::EXEC_755)
+            .unwrap();
+        let mut cache = BuildCache::new();
+        cache.store(state);
+
+        // A hit hands out a filesystem whose file bytes are the cached ones —
+        // shared, not deep-copied.
+        let hit = cache.lookup(&id).unwrap();
+        let mut working = hit.fs.clone();
+        let cached_bytes = hit.fs.file_bytes(&actor, "/bin/tool").unwrap();
+        let working_bytes = working.file_bytes(&actor, "/bin/tool").unwrap();
+        assert!(cached_bytes.shares_buffer_with(&working_bytes));
+
+        // Building on top of the snapshot never writes back into the cache.
+        working
+            .write_file(&actor, "/bin/tool", b"overwritten".to_vec(), Mode::EXEC_755)
+            .unwrap();
+        working
+            .write_file(&actor, "/extra", b"x".to_vec(), Mode::FILE_644)
+            .unwrap();
+        let hit2 = cache.lookup(&id).unwrap();
+        assert_eq!(hit2.fs.read_file(&actor, "/bin/tool").unwrap(), vec![9u8; 8192]);
+        assert!(!hit2.fs.exists(&actor, "/extra"));
+    }
+
+    #[test]
+    fn hit_returns_shared_snapshot_without_deep_copy() {
+        let mut cache = BuildCache::new();
+        let id = BuildCache::state_id(None, "FROM centos:7");
+        let mut state = dummy_state(id);
+        state
+            .fs
+            .install_file(
+                "/etc/os-release",
+                b"CentOS 7".to_vec(),
+                hpcc_kernel::Uid(0),
+                hpcc_kernel::Gid(0),
+                hpcc_vfs::Mode::FILE_644,
+            )
+            .unwrap();
+        cache.store(state);
+        let a = cache.lookup(&id).unwrap();
+        let b = cache.lookup(&id).unwrap();
+        // Both hits share one allocation of the cached state.
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

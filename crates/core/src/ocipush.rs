@@ -171,15 +171,17 @@ pub fn push_to_oci(
                 skip_devices: true,
                 clear_setid: false,
             };
-            let base_tar = tar::pack(&base.fs, &root, "/", &opts)
+            // Layers are hashed while the tar stream is produced; file bytes
+            // flow from the copy-on-write store without materializing copies.
+            let base_layer = Layer::pack_from_fs(&base.fs, &root, "/", &opts)
                 .map_err(|_| ApiError::ManifestInvalid)?;
             let diff_fs = diff_filesystem(&base.fs, &built.fs, &actor);
-            let diff_tar =
-                tar::pack(&diff_fs, &actor, "/", &opts).map_err(|_| ApiError::ManifestInvalid)?;
+            let diff_layer = Layer::pack_from_fs(&diff_fs, &actor, "/", &opts)
+                .map_err(|_| ApiError::ManifestInvalid)?;
             Image {
                 reference,
                 config: cfg,
-                layers: vec![Layer::from_tar(base_tar), Layer::from_tar(diff_tar)],
+                layers: vec![base_layer, diff_layer],
                 ownership: OwnershipMode::Preserved,
             }
         }

@@ -281,7 +281,7 @@ pub fn apt_install(
             }
         }
     }
-    log_term(fs, actor, wrapper.as_deref_mut(), &mut lines);
+    log_term(fs, actor, wrapper, &mut lines);
     lines.push("Processing triggers for libc-bin (2.28-10) ...".to_string());
     PmOutput::ok(lines)
 }

@@ -172,6 +172,7 @@ impl FakerootSession {
     /// a lie recording the device type — exactly what Figure 7 shows
     /// (`test.dev` looks like a character device inside the wrapper and a
     /// regular file outside).
+    #[allow(clippy::too_many_arguments)]
     pub fn mknod(
         &mut self,
         fs: &mut Filesystem,

@@ -9,7 +9,33 @@ use std::collections::BTreeMap;
 use hpcc_kernel::{Gid, KResult, Uid};
 use hpcc_vfs::{tar, Actor, Filesystem};
 
-use crate::sha256::{sha256, Digest};
+use crate::sha256::{sha256, Digest, Sha256};
+
+/// A buffer that digests everything appended to it, so serializers hash
+/// layer bytes as they are produced instead of in a second pass.
+#[derive(Debug, Default)]
+struct DigestingBuf {
+    buf: Vec<u8>,
+    hasher: Sha256,
+}
+
+impl DigestingBuf {
+    fn into_parts(self) -> (Vec<u8>, Digest) {
+        (self.buf, self.hasher.finalize())
+    }
+}
+
+impl std::io::Write for DigestingBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.hasher.update(data);
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
 
 /// One image layer: a tar archive plus its digest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +53,20 @@ impl Layer {
             digest: sha256(&tar),
             tar,
         }
+    }
+
+    /// Serializes the subtree at `root` of `fs` into a layer, hashing the
+    /// tar stream while it is produced (single pass over the bytes).
+    pub fn pack_from_fs(
+        fs: &Filesystem,
+        actor: &Actor,
+        root: &str,
+        options: &tar::PackOptions,
+    ) -> KResult<Self> {
+        let mut out = DigestingBuf::default();
+        tar::pack_into(fs, actor, root, options, &mut out)?;
+        let (tar, digest) = out.into_parts();
+        Ok(Layer { digest, tar })
     }
 
     /// Size in bytes.
@@ -147,7 +187,7 @@ impl Image {
         actor: &Actor,
         config: ImageConfig,
     ) -> KResult<Self> {
-        let archive = tar::pack(
+        let layer = Layer::pack_from_fs(
             fs,
             actor,
             "/",
@@ -160,7 +200,7 @@ impl Image {
         Ok(Image {
             reference: reference.to_string(),
             config,
-            layers: vec![Layer::from_tar(archive)],
+            layers: vec![layer],
             ownership: OwnershipMode::Flattened,
         })
     }
@@ -174,7 +214,7 @@ impl Image {
         actor: &Actor,
         config: ImageConfig,
     ) -> KResult<Self> {
-        let archive = tar::pack(
+        let layer = Layer::pack_from_fs(
             fs,
             actor,
             "/",
@@ -187,7 +227,7 @@ impl Image {
         Ok(Image {
             reference: reference.to_string(),
             config,
-            layers: vec![Layer::from_tar(archive)],
+            layers: vec![layer],
             ownership: OwnershipMode::Preserved,
         })
     }
@@ -201,7 +241,7 @@ impl Image {
         config: ImageConfig,
         db: BTreeMap<String, (u32, u32)>,
     ) -> KResult<Self> {
-        let archive = tar::pack(
+        let layer = Layer::pack_from_fs(
             fs,
             actor,
             "/",
@@ -214,7 +254,7 @@ impl Image {
         Ok(Image {
             reference: reference.to_string(),
             config,
-            layers: vec![Layer::from_tar(archive)],
+            layers: vec![layer],
             ownership: OwnershipMode::Preserved,
         })
     }

@@ -14,4 +14,4 @@ pub mod sha256;
 
 pub use image::{Image, ImageConfig, Layer, OwnershipMode};
 pub use registry::{Registry, RegistryError};
-pub use sha256::{sha256, sha256_str, Digest};
+pub use sha256::{sha256, sha256_str, Digest, Sha256, Sha256Writer};

@@ -1,24 +1,47 @@
 //! A pure-Rust SHA-256 implementation used for content-addressed image
 //! layers and manifests (OCI digests).
+//!
+//! The hasher is **incremental**: [`Sha256`] consumes input in arbitrary
+//! chunks without buffering more than one 64-byte block, so tar serialization
+//! and blob uploads hash layer bytes as they are produced instead of
+//! materializing a padded copy of the whole input. [`sha256`] is the one-shot
+//! convenience wrapper.
 
 /// Digest of a byte string.
+///
+/// `Digest` is 32 plain bytes and derives `Hash + Eq + Ord + Copy`; it is the
+/// **canonical map key** for every content-addressed structure in the
+/// workspace (build cache, blob stores, registries). Key maps on `Digest`
+/// directly — never on the rendered `to_oci_string()` form, which costs a
+/// 71-byte allocation per probe and hashes more than twice the bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Digest(pub [u8; 32]);
+
+/// Lookup table for lowercase hex rendering (avoids a `format!` per byte).
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
 
 impl Digest {
     /// Renders as `sha256:<hex>`.
     pub fn to_oci_string(&self) -> String {
-        let mut s = String::with_capacity(71);
-        s.push_str("sha256:");
-        for b in self.0 {
-            s.push_str(&format!("{:02x}", b));
+        let mut buf = [0u8; 71];
+        buf[..7].copy_from_slice(b"sha256:");
+        for (i, b) in self.0.iter().enumerate() {
+            buf[7 + i * 2] = HEX_CHARS[(b >> 4) as usize];
+            buf[8 + i * 2] = HEX_CHARS[(b & 0xf) as usize];
         }
-        s
+        // Safety not needed: the buffer is pure ASCII by construction.
+        String::from_utf8_lossy(&buf).into_owned()
     }
 
-    /// Short 12-character form used in transcripts.
+    /// Short 12-character form used in transcripts. Renders the six needed
+    /// bytes directly rather than materializing the full OCI string.
     pub fn short(&self) -> String {
-        self.to_oci_string()[7..19].to_string()
+        let mut buf = [0u8; 12];
+        for (i, b) in self.0[..6].iter().enumerate() {
+            buf[i * 2] = HEX_CHARS[(b >> 4) as usize];
+            buf[i * 2 + 1] = HEX_CHARS[(b & 0xf) as usize];
+        }
+        String::from_utf8_lossy(&buf).into_owned()
     }
 }
 
@@ -39,23 +62,105 @@ const K: [u32; 64] = [
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
-/// Computes the SHA-256 digest of `data`.
-pub fn sha256(data: &[u8]) -> Digest {
-    let mut h: [u32; 8] = [
-        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-        0x5be0cd19,
-    ];
-    // Padding.
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bit_len.to_be_bytes());
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
 
-    let mut w = [0u32; 64];
-    for chunk in msg.chunks_exact(64) {
+/// Incremental SHA-256 hasher.
+///
+/// Feed input with [`Sha256::update`] in chunks of any size; the only state
+/// kept between calls is the 32-byte chain value and at most one partial
+/// 64-byte block. [`Sha256::finalize`] pads in a fixed scratch block — the
+/// input is never copied or re-buffered.
+///
+/// ```
+/// use hpcc_image::sha256::{sha256, Sha256};
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), sha256(b"abc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    h: [u32; 8],
+    /// Partial input block awaiting 64 accumulated bytes.
+    block: [u8; 64],
+    block_len: usize,
+    /// Total message length in bytes.
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher state.
+    pub fn new() -> Self {
+        Sha256 {
+            h: H0,
+            block: [0u8; 64],
+            block_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`. May be called any number of times; chunk boundaries do
+    /// not affect the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        // Top up a pending partial block first.
+        if self.block_len > 0 {
+            let take = rest.len().min(64 - self.block_len);
+            self.block[self.block_len..self.block_len + take].copy_from_slice(&rest[..take]);
+            self.block_len += take;
+            rest = &rest[take..];
+            if self.block_len == 64 {
+                let block = self.block;
+                self.compress(&block);
+                self.block_len = 0;
+            }
+        }
+        // Full blocks straight from the input, no copy.
+        let mut chunks = rest.chunks_exact(64);
+        for chunk in &mut chunks {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(chunk);
+            self.compress(&block);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            self.block[..tail.len()].copy_from_slice(tail);
+            self.block_len = tail.len();
+        }
+    }
+
+    /// Pads (in a fixed 64-byte scratch block) and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        let mut scratch = [0u8; 64];
+        scratch[..self.block_len].copy_from_slice(&self.block[..self.block_len]);
+        scratch[self.block_len] = 0x80;
+        if self.block_len >= 56 {
+            // No room for the length: flush this block, pad a second one.
+            self.compress(&scratch);
+            scratch = [0u8; 64];
+        }
+        scratch[56..].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&scratch);
+        let mut out = [0u8; 32];
+        for (i, v) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&v.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// The SHA-256 compression function over one 64-byte block.
+    fn compress(&mut self, chunk: &[u8; 64]) {
+        let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
                 chunk[i * 4],
@@ -72,6 +177,7 @@ pub fn sha256(data: &[u8]) -> Digest {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
+        let h = &mut self.h;
         let (mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh) =
             (h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]);
         for i in 0..64 {
@@ -103,11 +209,49 @@ pub fn sha256(data: &[u8]) -> Digest {
         h[6] = h[6].wrapping_add(g);
         h[7] = h[7].wrapping_add(hh);
     }
-    let mut out = [0u8; 32];
-    for (i, v) in h.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+/// A [`std::io::Write`] adapter that hashes everything written through it.
+///
+/// Serializers that produce bytes incrementally (the tar packer, blob upload
+/// sessions) write into this to obtain the digest without a second pass over
+/// a materialized buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Sha256Writer {
+    hasher: Sha256,
+}
+
+impl Sha256Writer {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Sha256Writer {
+            hasher: Sha256::new(),
+        }
     }
-    Digest(out)
+
+    /// Consumes the writer, returning the digest of all bytes written.
+    pub fn finalize(self) -> Digest {
+        self.hasher.finalize()
+    }
+}
+
+impl std::io::Write for Sha256Writer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.hasher.update(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Computes the SHA-256 digest of `data` in one shot (no padding copy; this
+/// simply drives the incremental hasher).
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
 }
 
 /// Convenience: digest of a string.
@@ -156,6 +300,7 @@ mod tests {
     fn short_form_and_display() {
         let d = sha256(b"abc");
         assert_eq!(d.short().len(), 12);
+        assert_eq!(d.short(), d.to_oci_string()[7..19]);
         assert!(format!("{}", d).starts_with("sha256:"));
     }
 
@@ -163,5 +308,47 @@ mod tests {
     fn different_inputs_differ() {
         assert_ne!(sha256(b"a"), sha256(b"b"));
         assert_ne!(sha256_str("centos:7"), sha256_str("debian:buster"));
+    }
+
+    #[test]
+    fn incremental_chunking_matches_one_shot() {
+        // Chunk splits crossing every padding boundary case: empty, 1 byte,
+        // 55/56/64 bytes (padding with/without a second block), exactly two
+        // blocks, and a large multi-block input — split at every offset class
+        // by a deterministic pseudo-random walk.
+        let lengths = [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 127, 128, 1000, 4096];
+        for &len in &lengths {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+            let expect = sha256(&data);
+            for split in [1usize, 3, 55, 56, 64, 65] {
+                let mut h = Sha256::new();
+                for chunk in data.chunks(split) {
+                    h.update(chunk);
+                }
+                assert_eq!(h.finalize(), expect, "len={} split={}", len, split);
+            }
+            // Pseudo-random chunk sizes.
+            let mut state = 0x9e3779b97f4a7c15u64 ^ len as u64;
+            let mut h = Sha256::new();
+            let mut off = 0;
+            while off < len {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let take = (state as usize % 97 + 1).min(len - off);
+                h.update(&data[off..off + take]);
+                off += take;
+            }
+            assert_eq!(h.finalize(), expect, "len={} random splits", len);
+        }
+    }
+
+    #[test]
+    fn writer_adapter_hashes_stream() {
+        use std::io::Write;
+        let mut w = Sha256Writer::new();
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"world").unwrap();
+        assert_eq!(w.finalize(), sha256(b"hello world"));
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use hpcc_image::{sha256, Digest};
+use hpcc_image::{sha256, Digest, Sha256};
 
 use crate::error::ApiError;
 
@@ -53,12 +53,18 @@ impl BlobStore {
         if actual != *claimed {
             return Err(ApiError::DigestInvalid);
         }
-        self.offered_bytes += data.len() as u64;
-        if !self.blobs.contains_key(&actual) {
-            self.stored_bytes += data.len() as u64;
-            self.blobs.insert(actual, data);
-        }
+        self.insert_verified(actual, data);
         Ok(())
+    }
+
+    /// Records a digest-verified blob, deduplicating and keeping the byte
+    /// accounting consistent across both upload protocols.
+    fn insert_verified(&mut self, digest: Digest, data: Vec<u8>) {
+        self.offered_bytes += data.len() as u64;
+        if !self.blobs.contains_key(&digest) {
+            self.stored_bytes += data.len() as u64;
+            self.blobs.insert(digest, data);
+        }
     }
 
     /// Number of distinct blobs stored.
@@ -101,22 +107,24 @@ impl BlobStore {
         self.uploads_started += 1;
         UploadSession {
             buffer: Vec::new(),
+            hasher: Sha256::new(),
             session_id: self.uploads_started,
         }
     }
 
     /// Completes a chunked upload (`PUT .../uploads/<id>?digest=<d>`). The
-    /// claimed digest must match the accumulated content.
+    /// claimed digest must match the content, which was hashed incrementally
+    /// as the chunks arrived — no final pass over the accumulated buffer.
     pub fn complete_upload(
         &mut self,
         session: UploadSession,
         claimed: &Digest,
     ) -> Result<Digest, ApiError> {
-        let actual = sha256(&session.buffer);
+        let actual = session.hasher.finalize();
         if actual != *claimed {
             return Err(ApiError::DigestInvalid);
         }
-        self.put(claimed, session.buffer)?;
+        self.insert_verified(actual, session.buffer);
         self.uploads_completed += 1;
         Ok(actual)
     }
@@ -148,16 +156,20 @@ impl BlobStore {
     }
 }
 
-/// An in-progress chunked blob upload.
+/// An in-progress chunked blob upload. Chunks are hashed as they arrive via
+/// the incremental hasher, so completing the upload is O(1) in blob size.
 #[derive(Debug, Clone)]
 pub struct UploadSession {
     buffer: Vec<u8>,
+    hasher: Sha256,
     session_id: u64,
 }
 
 impl UploadSession {
-    /// Appends a chunk (`PATCH .../uploads/<id>`).
+    /// Appends a chunk (`PATCH .../uploads/<id>`), updating the running
+    /// digest.
     pub fn append(&mut self, chunk: &[u8]) {
+        self.hasher.update(chunk);
         self.buffer.extend_from_slice(chunk);
     }
 

@@ -249,8 +249,10 @@ impl DistributionRegistry {
             Some("preserved") => OwnershipMode::Preserved,
             _ => OwnershipMode::Flattened,
         };
-        let mut config = ImageConfig::default();
-        config.architecture = want.architecture.clone();
+        let config = ImageConfig {
+            architecture: want.architecture.clone(),
+            ..Default::default()
+        };
         self.pull_count += 1;
         Ok(PulledImage {
             manifest,
@@ -297,8 +299,10 @@ mod tests {
     use hpcc_image::ImageConfig;
 
     fn test_image(arch: &str, payload: &[u8], ownership: OwnershipMode) -> Image {
-        let mut config = ImageConfig::default();
-        config.architecture = arch.to_string();
+        let config = ImageConfig {
+            architecture: arch.to_string(),
+            ..Default::default()
+        };
         Image {
             reference: "local/atse:dev".to_string(),
             config,

@@ -277,8 +277,10 @@ mod tests {
         let creds = Credentials::host_root();
         let ns = UserNamespace::initial();
         let actor = Actor::new(&creds, &ns);
-        let mut cfg = ImageConfig::default();
-        cfg.architecture = arch.to_string();
+        let cfg = ImageConfig {
+            architecture: arch.to_string(),
+            ..Default::default()
+        };
         Image::from_fs_preserved("base:1", &fs, &actor, cfg).unwrap()
     }
 

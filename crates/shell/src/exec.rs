@@ -230,7 +230,7 @@ impl<'a> ExecEnv<'a> {
         };
         let gid = match group {
             None => None,
-            Some(g) if g.is_empty() => None,
+            Some("") => None,
             Some(g) => {
                 if let Ok(n) = g.parse::<u32>() {
                     Some(Gid(n))
@@ -579,8 +579,8 @@ impl<'a> ExecEnv<'a> {
                 continue;
             }
             let line = match &self.active_wrapper {
-                Some(w) => w.ls_line(self.fs, &actor, f, &uname, &gname),
-                None => self.fs.ls_line(&actor, f, &uname, &gname),
+                Some(w) => w.ls_line(self.fs, &actor, f, uname, gname),
+                None => self.fs.ls_line(&actor, f, uname, gname),
             };
             match line {
                 Ok(l) => lines.push(l),
@@ -1009,7 +1009,7 @@ mod tests {
         let mut env = centos_type3();
         {
             let mut sh = exec(&mut env);
-            sh.run_command("yum install -y epel-release").status;
+            sh.run_command("yum install -y epel-release");
             sh.run_command("yum install -y fakeroot");
             sh.run_command("mkdir -p /work");
             let r = sh.run_command(

@@ -7,10 +7,12 @@
 //! Figure 2) or succeeds depending on the container privilege type.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use hpcc_kernel::{Capability, Errno, Gid, KResult, Uid, UsernsId};
 
 use crate::actor::Actor;
+use crate::bytes::FileBytes;
 use crate::inode::{Ino, Inode, InodeData, Stat};
 use crate::mode::{Access, FileType, Mode};
 use crate::sharedfs::FsBackend;
@@ -19,9 +21,16 @@ use crate::sharedfs::FsBackend;
 const MAX_SYMLINK_DEPTH: u32 = 40;
 
 /// An in-memory POSIX-like filesystem.
+///
+/// Snapshots are cheap: the inode table lives behind an [`Arc`], so
+/// `Filesystem::clone()` is O(1) and the first mutation after a clone copies
+/// only inode *metadata* — regular-file bytes stay shared copy-on-write via
+/// [`FileBytes`] until the individual file is written. This is what makes
+/// build-cache hits, multi-stage `FROM`, and overlay commits O(metadata)
+/// instead of O(image bytes).
 #[derive(Debug, Clone)]
 pub struct Filesystem {
-    inodes: HashMap<Ino, Inode>,
+    inodes: Arc<HashMap<Ino, Inode>>,
     next_ino: Ino,
     root: Ino,
     clock: u64,
@@ -53,7 +62,7 @@ impl Filesystem {
             },
         );
         Filesystem {
-            inodes,
+            inodes: Arc::new(inodes),
             next_ino: 2,
             root: 1,
             clock: 1,
@@ -94,9 +103,15 @@ impl Filesystem {
         self.inodes.get(&ino).ok_or(Errno::ENOENT)
     }
 
-    /// Mutably borrow an inode.
+    /// Mutably borrow an inode. Like every mutating path, this detaches the
+    /// inode table from any snapshot sharing it (metadata-only copy).
     pub fn inode_mut(&mut self, ino: Ino) -> KResult<&mut Inode> {
-        self.inodes.get_mut(&ino).ok_or(Errno::ENOENT)
+        Arc::make_mut(&mut self.inodes).get_mut(&ino).ok_or(Errno::ENOENT)
+    }
+
+    /// Mutable inode table, detached from snapshots on first use.
+    fn inodes_mut(&mut self) -> &mut HashMap<Ino, Inode> {
+        Arc::make_mut(&mut self.inodes)
     }
 
     fn tick(&mut self) -> u64 {
@@ -108,7 +123,7 @@ impl Filesystem {
         let ino = self.next_ino;
         self.next_ino += 1;
         let mtime = self.tick();
-        self.inodes.insert(
+        self.inodes_mut().insert(
             ino,
             Inode {
                 ino,
@@ -264,10 +279,13 @@ impl Filesystem {
 
     /// Installs a regular file without permission checks, creating parent
     /// directories as needed (parents get mode 0755 with the same owner).
+    ///
+    /// Accepts anything convertible to [`FileBytes`]; passing a `FileBytes`
+    /// handle shares the bytes with the source instead of copying them.
     pub fn install_file(
         &mut self,
         path: &str,
-        content: impl Into<Vec<u8>>,
+        content: impl Into<FileBytes>,
         uid: Uid,
         gid: Gid,
         mode: Mode,
@@ -383,7 +401,7 @@ impl Filesystem {
         &mut self,
         actor: &Actor,
         path: &str,
-        content: impl Into<Vec<u8>>,
+        content: impl Into<FileBytes>,
         mode: Mode,
     ) -> KResult<Ino> {
         self.check_writable()?;
@@ -434,7 +452,7 @@ impl Filesystem {
                 let tick = self.tick();
                 let inode = self.inode_mut(ino)?;
                 if let InodeData::Regular { content: existing } = &mut inode.data {
-                    existing.extend_from_slice(content);
+                    existing.to_mut().extend_from_slice(content);
                     inode.mtime = tick;
                     Ok(ino)
                 } else {
@@ -446,8 +464,24 @@ impl Filesystem {
         }
     }
 
-    /// Reads a regular file's contents.
-    pub fn read_file(&self, actor: &Actor, path: &str) -> KResult<Vec<u8>> {
+    /// Reads a regular file's contents, borrowing them from the filesystem —
+    /// no bytes are copied. Use [`Filesystem::file_bytes`] when an owned
+    /// (still copy-on-write) handle is needed.
+    pub fn read_file(&self, actor: &Actor, path: &str) -> KResult<&[u8]> {
+        let ino = self.resolve(actor, path)?;
+        let inode = self.inode(ino)?;
+        actor.check_access(inode, Access::READ)?;
+        match &inode.data {
+            InodeData::Regular { content } => Ok(content.as_slice()),
+            InodeData::Directory { .. } => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Reads a regular file as a cheap copy-on-write handle that shares the
+    /// stored bytes (the snapshot-friendly way to move file content between
+    /// filesystems).
+    pub fn file_bytes(&self, actor: &Actor, path: &str) -> KResult<FileBytes> {
         let ino = self.resolve(actor, path)?;
         let inode = self.inode(ino)?;
         actor.check_access(inode, Access::READ)?;
@@ -461,7 +495,9 @@ impl Filesystem {
     /// Reads a file as UTF-8 text.
     pub fn read_to_string(&self, actor: &Actor, path: &str) -> KResult<String> {
         let bytes = self.read_file(actor, path)?;
-        String::from_utf8(bytes).map_err(|_| Errno::EINVAL)
+        std::str::from_utf8(bytes)
+            .map(|s| s.to_string())
+            .map_err(|_| Errno::EINVAL)
     }
 
     /// `unlink(2)`.
@@ -478,7 +514,7 @@ impl Filesystem {
         let inode = self.inode_mut(target)?;
         inode.nlink = inode.nlink.saturating_sub(1);
         if inode.nlink == 0 {
-            self.inodes.remove(&target);
+            self.inodes_mut().remove(&target);
         }
         Ok(())
     }
@@ -498,7 +534,7 @@ impl Filesystem {
             return Err(Errno::ENOTEMPTY);
         }
         self.inode_mut(parent)?.entries_mut().remove(&name);
-        self.inodes.remove(&target);
+        self.inodes_mut().remove(&target);
         Ok(())
     }
 
@@ -914,6 +950,7 @@ impl Filesystem {
                 }
             }
             InodeData::Regular { content } => {
+                // Shares the bytes with the source tree (copy-on-write).
                 let ino =
                     self.install_file(dst_path, content.clone(), inode.uid, inode.gid, inode.mode)?;
                 self.inode_mut(ino)?.xattrs = inode.xattrs.clone();
@@ -939,7 +976,7 @@ impl Filesystem {
     /// setuid/setgid bits — what Charliecloud does on push "to avoid leaking
     /// site IDs" (paper §6.1).
     pub fn flatten_ownership(&mut self, new_uid: Uid, new_gid: Gid) {
-        for inode in self.inodes.values_mut() {
+        for inode in self.inodes_mut().values_mut() {
             inode.uid = new_uid;
             inode.gid = new_gid;
             inode.mode = inode.mode.without_setid();
@@ -1289,5 +1326,59 @@ mod tests {
     fn components_normalization() {
         assert_eq!(Filesystem::components("/a//b/./c/../d"), vec!["a", "b", "d"]);
         assert!(Filesystem::components("/").is_empty());
+    }
+
+    #[test]
+    fn cloned_filesystem_shares_file_bytes_until_written() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.install_file("/etc/conf", b"original".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        let snapshot = fs.clone();
+        // The clone shares the stored bytes (no copy happened).
+        let a = fs.file_bytes(&actor, "/etc/conf").unwrap();
+        let b = snapshot.file_bytes(&actor, "/etc/conf").unwrap();
+        assert!(a.shares_buffer_with(&b));
+    }
+
+    #[test]
+    fn mutation_in_clone_does_not_leak_into_snapshot() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.install_file("/etc/conf", b"original".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        fs.install_file("/data/big", vec![7u8; 4096], Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        let snapshot = fs.clone();
+        // Overwrite, append, create, delete, chmod in the live tree.
+        fs.write_file(&actor, "/etc/conf", b"changed".to_vec(), Mode::FILE_644)
+            .unwrap();
+        fs.append_file(&actor, "/data/big", b"tail", Mode::FILE_644).unwrap();
+        fs.write_file(&actor, "/etc/new", b"n".to_vec(), Mode::FILE_644).unwrap();
+        fs.unlink(&actor, "/data/big").unwrap();
+        fs.chmod(&actor, "/etc/conf", Mode::new(0o600)).unwrap();
+        // The snapshot still sees the world as it was at clone time.
+        assert_eq!(snapshot.read_file(&actor, "/etc/conf").unwrap(), b"original");
+        assert_eq!(snapshot.stat(&actor, "/etc/conf").unwrap().mode, Mode::FILE_644);
+        assert_eq!(snapshot.read_file(&actor, "/data/big").unwrap().len(), 4096);
+        assert!(!snapshot.exists(&actor, "/etc/new"));
+        // Untouched files still share bytes; written files have diverged.
+        let live = fs.file_bytes(&actor, "/etc/conf").unwrap();
+        let snap = snapshot.file_bytes(&actor, "/etc/conf").unwrap();
+        assert!(!live.shares_buffer_with(&snap));
+    }
+
+    #[test]
+    fn mutation_in_snapshot_does_not_leak_into_original() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.install_file("/f", b"one".to_vec(), Uid(0), Gid(0), Mode::FILE_644).unwrap();
+        let mut snapshot = fs.clone();
+        snapshot.write_file(&actor, "/f", b"two".to_vec(), Mode::FILE_644).unwrap();
+        snapshot.remove_tree(&actor, "/f").unwrap();
+        assert_eq!(fs.read_file(&actor, "/f").unwrap(), b"one");
     }
 }

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use hpcc_kernel::{Gid, Uid};
 
+use crate::bytes::FileBytes;
 use crate::mode::{FileType, Mode};
 
 /// Inode number.
@@ -14,8 +15,8 @@ pub type Ino = u64;
 pub enum InodeData {
     /// Regular file contents.
     Regular {
-        /// File bytes.
-        content: Vec<u8>,
+        /// File bytes, shared copy-on-write between filesystem snapshots.
+        content: FileBytes,
     },
     /// Directory entries, kept sorted for deterministic iteration.
     Directory {
@@ -56,7 +57,7 @@ impl InodeData {
     }
 
     /// Regular-file payload from bytes.
-    pub fn file(content: impl Into<Vec<u8>>) -> Self {
+    pub fn file(content: impl Into<FileBytes>) -> Self {
         InodeData::Regular {
             content: content.into(),
         }

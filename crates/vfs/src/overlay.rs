@@ -169,12 +169,7 @@ impl OverlayFs {
         if self.is_whited_out(path) {
             return None;
         }
-        for lower in self.lowers.iter().rev() {
-            if lower.exists(&actor, path) {
-                return Some(lower);
-            }
-        }
-        None
+        self.lowers.iter().rev().find(|&lower| lower.exists(&actor, path)).map(|v| v as _)
     }
 
     /// True if `path` exists in the merged view.
@@ -190,8 +185,9 @@ impl OverlayFs {
         self.providing_fs(path).ok_or(Errno::ENOENT)?.stat(actor, path)
     }
 
-    /// Reads a regular file from the merged view.
-    pub fn read_file(&self, actor: &Actor, path: &str) -> KResult<Vec<u8>> {
+    /// Reads a regular file from the merged view, borrowing the bytes from
+    /// whichever layer provides them.
+    pub fn read_file(&self, actor: &Actor, path: &str) -> KResult<&[u8]> {
         self.providing_fs(path)
             .ok_or(Errno::ENOENT)?
             .read_file(actor, path)
@@ -280,7 +276,9 @@ impl OverlayFs {
                 Ok(())
             }
             _ => {
-                let content = src.read_file(&actor, &p).unwrap_or_default();
+                // A copy-up shares the lower layer's bytes copy-on-write; the
+                // byte counter records the logical copy-up size as before.
+                let content = src.file_bytes(&actor, &p).unwrap_or_default();
                 self.stats.copy_ups += 1;
                 self.stats.copy_up_bytes += content.len() as u64;
                 self.upper
@@ -308,7 +306,7 @@ impl OverlayFs {
         &mut self,
         actor: &Actor,
         path: &str,
-        content: impl Into<Vec<u8>>,
+        content: impl Into<crate::bytes::FileBytes>,
     ) -> KResult<()> {
         let p = norm(path);
         self.check_write_access(actor, &p)?;

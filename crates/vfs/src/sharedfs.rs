@@ -7,8 +7,10 @@
 
 /// What kind of storage backs a [`crate::fs::Filesystem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
 pub enum FsBackend {
     /// Node-local disk (ext4/xfs): everything supported.
+    #[default]
     LocalDisk,
     /// `tmpfs` (e.g. `/tmp`): everything supported, contents volatile.
     Tmpfs,
@@ -104,11 +106,6 @@ impl FsBackend {
     }
 }
 
-impl Default for FsBackend {
-    fn default() -> Self {
-        FsBackend::LocalDisk
-    }
-}
 
 #[cfg(test)]
 mod tests {

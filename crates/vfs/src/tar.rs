@@ -110,30 +110,47 @@ fn flag_type(flag: u8) -> FileType {
     }
 }
 
-fn write_header(entry: &TarEntry, out: &mut Vec<u8>) -> KResult<()> {
+/// Header-only view of one entry being serialized; content is streamed
+/// separately so packing never copies file bytes.
+struct HeaderFields<'a> {
+    path: &'a str,
+    file_type: FileType,
+    mode: Mode,
+    uid: u32,
+    gid: u32,
+    size: u64,
+    link_target: &'a str,
+    dev: Option<(u32, u32)>,
+}
+
+fn io_err(_: std::io::Error) -> Errno {
+    Errno::EIO
+}
+
+fn write_header<W: std::io::Write>(f: &HeaderFields<'_>, out: &mut W) -> KResult<()> {
     let mut hdr = [0u8; BLOCK];
-    let name = if entry.file_type == FileType::Directory {
-        format!("{}/", entry.path)
+    let name = if f.file_type == FileType::Directory {
+        format!("{}/", f.path)
     } else {
-        entry.path.clone()
+        f.path.to_string()
     };
     if name.len() > 100 {
         return Err(Errno::ENAMETOOLONG);
     }
     hdr[..name.len()].copy_from_slice(name.as_bytes());
-    octal_field(&mut hdr[100..108], entry.mode.bits() as u64);
-    octal_field(&mut hdr[108..116], entry.uid as u64);
-    octal_field(&mut hdr[116..124], entry.gid as u64);
-    let size = if entry.file_type == FileType::Regular {
-        entry.content.len() as u64
+    octal_field(&mut hdr[100..108], f.mode.bits() as u64);
+    octal_field(&mut hdr[108..116], f.uid as u64);
+    octal_field(&mut hdr[116..124], f.gid as u64);
+    let size = if f.file_type == FileType::Regular {
+        f.size
     } else {
         0
     };
     octal_field(&mut hdr[124..136], size);
     octal_field(&mut hdr[136..148], 0); // mtime
-    hdr[156] = type_flag(entry.file_type);
-    if entry.file_type == FileType::Symlink {
-        let t = entry.link_target.as_bytes();
+    hdr[156] = type_flag(f.file_type);
+    if f.file_type == FileType::Symlink {
+        let t = f.link_target.as_bytes();
         if t.len() > 100 {
             return Err(Errno::ENAMETOOLONG);
         }
@@ -141,7 +158,7 @@ fn write_header(entry: &TarEntry, out: &mut Vec<u8>) -> KResult<()> {
     }
     hdr[257..262].copy_from_slice(b"ustar");
     hdr[263..265].copy_from_slice(b"00");
-    if let Some((maj, min)) = entry.dev {
+    if let Some((maj, min)) = f.dev {
         octal_field(&mut hdr[329..337], maj as u64);
         octal_field(&mut hdr[337..345], min as u64);
     }
@@ -152,23 +169,23 @@ fn write_header(entry: &TarEntry, out: &mut Vec<u8>) -> KResult<()> {
     let sum: u64 = hdr.iter().map(|&b| b as u64).sum();
     let s = format!("{:06o}\0 ", sum);
     hdr[148..156].copy_from_slice(s.as_bytes());
-    out.extend_from_slice(&hdr);
-    if entry.file_type == FileType::Regular {
-        out.extend_from_slice(&entry.content);
-        let pad = (BLOCK - entry.content.len() % BLOCK) % BLOCK;
-        out.extend(std::iter::repeat(0u8).take(pad));
-    }
-    Ok(())
+    out.write_all(&hdr).map_err(io_err)
 }
 
-/// Packs the subtree rooted at `root_path` into a ustar archive.
-pub fn pack(
+/// Packs the subtree rooted at `root_path` into `out` as a ustar stream.
+///
+/// Bytes are produced incrementally — header, content, padding per entry —
+/// so a digesting writer (e.g. `hpcc_image::Sha256Writer` behind a tee)
+/// hashes the layer while it is serialized, and file contents are written
+/// straight from the filesystem's copy-on-write buffers without cloning.
+pub fn pack_into<W: std::io::Write>(
     fs: &Filesystem,
     actor: &Actor,
     root_path: &str,
     options: &PackOptions,
-) -> KResult<Vec<u8>> {
-    let mut out = Vec::new();
+    out: &mut W,
+) -> KResult<()> {
+    const ZEROES: [u8; BLOCK] = [0u8; BLOCK];
     let prefix = {
         let comps = Filesystem::components(root_path);
         format!("/{}", comps.join("/"))
@@ -181,8 +198,7 @@ pub fn pack(
         let rel = path
             .strip_prefix(&prefix)
             .unwrap_or(&path)
-            .trim_start_matches('/')
-            .to_string();
+            .trim_start_matches('/');
         if rel.is_empty() {
             continue;
         }
@@ -197,32 +213,51 @@ pub fn pack(
                 actor.userns.display_gid(inode.gid).0,
             ),
             OwnershipPolicy::FlattenRoot => (0, 0),
-            OwnershipPolicy::External(db) => db.get(&rel).copied().map(|(u, g)| (u, g)).unwrap_or((0, 0)),
+            OwnershipPolicy::External(db) => db.get(rel).copied().unwrap_or((0, 0)),
         };
         let mut mode = inode.mode;
         if options.clear_setid || matches!(options.ownership, OwnershipPolicy::FlattenRoot) {
             mode = mode.without_setid();
         }
-        let entry = TarEntry {
+        let content: &[u8] = match &inode.data {
+            InodeData::Regular { content } => content.as_slice(),
+            _ => &[],
+        };
+        let fields = HeaderFields {
             path: rel,
             file_type: ft,
             mode,
             uid,
             gid,
-            content: match &inode.data {
-                InodeData::Regular { content } => content.clone(),
-                _ => Vec::new(),
-            },
+            size: content.len() as u64,
             link_target: match &inode.data {
-                InodeData::Symlink { target } => target.clone(),
-                _ => String::new(),
+                InodeData::Symlink { target } => target.as_str(),
+                _ => "",
             },
             dev: inode.rdev(),
         };
-        write_header(&entry, &mut out)?;
+        write_header(&fields, out)?;
+        if ft == FileType::Regular && !content.is_empty() {
+            out.write_all(content).map_err(io_err)?;
+            let pad = (BLOCK - content.len() % BLOCK) % BLOCK;
+            out.write_all(&ZEROES[..pad]).map_err(io_err)?;
+        }
     }
     // Two zero blocks terminate the archive.
-    out.extend(std::iter::repeat(0u8).take(BLOCK * 2));
+    out.write_all(&ZEROES).map_err(io_err)?;
+    out.write_all(&ZEROES).map_err(io_err)?;
+    Ok(())
+}
+
+/// Packs the subtree rooted at `root_path` into a ustar archive in memory.
+pub fn pack(
+    fs: &Filesystem,
+    actor: &Actor,
+    root_path: &str,
+    options: &PackOptions,
+) -> KResult<Vec<u8>> {
+    let mut out = Vec::new();
+    pack_into(fs, actor, root_path, options, &mut out)?;
     Ok(out)
 }
 
@@ -299,7 +334,7 @@ pub fn unpack(
 ) -> KResult<usize> {
     let entries = list(archive)?;
     let mut installed = 0;
-    for e in &entries {
+    for e in entries {
         let (uid, gid) = match options.force_owner {
             Some((u, g)) => (u, g),
             None => (Uid(e.uid), Gid(e.gid)),
@@ -310,7 +345,8 @@ pub fn unpack(
                 fs.install_dir(&path, uid, gid, e.mode)?;
             }
             FileType::Regular => {
-                fs.install_file(&path, e.content.clone(), uid, gid, e.mode)?;
+                // Moves the parsed bytes into the filesystem, no copy.
+                fs.install_file(&path, e.content, uid, gid, e.mode)?;
             }
             FileType::Symlink => {
                 fs.install_symlink(&path, &e.link_target, uid, gid)?;
