@@ -107,7 +107,11 @@ fn bench_build_types(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("type3_chimage_force", "centos7"), |b| {
         b.iter(|| {
             let mut builder = Builder::ch_image(alice());
-            builder.build(centos7_dockerfile(), &BuildOptions::new("c7").with_force(), None)
+            builder.build(
+                centos7_dockerfile(),
+                &BuildOptions::new("c7").with_force(),
+                None,
+            )
         })
     });
     group.finish();

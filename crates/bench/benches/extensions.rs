@@ -27,8 +27,12 @@ fn bench_idmap_policies(c: &mut Criterion) {
     group.bench_function("policy_root_plus_unique_range", |b| {
         b.iter(|| {
             let mut alloc = UniqueRangeAllocator::new(200_000, 65_536);
-            policy_uid_map(MapPolicy::RootPlusUniqueRange { count: 65_536 }, &alice, &mut alloc)
-                .unwrap()
+            policy_uid_map(
+                MapPolicy::RootPlusUniqueRange { count: 65_536 },
+                &alice,
+                &mut alloc,
+            )
+            .unwrap()
         })
     });
     group.bench_function("policy_grants_1000_users", |b| {
@@ -111,17 +115,31 @@ fn bench_oci_push(c: &mut Criterion) {
     group.bench_function("single_flattened_layer", |b| {
         b.iter(|| {
             let mut reg = DistributionRegistry::new("r.example.gov", &["alice"]);
-            push_to_oci(&builder, "foo", &mut reg, "hpc/foo", "1", LayerMode::SingleFlattened)
-                .unwrap()
-                .layer_count
+            push_to_oci(
+                &builder,
+                "foo",
+                &mut reg,
+                "hpc/foo",
+                "1",
+                LayerMode::SingleFlattened,
+            )
+            .unwrap()
+            .layer_count
         })
     });
     group.bench_function("base_plus_diff_layers", |b| {
         b.iter(|| {
             let mut reg = DistributionRegistry::new("r.example.gov", &["alice"]);
-            push_to_oci(&builder, "foo", &mut reg, "hpc/foo", "1", LayerMode::BaseAndDiff)
-                .unwrap()
-                .layer_count
+            push_to_oci(
+                &builder,
+                "foo",
+                &mut reg,
+                "hpc/foo",
+                "1",
+                LayerMode::BaseAndDiff,
+            )
+            .unwrap()
+            .layer_count
         })
     });
     group.bench_function("ten_iterative_pushes_dedup", |b| {

@@ -30,7 +30,8 @@ fn bench_interposition_overhead(c: &mut Criterion) {
     // How much the wrapper costs per intercepted call vs a plain stat.
     let mut group = c.benchmark_group("fig7_interposition_ops");
     let mut fs = Filesystem::new_local();
-    fs.install_dir("/w", Uid(1000), Gid(1000), Mode::new(0o755)).unwrap();
+    fs.install_dir("/w", Uid(1000), Gid(1000), Mode::new(0o755))
+        .unwrap();
     let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
     let ns = UserNamespace::initial();
     let actor = Actor::new(&creds, &ns);
@@ -46,8 +47,14 @@ fn bench_interposition_overhead(c: &mut Criterion) {
                 b.iter(|| {
                     let mut s = FakerootSession::new(f);
                     for i in 0..512 {
-                        s.chown(&mut fs, &actor, &format!("/w/f{}", i), Some(Uid(0)), Some(Gid(0)))
-                            .unwrap();
+                        s.chown(
+                            &mut fs,
+                            &actor,
+                            &format!("/w/f{}", i),
+                            Some(Uid(0)),
+                            Some(Gid(0)),
+                        )
+                        .unwrap();
                     }
                     s.db.len()
                 })
@@ -56,7 +63,8 @@ fn bench_interposition_overhead(c: &mut Criterion) {
     }
     group.bench_function("wrapped_stat", |b| {
         let mut s = FakerootSession::new(Flavor::Fakeroot);
-        s.chown(&mut fs, &actor, "/w/f0", Some(Uid(74)), Some(Gid(74))).unwrap();
+        s.chown(&mut fs, &actor, "/w/f0", Some(Uid(74)), Some(Gid(74)))
+            .unwrap();
         b.iter(|| s.stat(&fs, &actor, "/w/f0").unwrap())
     });
     group.bench_function("plain_stat", |b| {
@@ -66,8 +74,16 @@ fn bench_interposition_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut s = FakerootSession::new(Flavor::Pseudo);
             let mut fs2 = fs.clone();
-            s.mknod(&mut fs2, &actor, "/w/dev0", FileType::CharDevice, 1, 3, Mode::new(0o640))
-                .unwrap();
+            s.mknod(
+                &mut fs2,
+                &actor,
+                "/w/dev0",
+                FileType::CharDevice,
+                1,
+                3,
+                Mode::new(0o640),
+            )
+            .unwrap();
             s.db.len()
         })
     });
@@ -81,7 +97,11 @@ fn bench_db_persistence(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("save_load", n), &n, |b, &n| {
             let mut db = hpcc_fakeroot::LieDatabase::new();
             for i in 0..n {
-                db.record_chown(&format!("/pkg/file{}", i), (i % 1000) as u32, (i % 1000) as u32);
+                db.record_chown(
+                    &format!("/pkg/file{}", i),
+                    (i % 1000) as u32,
+                    (i % 1000) as u32,
+                );
             }
             b.iter(|| {
                 let text = db.save();

@@ -33,17 +33,21 @@ fn bench_storage_drivers(c: &mut Criterion) {
     let image = sample_image(256);
     let sysctl = Sysctl::modern();
     for driver in StorageDriver::ALL {
-        group.bench_with_input(BenchmarkId::new("local_disk", driver.name()), &driver, |b, &d| {
-            b.iter(|| {
-                let persistence = match d {
-                    StorageDriver::FuseOverlayFs => IdPersistence::UserXattrs,
-                    _ => IdPersistence::SingleUser,
-                };
-                prepare_rootfs(&image, d, FsBackend::LocalDisk, &sysctl, 1000, persistence)
-                    .unwrap()
-                    .1
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("local_disk", driver.name()),
+            &driver,
+            |b, &d| {
+                b.iter(|| {
+                    let persistence = match d {
+                        StorageDriver::FuseOverlayFs => IdPersistence::UserXattrs,
+                        _ => IdPersistence::SingleUser,
+                    };
+                    prepare_rootfs(&image, d, FsBackend::LocalDisk, &sysctl, 1000, persistence)
+                        .unwrap()
+                        .1
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -61,19 +65,23 @@ fn bench_sharedfs_xattr_clash(c: &mut Criterion) {
         ("lustre_default", FsBackend::default_lustre()),
     ];
     for (name, backend) in backends {
-        group.bench_with_input(BenchmarkId::new("fuse_overlayfs", name), &backend, |b, &be| {
-            b.iter(|| {
-                prepare_rootfs(
-                    &image,
-                    StorageDriver::FuseOverlayFs,
-                    be,
-                    &sysctl,
-                    1000,
-                    IdPersistence::UserXattrs,
-                )
-                .is_ok()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fuse_overlayfs", name),
+            &backend,
+            |b, &be| {
+                b.iter(|| {
+                    prepare_rootfs(
+                        &image,
+                        StorageDriver::FuseOverlayFs,
+                        be,
+                        &sysctl,
+                        1000,
+                        IdPersistence::UserXattrs,
+                    )
+                    .is_ok()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -83,7 +91,11 @@ fn bench_push_policies(c: &mut Criterion) {
     group.sample_size(20);
     // Build once; measure the push path under each policy.
     let mut builder = Builder::ch_image(alice());
-    let r = builder.build(centos7_dockerfile(), &BuildOptions::new("c7").with_force(), None);
+    let r = builder.build(
+        centos7_dockerfile(),
+        &BuildOptions::new("c7").with_force(),
+        None,
+    );
     assert!(r.success);
     for (name, policy) in [
         ("flatten", PushOwnership::Flatten),
@@ -99,9 +111,7 @@ fn bench_push_policies(c: &mut Criterion) {
             })
         });
     }
-    group.bench_function("policy_uid_comparison", |b| {
-        b.iter(push_policy_comparison)
-    });
+    group.bench_function("policy_uid_comparison", |b| b.iter(push_policy_comparison));
     group.finish();
 }
 

@@ -55,15 +55,19 @@ fn bench_idmap_translation(c: &mut Criterion) {
 fn bench_map_rendering_and_parsing(c: &mut Criterion) {
     let mut group = c.benchmark_group("uidmap_procfs_roundtrip");
     for entries in [2usize, 16, 128] {
-        group.bench_with_input(BenchmarkId::new("render_parse", entries), &entries, |b, &n| {
-            let map = IdMap::from_entries(
-                (0..n as u32)
-                    .map(|i| hpcc_kernel::IdMapEntry::new(i * 1000, 200_000 + i * 1000, 1000))
-                    .collect(),
-            )
-            .unwrap();
-            b.iter(|| IdMap::parse_procfs(&map.render_procfs()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("render_parse", entries),
+            &entries,
+            |b, &n| {
+                let map = IdMap::from_entries(
+                    (0..n as u32)
+                        .map(|i| hpcc_kernel::IdMapEntry::new(i * 1000, 200_000 + i * 1000, 1000))
+                        .collect(),
+                )
+                .unwrap();
+                b.iter(|| IdMap::parse_procfs(&map.render_procfs()).unwrap())
+            },
+        );
     }
     group.finish();
 }

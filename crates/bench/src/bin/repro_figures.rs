@@ -26,25 +26,46 @@ fn main() {
         );
     }
     if want("fig2") {
-        section("Figure 2: CentOS 7 Dockerfile fails in a basic Type III build", repro_fig2());
+        section(
+            "Figure 2: CentOS 7 Dockerfile fails in a basic Type III build",
+            repro_fig2(),
+        );
     }
     if want("fig3") {
-        section("Figure 3: Debian 10 Dockerfile fails in a basic Type III build", repro_fig3());
+        section(
+            "Figure 3: Debian 10 Dockerfile fails in a basic Type III build",
+            repro_fig3(),
+        );
     }
     if want("fig5") {
-        section("Figure 5: Podman unprivileged-mode single-entry UID map", repro_fig5());
+        section(
+            "Figure 5: Podman unprivileged-mode single-entry UID map",
+            repro_fig5(),
+        );
     }
     if want("fig6") {
-        section("Figure 6: container build workflow on Astra with Podman", repro_fig6(4));
+        section(
+            "Figure 6: container build workflow on Astra with Podman",
+            repro_fig6(4),
+        );
     }
     if want("fig7") {
-        section("Figure 7: fakeroot(1) example (inside vs outside views)", repro_fig7());
+        section(
+            "Figure 7: fakeroot(1) example (inside vs outside views)",
+            repro_fig7(),
+        );
     }
     if want("fig8") {
-        section("Figure 8: modified CentOS 7 Dockerfile builds with fakeroot", repro_fig8());
+        section(
+            "Figure 8: modified CentOS 7 Dockerfile builds with fakeroot",
+            repro_fig8(),
+        );
     }
     if want("fig9") {
-        section("Figure 9: modified Debian 10 Dockerfile builds with pseudo", repro_fig9());
+        section(
+            "Figure 9: modified Debian 10 Dockerfile builds with pseudo",
+            repro_fig9(),
+        );
     }
     if want("fig10") {
         section(
@@ -62,7 +83,10 @@ fn main() {
         section("Table 1: fakeroot(1) implementations", repro_table1());
     }
     if want("pipeline") {
-        section("Section 5.3.3: LANL production CI pipeline", repro_ci_pipeline());
+        section(
+            "Section 5.3.3: LANL production CI pipeline",
+            repro_ci_pipeline(),
+        );
     }
     if want("types") {
         let mut body = String::new();
@@ -74,12 +98,18 @@ fn main() {
                 modified
             ));
         }
-        section("Ablation E13: build-type comparison (centos7.dockerfile)", body);
+        section(
+            "Ablation E13: build-type comparison (centos7.dockerfile)",
+            body,
+        );
     }
     if want("push") {
         let mut body = String::new();
         for (name, uids) in push_policy_comparison() {
-            body.push_str(&format!("{:<32} distinct recorded owner UIDs: {}\n", name, uids));
+            body.push_str(&format!(
+                "{:<32} distinct recorded owner UIDs: {}\n",
+                name, uids
+            ));
         }
         section("Ablation E17: push ownership policies", body);
     }

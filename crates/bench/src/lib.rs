@@ -9,8 +9,8 @@
 
 use hpcc_cluster::{astra_workflow, lanl_ci_pipeline, Cluster};
 use hpcc_core::{
-    centos7_dockerfile, centos7_fr_dockerfile, debian10_dockerfile, debian10_fr_dockerfile,
-    BuildOptions, Builder, PushOwnership,
+    build_multistage, centos7_dockerfile, centos7_fr_dockerfile, debian10_dockerfile,
+    debian10_fr_dockerfile, BuildOptions, Builder, MultiStageReport, PushOwnership,
 };
 use hpcc_distro::centos7;
 use hpcc_fakeroot::{render_table1, FakerootSession, Flavor};
@@ -86,7 +86,8 @@ pub fn repro_fig6(nodes: usize) -> String {
 /// Figure 7: `fakeroot(1)` wrapping chown + mknod; inside vs outside views.
 pub fn repro_fig7() -> String {
     let mut fs = Filesystem::new_local();
-    fs.install_dir("/work", Uid(1000), Gid(1000), Mode::new(0o755)).unwrap();
+    fs.install_dir("/work", Uid(1000), Gid(1000), Mode::new(0o755))
+        .unwrap();
     let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
     let ns = UserNamespace::initial();
     let actor = Actor::new(&creds, &ns);
@@ -105,20 +106,39 @@ pub fn repro_fig7() -> String {
     };
     let mut out = String::from("$ fakeroot ./fakeroot.sh\n");
     out.push_str("+ touch test.file\n");
-    fs.write_file(&actor, "/work/test.file", Vec::new(), Mode::new(0o640)).unwrap();
-    out.push_str("+ chown nobody test.file\n");
-    s.chown(&mut fs, &actor, "/work/test.file", Some(Uid(65534)), None).unwrap();
-    out.push_str("+ mknod test.dev c 1 1\n");
-    s.mknod(&mut fs, &actor, "/work/test.dev", FileType::CharDevice, 1, 1, Mode::new(0o640))
+    fs.write_file(&actor, "/work/test.file", Vec::new(), Mode::new(0o640))
         .unwrap();
+    out.push_str("+ chown nobody test.file\n");
+    s.chown(&mut fs, &actor, "/work/test.file", Some(Uid(65534)), None)
+        .unwrap();
+    out.push_str("+ mknod test.dev c 1 1\n");
+    s.mknod(
+        &mut fs,
+        &actor,
+        "/work/test.dev",
+        FileType::CharDevice,
+        1,
+        1,
+        Mode::new(0o640),
+    )
+    .unwrap();
     out.push_str("+ ls -lh test.dev test.file\n");
-    out.push_str(&s.ls_line(&fs, &actor, "/work/test.dev", names, gnames).unwrap());
+    out.push_str(
+        &s.ls_line(&fs, &actor, "/work/test.dev", names, gnames)
+            .unwrap(),
+    );
     out.push('\n');
-    out.push_str(&s.ls_line(&fs, &actor, "/work/test.file", names, gnames).unwrap());
+    out.push_str(
+        &s.ls_line(&fs, &actor, "/work/test.file", names, gnames)
+            .unwrap(),
+    );
     out.push_str("\n$ ls -lh test*\n");
     out.push_str(&fs.ls_line(&actor, "/work/test.dev", names, gnames).unwrap());
     out.push('\n');
-    out.push_str(&fs.ls_line(&actor, "/work/test.file", names, gnames).unwrap());
+    out.push_str(
+        &fs.ls_line(&actor, "/work/test.file", names, gnames)
+            .unwrap(),
+    );
     out.push('\n');
     out
 }
@@ -180,7 +200,9 @@ pub fn repro_fig11() -> String {
 pub fn repro_table1() -> String {
     let mut out = render_table1();
     out.push('\n');
-    out.push_str("measured package coverage (openssh on CentOS 7 / openssh-client on Debian 10):\n");
+    out.push_str(
+        "measured package coverage (openssh on CentOS 7 / openssh-client on Debian 10):\n",
+    );
     for flavor in Flavor::ALL {
         let centos_ok = flavor_can_install_centos_openssh(flavor);
         let debian_ok = flavor_can_install_debian_openssh_client(flavor);
@@ -192,6 +214,103 @@ pub fn repro_table1() -> String {
         ));
     }
     out
+}
+
+/// The diamond-shaped four-stage Dockerfile used by the stage-graph bench
+/// (ISSUE 2): a shared toolchain base, two *independent* middle stages (MPI
+/// stack vs Spack tree) the graph executor builds concurrently, and a
+/// runtime stage assembling artifacts from both via `COPY --from`. `width`
+/// controls per-middle-stage payload (one `RUN` writing one artifact file
+/// each), standing in for the long package-install tails of real HPC
+/// compile stages.
+pub fn diamond_dockerfile_sized(width: usize) -> String {
+    let mut text = String::from(
+        "FROM centos:7 AS base\n\
+         RUN yum install -y gcc\n\
+         \n\
+         FROM base AS mpi\n\
+         RUN yum install -y openmpi\n\
+         RUN yum install -y atse-env\n\
+         RUN mkdir -p /opt/artifacts\n\
+         RUN echo mpi-stack > /opt/artifacts/mpi\n",
+    );
+    for i in 0..width {
+        text.push_str(&format!("RUN echo payload-{i} > /opt/artifacts/mpi-{i}\n"));
+    }
+    text.push_str(
+        "\nFROM base AS tools\n\
+         RUN yum install -y spack\n\
+         RUN /opt/spack/bin/spack install app-deps\n\
+         RUN mkdir -p /opt/artifacts\n\
+         RUN echo tool-tree > /opt/artifacts/tools\n",
+    );
+    for i in 0..width {
+        text.push_str(&format!(
+            "RUN echo payload-{i} > /opt/artifacts/tools-{i}\n"
+        ));
+    }
+    text.push_str(
+        "\nFROM centos:7\n\
+         COPY --from=mpi /usr/lib64/openmpi /usr/lib64/openmpi\n\
+         COPY --from=mpi /opt/artifacts/mpi /opt/final/mpi\n\
+         COPY --from=tools /opt/spack /opt/spack\n\
+         COPY --from=tools /opt/artifacts/tools /opt/final/tools\n\
+         RUN echo assembled\n",
+    );
+    text
+}
+
+/// The benched diamond: payload sized so each middle stage does roughly
+/// millisecond-scale work, like a small real compile stage.
+pub fn diamond_dockerfile() -> String {
+    diamond_dockerfile_sized(256)
+}
+
+/// Critical-path analysis of a successful multi-stage build from its
+/// *measured* per-stage execution times: returns `(makespan, serial_sum)`,
+/// where `makespan` is the longest dependency-path time — the wall-clock a
+/// host with enough cores achieves with parallel stages — and `serial_sum`
+/// is the same stages executed back to back. On a single-CPU host the
+/// measured wall-clock matches `serial_sum`; the ratio is the parallel
+/// speedup the graph unlocks per added core.
+pub fn stage_time_model(
+    dockerfile: &str,
+    report: &MultiStageReport,
+) -> (std::time::Duration, std::time::Duration) {
+    use std::time::Duration;
+    let ir = hpcc_core::BuildIr::parse(dockerfile).expect("dockerfile parses");
+    let graph = hpcc_core::BuildGraph::plan(&ir).expect("dockerfile plans");
+    assert!(report.success && report.stages.len() == ir.stage_count());
+    let serial: Duration = report.stages.iter().map(|s| s.elapsed).sum();
+    let mut finish = vec![Duration::ZERO; report.stages.len()];
+    for i in 0..report.stages.len() {
+        let dep_max = graph
+            .node(i)
+            .deps
+            .iter()
+            .map(|&d| finish[d])
+            .max()
+            .unwrap_or(Duration::ZERO);
+        finish[i] = dep_max + report.stages[i].elapsed;
+    }
+    let makespan = finish.iter().max().copied().unwrap_or(Duration::ZERO);
+    (makespan, serial)
+}
+
+/// Builds the diamond Dockerfile once with a fresh Type III builder.
+/// `parallel` toggles concurrent stage execution; `cache` the shared
+/// per-instruction cache.
+pub fn build_diamond(parallel: bool, cache: bool) -> (Builder, MultiStageReport) {
+    let mut builder = Builder::ch_image(alice());
+    let mut options = BuildOptions::new("diamond");
+    if !parallel {
+        options = options.with_serial_stages();
+    }
+    if cache {
+        options = options.with_cache();
+    }
+    let report = build_multistage(&mut builder, &diamond_dockerfile(), &options, None);
+    (builder, report)
 }
 
 /// §5.3.3: the LANL CI pipeline.
@@ -212,8 +331,16 @@ pub fn flavor_can_install_centos_openssh(flavor: Flavor) -> bool {
     let ns = UserNamespace::type3(Uid(1000), Gid(1000));
     let actor = Actor::new(&creds, &ns);
     let mut w = FakerootSession::new(flavor);
-    hpcc_distro::yum_install(&mut fs, &actor, Some(&mut w), &img.catalog, &["openssh"], &[], "x86_64")
-        .success()
+    hpcc_distro::yum_install(
+        &mut fs,
+        &actor,
+        Some(&mut w),
+        &img.catalog,
+        &["openssh"],
+        &[],
+        "x86_64",
+    )
+    .success()
 }
 
 /// Whether a given fakeroot flavor can install Debian's openssh-client in a
@@ -235,8 +362,15 @@ pub fn flavor_can_install_debian_openssh_client(flavor: Flavor) -> bool {
     .unwrap();
     hpcc_distro::apt_update(&mut fs, &actor, &img.catalog);
     let mut w = FakerootSession::new(flavor);
-    hpcc_distro::apt_install(&mut fs, &actor, Some(&mut w), &img.catalog, &["openssh-client"], "amd64")
-        .success()
+    hpcc_distro::apt_install(
+        &mut fs,
+        &actor,
+        Some(&mut w),
+        &img.catalog,
+        &["openssh-client"],
+        "amd64",
+    )
+    .success()
 }
 
 /// Builds the paper's CentOS example with every builder type and reports
@@ -246,19 +380,39 @@ pub fn build_type_comparison() -> Vec<(String, bool, usize)> {
     // Type I (Docker).
     let mut docker = Builder::docker();
     let r = docker.build(centos7_dockerfile(), &BuildOptions::new("c7"), None);
-    results.push(("Type I (Docker)".to_string(), r.success, r.instructions_modified));
+    results.push((
+        "Type I (Docker)".to_string(),
+        r.success,
+        r.instructions_modified,
+    ));
     // Type II (rootless Podman).
     let mut podman = Builder::rootless_podman(alice(), default_subuid_for("alice"));
     let r = podman.build(centos7_dockerfile(), &BuildOptions::new("c7"), None);
-    results.push(("Type II (rootless Podman)".to_string(), r.success, r.instructions_modified));
+    results.push((
+        "Type II (rootless Podman)".to_string(),
+        r.success,
+        r.instructions_modified,
+    ));
     // Type III without --force.
     let mut ch = Builder::ch_image(alice());
     let r = ch.build(centos7_dockerfile(), &BuildOptions::new("c7"), None);
-    results.push(("Type III (ch-image)".to_string(), r.success, r.instructions_modified));
+    results.push((
+        "Type III (ch-image)".to_string(),
+        r.success,
+        r.instructions_modified,
+    ));
     // Type III with --force.
     let mut chf = Builder::ch_image(alice());
-    let r = chf.build(centos7_dockerfile(), &BuildOptions::new("c7").with_force(), None);
-    results.push(("Type III (ch-image --force)".to_string(), r.success, r.instructions_modified));
+    let r = chf.build(
+        centos7_dockerfile(),
+        &BuildOptions::new("c7").with_force(),
+        None,
+    );
+    results.push((
+        "Type III (ch-image --force)".to_string(),
+        r.success,
+        r.instructions_modified,
+    ));
     results
 }
 
@@ -272,7 +426,11 @@ pub fn push_policy_comparison() -> Vec<(String, usize)> {
         ("fakeroot-db (paper §6.2.2)", PushOwnership::FromFakerootDb),
     ] {
         let mut b = Builder::ch_image(alice());
-        let r = b.build(centos7_dockerfile(), &BuildOptions::new("c7").with_force(), None);
+        let r = b.build(
+            centos7_dockerfile(),
+            &BuildOptions::new("c7").with_force(),
+            None,
+        );
         assert!(r.success);
         let mut registry = Registry::new("r");
         b.push("c7", "x/openssh:1", &mut registry, policy).unwrap();
@@ -349,10 +507,58 @@ mod tests {
     #[test]
     fn push_policies_differ_in_recorded_uids() {
         let results = push_policy_comparison();
-        let flatten = results.iter().find(|r| r.0.starts_with("flatten")).unwrap().1;
-        let db = results.iter().find(|r| r.0.starts_with("fakeroot-db")).unwrap().1;
+        let flatten = results
+            .iter()
+            .find(|r| r.0.starts_with("flatten"))
+            .unwrap()
+            .1;
+        let db = results
+            .iter()
+            .find(|r| r.0.starts_with("fakeroot-db"))
+            .unwrap()
+            .1;
         assert_eq!(flatten, 1);
-        assert!(db > 1, "fakeroot-db push preserves intended multi-ID ownership");
+        assert!(
+            db > 1,
+            "fakeroot-db push preserves intended multi-ID ownership"
+        );
+    }
+
+    #[test]
+    fn diamond_builds_both_ways_with_identical_results() {
+        let (pb, pr) = build_diamond(true, false);
+        let (sb, sr) = build_diamond(false, false);
+        assert!(pr.success, "{:?}", pr.error);
+        assert!(sr.success, "{:?}", sr.error);
+        assert_eq!(pr.stages.len(), 4);
+        let creds = Credentials::host_root();
+        let ns = UserNamespace::initial();
+        let actor = Actor::new(&creds, &ns);
+        for path in ["/opt/final/mpi", "/opt/final/tools", "/opt/spack/bin/spack"] {
+            assert!(
+                pb.image("diamond").unwrap().fs.exists(&actor, path),
+                "{}",
+                path
+            );
+            assert!(
+                sb.image("diamond").unwrap().fs.exists(&actor, path),
+                "{}",
+                path
+            );
+        }
+        // Only the final stage is tagged.
+        assert_eq!(pb.tags(), vec!["diamond".to_string()]);
+    }
+
+    #[test]
+    fn diamond_cached_rebuild_hits_every_instruction() {
+        let (mut builder, first) = build_diamond(true, true);
+        assert!(first.success);
+        let opts = BuildOptions::new("diamond").with_cache();
+        let second = build_multistage(&mut builder, &diamond_dockerfile(), &opts, None);
+        assert!(second.success);
+        let misses: usize = second.stages.iter().map(|s| s.cache_misses).sum();
+        assert_eq!(misses, 0, "fully cached rebuild must not miss");
     }
 
     #[test]

@@ -74,7 +74,11 @@ impl Cluster {
             Node::login("astra-login2", "aarch64", sysctl.clone()),
         ];
         for i in 0..compute_nodes {
-            nodes.push(Node::compute(&format!("astra-{:04}", i + 1), "aarch64", sysctl.clone()));
+            nodes.push(Node::compute(
+                &format!("astra-{:04}", i + 1),
+                "aarch64",
+                sysctl.clone(),
+            ));
         }
         Cluster {
             name: "Astra".to_string(),
@@ -88,7 +92,11 @@ impl Cluster {
         let sysctl = Sysctl::modern();
         let mut nodes = vec![Node::login("cluster-login1", "x86_64", sysctl.clone())];
         for i in 0..compute_nodes {
-            nodes.push(Node::compute(&format!("cn{:04}", i + 1), "x86_64", sysctl.clone()));
+            nodes.push(Node::compute(
+                &format!("cn{:04}", i + 1),
+                "x86_64",
+                sysctl.clone(),
+            ));
         }
         Cluster {
             name: "generic".to_string(),
@@ -99,12 +107,18 @@ impl Cluster {
 
     /// The login nodes.
     pub fn login_nodes(&self) -> Vec<&Node> {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Login).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Login)
+            .collect()
     }
 
     /// The compute nodes.
     pub fn compute_nodes(&self) -> Vec<&Node> {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Compute).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Compute)
+            .collect()
     }
 
     /// Looks up a node by name.
@@ -155,7 +169,11 @@ impl Scheduler {
     /// Creates a scheduler managing the cluster's compute nodes.
     pub fn new(cluster: &Cluster) -> Self {
         Scheduler {
-            free_nodes: cluster.compute_nodes().iter().map(|n| n.name.clone()).collect(),
+            free_nodes: cluster
+                .compute_nodes()
+                .iter()
+                .map(|n| n.name.clone())
+                .collect(),
             jobs: Vec::new(),
             next_id: 1,
         }
@@ -187,7 +205,11 @@ impl Scheduler {
         if let Some(job) = self.jobs.iter_mut().find(|j| j.id == id) {
             if job.state == JobState::Running {
                 freed.append(&mut job.allocation.clone());
-                job.state = if success { JobState::Completed } else { JobState::Failed };
+                job.state = if success {
+                    JobState::Completed
+                } else {
+                    JobState::Failed
+                };
             } else if job.state == JobState::Pending {
                 job.state = JobState::Cancelled;
             }

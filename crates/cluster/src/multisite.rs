@@ -11,7 +11,7 @@
 //! then pull the variant matching their own CPUs — the problem that motivated
 //! building on Astra in the first place (§4.2) disappears.
 
-use hpcc_core::{push_to_oci, BuildOptions, Builder, LayerMode};
+use hpcc_core::{build_multistage, push_to_oci, BuildOptions, Builder, LayerMode};
 use hpcc_image::Digest;
 use hpcc_oci::{DistributionRegistry, Platform};
 use hpcc_runtime::Invoker;
@@ -83,9 +83,12 @@ pub struct MultiSiteReport {
 /// shared registry, and finally verifies that each site's compute nodes can
 /// pull their own architecture.
 ///
-/// Builds run concurrently on one thread per site (crossbeam scoped threads —
-/// each site's builder is independent); registry pushes are serialized, as
-/// they would be by the registry service itself.
+/// Builds run concurrently on one thread per site (std scoped threads —
+/// each site's builder is independent), and within each site's build the
+/// stage graph runs independent stages of a multi-stage Dockerfile
+/// concurrently too (a single-stage Dockerfile is just a one-node graph).
+/// Registry pushes are serialized, as they would be by the registry service
+/// itself.
 pub fn multisite_ci(
     sites: &[Site],
     dockerfile_text: &str,
@@ -103,18 +106,20 @@ pub fn multisite_ci(
                 s.spawn(move || {
                     let arch = site.arch();
                     let mut builder = Builder::ch_image(site.invoker.clone());
-                    let report = builder.build(
+                    let report = build_multistage(
+                        &mut builder,
                         &df,
                         &BuildOptions::new(tag).with_force().with_arch(&arch),
                         None,
                     );
+                    let modified = report.stages.iter().map(|r| r.instructions_modified).sum();
                     (
                         i,
                         site.name.clone(),
                         arch,
                         builder,
                         report.success,
-                        report.instructions_modified,
+                        modified,
                     )
                 })
             })
@@ -174,11 +179,7 @@ pub fn multisite_ci(
 /// generic x86-64 machine, with the same CI user at both.
 pub fn astra_plus_x86_sites(user: &str, uid: u32) -> Vec<Site> {
     vec![
-        Site::new(
-            "astra",
-            Cluster::astra(4),
-            Invoker::user(user, uid, uid),
-        ),
+        Site::new("astra", Cluster::astra(4), Invoker::user(user, uid, uid)),
         Site::new(
             "generic-x86",
             Cluster::generic_x86(4),
@@ -221,6 +222,26 @@ mod tests {
         assert!(reg
             .pull_for_platform("ci-runner", "atse/app", "2.0", &Platform::linux_ppc64le())
             .is_err());
+    }
+
+    #[test]
+    fn multistage_dockerfile_builds_at_every_site() {
+        // Each site's CI job runs the stage graph: the compile stage feeds
+        // the runtime stage via COPY --from, per architecture.
+        let text = "\
+FROM centos:7 AS compile
+RUN yum install -y gcc
+RUN mkdir -p /opt/app/bin && echo app > /opt/app/bin/app
+
+FROM centos:7
+COPY --from=compile /opt/app/bin/app /usr/local/bin/app
+RUN yum install -y openssh
+";
+        let sites = astra_plus_x86_sites("ci-runner", 6000);
+        let mut reg = registry();
+        let report = multisite_ci(&sites, text, &mut reg, "atse/ms", "1.0");
+        assert!(report.success, "{:?}", report.results);
+        assert_eq!(report.index_platforms.len(), 2);
     }
 
     #[test]

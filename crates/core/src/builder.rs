@@ -7,18 +7,20 @@
 //!   `--force` automatic injection of `fakeroot(1)` (paper §5).
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use hpcc_distro::{base_image, catalog_for, Catalog};
 use hpcc_fakeroot::LieDatabase;
 use hpcc_image::{Digest, Image, ImageConfig, Registry};
 use hpcc_kernel::{Credentials, Sysctl, UserNamespace};
 use hpcc_runtime::{Container, Invoker, PrivilegeType, StorageDriver, SubIdDb};
-use hpcc_shell::ExecEnv;
-use hpcc_vfs::{Actor, Filesystem, FsBackend, Mode};
+use hpcc_vfs::{Actor, Filesystem, FsBackend};
 
-use crate::cache::{BuildCache, CachedState};
-use crate::dockerfile::{Dockerfile, Instruction};
-use crate::force::{detect_config, ForceConfig};
+use crate::cache::BuildCache;
+use crate::error::BuildError;
+use crate::executor::run_graph;
+use crate::graph::BuildGraph;
+use crate::ir::BuildIr;
 
 /// Which build tool (and therefore privilege model) to emulate.
 #[derive(Debug, Clone)]
@@ -51,16 +53,21 @@ pub struct BuildOptions {
     pub use_cache: bool,
     /// Target CPU architecture.
     pub arch: String,
+    /// Build independent stages of a multi-stage Dockerfile concurrently
+    /// (default). Disable for a serial topological-order baseline.
+    pub parallel: bool,
 }
 
 impl BuildOptions {
-    /// Options with a tag and defaults (no force, no cache, x86-64).
+    /// Options with a tag and defaults (no force, no cache, x86-64,
+    /// parallel stage execution).
     pub fn new(tag: &str) -> Self {
         BuildOptions {
             tag: tag.to_string(),
             force: false,
             use_cache: false,
             arch: "x86_64".to_string(),
+            parallel: true,
         }
     }
 
@@ -79,6 +86,12 @@ impl BuildOptions {
     /// Sets the architecture.
     pub fn with_arch(mut self, arch: &str) -> Self {
         self.arch = arch.to_string();
+        self
+    }
+
+    /// Disables parallel stage execution (serial topological order).
+    pub fn with_serial_stages(mut self) -> Self {
+        self.parallel = false;
         self
     }
 }
@@ -124,14 +137,40 @@ pub struct BuildReport {
     pub cache_hits: usize,
     /// Cache misses during this build.
     pub cache_misses: usize,
-    /// Error message if the build failed.
-    pub error: Option<String>,
+    /// Wall-clock execution time. For a per-stage report this is the stage's
+    /// own execution time; a merged multi-stage report sums its stages (total
+    /// work, not makespan — concurrent stages overlap).
+    pub elapsed: std::time::Duration,
+    /// The error if the build failed.
+    pub error: Option<BuildError>,
 }
 
 impl BuildReport {
     /// The transcript as one string.
     pub fn transcript_text(&self) -> String {
         self.transcript.join("\n")
+    }
+
+    /// The error rendered as text, if the build failed.
+    pub fn error_text(&self) -> Option<String> {
+        self.error.as_ref().map(|e| e.to_string())
+    }
+
+    /// A failed report carrying a front-end or planner error.
+    pub(crate) fn from_error(tag: &str, error: BuildError) -> Self {
+        BuildReport {
+            transcript: vec![format!("error: {}", error)],
+            success: false,
+            tag: tag.to_string(),
+            instructions_total: 0,
+            instructions_modified: 0,
+            modifiable_runs: 0,
+            force_config: None,
+            cache_hits: 0,
+            cache_misses: 0,
+            elapsed: std::time::Duration::ZERO,
+            error: Some(error),
+        }
     }
 }
 
@@ -152,16 +191,19 @@ pub struct Builder {
     pub kind: BuilderKind,
     /// The invoking user.
     pub invoker: Invoker,
-    cache: BuildCache,
+    /// The per-instruction build cache, shared across the concurrently
+    /// executing stages of a build (and across builds by this builder).
+    pub(crate) cache: Arc<Mutex<BuildCache>>,
     store: HashMap<String, BuiltImage>,
 }
 
-struct BuildEnv {
-    fs: Filesystem,
-    creds: Credentials,
-    userns: UserNamespace,
-    catalog: Catalog,
-    base_reference: String,
+/// The mutable environment a stage executes in.
+pub(crate) struct BuildEnv {
+    pub(crate) fs: Filesystem,
+    pub(crate) creds: Credentials,
+    pub(crate) userns: UserNamespace,
+    pub(crate) catalog: Catalog,
+    pub(crate) base_reference: String,
 }
 
 impl Builder {
@@ -170,7 +212,7 @@ impl Builder {
         Builder {
             kind,
             invoker,
-            cache: BuildCache::new(),
+            cache: Arc::new(Mutex::new(BuildCache::new())),
             store: HashMap::new(),
         }
     }
@@ -222,10 +264,10 @@ impl Builder {
 
     /// Clears the per-instruction build cache.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.cache.lock().expect("build cache poisoned").clear();
     }
 
-    fn setup_from(&self, reference: &str, arch: &str) -> Result<BuildEnv, String> {
+    pub(crate) fn setup_from(&self, reference: &str, arch: &str) -> Result<BuildEnv, String> {
         // Local tag takes precedence over remote base images (the LANL
         // three-stage pipeline chains FROM on locally built tags, §5.3.3).
         if let Some(built) = self.store.get(reference) {
@@ -275,7 +317,7 @@ impl Builder {
     /// Builds the environment for a `FROM` instruction served from the build
     /// cache: the cached filesystem is adopted as-is (copy-on-write), so the
     /// base-image tree is never reconstructed and no container is launched.
-    fn env_for_cached_from(
+    pub(crate) fn env_for_cached_from(
         &self,
         reference: &str,
         arch: &str,
@@ -296,20 +338,22 @@ impl Builder {
         })
     }
 
-    fn container_creds(&self) -> Credentials {
+    pub(crate) fn container_creds(&self) -> Credentials {
         match self.kind {
             BuilderKind::Docker => Credentials::host_root(),
             _ => self.invoker.host_creds().entered_own_namespace(),
         }
     }
 
-    fn container_userns(&self) -> UserNamespace {
+    pub(crate) fn container_userns(&self) -> UserNamespace {
         match &self.kind {
             BuilderKind::Docker => UserNamespace::initial(),
             BuilderKind::RootlessPodman { subuid, .. } => {
                 let range = subuid.ranges_for(&self.invoker.name).first().copied();
                 match range {
-                    Some(r) => UserNamespace::type2(self.invoker.uid, self.invoker.gid, r.start, r.count),
+                    Some(r) => {
+                        UserNamespace::type2(self.invoker.uid, self.invoker.gid, r.start, r.count)
+                    }
                     None => UserNamespace::type3(self.invoker.uid, self.invoker.gid),
                 }
             }
@@ -317,19 +361,80 @@ impl Builder {
         }
     }
 
-    /// Builds a Dockerfile. `context` is the build-context filesystem used by
-    /// `COPY` instructions.
+    /// Builds a Dockerfile through the stage graph. `context` is the
+    /// build-context filesystem used by `COPY` instructions.
+    ///
+    /// A multi-stage Dockerfile is planned into a DAG whose independent
+    /// stages execute concurrently; only the *final* stage's image is stored,
+    /// under `options.tag`, and the returned report concatenates the
+    /// per-stage transcripts. Single-stage Dockerfiles behave exactly as
+    /// before. Use [`crate::multistage::build_multistage`] to keep the
+    /// per-stage reports separate.
     pub fn build(
         &mut self,
         dockerfile_text: &str,
         options: &BuildOptions,
         context: Option<&Filesystem>,
     ) -> BuildReport {
-        let hits_before = self.cache.hits();
-        let misses_before = self.cache.misses();
-        let mut report = BuildReport {
+        let (ir, graph) = match Self::plan(dockerfile_text) {
+            Ok(p) => p,
+            Err(e) => return BuildReport::from_error(&options.tag, e),
+        };
+        let mut run = run_graph(self, &ir, &graph, options, context);
+        let report = Self::merge_reports(&ir, &mut run, options);
+        if run.success {
+            let final_index = ir.stage_count() - 1;
+            if let Some(artifact) = run.artifacts[final_index].take() {
+                self.store_artifact(&options.tag, &options.arch, artifact);
+            }
+        }
+        report
+    }
+
+    /// Front end + planner: parse to IR, lower to a validated stage DAG.
+    pub(crate) fn plan(text: &str) -> Result<(BuildIr, BuildGraph), BuildError> {
+        let ir = BuildIr::parse(text)?;
+        let graph = BuildGraph::plan(&ir)?;
+        Ok((ir, graph))
+    }
+
+    /// Stores a finished stage artifact as a locally tagged image.
+    pub(crate) fn store_artifact(
+        &mut self,
+        tag: &str,
+        arch: &str,
+        artifact: crate::executor::StageArtifact,
+    ) {
+        self.store.insert(
+            tag.to_string(),
+            BuiltImage {
+                tag: tag.to_string(),
+                fs: artifact.fs,
+                config: artifact.config,
+                fakeroot_db: artifact.fakeroot_db,
+                base_reference: artifact.base_reference,
+                arch: arch.to_string(),
+                privilege: self.privilege_type(),
+            },
+        );
+    }
+
+    /// Folds a graph run into one report. A single-stage build returns its
+    /// stage report unchanged; a multi-stage build concatenates transcripts
+    /// (with stage headers) and sums the counters.
+    fn merge_reports(
+        ir: &BuildIr,
+        run: &mut crate::executor::GraphRun,
+        options: &BuildOptions,
+    ) -> BuildReport {
+        if ir.stage_count() == 1 {
+            return run.reports[0]
+                .take()
+                .unwrap_or_else(|| BuildReport::from_error(&options.tag, BuildError::NoStages));
+        }
+        let mut merged = BuildReport {
             transcript: Vec::new(),
-            success: false,
+            success: run.success,
             tag: options.tag.clone(),
             instructions_total: 0,
             instructions_modified: 0,
@@ -337,354 +442,31 @@ impl Builder {
             force_config: None,
             cache_hits: 0,
             cache_misses: 0,
-            error: None,
+            elapsed: std::time::Duration::ZERO,
+            error: run.error.clone(),
         };
-        let dockerfile = match Dockerfile::parse(dockerfile_text) {
-            Ok(d) => d,
-            Err(e) => {
-                report.error = Some(e.to_string());
-                report.transcript.push(format!("error: {}", e));
-                return report;
+        for (i, slot) in run.reports.iter().enumerate() {
+            let Some(r) = slot else { continue };
+            let alias = ir.stages[i]
+                .alias
+                .as_deref()
+                .map(|a| format!(" ({})", a))
+                .unwrap_or_default();
+            merged
+                .transcript
+                .push(format!(">>> stage {}/{}{}", i + 1, ir.stage_count(), alias));
+            merged.transcript.extend(r.transcript.iter().cloned());
+            merged.instructions_total += r.instructions_total;
+            merged.instructions_modified += r.instructions_modified;
+            merged.modifiable_runs += r.modifiable_runs;
+            merged.cache_hits += r.cache_hits;
+            merged.cache_misses += r.cache_misses;
+            merged.elapsed += r.elapsed;
+            if merged.force_config.is_none() {
+                merged.force_config = r.force_config.clone();
             }
-        };
-
-        let mut env: Option<BuildEnv> = None;
-        let mut config = ImageConfig {
-            architecture: options.arch.clone(),
-            ..Default::default()
-        };
-        let mut fakeroot_db = LieDatabase::new();
-        let mut force_cfg: Option<ForceConfig> = None;
-        let mut force_initialized = false;
-        let mut parent: Option<Digest> = None;
-
-        for (idx, instruction) in dockerfile.instructions.iter().enumerate() {
-            let n = idx + 1;
-            report.instructions_total = n;
-            let display = Self::display_instruction(n, instruction);
-            let cache_key_text = format!(
-                "{:?}|force={}|{}",
-                self.privilege_type(),
-                options.force,
-                Self::instruction_key(instruction)
-            );
-            let state_id = BuildCache::state_id(parent.as_ref(), &cache_key_text);
-
-            if options.use_cache {
-                if let Some(hit) = self.cache.lookup(&state_id) {
-                    report.transcript.push(format!("{} (cached)", display));
-                    if let Some(e) = env.as_mut() {
-                        // Copy-on-write snapshot: a refcount bump, not a deep
-                        // copy of the image tree.
-                        e.fs = hit.fs.clone();
-                    } else if let Instruction::From { image, .. } = instruction {
-                        // FROM served from cache: build the env around the
-                        // cached filesystem directly — no base image is
-                        // constructed and no container is launched on the
-                        // fully cached path.
-                        match self.env_for_cached_from(image, &options.arch, &hit.fs) {
-                            Ok(fresh) => env = Some(fresh),
-                            Err(msg) => {
-                                report.error = Some(msg.clone());
-                                report.transcript.push(msg);
-                                return report;
-                            }
-                        }
-                    }
-                    config = hit.config.clone();
-                    fakeroot_db = hit.fakeroot_db.clone();
-                    parent = Some(state_id);
-                    // Force-config detection still applies after FROM.
-                    if let (Instruction::From { .. }, BuilderKind::ChImage) =
-                        (instruction, &self.kind)
-                    {
-                        if let Some(e) = &env {
-                            force_cfg = detect_config(&e.fs, &e.creds, &e.userns);
-                            if options.force {
-                                if let Some(cfg) = &force_cfg {
-                                    report.force_config = Some(cfg.name.to_string());
-                                    report.transcript.push(format!(
-                                        "will use --force: {}: {}",
-                                        cfg.name, cfg.description
-                                    ));
-                                }
-                            }
-                            force_initialized = {
-                                // If fakeroot is already in the cached image the
-                                // init phase is satisfied.
-                                let actor = Actor::new(&e.creds, &e.userns);
-                                e.fs.exists(&actor, "/usr/bin/fakeroot")
-                            };
-                        }
-                    }
-                    continue;
-                }
-            }
-
-            match instruction {
-                Instruction::From { image, .. } => {
-                    report.transcript.push(display.clone());
-                    match self.setup_from(image, &options.arch) {
-                        Ok(e) => {
-                            if let BuilderKind::ChImage = self.kind {
-                                force_cfg = detect_config(&e.fs, &e.creds, &e.userns);
-                                if options.force {
-                                    if let Some(cfg) = &force_cfg {
-                                        report.force_config = Some(cfg.name.to_string());
-                                        report.transcript.push(format!(
-                                            "will use --force: {}: {}",
-                                            cfg.name, cfg.description
-                                        ));
-                                    }
-                                }
-                            }
-                            env = Some(e);
-                        }
-                        Err(msg) => {
-                            report.error = Some(msg.clone());
-                            report.transcript.push(msg);
-                            return report;
-                        }
-                    }
-                }
-                Instruction::Run(cmd) => {
-                    report.transcript.push(display.clone());
-                    let Some(e) = env.as_mut() else {
-                        report.error = Some("error: RUN before FROM".to_string());
-                        report.transcript.push("error: RUN before FROM".to_string());
-                        return report;
-                    };
-                    let modifiable = force_cfg
-                        .as_ref()
-                        .map(|c| c.run_is_modifiable(cmd))
-                        .unwrap_or(false);
-                    if modifiable {
-                        report.modifiable_runs += 1;
-                    }
-                    let wrap = matches!(self.kind, BuilderKind::ChImage) && options.force && modifiable;
-
-                    let mut shell = ExecEnv::new(
-                        &mut e.fs,
-                        e.creds.clone(),
-                        &e.userns,
-                        &e.catalog,
-                        &options.arch,
-                    );
-                    shell.fakeroot_db = fakeroot_db.clone();
-
-                    // --force initialization before the first modified RUN.
-                    if wrap && !force_initialized {
-                        let cfg = force_cfg.as_ref().expect("wrap implies config");
-                        let mut init_failed = None;
-                        for (i, step) in cfg.init_steps.iter().enumerate() {
-                            report.transcript.push(format!(
-                                "workarounds: init step {}: checking: $ {}",
-                                i + 1,
-                                step.check
-                            ));
-                            let check = shell.run_command(&step.check);
-                            if check.success() {
-                                continue;
-                            }
-                            report
-                                .transcript
-                                .push(format!("workarounds: init step {}: $ {}", i + 1, step.apply));
-                            let apply = shell.run_command(&step.apply);
-                            report.transcript.extend(apply.lines.clone());
-                            if !apply.success() {
-                                init_failed = Some(apply.status);
-                                break;
-                            }
-                        }
-                        if let Some(status) = init_failed {
-                            let msg = format!(
-                                "error: build failed: --force initialization exited with {}",
-                                status
-                            );
-                            report.error = Some(msg.clone());
-                            report.transcript.push(msg);
-                            return report;
-                        }
-                        force_initialized = true;
-                    }
-
-                    let result = if wrap {
-                        report.instructions_modified += 1;
-                        report.transcript.push(format!(
-                            "workarounds: RUN: new command: [ 'fakeroot', '/bin/sh', '-c', '{}' ]",
-                            cmd
-                        ));
-                        shell.run_wrapped(cmd)
-                    } else {
-                        shell.run_command(cmd)
-                    };
-                    fakeroot_db = shell.fakeroot_db.clone();
-                    report.transcript.extend(result.lines.clone());
-                    if !result.success() {
-                        let msg =
-                            format!("error: build failed: RUN command exited with {}", result.status);
-                        report.transcript.push(msg.clone());
-                        if matches!(self.kind, BuilderKind::ChImage)
-                            && !options.force
-                            && force_cfg.is_some()
-                            && report.modifiable_runs > 0
-                        {
-                            report.transcript.push(
-                                "hint: --force may fix this failure; see ch-image(1)".to_string(),
-                            );
-                        }
-                        report.error = Some(msg);
-                        report.cache_hits = self.cache.hits() - hits_before;
-                        report.cache_misses = self.cache.misses() - misses_before;
-                        return report;
-                    }
-                }
-                Instruction::Copy { sources, dest } => {
-                    report.transcript.push(display.clone());
-                    let Some(e) = env.as_mut() else {
-                        report.error = Some("error: COPY before FROM".to_string());
-                        return report;
-                    };
-                    let Some(ctx) = context else {
-                        let msg = format!("error: COPY {}: no build context", sources.join(" "));
-                        report.error = Some(msg.clone());
-                        report.transcript.push(msg);
-                        return report;
-                    };
-                    for src in sources {
-                        let dst = if dest.ends_with('/') {
-                            format!("{}{}", dest, src.rsplit('/').next().unwrap_or(src))
-                        } else {
-                            dest.clone()
-                        };
-                        let root_creds = Credentials::host_root();
-                        let host_ns = UserNamespace::initial();
-                        let actor = Actor::new(&root_creds, &host_ns);
-                        match ctx.file_bytes(&actor, &format!("/{}", src.trim_start_matches('/'))) {
-                            Ok(content) => {
-                                e.fs
-                                    .install_file(
-                                        &dst,
-                                        content,
-                                        e.creds.euid,
-                                        e.creds.egid,
-                                        Mode::FILE_644,
-                                    )
-                                    .ok();
-                            }
-                            Err(_) => {
-                                let msg = format!("error: COPY {}: not found in context", src);
-                                report.error = Some(msg.clone());
-                                report.transcript.push(msg);
-                                return report;
-                            }
-                        }
-                    }
-                }
-                Instruction::Env { key, value } => {
-                    report.transcript.push(display.clone());
-                    config.env.insert(key.clone(), value.clone());
-                }
-                Instruction::Workdir(path) => {
-                    report.transcript.push(display.clone());
-                    config.workdir = path.clone();
-                    if let Some(e) = env.as_mut() {
-                        let actor = Actor::new(&e.creds, &e.userns);
-                        if !e.fs.exists(&actor, path) {
-                            let _ = e.fs.install_dir(path, e.creds.euid, e.creds.egid, Mode::DIR_755);
-                        }
-                    }
-                }
-                Instruction::Label { key, value } => {
-                    report.transcript.push(display.clone());
-                    config.labels.insert(key.clone(), value.clone());
-                }
-                Instruction::Cmd(args) => {
-                    report.transcript.push(display.clone());
-                    config.cmd = args.clone();
-                }
-                Instruction::Entrypoint(args) => {
-                    report.transcript.push(display.clone());
-                    config.entrypoint = args.clone();
-                }
-                Instruction::User(_)
-                | Instruction::Arg { .. }
-                | Instruction::Expose(_)
-                | Instruction::Volume(_) => {
-                    report.transcript.push(display.clone());
-                }
-            }
-
-            if options.use_cache {
-                if let Some(e) = &env {
-                    self.cache.store(CachedState {
-                        fs: e.fs.clone(),
-                        config: config.clone(),
-                        fakeroot_db: fakeroot_db.clone(),
-                        state_id,
-                    });
-                }
-            }
-            parent = Some(state_id);
         }
-
-        let Some(e) = env else {
-            report.error = Some("error: Dockerfile has no FROM".to_string());
-            return report;
-        };
-        if matches!(self.kind, BuilderKind::ChImage) && options.force && report.force_config.is_some()
-        {
-            report.transcript.push(format!(
-                "--force: init OK & modified {} RUN instructions",
-                report.instructions_modified
-            ));
-        }
-        report.transcript.push(format!(
-            "grown in {} instructions: {}",
-            report.instructions_total, options.tag
-        ));
-        self.store.insert(
-            options.tag.clone(),
-            BuiltImage {
-                tag: options.tag.clone(),
-                fs: e.fs,
-                config,
-                fakeroot_db,
-                base_reference: e.base_reference,
-                arch: options.arch.clone(),
-                privilege: self.privilege_type(),
-            },
-        );
-        report.success = true;
-        report.cache_hits = self.cache.hits() - hits_before;
-        report.cache_misses = self.cache.misses() - misses_before;
-        report
-    }
-
-    fn instruction_key(instruction: &Instruction) -> String {
-        format!("{:?}", instruction)
-    }
-
-    fn display_instruction(n: usize, instruction: &Instruction) -> String {
-        match instruction {
-            Instruction::From { image, alias } => match alias {
-                Some(a) => format!("{} FROM {} AS {}", n, image, a),
-                None => format!("{} FROM {}", n, image),
-            },
-            Instruction::Run(cmd) => format!("{} RUN [ '/bin/sh', '-c', '{}' ]", n, cmd),
-            Instruction::Copy { sources, dest } => {
-                format!("{} COPY {} {}", n, sources.join(" "), dest)
-            }
-            Instruction::Env { key, value } => format!("{} ENV {}={}", n, key, value),
-            Instruction::Arg { name, .. } => format!("{} ARG {}", n, name),
-            Instruction::Workdir(p) => format!("{} WORKDIR {}", n, p),
-            Instruction::User(u) => format!("{} USER {}", n, u),
-            Instruction::Label { key, value } => format!("{} LABEL {}={}", n, key, value),
-            Instruction::Cmd(args) => format!("{} CMD {:?}", n, args),
-            Instruction::Entrypoint(args) => format!("{} ENTRYPOINT {:?}", n, args),
-            Instruction::Expose(p) => format!("{} EXPOSE {}", n, p),
-            Instruction::Volume(v) => format!("{} VOLUME {}", n, v),
-        }
+        merged
     }
 
     /// Pushes a built image to a registry under `reference`, applying the
@@ -767,6 +549,7 @@ mod tests {
         centos7_dockerfile, centos7_fr_dockerfile, debian10_dockerfile, debian10_fr_dockerfile,
     };
     use hpcc_kernel::{Gid, Uid};
+    use hpcc_vfs::Mode;
 
     fn alice() -> Invoker {
         Invoker::user("alice", 1000, 1000)
@@ -868,7 +651,9 @@ mod tests {
         assert!(t.contains("workarounds: init step 1: checking: $ apt-config dump"));
         assert!(t.contains("workarounds: init step 1: $ echo 'APT::Sandbox::User"));
         assert!(t.contains("workarounds: init step 2: checking: $ command -v fakeroot"));
-        assert!(t.contains("workarounds: init step 2: $ apt-get update && apt-get install -y pseudo"));
+        assert!(
+            t.contains("workarounds: init step 2: $ apt-get update && apt-get install -y pseudo")
+        );
         assert!(t.contains("Setting up pseudo (1.9.0+git20180920-1) ..."));
         assert!(t.contains(
             "workarounds: RUN: new command: [ 'fakeroot', '/bin/sh', '-c', 'apt-get update' ]"
@@ -916,7 +701,9 @@ mod tests {
         let mut b = Builder::rootless_podman(alice(), SubIdDb::new());
         let r = b.build(centos7_dockerfile(), &BuildOptions::new("c7"), None);
         assert!(!r.success);
-        assert!(r.transcript_text().contains("cannot create build container"));
+        assert!(r
+            .transcript_text()
+            .contains("cannot create build container"));
     }
 
     #[test]
@@ -941,8 +728,14 @@ mod tests {
     #[test]
     fn copy_uses_build_context() {
         let mut ctx = Filesystem::new_local();
-        ctx.install_file("/app.c", b"int main(){}".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
-            .unwrap();
+        ctx.install_file(
+            "/app.c",
+            b"int main(){}".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::FILE_644,
+        )
+        .unwrap();
         let mut b = Builder::ch_image(alice());
         let df = "FROM centos:7\nCOPY app.c /src/app.c\nRUN gcc -o /src/app /src/app.c\n";
         let r = b.build(df, &BuildOptions::new("app"), Some(&ctx));
@@ -985,12 +778,18 @@ mod tests {
         );
         assert!(r.success);
         let digest = b
-            .push("foo", "hpc/openssh:1.0", &mut registry, PushOwnership::Flatten)
+            .push(
+                "foo",
+                "hpc/openssh:1.0",
+                &mut registry,
+                PushOwnership::Flatten,
+            )
             .unwrap();
         assert!(digest.to_oci_string().starts_with("sha256:"));
         // Pull back as a different user.
         let mut b2 = Builder::ch_image(Invoker::user("bob", 1001, 1001));
-        b2.pull(&mut registry, "hpc/openssh:1.0", "openssh").unwrap();
+        b2.pull(&mut registry, "hpc/openssh:1.0", "openssh")
+            .unwrap();
         let img = b2.image("openssh").unwrap();
         // Every unpacked entry (not counting the filesystem root inode) is
         // owned by the pulling user.
@@ -1009,8 +808,13 @@ mod tests {
             None,
         );
         assert!(r.success);
-        b.push("foo", "hpc/openssh:ids", &mut registry, PushOwnership::FromFakerootDb)
-            .unwrap();
+        b.push(
+            "foo",
+            "hpc/openssh:ids",
+            &mut registry,
+            PushOwnership::FromFakerootDb,
+        )
+        .unwrap();
         let image = registry.pull("hpc/openssh:ids").unwrap();
         // The ssh-keysign helper's intended group (999) survives the push.
         let entries = hpcc_vfs::tar::list(&image.layers[0].tar).unwrap();
@@ -1024,7 +828,11 @@ mod tests {
     #[test]
     fn unknown_base_image_reports_error() {
         let mut b = Builder::ch_image(alice());
-        let r = b.build("FROM alpine:3.14\nRUN echo hi\n", &BuildOptions::new("x"), None);
+        let r = b.build(
+            "FROM alpine:3.14\nRUN echo hi\n",
+            &BuildOptions::new("x"),
+            None,
+        );
         assert!(!r.success);
         assert!(r.transcript_text().contains("no base image"));
     }

@@ -133,7 +133,10 @@ mod tests {
         assert_ne!(a, b);
         // Different parent -> different id for the same instruction.
         let other_parent = BuildCache::state_id(None, "FROM debian:buster");
-        assert_ne!(BuildCache::state_id(Some(&other_parent), "RUN echo hello"), b);
+        assert_ne!(
+            BuildCache::state_id(Some(&other_parent), "RUN echo hello"),
+            b
+        );
     }
 
     #[test]
@@ -193,7 +196,10 @@ mod tests {
             .write_file(&actor, "/extra", b"x".to_vec(), Mode::FILE_644)
             .unwrap();
         let hit2 = cache.lookup(&id).unwrap();
-        assert_eq!(hit2.fs.read_file(&actor, "/bin/tool").unwrap(), vec![9u8; 8192]);
+        assert_eq!(
+            hit2.fs.read_file(&actor, "/bin/tool").unwrap(),
+            vec![9u8; 8192]
+        );
         assert!(!hit2.fs.exists(&actor, "/extra"));
     }
 

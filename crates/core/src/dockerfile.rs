@@ -17,12 +17,15 @@ pub enum Instruction {
     },
     /// `RUN command`
     Run(String),
-    /// `COPY src... dst`
+    /// `COPY [--from=stage] src... dst`
     Copy {
-        /// Source paths (build-context relative).
+        /// Source paths (build-context relative, or stage-image relative when
+        /// `from` is set).
         sources: Vec<String>,
         /// Destination path in the image.
         dest: String,
+        /// `--from=` stage reference (alias or 0-based index), if present.
+        from: Option<String>,
     },
     /// `ENV key value` / `ENV key=value`
     Env {
@@ -76,11 +79,23 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Source location of one instruction: the physical line range it was parsed
+/// from (1-based, inclusive; `start < end` only for continuation lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrSpan {
+    /// First physical line of the instruction.
+    pub start: usize,
+    /// Last physical line of the instruction.
+    pub end: usize,
+}
+
 /// A parsed Dockerfile.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Dockerfile {
     /// Instructions in order.
     pub instructions: Vec<Instruction>,
+    /// Source span of each instruction (parallel to `instructions`).
+    pub spans: Vec<InstrSpan>,
 }
 
 fn parse_exec_or_shell_form(rest: &str) -> Vec<String> {
@@ -100,8 +115,9 @@ impl Dockerfile {
     /// Parses Dockerfile text.
     pub fn parse(text: &str) -> Result<Dockerfile, ParseError> {
         let mut instructions = Vec::new();
-        // Join continuation lines first, remembering original line numbers.
-        let mut logical: Vec<(usize, String)> = Vec::new();
+        let mut spans = Vec::new();
+        // Join continuation lines first, remembering original line ranges.
+        let mut logical: Vec<(InstrSpan, String)> = Vec::new();
         let mut pending: Option<(usize, String)> = None;
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -116,7 +132,13 @@ impl Dockerfile {
                     } else {
                         acc.push(' ');
                         acc.push_str(cont);
-                        logical.push((start, acc));
+                        logical.push((
+                            InstrSpan {
+                                start,
+                                end: line_no,
+                            },
+                            acc,
+                        ));
                     }
                 }
                 None => {
@@ -127,16 +149,29 @@ impl Dockerfile {
                     if let Some(stripped) = trimmed.strip_suffix('\\') {
                         pending = Some((line_no, stripped.trim_end().to_string()));
                     } else {
-                        logical.push((line_no, trimmed.to_string()));
+                        logical.push((
+                            InstrSpan {
+                                start: line_no,
+                                end: line_no,
+                            },
+                            trimmed.to_string(),
+                        ));
                     }
                 }
             }
         }
         if let Some((start, acc)) = pending {
-            logical.push((start, acc));
+            logical.push((
+                InstrSpan {
+                    start,
+                    end: text.lines().count(),
+                },
+                acc,
+            ));
         }
 
-        for (line_no, line) in logical {
+        for (span, line) in logical {
+            let line_no = span.start;
             let (word, rest) = match line.split_once(char::is_whitespace) {
                 Some((w, r)) => (w, r.trim()),
                 None => (line.as_str(), ""),
@@ -172,20 +207,32 @@ impl Dockerfile {
                     }
                 }
                 "COPY" | "ADD" => {
-                    let parts: Vec<String> = rest
-                        .split_whitespace()
-                        .filter(|p| !p.starts_with("--"))
-                        .map(|s| s.to_string())
-                        .collect();
+                    let mut from = None;
+                    let mut parts: Vec<String> = Vec::new();
+                    for p in rest.split_whitespace() {
+                        if let Some(r) = p.strip_prefix("--from=") {
+                            if r.is_empty() {
+                                return Err(ParseError {
+                                    line: line_no,
+                                    message: "--from= requires a stage reference".to_string(),
+                                });
+                            }
+                            from = Some(r.to_string());
+                        } else if !p.starts_with("--") {
+                            parts.push(p.to_string());
+                        }
+                    }
                     if parts.len() < 2 {
                         return Err(ParseError {
                             line: line_no,
                             message: format!("{} requires source and destination", word),
                         });
                     }
+                    let dest = parts.pop().expect("checked length above");
                     Instruction::Copy {
-                        sources: parts[..parts.len() - 1].to_vec(),
-                        dest: parts[parts.len() - 1].clone(),
+                        sources: parts,
+                        dest,
+                        from,
                     }
                 }
                 "ENV" => {
@@ -219,13 +266,17 @@ impl Dockerfile {
                 }
                 "CMD" => Instruction::Cmd(parse_exec_or_shell_form(rest)),
                 "ENTRYPOINT" => Instruction::Entrypoint(parse_exec_or_shell_form(rest)),
-                "EXPOSE" => Instruction::Expose(rest.split('/').next().unwrap_or("0").parse().map_err(
-                    |_| ParseError {
-                        line: line_no,
-                        message: format!("invalid port: {}", rest),
-                    },
-                )?),
-                "VOLUME" => Instruction::Volume(rest.trim_matches(['[', ']', '"'].as_ref()).to_string()),
+                "EXPOSE" => {
+                    Instruction::Expose(rest.split('/').next().unwrap_or("0").parse().map_err(
+                        |_| ParseError {
+                            line: line_no,
+                            message: format!("invalid port: {}", rest),
+                        },
+                    )?)
+                }
+                "VOLUME" => {
+                    Instruction::Volume(rest.trim_matches(['[', ']', '"'].as_ref()).to_string())
+                }
                 "MAINTAINER" | "SHELL" | "STOPSIGNAL" | "HEALTHCHECK" | "ONBUILD" => continue,
                 other => {
                     return Err(ParseError {
@@ -235,8 +286,12 @@ impl Dockerfile {
                 }
             };
             instructions.push(instr);
+            spans.push(span);
         }
-        Ok(Dockerfile { instructions })
+        Ok(Dockerfile {
+            instructions,
+            spans,
+        })
     }
 
     /// The base image of the first `FROM`.
@@ -312,13 +367,16 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_skipped() {
-        let df = Dockerfile::parse("# a comment\n\nFROM centos:7\n# another\nRUN echo hi\n").unwrap();
+        let df =
+            Dockerfile::parse("# a comment\n\nFROM centos:7\n# another\nRUN echo hi\n").unwrap();
         assert_eq!(df.instructions.len(), 2);
     }
 
     #[test]
     fn line_continuations_join() {
-        let df = Dockerfile::parse("FROM centos:7\nRUN yum install -y \\\n    openmpi \\\n    gcc\n").unwrap();
+        let df =
+            Dockerfile::parse("FROM centos:7\nRUN yum install -y \\\n    openmpi \\\n    gcc\n")
+                .unwrap();
         assert_eq!(
             df.instructions[1],
             Instruction::Run("yum install -y openmpi gcc".to_string())
@@ -327,8 +385,12 @@ mod tests {
 
     #[test]
     fn exec_form_run_normalizes() {
-        let df = Dockerfile::parse("FROM centos:7\nRUN [\"/bin/sh\", \"-c\", \"echo hello\"]\n").unwrap();
-        assert_eq!(df.instructions[1], Instruction::Run("echo hello".to_string()));
+        let df = Dockerfile::parse("FROM centos:7\nRUN [\"/bin/sh\", \"-c\", \"echo hello\"]\n")
+            .unwrap();
+        assert_eq!(
+            df.instructions[1],
+            Instruction::Run("echo hello".to_string())
+        );
     }
 
     #[test]
@@ -343,8 +405,12 @@ mod tests {
             key: "MPI_HOME".into(),
             value: "/usr/lib64/openmpi".into()
         }));
-        assert!(df.instructions.contains(&Instruction::Workdir("/opt/app".into())));
-        assert!(df.instructions.contains(&Instruction::User("builder".into())));
+        assert!(df
+            .instructions
+            .contains(&Instruction::Workdir("/opt/app".into())));
+        assert!(df
+            .instructions
+            .contains(&Instruction::User("builder".into())));
         assert!(df.instructions.contains(&Instruction::Expose(8080)));
     }
 
@@ -355,9 +421,38 @@ mod tests {
             df.instructions[1],
             Instruction::Copy {
                 sources: vec!["a.c".into(), "b.c".into()],
-                dest: "/src/".into()
+                dest: "/src/".into(),
+                from: None,
             }
         );
+    }
+
+    #[test]
+    fn copy_from_stage_reference() {
+        let df = Dockerfile::parse(
+            "FROM centos:7 AS builder\nFROM centos:7\nCOPY --from=builder /a /b\n",
+        )
+        .unwrap();
+        assert_eq!(
+            df.instructions[2],
+            Instruction::Copy {
+                sources: vec!["/a".into()],
+                dest: "/b".into(),
+                from: Some("builder".into()),
+            }
+        );
+        assert!(Dockerfile::parse("FROM c:7\nCOPY --from= /a /b\n").is_err());
+    }
+
+    #[test]
+    fn spans_track_physical_lines() {
+        let text = "# header\nFROM centos:7\n\nRUN yum install -y \\\n    openmpi \\\n    gcc\nRUN echo done\n";
+        let df = Dockerfile::parse(text).unwrap();
+        assert_eq!(df.spans.len(), df.instructions.len());
+        assert_eq!(df.spans[0], InstrSpan { start: 2, end: 2 });
+        // The continued RUN spans lines 4-6.
+        assert_eq!(df.spans[1], InstrSpan { start: 4, end: 6 });
+        assert_eq!(df.spans[2], InstrSpan { start: 7, end: 7 });
     }
 
     #[test]

@@ -1,0 +1,877 @@
+//! The stage executor: runs a planned [`BuildGraph`].
+//!
+//! Each stage executes through a [`StageCtx`] with one `execute_*` handler
+//! per instruction kind — the per-instruction logic that used to live in the
+//! ~370-line monolithic `Builder::build` loop. Stages hand their results
+//! downstream as [`StageArtifact`]s: copy-on-write [`Filesystem`] snapshots,
+//! never `<tag>.stageN` pseudo-images in the builder's tag namespace.
+//!
+//! Scheduling is dependency-driven: graph nodes run under
+//! [`std::thread::scope`], a stage is spawned the moment its last dependency
+//! completes, and independent stages (e.g. the two middle stages of a
+//! diamond) build concurrently. All stages share the builder's
+//! [`BuildCache`] behind its `Arc<Mutex<_>>`, so an instruction chain built
+//! by one stage is a cache hit for every other stage — including stages of
+//! the same build.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use hpcc_distro::catalog_for;
+use hpcc_fakeroot::LieDatabase;
+use hpcc_image::{Digest, ImageConfig};
+use hpcc_kernel::Credentials;
+use hpcc_kernel::UserNamespace;
+use hpcc_shell::ExecEnv;
+use hpcc_vfs::{Actor, Filesystem, Mode};
+
+use crate::builder::{BuildEnv, BuildOptions, BuildReport, Builder, BuilderKind};
+use crate::cache::{BuildCache, CachedState};
+use crate::dockerfile::Instruction;
+use crate::error::BuildError;
+use crate::force::{detect_config, ForceConfig};
+use crate::graph::{BuildGraph, GraphNode, StageBase};
+use crate::ir::{BuildIr, IrStage};
+
+/// What a completed stage passes downstream: a CoW filesystem snapshot plus
+/// the metadata later stages or the final image need.
+#[derive(Debug, Clone)]
+pub(crate) struct StageArtifact {
+    /// Stage filesystem (copy-on-write snapshot; cloning is O(1)).
+    pub fs: Filesystem,
+    /// Image configuration accumulated by the stage.
+    pub config: ImageConfig,
+    /// Fakeroot lie database accumulated by the stage.
+    pub fakeroot_db: LieDatabase,
+    /// The underlying base-image reference (for catalogs and `BuiltImage`).
+    pub base_reference: String,
+    /// Chain digest after the stage's last instruction (present when the
+    /// build cache is enabled) — downstream cache keys bind to it.
+    pub final_state: Option<Digest>,
+}
+
+/// Result of running a whole graph.
+#[derive(Debug)]
+pub(crate) struct GraphRun {
+    /// Per-stage reports, `None` for stages that never ran.
+    pub reports: Vec<Option<BuildReport>>,
+    /// Per-stage artifacts, `None` for failed or skipped stages.
+    pub artifacts: Vec<Option<StageArtifact>>,
+    /// Whether every stage succeeded.
+    pub success: bool,
+    /// The first (lowest-stage-index) error, if any stage failed.
+    pub error: Option<BuildError>,
+    /// One [`BuildError::DependencyFailed`] per stage that never ran
+    /// because a (transitive) dependency failed, in stage order.
+    pub skipped: Vec<BuildError>,
+}
+
+/// Execution state for one stage.
+struct StageCtx<'a> {
+    builder: &'a Builder,
+    options: &'a BuildOptions,
+    context: Option<&'a Filesystem>,
+    stage: &'a IrStage,
+    node: &'a GraphNode,
+    upstream: &'a HashMap<usize, StageArtifact>,
+    report: BuildReport,
+    env: Option<BuildEnv>,
+    config: ImageConfig,
+    fakeroot_db: LieDatabase,
+    force_cfg: Option<ForceConfig>,
+    force_initialized: bool,
+    parent: Option<Digest>,
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+impl<'a> StageCtx<'a> {
+    fn new(
+        builder: &'a Builder,
+        options: &'a BuildOptions,
+        context: Option<&'a Filesystem>,
+        stage: &'a IrStage,
+        node: &'a GraphNode,
+        upstream: &'a HashMap<usize, StageArtifact>,
+        display_tag: String,
+    ) -> Self {
+        StageCtx {
+            builder,
+            options,
+            context,
+            stage,
+            node,
+            upstream,
+            report: BuildReport {
+                transcript: Vec::new(),
+                success: false,
+                tag: display_tag,
+                instructions_total: 0,
+                instructions_modified: 0,
+                modifiable_runs: 0,
+                force_config: None,
+                cache_hits: 0,
+                cache_misses: 0,
+                elapsed: std::time::Duration::ZERO,
+                error: None,
+            },
+            env: None,
+            config: ImageConfig {
+                architecture: options.arch.clone(),
+                ..Default::default()
+            },
+            fakeroot_db: LieDatabase::new(),
+            force_cfg: None,
+            force_initialized: false,
+            parent: None,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Runs the stage to completion. On failure the report carries the error
+    /// and no artifact is produced.
+    fn run(mut self) -> (BuildReport, Option<StageArtifact>) {
+        for (idx, instruction) in self.stage.instructions.iter().enumerate() {
+            if let Err(message) = self.execute_instruction(idx, instruction) {
+                self.report.error = Some(BuildError::Execution {
+                    stage: self.stage.index,
+                    message,
+                });
+                return self.finish(None);
+            }
+        }
+        let Some(env) = self.env.take() else {
+            let message = "error: Dockerfile has no FROM".to_string();
+            self.report.error = Some(BuildError::Execution {
+                stage: self.stage.index,
+                message,
+            });
+            return self.finish(None);
+        };
+        if matches!(self.builder.kind, BuilderKind::ChImage)
+            && self.options.force
+            && self.report.force_config.is_some()
+        {
+            self.report.transcript.push(format!(
+                "--force: init OK & modified {} RUN instructions",
+                self.report.instructions_modified
+            ));
+        }
+        self.report.transcript.push(format!(
+            "grown in {} instructions: {}",
+            self.report.instructions_total, self.report.tag
+        ));
+        self.report.success = true;
+        let artifact = StageArtifact {
+            fs: env.fs,
+            config: self.config.clone(),
+            fakeroot_db: self.fakeroot_db.clone(),
+            base_reference: env.base_reference,
+            final_state: self.parent,
+        };
+        self.finish(Some(artifact))
+    }
+
+    fn finish(mut self, artifact: Option<StageArtifact>) -> (BuildReport, Option<StageArtifact>) {
+        self.report.cache_hits = self.cache_hits;
+        self.report.cache_misses = self.cache_misses;
+        (self.report, artifact)
+    }
+
+    /// Executes one instruction: cache probe, then the matching handler,
+    /// then cache store.
+    fn execute_instruction(&mut self, idx: usize, instruction: &Instruction) -> Result<(), String> {
+        let n = idx + 1;
+        self.report.instructions_total = n;
+        let display = display_instruction(n, instruction);
+        let state_id = if self.options.use_cache {
+            Some(self.state_id_for(idx, instruction))
+        } else {
+            None
+        };
+
+        if let Some(id) = state_id {
+            if let Some(hit) = self.cache_lookup(&id) {
+                self.adopt_cached(&display, instruction, &hit)?;
+                self.parent = Some(id);
+                return Ok(());
+            }
+        }
+
+        match instruction {
+            Instruction::From { .. } => self.execute_from(&display)?,
+            Instruction::Run(cmd) => self.execute_run(&display, cmd)?,
+            Instruction::Copy {
+                sources,
+                dest,
+                from,
+            } => match from {
+                Some(_) => self.execute_copy_from(&display, idx, sources, dest)?,
+                None => self.execute_copy(&display, sources, dest)?,
+            },
+            Instruction::Env { key, value } => self.execute_env(&display, key, value),
+            Instruction::Workdir(path) => self.execute_workdir(&display, path),
+            Instruction::Label { key, value } => self.execute_label(&display, key, value),
+            Instruction::Cmd(args) => self.execute_cmd(&display, args),
+            Instruction::Entrypoint(args) => self.execute_entrypoint(&display, args),
+            Instruction::User(_)
+            | Instruction::Arg { .. }
+            | Instruction::Expose(_)
+            | Instruction::Volume(_) => self.execute_passthrough(&display),
+        }
+
+        if let Some(id) = state_id {
+            if let Some(env) = &self.env {
+                let mut cache = self.builder.cache.lock().expect("build cache poisoned");
+                cache.store(CachedState {
+                    fs: env.fs.clone(),
+                    config: self.config.clone(),
+                    fakeroot_db: self.fakeroot_db.clone(),
+                    state_id: id,
+                });
+            }
+            self.parent = Some(id);
+        }
+        Ok(())
+    }
+
+    /// The cache chain digest for an instruction. Cross-stage edges are bound
+    /// to the *content* of the upstream stage: `FROM <stage>` chains from the
+    /// upstream artifact's final state digest, and `COPY --from=` mixes the
+    /// source stage's final state into the key, so a changed upstream stage
+    /// invalidates downstream hits.
+    fn state_id_for(&self, idx: usize, instruction: &Instruction) -> Digest {
+        // Canonical instruction identity: the FROM alias and the raw --from
+        // reference spelling (alias vs index) are naming, not content, so
+        // they stay out of the key — cross-stage content is bound through
+        // the upstream digests appended below.
+        let canonical = match instruction {
+            Instruction::From { image, .. } => format!("FROM {}", image),
+            Instruction::Copy {
+                sources,
+                dest,
+                from: Some(_),
+            } => format!("COPY --from {:?} {}", sources, dest),
+            other => format!("{:?}", other),
+        };
+        let mut key = format!(
+            "{:?}|force={}|arch={}|{}",
+            self.builder.privilege_type(),
+            self.options.force,
+            self.options.arch,
+            canonical
+        );
+        if let Some(edge) = self.node.copy_from.iter().find(|e| e.instruction == idx) {
+            key.push_str(&format!("|srcstage={}", edge.source_stage));
+            if let Some(art) = self.upstream.get(&edge.source_stage) {
+                if let Some(d) = &art.final_state {
+                    key.push_str("|src=");
+                    key.push_str(&d.to_oci_string());
+                }
+            }
+        }
+        let upstream_parent = match (idx, &self.node.base) {
+            (0, StageBase::Stage(s)) => self.upstream.get(s).and_then(|a| a.final_state),
+            _ => None,
+        };
+        let parent = if idx == 0 {
+            upstream_parent
+        } else {
+            self.parent
+        };
+        BuildCache::state_id(parent.as_ref(), &key)
+    }
+
+    fn cache_lookup(&mut self, id: &Digest) -> Option<std::sync::Arc<CachedState>> {
+        let mut cache = self.builder.cache.lock().expect("build cache poisoned");
+        let hit = cache.lookup(id);
+        match hit.is_some() {
+            true => self.cache_hits += 1,
+            false => self.cache_misses += 1,
+        }
+        hit
+    }
+
+    /// A cache hit: adopt the snapshot (a refcount bump, not a deep copy).
+    fn adopt_cached(
+        &mut self,
+        display: &str,
+        instruction: &Instruction,
+        hit: &CachedState,
+    ) -> Result<(), String> {
+        self.report.transcript.push(format!("{} (cached)", display));
+        if let Some(e) = self.env.as_mut() {
+            e.fs = hit.fs.clone();
+        } else if let Instruction::From { .. } = instruction {
+            // FROM served from cache: build the env around the cached
+            // filesystem directly — no base image is constructed and no
+            // container is launched on the fully cached path.
+            let env = match &self.node.base {
+                StageBase::Image(reference) => {
+                    self.builder
+                        .env_for_cached_from(reference, &self.options.arch, &hit.fs)
+                }
+                StageBase::Stage(s) => self.env_from_stage(*s, hit.fs.clone()),
+            };
+            match env {
+                Ok(fresh) => self.env = Some(fresh),
+                Err(msg) => {
+                    self.report.transcript.push(msg.clone());
+                    return Err(msg);
+                }
+            }
+        }
+        self.config = hit.config.clone();
+        self.fakeroot_db = hit.fakeroot_db.clone();
+        // Force-config detection still applies after FROM.
+        if let (Instruction::From { .. }, BuilderKind::ChImage) = (instruction, &self.builder.kind)
+        {
+            if let Some(e) = &self.env {
+                self.force_cfg = detect_config(&e.fs, &e.creds, &e.userns);
+                if self.options.force {
+                    if let Some(cfg) = &self.force_cfg {
+                        self.report.force_config = Some(cfg.name.to_string());
+                        self.report.transcript.push(format!(
+                            "will use --force: {}: {}",
+                            cfg.name, cfg.description
+                        ));
+                    }
+                }
+                // If fakeroot is already in the cached image the init phase
+                // is satisfied.
+                let actor = Actor::new(&e.creds, &e.userns);
+                self.force_initialized = e.fs.exists(&actor, "/usr/bin/fakeroot");
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the environment for a `FROM` that adopts an earlier stage's
+    /// artifact: a CoW snapshot of the upstream filesystem, no container
+    /// launch and no base-image reconstruction.
+    fn env_from_stage(&self, source: usize, fs: Filesystem) -> Result<BuildEnv, String> {
+        let art = self
+            .upstream
+            .get(&source)
+            .ok_or_else(|| format!("error: stage {} has no built artifact", source))?;
+        let catalog = catalog_for(&art.base_reference, &self.options.arch)
+            .ok_or_else(|| format!("error: no catalog for {}", art.base_reference))?;
+        Ok(BuildEnv {
+            fs,
+            creds: self.builder.container_creds(),
+            userns: self.builder.container_userns(),
+            catalog,
+            base_reference: art.base_reference.clone(),
+        })
+    }
+
+    fn execute_from(&mut self, display: &str) -> Result<(), String> {
+        self.report.transcript.push(display.to_string());
+        let env = match &self.node.base {
+            StageBase::Image(reference) => self.builder.setup_from(reference, &self.options.arch),
+            StageBase::Stage(s) => {
+                let fs = self
+                    .upstream
+                    .get(s)
+                    .map(|a| a.fs.clone())
+                    .ok_or_else(|| format!("error: stage {} has no built artifact", s))?;
+                self.env_from_stage(*s, fs)
+            }
+        };
+        match env {
+            Ok(e) => {
+                if let BuilderKind::ChImage = self.builder.kind {
+                    self.force_cfg = detect_config(&e.fs, &e.creds, &e.userns);
+                    if self.options.force {
+                        if let Some(cfg) = &self.force_cfg {
+                            self.report.force_config = Some(cfg.name.to_string());
+                            self.report.transcript.push(format!(
+                                "will use --force: {}: {}",
+                                cfg.name, cfg.description
+                            ));
+                        }
+                    }
+                }
+                self.env = Some(e);
+                Ok(())
+            }
+            Err(msg) => {
+                self.report.transcript.push(msg.clone());
+                Err(msg)
+            }
+        }
+    }
+
+    fn execute_run(&mut self, display: &str, cmd: &str) -> Result<(), String> {
+        self.report.transcript.push(display.to_string());
+        let Some(e) = self.env.as_mut() else {
+            let msg = "error: RUN before FROM".to_string();
+            self.report.transcript.push(msg.clone());
+            return Err(msg);
+        };
+        let modifiable = self
+            .force_cfg
+            .as_ref()
+            .map(|c| c.run_is_modifiable(cmd))
+            .unwrap_or(false);
+        if modifiable {
+            self.report.modifiable_runs += 1;
+        }
+        let wrap =
+            matches!(self.builder.kind, BuilderKind::ChImage) && self.options.force && modifiable;
+
+        let mut shell = ExecEnv::new(
+            &mut e.fs,
+            e.creds.clone(),
+            &e.userns,
+            &e.catalog,
+            &self.options.arch,
+        );
+        shell.fakeroot_db = self.fakeroot_db.clone();
+
+        // --force initialization before the first modified RUN.
+        if wrap && !self.force_initialized {
+            let cfg = self.force_cfg.as_ref().expect("wrap implies config");
+            let mut init_failed = None;
+            for (i, step) in cfg.init_steps.iter().enumerate() {
+                self.report.transcript.push(format!(
+                    "workarounds: init step {}: checking: $ {}",
+                    i + 1,
+                    step.check
+                ));
+                let check = shell.run_command(&step.check);
+                if check.success() {
+                    continue;
+                }
+                self.report.transcript.push(format!(
+                    "workarounds: init step {}: $ {}",
+                    i + 1,
+                    step.apply
+                ));
+                let apply = shell.run_command(&step.apply);
+                self.report.transcript.extend(apply.lines.clone());
+                if !apply.success() {
+                    init_failed = Some(apply.status);
+                    break;
+                }
+            }
+            if let Some(status) = init_failed {
+                let msg = format!(
+                    "error: build failed: --force initialization exited with {}",
+                    status
+                );
+                self.report.transcript.push(msg.clone());
+                return Err(msg);
+            }
+            self.force_initialized = true;
+        }
+
+        let result = if wrap {
+            self.report.instructions_modified += 1;
+            self.report.transcript.push(format!(
+                "workarounds: RUN: new command: [ 'fakeroot', '/bin/sh', '-c', '{}' ]",
+                cmd
+            ));
+            shell.run_wrapped(cmd)
+        } else {
+            shell.run_command(cmd)
+        };
+        self.fakeroot_db = shell.fakeroot_db.clone();
+        self.report.transcript.extend(result.lines.clone());
+        if !result.success() {
+            let msg = format!(
+                "error: build failed: RUN command exited with {}",
+                result.status
+            );
+            self.report.transcript.push(msg.clone());
+            if matches!(self.builder.kind, BuilderKind::ChImage)
+                && !self.options.force
+                && self.force_cfg.is_some()
+                && self.report.modifiable_runs > 0
+            {
+                self.report
+                    .transcript
+                    .push("hint: --force may fix this failure; see ch-image(1)".to_string());
+            }
+            return Err(msg);
+        }
+        Ok(())
+    }
+
+    /// `COPY` from the user-provided build context.
+    fn execute_copy(
+        &mut self,
+        display: &str,
+        sources: &[String],
+        dest: &str,
+    ) -> Result<(), String> {
+        self.report.transcript.push(display.to_string());
+        let Some(e) = self.env.as_mut() else {
+            let msg = "error: COPY before FROM".to_string();
+            self.report.transcript.push(msg.clone());
+            return Err(msg);
+        };
+        let Some(ctx) = self.context else {
+            let msg = format!("error: COPY {}: no build context", sources.join(" "));
+            self.report.transcript.push(msg.clone());
+            return Err(msg);
+        };
+        for src in sources {
+            let dst = dest_for(dest, src);
+            let root_creds = Credentials::host_root();
+            let host_ns = UserNamespace::initial();
+            let actor = Actor::new(&root_creds, &host_ns);
+            match ctx.file_bytes(&actor, &format!("/{}", src.trim_start_matches('/'))) {
+                Ok(content) => {
+                    e.fs.install_file(&dst, content, e.creds.euid, e.creds.egid, Mode::FILE_644)
+                        .ok();
+                }
+                Err(_) => {
+                    let msg = format!("error: COPY {}: not found in context", src);
+                    self.report.transcript.push(msg.clone());
+                    return Err(msg);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `COPY --from=<stage>`: sources come out of the referenced stage's
+    /// artifact as CoW subtree copies (file bytes stay shared).
+    fn execute_copy_from(
+        &mut self,
+        display: &str,
+        idx: usize,
+        sources: &[String],
+        dest: &str,
+    ) -> Result<(), String> {
+        self.report.transcript.push(display.to_string());
+        let edge = self
+            .node
+            .copy_from
+            .iter()
+            .find(|e| e.instruction == idx)
+            .copied();
+        let Some(edge) = edge else {
+            let msg = "error: COPY --from not planned for this instruction".to_string();
+            self.report.transcript.push(msg.clone());
+            return Err(msg);
+        };
+        let Some(art) = self.upstream.get(&edge.source_stage) else {
+            let msg = format!("error: stage {} has no built artifact", edge.source_stage);
+            self.report.transcript.push(msg.clone());
+            return Err(msg);
+        };
+        let Some(e) = self.env.as_mut() else {
+            let msg = "error: COPY before FROM".to_string();
+            self.report.transcript.push(msg.clone());
+            return Err(msg);
+        };
+        let root_creds = Credentials::host_root();
+        let host_ns = UserNamespace::initial();
+        let root = Actor::new(&root_creds, &host_ns);
+        for src in sources {
+            if !art.fs.exists(&root, src) {
+                let msg = format!(
+                    "error: COPY --from={} {}: not found in stage image",
+                    edge.source_stage, src
+                );
+                self.report.transcript.push(msg.clone());
+                return Err(msg);
+            }
+            let dst = dest_for(dest, src);
+            if let Err(err) = e.fs.copy_tree_from(&art.fs, src, &dst) {
+                let msg = format!("error: COPY --from={} {}: {}", edge.source_stage, src, err);
+                self.report.transcript.push(msg.clone());
+                return Err(msg);
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_env(&mut self, display: &str, key: &str, value: &str) {
+        self.report.transcript.push(display.to_string());
+        self.config.env.insert(key.to_string(), value.to_string());
+    }
+
+    fn execute_workdir(&mut self, display: &str, path: &str) {
+        self.report.transcript.push(display.to_string());
+        self.config.workdir = path.to_string();
+        if let Some(e) = self.env.as_mut() {
+            let actor = Actor::new(&e.creds, &e.userns);
+            if !e.fs.exists(&actor, path) {
+                let _ =
+                    e.fs.install_dir(path, e.creds.euid, e.creds.egid, Mode::DIR_755);
+            }
+        }
+    }
+
+    fn execute_label(&mut self, display: &str, key: &str, value: &str) {
+        self.report.transcript.push(display.to_string());
+        self.config
+            .labels
+            .insert(key.to_string(), value.to_string());
+    }
+
+    fn execute_cmd(&mut self, display: &str, args: &[String]) {
+        self.report.transcript.push(display.to_string());
+        self.config.cmd = args.to_vec();
+    }
+
+    fn execute_entrypoint(&mut self, display: &str, args: &[String]) {
+        self.report.transcript.push(display.to_string());
+        self.config.entrypoint = args.to_vec();
+    }
+
+    fn execute_passthrough(&mut self, display: &str) {
+        self.report.transcript.push(display.to_string());
+    }
+}
+
+/// Destination path for one `COPY` source: trailing-slash destinations get
+/// the source's basename appended.
+fn dest_for(dest: &str, src: &str) -> String {
+    if dest.ends_with('/') {
+        format!("{}{}", dest, src.rsplit('/').next().unwrap_or(src))
+    } else {
+        dest.to_string()
+    }
+}
+
+/// Renders an instruction for the transcript, numbered as in `ch-image`.
+pub(crate) fn display_instruction(n: usize, instruction: &Instruction) -> String {
+    match instruction {
+        Instruction::From { image, alias } => match alias {
+            Some(a) => format!("{} FROM {} AS {}", n, image, a),
+            None => format!("{} FROM {}", n, image),
+        },
+        Instruction::Run(cmd) => format!("{} RUN [ '/bin/sh', '-c', '{}' ]", n, cmd),
+        Instruction::Copy {
+            sources,
+            dest,
+            from,
+        } => match from {
+            Some(r) => format!("{} COPY --from={} {} {}", n, r, sources.join(" "), dest),
+            None => format!("{} COPY {} {}", n, sources.join(" "), dest),
+        },
+        Instruction::Env { key, value } => format!("{} ENV {}={}", n, key, value),
+        Instruction::Arg { name, .. } => format!("{} ARG {}", n, name),
+        Instruction::Workdir(p) => format!("{} WORKDIR {}", n, p),
+        Instruction::User(u) => format!("{} USER {}", n, u),
+        Instruction::Label { key, value } => format!("{} LABEL {}={}", n, key, value),
+        Instruction::Cmd(args) => format!("{} CMD {:?}", n, args),
+        Instruction::Entrypoint(args) => format!("{} ENTRYPOINT {:?}", n, args),
+        Instruction::Expose(p) => format!("{} EXPOSE {}", n, p),
+        Instruction::Volume(v) => format!("{} VOLUME {}", n, v),
+    }
+}
+
+/// Runs one stage against its upstream artifacts.
+pub(crate) fn execute_stage(
+    builder: &Builder,
+    ir: &BuildIr,
+    graph: &BuildGraph,
+    stage_index: usize,
+    options: &BuildOptions,
+    context: Option<&Filesystem>,
+    upstream: &HashMap<usize, StageArtifact>,
+) -> (BuildReport, Option<StageArtifact>) {
+    let stage = &ir.stages[stage_index];
+    let is_final = stage_index + 1 == ir.stage_count();
+    let display_tag = if is_final {
+        options.tag.clone()
+    } else {
+        match &stage.alias {
+            Some(a) => format!("{} (stage {}: {})", options.tag, stage_index, a),
+            None => format!("{} (stage {})", options.tag, stage_index),
+        }
+    };
+    let start = std::time::Instant::now();
+    let (mut report, artifact) = StageCtx::new(
+        builder,
+        options,
+        context,
+        stage,
+        graph.node(stage_index),
+        upstream,
+        display_tag,
+    )
+    .run();
+    report.elapsed = start.elapsed();
+    (report, artifact)
+}
+
+/// Scheduler shared state while a graph runs.
+struct SchedState {
+    pending: Vec<usize>,
+    reports: Vec<Option<BuildReport>>,
+    artifacts: Vec<Option<StageArtifact>>,
+    failed: bool,
+}
+
+struct Shared<'e> {
+    builder: &'e Builder,
+    ir: &'e BuildIr,
+    graph: &'e BuildGraph,
+    options: &'e BuildOptions,
+    context: Option<&'e Filesystem>,
+    state: Mutex<SchedState>,
+}
+
+/// Runs a stage and then *continues inline* with one newly released
+/// dependent, spawning threads only for the extras — a chain of stages costs
+/// zero additional threads; a diamond costs one.
+fn stage_worker<'scope, 'e>(
+    scope: &'scope std::thread::Scope<'scope, 'e>,
+    shared: &'e Shared<'e>,
+    mut stage: usize,
+    mut upstream: HashMap<usize, StageArtifact>,
+) {
+    loop {
+        let (report, artifact) = execute_stage(
+            shared.builder,
+            shared.ir,
+            shared.graph,
+            stage,
+            shared.options,
+            shared.context,
+            &upstream,
+        );
+        let mut ready = Vec::new();
+        {
+            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            let ok = artifact.is_some();
+            st.reports[stage] = Some(report);
+            st.artifacts[stage] = artifact;
+            if !ok {
+                st.failed = true;
+            } else if !st.failed {
+                for &d in &shared.graph.node(stage).dependents {
+                    st.pending[d] -= 1;
+                    if st.pending[d] == 0 {
+                        // CoW clones of the dependency artifacts: refcount
+                        // bumps, not tree copies.
+                        let ups: HashMap<usize, StageArtifact> = shared
+                            .graph
+                            .node(d)
+                            .deps
+                            .iter()
+                            .map(|&s| (s, st.artifacts[s].clone().expect("dependency completed")))
+                            .collect();
+                        ready.push((d, ups));
+                    }
+                }
+            }
+        }
+        let Some((next, next_upstream)) = ready.pop() else {
+            return;
+        };
+        for (d, ups) in ready {
+            spawn_stage(scope, shared, d, ups);
+        }
+        stage = next;
+        upstream = next_upstream;
+    }
+}
+
+/// Spawns a stage (and its inline continuations) onto the scope.
+fn spawn_stage<'scope, 'e>(
+    scope: &'scope std::thread::Scope<'scope, 'e>,
+    shared: &'e Shared<'e>,
+    stage: usize,
+    upstream: HashMap<usize, StageArtifact>,
+) {
+    scope.spawn(move || stage_worker(scope, shared, stage, upstream));
+}
+
+/// Runs a planned graph to completion. With `options.parallel` (the default)
+/// independent stages build concurrently under a thread scope; otherwise
+/// stages run serially in topological order — same results, useful as a
+/// baseline and for deterministic cache-interleaving tests.
+pub(crate) fn run_graph(
+    builder: &Builder,
+    ir: &BuildIr,
+    graph: &BuildGraph,
+    options: &BuildOptions,
+    context: Option<&Filesystem>,
+) -> GraphRun {
+    let n = graph.stage_count();
+    let (reports, artifacts) = if options.parallel && n > 1 {
+        let shared = Shared {
+            builder,
+            ir,
+            graph,
+            options,
+            context,
+            state: Mutex::new(SchedState {
+                pending: graph.nodes.iter().map(|node| node.deps.len()).collect(),
+                reports: (0..n).map(|_| None).collect(),
+                artifacts: (0..n).map(|_| None).collect(),
+                failed: false,
+            }),
+        };
+        std::thread::scope(|scope| {
+            let mut roots = graph.roots();
+            // The first root runs on this thread; only extra roots (and
+            // later, extra released dependents) cost a spawn.
+            let first = roots.remove(0);
+            for root in roots {
+                spawn_stage(scope, &shared, root, HashMap::new());
+            }
+            stage_worker(scope, &shared, first, HashMap::new());
+        });
+        let st = shared.state.into_inner().expect("scheduler state poisoned");
+        (st.reports, st.artifacts)
+    } else {
+        let mut reports: Vec<Option<BuildReport>> = (0..n).map(|_| None).collect();
+        let mut artifacts: Vec<Option<StageArtifact>> = (0..n).map(|_| None).collect();
+        'levels: for level in graph.levels() {
+            for &stage in level {
+                let upstream: HashMap<usize, StageArtifact> = graph
+                    .node(stage)
+                    .deps
+                    .iter()
+                    .map(|&s| (s, artifacts[s].clone().expect("dependency completed")))
+                    .collect();
+                let (report, artifact) =
+                    execute_stage(builder, ir, graph, stage, options, context, &upstream);
+                let ok = artifact.is_some();
+                reports[stage] = Some(report);
+                artifacts[stage] = artifact;
+                if !ok {
+                    break 'levels;
+                }
+            }
+        }
+        (reports, artifacts)
+    };
+    let success = artifacts.iter().all(|a| a.is_some());
+    let error = reports.iter().flatten().find_map(|r| r.error.clone());
+    // Stages that never ran were skipped because a dependency failed — or,
+    // for stages whose own dependencies all succeeded, because scheduling
+    // stopped at the first failure; attribute those to that stage.
+    let first_failed = (0..n).find(|&i| reports[i].is_some() && artifacts[i].is_none());
+    let mut skipped = Vec::new();
+    for (stage, report) in reports.iter().enumerate() {
+        if report.is_some() {
+            continue;
+        }
+        let dependency = graph
+            .node(stage)
+            .deps
+            .iter()
+            .copied()
+            .find(|&d| artifacts[d].is_none())
+            .or(first_failed)
+            .unwrap_or(stage);
+        skipped.push(BuildError::DependencyFailed { stage, dependency });
+    }
+    GraphRun {
+        reports,
+        artifacts,
+        success,
+        error,
+        skipped,
+    }
+}

@@ -96,18 +96,22 @@ impl ForceConfig {
 
     /// True if the RUN command contains a keyword that triggers modification.
     pub fn run_is_modifiable(&self, command: &str) -> bool {
-        self.keywords
-            .iter()
-            .any(|k| command.contains(k.trim_end()))
+        self.keywords.iter().any(|k| command.contains(k.trim_end()))
             && !command.trim_start().starts_with("fakeroot ")
     }
 }
 
 /// Detects the matching configuration for an image filesystem (the test
 /// `ch-image` performs right after `FROM`, paper §5.3.1).
-pub fn detect_config(fs: &Filesystem, creds: &Credentials, userns: &UserNamespace) -> Option<ForceConfig> {
+pub fn detect_config(
+    fs: &Filesystem,
+    creds: &Credentials,
+    userns: &UserNamespace,
+) -> Option<ForceConfig> {
     let actor = Actor::new(creds, userns);
-    ForceConfig::all().into_iter().find(|c| c.matches(fs, &actor))
+    ForceConfig::all()
+        .into_iter()
+        .find(|c| c.matches(fs, &actor))
 }
 
 #[cfg(test)]

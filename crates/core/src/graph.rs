@@ -1,0 +1,359 @@
+//! The build planner: lowers a [`BuildIr`] into a stage DAG.
+//!
+//! Nodes are stages; edges come from `COPY --from=<stage>` references and
+//! from `FROM <alias>` where the alias names an earlier stage. All reference
+//! errors — unknown stages, forward references, self references — are
+//! detected here at *plan* time, before any instruction executes, and the
+//! planner also runs a Kahn topological sort so a cycle can never reach the
+//! executor. The resulting [`BuildGraph`] tells the executor which stages
+//! are independent (and may build in parallel) and which artifacts each
+//! stage consumes.
+
+use crate::error::BuildError;
+use crate::ir::BuildIr;
+
+/// What a stage's `FROM` resolves to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageBase {
+    /// A base-image reference or locally stored tag, resolved by the builder
+    /// at execution time.
+    Image(String),
+    /// An earlier stage of the same build; the executor adopts that stage's
+    /// filesystem as a copy-on-write snapshot.
+    Stage(usize),
+}
+
+/// One resolved `COPY --from=` edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyFromEdge {
+    /// Index of the `COPY` instruction within the stage.
+    pub instruction: usize,
+    /// The stage the sources are read from.
+    pub source_stage: usize,
+}
+
+/// One node of the stage graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphNode {
+    /// The stage this node builds.
+    pub stage: usize,
+    /// Resolved `FROM`.
+    pub base: StageBase,
+    /// Resolved `COPY --from=` edges, in instruction order.
+    pub copy_from: Vec<CopyFromEdge>,
+    /// Stages this one depends on (sorted, deduplicated).
+    pub deps: Vec<usize>,
+    /// Stages that depend on this one (sorted, deduplicated).
+    pub dependents: Vec<usize>,
+}
+
+/// The planned stage DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildGraph {
+    /// One node per stage, in stage order.
+    pub nodes: Vec<GraphNode>,
+    levels: Vec<Vec<usize>>,
+}
+
+impl BuildGraph {
+    /// Plans the DAG for an IR, validating every stage reference.
+    pub fn plan(ir: &BuildIr) -> Result<BuildGraph, BuildError> {
+        let n = ir.stage_count();
+        // Duplicate aliases would make every later reference ambiguous
+        // (resolve_stage binds to the first); reject them up front, as
+        // BuildKit does.
+        for stage in &ir.stages {
+            if let Some(alias) = &stage.alias {
+                let first = ir
+                    .stages
+                    .iter()
+                    .find(|s| s.alias.as_deref() == Some(alias.as_str()))
+                    .expect("alias present");
+                if first.index != stage.index {
+                    return Err(BuildError::DuplicateAlias {
+                        stage: stage.index,
+                        alias: alias.clone(),
+                    });
+                }
+            }
+        }
+        let mut nodes: Vec<GraphNode> = Vec::with_capacity(n);
+        for stage in &ir.stages {
+            // FROM: an earlier stage's alias wins over an image reference
+            // (BuildKit scoping: later aliases are not visible, so a name
+            // matching only a later stage is treated as an image).
+            let base = match ir
+                .stages
+                .iter()
+                .take(stage.index)
+                .find(|s| s.alias.as_deref() == Some(stage.base.as_str()))
+            {
+                Some(s) => StageBase::Stage(s.index),
+                None => StageBase::Image(stage.base.clone()),
+            };
+            let mut copy_from = Vec::new();
+            for (instruction, reference) in stage.copy_from_refs() {
+                let source_stage =
+                    ir.resolve_stage(reference)
+                        .ok_or_else(|| BuildError::UnknownStage {
+                            stage: stage.index,
+                            reference: reference.to_string(),
+                        })?;
+                if source_stage == stage.index {
+                    return Err(BuildError::SelfReference {
+                        stage: stage.index,
+                        reference: reference.to_string(),
+                    });
+                }
+                if source_stage > stage.index {
+                    return Err(BuildError::ForwardReference {
+                        stage: stage.index,
+                        reference: reference.to_string(),
+                    });
+                }
+                copy_from.push(CopyFromEdge {
+                    instruction,
+                    source_stage,
+                });
+            }
+            let mut deps: Vec<usize> = copy_from.iter().map(|e| e.source_stage).collect();
+            if let StageBase::Stage(s) = base {
+                deps.push(s);
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            nodes.push(GraphNode {
+                stage: stage.index,
+                base,
+                copy_from,
+                deps,
+                dependents: Vec::new(),
+            });
+        }
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for node in &nodes {
+            for &d in &node.deps {
+                dependents[d].push(node.stage);
+            }
+        }
+        for (node, deps) in nodes.iter_mut().zip(dependents) {
+            node.dependents = deps;
+        }
+        let levels = topo_levels(&nodes)?;
+        Ok(BuildGraph { nodes, levels })
+    }
+
+    /// Topological levels: every stage in level `k` depends only on stages in
+    /// levels `< k`, so stages within one level are mutually independent.
+    pub fn levels(&self) -> &[Vec<usize>] {
+        &self.levels
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node for a stage.
+    pub fn node(&self, stage: usize) -> &GraphNode {
+        &self.nodes[stage]
+    }
+
+    /// Stages with no dependencies (the parallel roots).
+    pub fn roots(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.deps.is_empty())
+            .map(|n| n.stage)
+            .collect()
+    }
+
+    /// The length of the longest dependency chain — the lower bound on
+    /// sequential stage executions even with unlimited parallelism.
+    pub fn critical_path_len(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Kahn's algorithm over the stage nodes. Backward-only edges cannot form a
+/// cycle today, but the check is kept so a future front-end change (e.g.
+/// late-bound aliases) fails here instead of deadlocking the executor.
+fn topo_levels(nodes: &[GraphNode]) -> Result<Vec<Vec<usize>>, BuildError> {
+    let n = nodes.len();
+    let mut pending: Vec<usize> = nodes.iter().map(|node| node.deps.len()).collect();
+    let mut scheduled = vec![false; n];
+    let mut levels = Vec::new();
+    let mut done = 0;
+    while done < n {
+        let ready: Vec<usize> = (0..n)
+            .filter(|&i| !scheduled[i] && pending[i] == 0)
+            .collect();
+        if ready.is_empty() {
+            let stuck: Vec<usize> = (0..n).filter(|&i| !scheduled[i]).collect();
+            return Err(BuildError::Cycle { stages: stuck });
+        }
+        for &i in &ready {
+            scheduled[i] = true;
+            done += 1;
+            for &d in &nodes[i].dependents {
+                pending[d] -= 1;
+            }
+        }
+        levels.push(ready);
+    }
+    Ok(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIAMOND: &str = "\
+FROM centos:7 AS base
+RUN yum install -y gcc
+
+FROM base AS left
+RUN yum install -y openmpi
+
+FROM base AS right
+RUN yum install -y spack
+
+FROM centos:7
+COPY --from=left /usr/lib64/openmpi /usr/lib64/openmpi
+COPY --from=right /opt/spack /opt/spack
+";
+
+    fn plan(text: &str) -> Result<BuildGraph, BuildError> {
+        BuildGraph::plan(&BuildIr::parse(text).unwrap())
+    }
+
+    #[test]
+    fn diamond_edges_and_levels() {
+        let g = plan(DIAMOND).unwrap();
+        assert_eq!(g.stage_count(), 4);
+        assert_eq!(g.node(0).deps, Vec::<usize>::new());
+        assert_eq!(g.node(1).deps, vec![0]);
+        assert_eq!(g.node(2).deps, vec![0]);
+        assert_eq!(g.node(3).deps, vec![1, 2]);
+        assert_eq!(g.node(0).dependents, vec![1, 2]);
+        assert_eq!(g.node(1).base, StageBase::Stage(0));
+        assert_eq!(g.node(3).base, StageBase::Image("centos:7".into()));
+        // Levels: base | left+right (parallel) | final.
+        assert_eq!(g.levels(), &[vec![0], vec![1, 2], vec![3]]);
+        assert_eq!(g.roots(), vec![0]);
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn copy_from_index_resolves_like_alias() {
+        let g =
+            plan("FROM centos:7 AS a\nRUN echo x\n\nFROM centos:7\nCOPY --from=0 /x /y\n").unwrap();
+        assert_eq!(
+            g.node(1).copy_from,
+            vec![CopyFromEdge {
+                instruction: 1,
+                source_stage: 0
+            }]
+        );
+        let by_alias =
+            plan("FROM centos:7 AS a\nRUN echo x\n\nFROM centos:7\nCOPY --from=a /x /y\n").unwrap();
+        assert_eq!(by_alias.node(1).copy_from, g.node(1).copy_from);
+    }
+
+    #[test]
+    fn unknown_stage_rejected_at_plan_time() {
+        assert_eq!(
+            plan("FROM centos:7 AS a\nRUN echo x\n\nFROM centos:7\nCOPY --from=missing /x /y\n")
+                .unwrap_err(),
+            BuildError::UnknownStage {
+                stage: 1,
+                reference: "missing".into()
+            }
+        );
+        // An out-of-range index is unknown, not forward.
+        assert!(matches!(
+            plan("FROM centos:7\nCOPY --from=7 /x /y\n").unwrap_err(),
+            BuildError::UnknownStage { .. }
+        ));
+    }
+
+    #[test]
+    fn forward_and_self_references_rejected_at_plan_time() {
+        assert_eq!(
+            plan("FROM centos:7 AS a\nCOPY --from=1 /x /y\n\nFROM centos:7\nRUN echo x\n")
+                .unwrap_err(),
+            BuildError::ForwardReference {
+                stage: 0,
+                reference: "1".into()
+            }
+        );
+        assert_eq!(
+            plan("FROM centos:7 AS a\nCOPY --from=a /x /y\n").unwrap_err(),
+            BuildError::SelfReference {
+                stage: 0,
+                reference: "a".into()
+            }
+        );
+        // By alias of a later stage.
+        assert!(matches!(
+            plan("FROM centos:7 AS a\nCOPY --from=later /x /y\n\nFROM centos:7 AS later\nRUN echo x\n")
+                .unwrap_err(),
+            BuildError::ForwardReference { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_aliases_rejected_at_plan_time() {
+        assert_eq!(
+            plan("FROM centos:7 AS b\nRUN echo 1\n\nFROM debian:buster AS b\nRUN echo 2\n")
+                .unwrap_err(),
+            BuildError::DuplicateAlias {
+                stage: 1,
+                alias: "b".into()
+            }
+        );
+    }
+
+    #[test]
+    fn from_alias_of_later_stage_is_an_image_reference() {
+        // BuildKit scoping: a FROM name only binds to *earlier* aliases.
+        let g =
+            plan("FROM app AS first\nRUN echo x\n\nFROM centos:7 AS app\nRUN echo y\n").unwrap();
+        assert_eq!(g.node(0).base, StageBase::Image("app".into()));
+        assert_eq!(g.node(0).deps, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn chain_levels_are_sequential() {
+        let g =
+            plan("FROM centos:7 AS a\nRUN echo 1\nFROM a AS b\nRUN echo 2\nFROM b\nRUN echo 3\n")
+                .unwrap();
+        assert_eq!(g.levels(), &[vec![0], vec![1], vec![2]]);
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn cycle_detection_is_defensive() {
+        // Construct a cyclic node set directly; plan() can't produce one.
+        let nodes = vec![
+            GraphNode {
+                stage: 0,
+                base: StageBase::Image("x".into()),
+                copy_from: vec![],
+                deps: vec![1],
+                dependents: vec![1],
+            },
+            GraphNode {
+                stage: 1,
+                base: StageBase::Image("x".into()),
+                copy_from: vec![],
+                deps: vec![0],
+                dependents: vec![0],
+            },
+        ];
+        assert_eq!(
+            topo_levels(&nodes).unwrap_err(),
+            BuildError::Cycle { stages: vec![0, 1] }
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Stage-aware intermediate representation of a Dockerfile.
+//!
+//! [`crate::dockerfile::Dockerfile::parse`] is the *only* tokenizer; this
+//! module lowers its flat instruction list into a [`BuildIr`] — stages split
+//! on `FROM` boundaries, with aliases, per-instruction source spans, and the
+//! raw `COPY --from=` references that the planner ([`crate::graph`]) resolves
+//! into DAG edges. The multi-stage path used to re-tokenize the Dockerfile
+//! text with its own line-based parser; that duplicate is gone.
+
+use crate::dockerfile::{Dockerfile, InstrSpan, Instruction};
+use crate::error::BuildError;
+
+/// One stage of a (possibly multi-stage) Dockerfile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrStage {
+    /// 0-based stage index, in order of appearance.
+    pub index: usize,
+    /// `FROM ... AS <alias>` alias, if present.
+    pub alias: Option<String>,
+    /// The raw `FROM` reference (base image, local tag, or earlier stage
+    /// alias — resolved by the planner, not here).
+    pub base: String,
+    /// The stage's instructions; element 0 is always the `FROM`.
+    pub instructions: Vec<Instruction>,
+    /// Source span of each instruction (parallel to `instructions`).
+    pub spans: Vec<InstrSpan>,
+}
+
+impl IrStage {
+    /// Raw `--from=` references made by this stage's `COPY` instructions,
+    /// with the index of the instruction making each.
+    pub fn copy_from_refs(&self) -> Vec<(usize, &str)> {
+        self.instructions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, instr)| match instr {
+                Instruction::Copy { from: Some(r), .. } => Some((i, r.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The stage-aware IR: what the planner and executor consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildIr {
+    /// `ARG` instructions appearing before the first `FROM` (Docker's global
+    /// build args). Recorded but not executed.
+    pub global_args: Vec<Instruction>,
+    /// Stages in order of appearance.
+    pub stages: Vec<IrStage>,
+}
+
+impl BuildIr {
+    /// Parses Dockerfile text straight to IR (single tokenizer:
+    /// [`Dockerfile::parse`]).
+    pub fn parse(text: &str) -> Result<BuildIr, BuildError> {
+        let df = Dockerfile::parse(text)?;
+        BuildIr::from_dockerfile(&df)
+    }
+
+    /// Lowers a parsed [`Dockerfile`] into stages.
+    pub fn from_dockerfile(df: &Dockerfile) -> Result<BuildIr, BuildError> {
+        let mut global_args = Vec::new();
+        let mut stages: Vec<IrStage> = Vec::new();
+        for (i, instruction) in df.instructions.iter().enumerate() {
+            let span = df
+                .spans
+                .get(i)
+                .copied()
+                .unwrap_or(InstrSpan { start: 0, end: 0 });
+            if let Instruction::From { image, alias } = instruction {
+                stages.push(IrStage {
+                    index: stages.len(),
+                    alias: alias.clone(),
+                    base: image.clone(),
+                    instructions: vec![instruction.clone()],
+                    spans: vec![span],
+                });
+                continue;
+            }
+            match stages.last_mut() {
+                Some(stage) => {
+                    stage.instructions.push(instruction.clone());
+                    stage.spans.push(span);
+                }
+                None => {
+                    // Docker permits global ARGs before the first FROM;
+                    // anything else there is an error.
+                    if let Instruction::Arg { .. } = instruction {
+                        global_args.push(instruction.clone());
+                    } else {
+                        return Err(BuildError::BeforeFirstFrom {
+                            instruction: keyword(instruction).to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        if stages.is_empty() {
+            return Err(BuildError::NoStages);
+        }
+        Ok(BuildIr {
+            global_args,
+            stages,
+        })
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if the Dockerfile has more than one stage.
+    pub fn is_multistage(&self) -> bool {
+        self.stages.len() > 1
+    }
+
+    /// Resolves a stage reference — an alias (`builder`) or a 0-based index
+    /// (`0`) — to a stage index, without any position validation (the planner
+    /// enforces backward-only references).
+    pub fn resolve_stage(&self, reference: &str) -> Option<usize> {
+        if let Ok(idx) = reference.parse::<usize>() {
+            return (idx < self.stages.len()).then_some(idx);
+        }
+        self.stages
+            .iter()
+            .find(|s| s.alias.as_deref() == Some(reference))
+            .map(|s| s.index)
+    }
+}
+
+fn keyword(instruction: &Instruction) -> &'static str {
+    match instruction {
+        Instruction::From { .. } => "FROM",
+        Instruction::Run(_) => "RUN",
+        Instruction::Copy { .. } => "COPY",
+        Instruction::Env { .. } => "ENV",
+        Instruction::Arg { .. } => "ARG",
+        Instruction::Workdir(_) => "WORKDIR",
+        Instruction::User(_) => "USER",
+        Instruction::Label { .. } => "LABEL",
+        Instruction::Cmd(_) => "CMD",
+        Instruction::Entrypoint(_) => "ENTRYPOINT",
+        Instruction::Expose(_) => "EXPOSE",
+        Instruction::Volume(_) => "VOLUME",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_STAGE: &str = "\
+FROM centos:7 AS builder
+RUN echo compiling
+RUN mkdir -p /opt/app/bin && echo binary > /opt/app/bin/app
+
+FROM centos:7
+COPY --from=builder /opt/app/bin/app /usr/local/bin/app
+RUN echo runtime ready
+";
+
+    #[test]
+    fn splits_stages_and_extracts_copy_from() {
+        let ir = BuildIr::parse(TWO_STAGE).unwrap();
+        assert_eq!(ir.stage_count(), 2);
+        assert!(ir.is_multistage());
+        assert_eq!(ir.stages[0].alias.as_deref(), Some("builder"));
+        assert_eq!(ir.stages[0].base, "centos:7");
+        assert_eq!(ir.stages[1].copy_from_refs(), vec![(1, "builder")]);
+        assert_eq!(ir.resolve_stage("builder"), Some(0));
+        assert_eq!(ir.resolve_stage("0"), Some(0));
+        assert_eq!(ir.resolve_stage("1"), Some(1));
+        assert_eq!(ir.resolve_stage("2"), None);
+        assert_eq!(ir.resolve_stage("missing"), None);
+    }
+
+    #[test]
+    fn single_stage_keeps_all_instructions() {
+        let ir = BuildIr::parse("FROM centos:7\nRUN echo hi\nENV A=b\n").unwrap();
+        assert_eq!(ir.stage_count(), 1);
+        assert!(!ir.is_multistage());
+        assert_eq!(ir.stages[0].instructions.len(), 3);
+        assert_eq!(ir.stages[0].spans.len(), 3);
+        assert!(matches!(
+            ir.stages[0].instructions[0],
+            Instruction::From { .. }
+        ));
+    }
+
+    #[test]
+    fn instruction_before_first_from_is_an_error() {
+        assert_eq!(
+            BuildIr::parse("RUN echo hi\nFROM centos:7\n").unwrap_err(),
+            BuildError::BeforeFirstFrom {
+                instruction: "RUN".into()
+            }
+        );
+        assert_eq!(
+            BuildIr::parse("# comment only\n").unwrap_err(),
+            BuildError::NoStages
+        );
+    }
+
+    #[test]
+    fn global_args_before_first_from_are_kept_aside() {
+        let ir = BuildIr::parse("ARG VERSION=1\nFROM centos:7\nRUN echo hi\n").unwrap();
+        assert_eq!(ir.global_args.len(), 1);
+        assert_eq!(ir.stages[0].instructions.len(), 2);
+    }
+
+    #[test]
+    fn spans_survive_lowering() {
+        let ir = BuildIr::parse(TWO_STAGE).unwrap();
+        // Stage 1's FROM is on physical line 5.
+        assert_eq!(ir.stages[1].spans[0].start, 5);
+        assert_eq!(ir.stages[1].spans[1].start, 6);
+    }
+}

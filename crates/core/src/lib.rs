@@ -9,11 +9,22 @@
 //! (§6.1 item 3), and registry push/pull with ownership flattening (§6.1) or
 //! fakeroot-database ownership reconstruction (§6.2.2).
 //!
-//! Two extension modules cover the paper's forward-looking material:
-//! [`multistage`] builds multi-stage Dockerfiles (the single-file form of the
-//! §5.3.3 chained-Dockerfile pipeline) and [`ocipush`] exports built images to
-//! an OCI distribution registry as single flattened layers or base-plus-diff
-//! layer stacks, carrying the §6.2.5 flatten annotation.
+//! The build pipeline is three layers over one instruction set:
+//!
+//! 1. **Front end** — [`dockerfile`] tokenizes (the *only* tokenizer) and
+//!    [`ir`] lowers the instruction list into a stage-aware [`ir::BuildIr`].
+//! 2. **Planner** — [`graph`] resolves `COPY --from=` / `FROM <alias>`
+//!    references into a stage DAG, rejecting unknown, forward, self, and
+//!    cyclic references at plan time.
+//! 3. **Executor** — per-instruction handlers run each stage, and the graph
+//!    scheduler builds independent stages concurrently with a shared
+//!    digest-keyed build cache, passing artifacts as CoW snapshots.
+//!
+//! [`multistage`] is the entry point that keeps per-stage reports separate
+//! (the single-file form of the §5.3.3 chained-Dockerfile pipeline);
+//! [`ocipush`] exports built images to an OCI distribution registry as
+//! single flattened layers or base-plus-diff layer stacks, carrying the
+//! §6.2.5 flatten annotation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,7 +32,11 @@
 pub mod builder;
 pub mod cache;
 pub mod dockerfile;
+pub mod error;
+mod executor;
 pub mod force;
+pub mod graph;
+pub mod ir;
 pub mod multistage;
 pub mod ocipush;
 
@@ -31,8 +46,11 @@ pub use builder::{
 pub use cache::{BuildCache, CachedState};
 pub use dockerfile::{
     centos7_dockerfile, centos7_fr_dockerfile, debian10_dockerfile, debian10_fr_dockerfile,
-    Dockerfile, Instruction, ParseError,
+    Dockerfile, InstrSpan, Instruction, ParseError,
 };
+pub use error::BuildError;
 pub use force::{detect_config, ForceConfig, InitStep};
-pub use multistage::{build_multistage, MultiStagePlan, MultiStageReport};
+pub use graph::{BuildGraph, CopyFromEdge, GraphNode, StageBase};
+pub use ir::{BuildIr, IrStage};
+pub use multistage::{build_multistage, MultiStageReport};
 pub use ocipush::{push_to_oci, LayerMode, OciPushReport};

@@ -1,296 +1,101 @@
-//! Multi-stage Dockerfile builds.
+//! Multi-stage Dockerfile builds with per-stage reporting.
 //!
 //! HPC application images are usually produced by a heavyweight compile
 //! environment (compilers, MPI, Spack trees — the stack of the paper's
 //! §5.3.3 production pipeline) followed by a much smaller runtime image.
 //! Docker expresses this as multi-stage Dockerfiles: several `FROM` blocks,
 //! with later stages pulling artifacts out of earlier ones via
-//! `COPY --from=<stage>`. The LANL pipeline in the paper achieves the same
-//! thing with three chained Dockerfiles; this module supports the single-file
-//! form on top of the existing [`Builder`] for all three privilege types, so
-//! that unmodified multi-stage recipes build under `ch-image --force` exactly
-//! as the paper's single-stage examples do.
+//! `COPY --from=<stage>`.
+//!
+//! The heavy lifting lives elsewhere now: [`crate::ir`] parses the stages
+//! (one tokenizer, shared with single-stage builds), [`crate::graph`] plans
+//! the DAG, and [`crate::executor`] runs independent stages concurrently
+//! against the shared build cache, handing artifacts downstream as
+//! copy-on-write snapshots. This module is the entry point that keeps the
+//! per-stage [`BuildReport`]s separate; [`Builder::build`] runs the same
+//! engine but folds them into one report. Intermediate stages are *not*
+//! tagged — only the final image enters the builder's tag namespace.
 
-use hpcc_kernel::{Credentials, UserNamespace};
-use hpcc_vfs::{Actor, Filesystem};
+use hpcc_vfs::Filesystem;
 
 use crate::builder::{BuildOptions, BuildReport, Builder};
-
-/// One `COPY --from=` request found in a later stage.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CopyFromSpec {
-    /// The stage referenced: an alias (`builder`) or a 0-based index (`0`).
-    pub stage_ref: String,
-    /// Source path inside the referenced stage's image.
-    pub source: String,
-    /// Destination path in the stage being built.
-    pub dest: String,
-}
-
-/// One stage of a multi-stage Dockerfile.
-#[derive(Debug, Clone)]
-pub struct Stage {
-    /// 0-based stage index.
-    pub index: usize,
-    /// `FROM ... AS <alias>` alias, if present.
-    pub alias: Option<String>,
-    /// The stage's Dockerfile text with `COPY --from=` lines replaced by
-    /// ordinary `COPY` lines that read from the synthesized build context.
-    pub text: String,
-    /// Cross-stage copies requested by this stage, in order.
-    pub copy_from: Vec<CopyFromSpec>,
-}
-
-/// A multi-stage build plan.
-#[derive(Debug, Clone)]
-pub struct MultiStagePlan {
-    /// Stages in order of appearance.
-    pub stages: Vec<Stage>,
-}
+use crate::error::BuildError;
+use crate::executor::run_graph;
 
 /// Report of a multi-stage build.
 #[derive(Debug, Clone)]
 pub struct MultiStageReport {
-    /// Per-stage build reports, in stage order (may be shorter than the plan
-    /// if an early stage failed).
+    /// Per-stage build reports in stage order. Stages that never ran
+    /// (dependency failed, or scheduling stopped after an error) are absent,
+    /// so this may be shorter than the plan.
     pub stages: Vec<BuildReport>,
     /// Whether every stage succeeded.
     pub success: bool,
     /// The tag of the final image (present only on success).
     pub final_tag: Option<String>,
+    /// The first error, if the build failed — parse and plan errors land
+    /// here too, never smuggled through `final_tag`.
+    pub error: Option<BuildError>,
+    /// One [`BuildError::DependencyFailed`] per stage that never ran
+    /// because a dependency (or an earlier scheduled stage) failed.
+    pub skipped: Vec<BuildError>,
 }
 
-impl MultiStagePlan {
-    /// Splits a Dockerfile into stages and extracts `COPY --from=` requests.
-    /// A single-stage Dockerfile yields a one-element plan whose text is the
-    /// input unchanged.
-    pub fn parse(text: &str) -> Result<MultiStagePlan, String> {
-        let mut stages: Vec<Stage> = Vec::new();
-        for raw in text.lines() {
-            let trimmed = raw.trim();
-            let is_from = trimmed
-                .split_whitespace()
-                .next()
-                .map(|w| w.eq_ignore_ascii_case("FROM"))
-                .unwrap_or(false);
-            if is_from {
-                let mut parts = trimmed.split_whitespace().skip(1);
-                let _image = parts
-                    .next()
-                    .ok_or_else(|| "FROM requires an image".to_string())?;
-                let alias = match (parts.next(), parts.next()) {
-                    (Some(kw), Some(name)) if kw.eq_ignore_ascii_case("as") => {
-                        Some(name.to_string())
-                    }
-                    _ => None,
-                };
-                stages.push(Stage {
-                    index: stages.len(),
-                    alias,
-                    text: format!("{}\n", raw),
-                    copy_from: Vec::new(),
-                });
-                continue;
-            }
-            let Some(stage) = stages.last_mut() else {
-                // Leading comments / ARGs before the first FROM: keep them for
-                // the first stage once it appears by ignoring here (comments)
-                // — non-comment instructions before FROM are a parse error the
-                // per-stage parser will report.
-                if trimmed.is_empty() || trimmed.starts_with('#') {
-                    continue;
-                }
-                return Err(format!("instruction before first FROM: {}", trimmed));
-            };
-            // Detect `COPY --from=<ref> <src> <dst>`.
-            let is_copy_from = trimmed
-                .split_whitespace()
-                .next()
-                .map(|w| w.eq_ignore_ascii_case("COPY"))
-                .unwrap_or(false)
-                && trimmed.contains("--from=");
-            if is_copy_from {
-                let mut stage_ref = String::new();
-                let mut operands: Vec<String> = Vec::new();
-                for word in trimmed.split_whitespace().skip(1) {
-                    if let Some(r) = word.strip_prefix("--from=") {
-                        stage_ref = r.to_string();
-                    } else if !word.starts_with("--") {
-                        operands.push(word.to_string());
-                    }
-                }
-                if stage_ref.is_empty() || operands.len() < 2 {
-                    return Err(format!("malformed COPY --from: {}", trimmed));
-                }
-                let dest = operands.pop().expect("checked length above");
-                for source in operands {
-                    let context_path = source.trim_start_matches('/').to_string();
-                    stage.copy_from.push(CopyFromSpec {
-                        stage_ref: stage_ref.clone(),
-                        source: source.clone(),
-                        dest: dest.clone(),
-                    });
-                    // Rewrite to an ordinary COPY served from the synthesized
-                    // context, where `build_multistage` stages the artifact.
-                    stage
-                        .text
-                        .push_str(&format!("COPY {} {}\n", context_path, dest));
-                }
-                continue;
-            }
-            stage.text.push_str(raw);
-            stage.text.push('\n');
+impl MultiStageReport {
+    fn failed(error: BuildError) -> Self {
+        MultiStageReport {
+            stages: Vec::new(),
+            success: false,
+            final_tag: None,
+            error: Some(error),
+            skipped: Vec::new(),
         }
-        if stages.is_empty() {
-            return Err("Dockerfile has no FROM".to_string());
-        }
-        Ok(MultiStagePlan { stages })
     }
 
-    /// Number of stages.
-    pub fn stage_count(&self) -> usize {
-        self.stages.len()
-    }
-
-    /// True if the Dockerfile has more than one stage.
-    pub fn is_multistage(&self) -> bool {
-        self.stages.len() > 1
-    }
-
-    /// Resolves a `--from=` reference (alias or index) to a stage index.
-    pub fn resolve_stage(&self, reference: &str) -> Option<usize> {
-        if let Ok(idx) = reference.parse::<usize>() {
-            return (idx < self.stages.len()).then_some(idx);
-        }
-        self.stages
-            .iter()
-            .find(|s| s.alias.as_deref() == Some(reference))
-            .map(|s| s.index)
-    }
-
-    /// The tag an intermediate stage's image is stored under.
-    pub fn stage_tag(final_tag: &str, index: usize) -> String {
-        format!("{}.stage{}", final_tag, index)
+    /// The error rendered as text, if the build failed.
+    pub fn error_text(&self) -> Option<String> {
+        self.error.as_ref().map(|e| e.to_string())
     }
 }
 
-/// Runs a multi-stage build with the given builder. Intermediate stages are
-/// stored under `<tag>.stage<N>`; the final stage is stored under the tag in
-/// `options`. `context` is the user-provided build context for ordinary
-/// `COPY` instructions.
+/// Runs a multi-stage build with the given builder. Independent stages build
+/// concurrently (unless `options.parallel` is off); the final stage is
+/// stored under the tag in `options`, and intermediate stages stay out of
+/// the builder's tag namespace. `context` is the user-provided build context
+/// for ordinary `COPY` instructions. A single-stage Dockerfile is simply a
+/// one-node graph.
 pub fn build_multistage(
     builder: &mut Builder,
     dockerfile_text: &str,
     options: &BuildOptions,
     context: Option<&Filesystem>,
 ) -> MultiStageReport {
-    let plan = match MultiStagePlan::parse(dockerfile_text) {
+    let (ir, graph) = match Builder::plan(dockerfile_text) {
         Ok(p) => p,
-        Err(e) => {
-            return MultiStageReport {
-                stages: vec![],
-                success: false,
-                final_tag: Some(e),
-            }
-        }
+        Err(e) => return MultiStageReport::failed(e),
     };
-    let mut reports = Vec::with_capacity(plan.stage_count());
-    let root_creds = Credentials::host_root();
-    let host_ns = UserNamespace::initial();
-    let root = Actor::new(&root_creds, &host_ns);
-
-    for stage in &plan.stages {
-        let is_last = stage.index + 1 == plan.stage_count();
-        let tag = if is_last {
-            options.tag.clone()
-        } else {
-            MultiStagePlan::stage_tag(&options.tag, stage.index)
-        };
-        // Synthesize the stage's build context: the caller's context plus any
-        // artifacts copied out of earlier stages.
-        let mut ctx = context.cloned().unwrap_or_default();
-        let mut stage_failed = None;
-        for spec in &stage.copy_from {
-            let Some(src_index) = plan.resolve_stage(&spec.stage_ref) else {
-                stage_failed = Some(format!("unknown build stage: {}", spec.stage_ref));
-                break;
-            };
-            if src_index >= stage.index {
-                stage_failed = Some(format!(
-                    "COPY --from={} references a later or current stage",
-                    spec.stage_ref
-                ));
-                break;
-            }
-            let src_tag = MultiStagePlan::stage_tag(&options.tag, src_index);
-            let src_tag = if src_index + 1 == plan.stage_count() {
-                options.tag.clone()
-            } else {
-                src_tag
-            };
-            let Some(src_image) = builder.image(&src_tag) else {
-                stage_failed = Some(format!("stage {} has no built image", spec.stage_ref));
-                break;
-            };
-            if !src_image.fs.exists(&root, &spec.source) {
-                stage_failed = Some(format!(
-                    "COPY --from={} {}: not found in stage image",
-                    spec.stage_ref, spec.source
-                ));
-                break;
-            }
-            let staged_path = format!("/{}", spec.source.trim_start_matches('/'));
-            if let Err(e) = ctx.copy_tree_from(&src_image.fs, &spec.source, &staged_path) {
-                stage_failed = Some(format!(
-                    "COPY --from={} {}: {}",
-                    spec.stage_ref, spec.source, e
-                ));
-                break;
-            }
-        }
-        if let Some(msg) = stage_failed {
-            reports.push(BuildReport {
-                transcript: vec![format!("error: {}", msg)],
-                success: false,
-                tag,
-                instructions_total: 0,
-                instructions_modified: 0,
-                modifiable_runs: 0,
-                force_config: None,
-                cache_hits: 0,
-                cache_misses: 0,
-                error: Some(msg),
-            });
-            return MultiStageReport {
-                stages: reports,
-                success: false,
-                final_tag: None,
-            };
-        }
-        let mut stage_options = options.clone();
-        stage_options.tag = tag.clone();
-        let report = builder.build(&stage.text, &stage_options, Some(&ctx));
-        let ok = report.success;
-        reports.push(report);
-        if !ok {
-            return MultiStageReport {
-                stages: reports,
-                success: false,
-                final_tag: None,
-            };
+    let mut run = run_graph(builder, &ir, &graph, options, context);
+    if run.success {
+        let final_index = ir.stage_count() - 1;
+        if let Some(artifact) = run.artifacts[final_index].take() {
+            builder.store_artifact(&options.tag, &options.arch, artifact);
         }
     }
     MultiStageReport {
-        stages: reports,
-        success: true,
-        final_tag: Some(options.tag.clone()),
+        stages: run.reports.into_iter().flatten().collect(),
+        success: run.success,
+        final_tag: run.success.then(|| options.tag.clone()),
+        error: run.error,
+        skipped: run.skipped,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpcc_kernel::{Credentials, UserNamespace};
     use hpcc_runtime::Invoker;
+    use hpcc_vfs::Actor;
 
     const TWO_STAGE: &str = "\
 FROM centos:7 AS builder
@@ -302,77 +107,216 @@ COPY --from=builder /opt/app/bin/app /usr/local/bin/app
 RUN echo runtime image ready
 ";
 
-    #[test]
-    fn plan_splits_stages_and_extracts_copy_from() {
-        let plan = MultiStagePlan::parse(TWO_STAGE).unwrap();
-        assert_eq!(plan.stage_count(), 2);
-        assert!(plan.is_multistage());
-        assert_eq!(plan.stages[0].alias.as_deref(), Some("builder"));
-        assert_eq!(plan.stages[1].copy_from.len(), 1);
-        assert_eq!(plan.stages[1].copy_from[0].source, "/opt/app/bin/app");
-        assert_eq!(plan.resolve_stage("builder"), Some(0));
-        assert_eq!(plan.resolve_stage("0"), Some(0));
-        assert_eq!(plan.resolve_stage("missing"), None);
-        // The rewritten text contains a plain COPY, no --from.
-        assert!(plan.stages[1].text.contains("COPY opt/app/bin/app /usr/local/bin/app"));
-        assert!(!plan.stages[1].text.contains("--from"));
+    fn alice() -> Invoker {
+        Invoker::user("alice", 1000, 1000)
     }
 
-    #[test]
-    fn single_stage_plan_passes_text_through() {
-        let plan = MultiStagePlan::parse("FROM centos:7\nRUN echo hi\n").unwrap();
-        assert_eq!(plan.stage_count(), 1);
-        assert!(!plan.is_multistage());
-        assert!(plan.stages[0].text.contains("RUN echo hi"));
-    }
-
-    #[test]
-    fn instruction_before_from_is_an_error() {
-        assert!(MultiStagePlan::parse("RUN echo hi\nFROM centos:7\n").is_err());
-        assert!(MultiStagePlan::parse("# comment only\n").is_err());
+    fn root_actor() -> (Credentials, UserNamespace) {
+        (Credentials::host_root(), UserNamespace::initial())
     }
 
     #[test]
     fn two_stage_build_copies_artifact_between_stages() {
-        let alice = Invoker::user("alice", 1000, 1000);
-        let mut b = Builder::ch_image(alice);
+        let mut b = Builder::ch_image(alice());
         let report = build_multistage(&mut b, TWO_STAGE, &BuildOptions::new("app"), None);
-        assert!(report.success, "{:?}", report.stages.last().map(|r| r.transcript_text()));
+        assert!(
+            report.success,
+            "{:?}",
+            report.stages.last().map(|r| r.transcript_text())
+        );
         assert_eq!(report.stages.len(), 2);
         assert_eq!(report.final_tag.as_deref(), Some("app"));
+        assert!(report.error.is_none());
         // The final image contains the artifact produced in the first stage.
         let built = b.image("app").unwrap();
-        let creds = Credentials::host_root();
-        let ns = UserNamespace::initial();
+        let (creds, ns) = root_actor();
         let actor = Actor::new(&creds, &ns);
         assert!(built.fs.exists(&actor, "/usr/local/bin/app"));
-        // The intermediate stage is also retained for debugging.
-        assert!(b.image("app.stage0").is_some());
+        // Intermediate stages stay out of the builder's tag namespace.
+        assert_eq!(b.tags(), vec!["app".to_string()]);
     }
 
     #[test]
-    fn copy_from_unknown_stage_fails_cleanly() {
+    fn serial_and_parallel_execution_agree() {
+        let mut parallel = Builder::ch_image(alice());
+        let mut serial = Builder::ch_image(alice());
+        let p = build_multistage(&mut parallel, TWO_STAGE, &BuildOptions::new("app"), None);
+        let s = build_multistage(
+            &mut serial,
+            TWO_STAGE,
+            &BuildOptions::new("app").with_serial_stages(),
+            None,
+        );
+        assert!(p.success && s.success);
+        let (creds, ns) = root_actor();
+        let actor = Actor::new(&creds, &ns);
+        let pf = &parallel.image("app").unwrap().fs;
+        let sf = &serial.image("app").unwrap().fs;
+        assert_eq!(
+            pf.read_file(&actor, "/usr/local/bin/app").unwrap(),
+            sf.read_file(&actor, "/usr/local/bin/app").unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_typed_not_smuggled() {
+        let mut b = Builder::ch_image(alice());
+        let report = build_multistage(
+            &mut b,
+            "RUN echo hi\nFROM centos:7\n",
+            &BuildOptions::new("x"),
+            None,
+        );
+        assert!(!report.success);
+        assert!(
+            report.final_tag.is_none(),
+            "final_tag must not carry errors"
+        );
+        assert_eq!(
+            report.error,
+            Some(BuildError::BeforeFirstFrom {
+                instruction: "RUN".into()
+            })
+        );
+        let report = build_multistage(&mut b, "# comment only\n", &BuildOptions::new("x"), None);
+        assert_eq!(report.error, Some(BuildError::NoStages));
+    }
+
+    #[test]
+    fn copy_from_unknown_stage_fails_at_plan_time() {
         let text = "FROM centos:7 AS a\nRUN echo x\n\nFROM centos:7\nCOPY --from=missing /x /y\n";
-        let alice = Invoker::user("alice", 1000, 1000);
-        let mut b = Builder::ch_image(alice);
+        let mut b = Builder::ch_image(alice());
+        let report = build_multistage(&mut b, text, &BuildOptions::new("bad"), None);
+        assert!(!report.success);
+        // Nothing executed: the reference error surfaced before any stage ran.
+        assert!(report.stages.is_empty());
+        assert!(report.error_text().unwrap().contains("unknown build stage"));
+    }
+
+    #[test]
+    fn forward_reference_is_rejected_at_plan_time() {
+        let text = "FROM centos:7 AS a\nCOPY --from=1 /x /y\n\nFROM centos:7\nRUN echo x\n";
+        let mut b = Builder::ch_image(alice());
+        let report = build_multistage(&mut b, text, &BuildOptions::new("bad"), None);
+        assert!(!report.success);
+        assert!(matches!(
+            report.error,
+            Some(BuildError::ForwardReference { stage: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn copy_from_missing_path_fails_in_executing_stage() {
+        let text = "FROM centos:7 AS a\nRUN echo x\n\nFROM centos:7\nCOPY --from=a /nope /y\n";
+        let mut b = Builder::ch_image(alice());
         let report = build_multistage(&mut b, text, &BuildOptions::new("bad"), None);
         assert!(!report.success);
         assert!(report
-            .stages
-            .last()
+            .error_text()
             .unwrap()
-            .error
-            .as_deref()
-            .unwrap()
-            .contains("unknown build stage"));
+            .contains("not found in stage image"));
+        // Stage 0 ran fine; stage 1 carries the failure.
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.stages[0].success);
+        assert!(!report.stages[1].success);
     }
 
     #[test]
-    fn forward_reference_is_rejected() {
-        let text = "FROM centos:7 AS a\nCOPY --from=1 /x /y\n\nFROM centos:7\nRUN echo x\n";
-        let alice = Invoker::user("alice", 1000, 1000);
-        let mut b = Builder::ch_image(alice);
+    fn diamond_stages_share_cache_within_one_build() {
+        // Stage `c` depends on `b`, so it executes strictly after it — and
+        // its FROM + RUN prefix is byte-identical to `b`'s, so both hit the
+        // cache entries `b` stored moments earlier in the same build.
+        let text = "\
+FROM centos:7 AS b
+RUN yum install -y gcc
+RUN mkdir -p /opt/out && echo b > /opt/out/b
+
+FROM centos:7
+RUN yum install -y gcc
+COPY --from=b /opt/out/b /opt/in/b
+RUN echo done
+";
+        let mut b = Builder::ch_image(alice());
+        let report = build_multistage(&mut b, text, &BuildOptions::new("app").with_cache(), None);
+        assert!(report.success, "{:?}", report.error);
+        let final_stage = report.stages.last().unwrap();
+        assert!(
+            final_stage.cache_hits >= 2,
+            "FROM and RUN should hit stage b's fresh entries, got {} hits\n{}",
+            final_stage.cache_hits,
+            final_stage.transcript_text()
+        );
+        assert!(final_stage.transcript_text().contains("(cached)"));
+    }
+
+    #[test]
+    fn skipped_stages_report_the_failed_dependency() {
+        // Stage 0 fails (unknown base image), so stages 1 and 2 never run
+        // and each records a DependencyFailed pointing at stage 0.
+        let text = "\
+FROM alpine:3.14 AS broken
+RUN echo never
+
+FROM broken AS child
+RUN echo never
+
+FROM centos:7
+COPY --from=child /x /y
+";
+        let mut b = Builder::ch_image(alice());
         let report = build_multistage(&mut b, text, &BuildOptions::new("bad"), None);
         assert!(!report.success);
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(
+            report.skipped,
+            vec![
+                BuildError::DependencyFailed {
+                    stage: 1,
+                    dependency: 0
+                },
+                BuildError::DependencyFailed {
+                    stage: 2,
+                    dependency: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn cache_is_keyed_by_architecture() {
+        // The same Dockerfile built for two architectures must not share
+        // cache entries: the second build would otherwise adopt the first
+        // architecture's filesystem and config.
+        let mut b = Builder::ch_image(alice());
+        let df = "FROM centos:7\nRUN echo hi\n";
+        let first = b.build(df, &BuildOptions::new("x").with_cache(), None);
+        assert!(first.success);
+        let second = b.build(
+            df,
+            &BuildOptions::new("y").with_cache().with_arch("aarch64"),
+            None,
+        );
+        assert!(second.success);
+        assert_eq!(second.cache_hits, 0, "{}", second.transcript_text());
+        assert_eq!(b.image("y").unwrap().config.architecture, "aarch64");
+    }
+
+    #[test]
+    fn cached_rebuild_hits_every_stage() {
+        let mut b = Builder::ch_image(alice());
+        let opts = BuildOptions::new("app").with_cache();
+        let first = build_multistage(&mut b, TWO_STAGE, &opts, None);
+        assert!(first.success);
+        let second = build_multistage(&mut b, TWO_STAGE, &opts, None);
+        assert!(second.success);
+        for stage in &second.stages {
+            assert_eq!(
+                stage.cache_misses,
+                0,
+                "stage {} missed: {}",
+                stage.tag,
+                stage.transcript_text()
+            );
+        }
     }
 }

@@ -66,12 +66,9 @@ fn push_actor(builder: &Builder) -> (Credentials, UserNamespace) {
         BuilderKind::RootlessPodman { subuid, .. } => {
             let range = subuid.ranges_for(&builder.invoker.name).first().copied();
             let ns = match range {
-                Some(r) => UserNamespace::type2(
-                    builder.invoker.uid,
-                    builder.invoker.gid,
-                    r.start,
-                    r.count,
-                ),
+                Some(r) => {
+                    UserNamespace::type2(builder.invoker.uid, builder.invoker.gid, r.start, r.count)
+                }
                 None => UserNamespace::type3(builder.invoker.uid, builder.invoker.gid),
             };
             (builder.invoker.host_creds().entered_own_namespace(), ns)
@@ -156,10 +153,8 @@ pub fn push_to_oci(
     let reference = format!("{}/{}:{}", registry.host(), repo, reference_tag);
 
     let image = match layer_mode {
-        LayerMode::SingleFlattened => {
-            Image::from_fs_flattened(&reference, &built.fs, &actor, cfg)
-                .map_err(|_| ApiError::ManifestInvalid)?
-        }
+        LayerMode::SingleFlattened => Image::from_fs_flattened(&reference, &built.fs, &actor, cfg)
+            .map_err(|_| ApiError::ManifestInvalid)?,
         LayerMode::BaseAndDiff => {
             let base =
                 base_image(&built.base_reference, &built.arch).ok_or(ApiError::ManifestInvalid)?;
@@ -191,13 +186,8 @@ pub fn push_to_oci(
     let platform = platform_for_arch(&built.arch);
     let bytes_offered = image.total_size() as u64;
     let layer_count = image.layers.len();
-    let manifest_digest = registry.push_image(
-        &builder.invoker.name,
-        repo,
-        reference_tag,
-        platform,
-        &image,
-    )?;
+    let manifest_digest =
+        registry.push_image(&builder.invoker.name, repo, reference_tag, platform, &image)?;
     Ok(OciPushReport {
         manifest_digest,
         layer_count,
@@ -233,8 +223,15 @@ mod tests {
     fn single_flattened_push_has_one_layer() {
         let b = built_builder(true);
         let mut reg = registry();
-        let report =
-            push_to_oci(&b, "foo", &mut reg, "hpc/foo", "1.0", LayerMode::SingleFlattened).unwrap();
+        let report = push_to_oci(
+            &b,
+            "foo",
+            &mut reg,
+            "hpc/foo",
+            "1.0",
+            LayerMode::SingleFlattened,
+        )
+        .unwrap();
         assert_eq!(report.layer_count, 1);
         assert_eq!(report.requested_policy, FlattenPolicy::Allow);
         assert_eq!(reg.tags("hpc/foo").unwrap(), vec!["1.0"]);
@@ -244,8 +241,15 @@ mod tests {
     fn base_and_diff_push_has_two_layers_and_smaller_diff() {
         let b = built_builder(true);
         let mut reg = registry();
-        let report =
-            push_to_oci(&b, "foo", &mut reg, "hpc/foo", "2.0", LayerMode::BaseAndDiff).unwrap();
+        let report = push_to_oci(
+            &b,
+            "foo",
+            &mut reg,
+            "hpc/foo",
+            "2.0",
+            LayerMode::BaseAndDiff,
+        )
+        .unwrap();
         assert_eq!(report.layer_count, 2);
         let pulled = reg
             .pull_for_platform("alice", "hpc/foo", "2.0", &Platform::linux_amd64())
@@ -255,8 +259,12 @@ mod tests {
         // the build never touched appear in the base layer but not the diff.
         let base_entries = tar::list(&pulled.image.layers[0].tar).unwrap();
         let diff_entries = tar::list(&pulled.image.layers[1].tar).unwrap();
-        assert!(base_entries.iter().any(|e| e.path.contains("redhat-release")));
-        assert!(!diff_entries.iter().any(|e| e.path.contains("redhat-release")));
+        assert!(base_entries
+            .iter()
+            .any(|e| e.path.contains("redhat-release")));
+        assert!(!diff_entries
+            .iter()
+            .any(|e| e.path.contains("redhat-release")));
         // And the diff is not empty — the yum install added real payload.
         assert!(!diff_entries.is_empty());
     }
@@ -285,7 +293,15 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, ApiError::Unsupported);
         // The same image pushes fine preserved (base+diff).
-        push_to_oci(&b, "marked", &mut reg, "hpc/marked", "1.0", LayerMode::BaseAndDiff).unwrap();
+        push_to_oci(
+            &b,
+            "marked",
+            &mut reg,
+            "hpc/marked",
+            "1.0",
+            LayerMode::BaseAndDiff,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -305,4 +321,3 @@ mod tests {
         assert_eq!(platform_for_arch("ppc64le"), Platform::linux_ppc64le());
     }
 }
-

@@ -123,16 +123,37 @@ pub fn is_installed(fs: &Filesystem, actor: &Actor, name: &str) -> bool {
 
 fn record_installed(fs: &mut Filesystem, actor: &Actor, name: &str) {
     let entry = format!("Package: {}\nStatus: install ok installed\n\n", name);
-    let _ = fs.append_file(actor, "/var/lib/dpkg/status", entry.as_bytes(), Mode::FILE_644);
+    let _ = fs.append_file(
+        actor,
+        "/var/lib/dpkg/status",
+        entry.as_bytes(),
+        Mode::FILE_644,
+    );
 }
 
-fn log_term(fs: &mut Filesystem, actor: &Actor, wrapper: Option<&mut FakerootSession>, lines: &mut Vec<String>) {
+fn log_term(
+    fs: &mut Filesystem,
+    actor: &Actor,
+    wrapper: Option<&mut FakerootSession>,
+    lines: &mut Vec<String>,
+) {
     // APT appends to /var/log/apt/term.log and chowns it root:adm. Under a
     // wrapper the chown is faked; otherwise a failure is only a warning
     // (Figure 9 line 21).
-    let _ = fs.append_file(actor, "/var/log/apt/term.log", b"Log started\n", Mode::FILE_644);
+    let _ = fs.append_file(
+        actor,
+        "/var/log/apt/term.log",
+        b"Log started\n",
+        Mode::FILE_644,
+    );
     let result = match wrapper {
-        Some(w) => w.chown(fs, actor, "/var/log/apt/term.log", Some(Uid(0)), Some(Gid(4))),
+        Some(w) => w.chown(
+            fs,
+            actor,
+            "/var/log/apt/term.log",
+            Some(Uid(0)),
+            Some(Gid(4)),
+        ),
         None => fs.chown(actor, "/var/log/apt/term.log", Some(Uid(0)), Some(Gid(4))),
     };
     if result.is_err() {
@@ -155,7 +176,9 @@ pub fn apt_update(fs: &mut Filesystem, actor: &Actor, catalog: &Catalog) -> PmOu
         return PmOutput::fail(lines, 100);
     }
     lines.push("Get:1 http://deb.debian.org/debian buster InRelease [122 kB]".to_string());
-    lines.push("Get:2 http://deb.debian.org/debian buster/main amd64 Packages [7907 kB]".to_string());
+    lines.push(
+        "Get:2 http://deb.debian.org/debian buster/main amd64 Packages [7907 kB]".to_string(),
+    );
     let names: Vec<String> = catalog
         .repos
         .iter()
@@ -370,7 +393,10 @@ mod tests {
         disable_sandbox(&mut fs, &actor);
         let out = apt_install(&mut fs, &actor, None, &catalog, &["pseudo"], "amd64");
         assert_eq!(out.status, 100);
-        assert!(out.lines.iter().any(|l| l.contains("Unable to locate package")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("Unable to locate package")));
     }
 
     #[test]
@@ -386,13 +412,30 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.contains("W: chown to root:adm of file /var/log/apt/term.log failed")));
-        assert!(out.lines.iter().any(|l| l.contains("Setting up pseudo (1.9.0+git20180920-1)")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("Setting up pseudo (1.9.0+git20180920-1)")));
         // openssh-client without a wrapper fails at the setgid/ownership step.
-        let out = apt_install(&mut fs, &actor, None, &catalog, &["openssh-client"], "amd64");
+        let out = apt_install(
+            &mut fs,
+            &actor,
+            None,
+            &catalog,
+            &["openssh-client"],
+            "amd64",
+        );
         assert_eq!(out.status, 100);
         // With pseudo (xattr-capable) it succeeds.
         let mut w = FakerootSession::new(Flavor::Pseudo);
-        let out = apt_install(&mut fs, &actor, Some(&mut w), &catalog, &["openssh-client"], "amd64");
+        let out = apt_install(
+            &mut fs,
+            &actor,
+            Some(&mut w),
+            &catalog,
+            &["openssh-client"],
+            "amd64",
+        );
         assert!(out.success(), "{:?}", out.lines);
         assert!(out
             .lines
@@ -402,7 +445,10 @@ mod tests {
         // (dependencies install first), so only verify they are present now.
         assert!(is_installed(&fs, &actor, "libxext6"));
         assert!(is_installed(&fs, &actor, "xauth"));
-        assert!(out.lines.iter().any(|l| l.contains("Processing triggers for libc-bin")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("Processing triggers for libc-bin")));
     }
 
     #[test]
@@ -414,9 +460,19 @@ mod tests {
         disable_sandbox(&mut fs, &actor);
         apt_update(&mut fs, &actor, &catalog);
         let mut w = FakerootSession::new(Flavor::Fakeroot);
-        let out = apt_install(&mut fs, &actor, Some(&mut w), &catalog, &["openssh-client"], "amd64");
+        let out = apt_install(
+            &mut fs,
+            &actor,
+            Some(&mut w),
+            &catalog,
+            &["openssh-client"],
+            "amd64",
+        );
         assert_eq!(out.status, 100);
-        assert!(out.lines.iter().any(|l| l.contains("Failed to set capabilities")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("Failed to set capabilities")));
     }
 
     #[test]
@@ -429,7 +485,14 @@ mod tests {
         let (mut fs, creds, ns, catalog) = type2_env();
         let actor = Actor::new(&creds, &ns);
         apt_update(&mut fs, &actor, &catalog);
-        let out = apt_install(&mut fs, &actor, None, &catalog, &["libxext6", "xauth"], "amd64");
+        let out = apt_install(
+            &mut fs,
+            &actor,
+            None,
+            &catalog,
+            &["libxext6", "xauth"],
+            "amd64",
+        );
         assert!(out.success(), "{:?}", out.lines);
         assert!(is_installed(&fs, &actor, "xauth"));
     }

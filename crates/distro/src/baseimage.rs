@@ -30,9 +30,24 @@ fn common_tree(fs: &mut Filesystem, users: &UserDb) {
     let r = Uid::ROOT;
     let g = Gid::ROOT;
     for d in [
-        "/bin", "/sbin", "/usr/bin", "/usr/sbin", "/usr/lib", "/usr/lib64", "/usr/share",
-        "/etc", "/var/lib", "/var/log", "/var/cache", "/root", "/home", "/opt", "/srv",
-        "/proc", "/sys", "/dev",
+        "/bin",
+        "/sbin",
+        "/usr/bin",
+        "/usr/sbin",
+        "/usr/lib",
+        "/usr/lib64",
+        "/usr/share",
+        "/etc",
+        "/var/lib",
+        "/var/log",
+        "/var/cache",
+        "/root",
+        "/home",
+        "/opt",
+        "/srv",
+        "/proc",
+        "/sys",
+        "/dev",
     ] {
         fs.install_dir(d, r, g, Mode::new(0o755)).unwrap();
     }
@@ -99,7 +114,8 @@ pub fn centos7(arch: &str) -> BaseImage {
     .unwrap();
     fs.install_file("/usr/bin/rpm", b"#!ELF rpm".to_vec(), r, g, Mode::EXEC_755)
         .unwrap();
-    fs.install_dir("/var/lib/rpm", r, g, Mode::new(0o755)).unwrap();
+    fs.install_dir("/var/lib/rpm", r, g, Mode::new(0o755))
+        .unwrap();
     fs.install_file("/var/lib/rpm/installed", Vec::new(), r, g, Mode::FILE_644)
         .unwrap();
     BaseImage {
@@ -131,8 +147,14 @@ pub fn debian10(arch: &str) -> BaseImage {
         Mode::FILE_644,
     )
     .unwrap();
-    fs.install_file("/etc/debian_version", b"10.8\n".to_vec(), r, g, Mode::FILE_644)
-        .unwrap();
+    fs.install_file(
+        "/etc/debian_version",
+        b"10.8\n".to_vec(),
+        r,
+        g,
+        Mode::FILE_644,
+    )
+    .unwrap();
     fs.install_file(
         "/etc/apt/sources.list",
         b"deb http://deb.debian.org/debian buster main\n".to_vec(),
@@ -141,18 +163,40 @@ pub fn debian10(arch: &str) -> BaseImage {
         Mode::FILE_644,
     )
     .unwrap();
-    fs.install_dir("/etc/apt/apt.conf.d", r, g, Mode::new(0o755)).unwrap();
-    fs.install_dir("/var/lib/apt/lists", r, g, Mode::new(0o755)).unwrap();
-    fs.install_dir("/var/lib/dpkg", r, g, Mode::new(0o755)).unwrap();
+    fs.install_dir("/etc/apt/apt.conf.d", r, g, Mode::new(0o755))
+        .unwrap();
+    fs.install_dir("/var/lib/apt/lists", r, g, Mode::new(0o755))
+        .unwrap();
+    fs.install_dir("/var/lib/dpkg", r, g, Mode::new(0o755))
+        .unwrap();
     fs.install_file("/var/lib/dpkg/status", Vec::new(), r, g, Mode::FILE_644)
         .unwrap();
-    fs.install_dir("/var/log/apt", r, g, Mode::new(0o755)).unwrap();
-    fs.install_file("/usr/bin/apt-get", b"#!ELF apt-get".to_vec(), r, g, Mode::EXEC_755)
+    fs.install_dir("/var/log/apt", r, g, Mode::new(0o755))
         .unwrap();
-    fs.install_file("/usr/bin/apt-config", b"#!ELF apt-config".to_vec(), r, g, Mode::EXEC_755)
-        .unwrap();
-    fs.install_file("/usr/bin/dpkg", b"#!ELF dpkg".to_vec(), r, g, Mode::EXEC_755)
-        .unwrap();
+    fs.install_file(
+        "/usr/bin/apt-get",
+        b"#!ELF apt-get".to_vec(),
+        r,
+        g,
+        Mode::EXEC_755,
+    )
+    .unwrap();
+    fs.install_file(
+        "/usr/bin/apt-config",
+        b"#!ELF apt-config".to_vec(),
+        r,
+        g,
+        Mode::EXEC_755,
+    )
+    .unwrap();
+    fs.install_file(
+        "/usr/bin/dpkg",
+        b"#!ELF dpkg".to_vec(),
+        r,
+        g,
+        Mode::EXEC_755,
+    )
+    .unwrap();
     BaseImage {
         reference: "debian:buster".to_string(),
         fs,
@@ -185,7 +229,10 @@ mod tests {
         let img = centos7("x86_64");
         let (c, n) = root_actor();
         let actor = Actor::new(&c, &n);
-        let text = img.fs.read_to_string(&actor, "/etc/redhat-release").unwrap();
+        let text = img
+            .fs
+            .read_to_string(&actor, "/etc/redhat-release")
+            .unwrap();
         // ch-image's rhel7 config matches the regex "release 7\." (paper §5.3.1).
         assert!(text.contains("release 7."));
     }
@@ -204,7 +251,11 @@ mod tests {
         let img = debian10("amd64");
         let (c, n) = root_actor();
         let actor = Actor::new(&c, &n);
-        assert!(img.fs.readdir(&actor, "/var/lib/apt/lists").unwrap().is_empty());
+        assert!(img
+            .fs
+            .readdir(&actor, "/var/lib/apt/lists")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -44,14 +44,21 @@ fn openssh_rpm(arch: &str) -> Package {
 }
 
 fn openssh_libs(arch: &str) -> Package {
-    Package::new("openssh-libs", "7.4p1-21.el7", arch)
-        .with_entry(PayloadEntry::file("/usr/lib64/libssh.so.7", 1024, 0o755))
+    Package::new("openssh-libs", "7.4p1-21.el7", arch).with_entry(PayloadEntry::file(
+        "/usr/lib64/libssh.so.7",
+        1024,
+        0o755,
+    ))
 }
 
 fn epel_release() -> Package {
     Package::new("epel-release", "7-11", "noarch")
         .with_entry(PayloadEntry::file("/etc/yum.repos.d/epel.repo", 96, 0o644))
-        .with_entry(PayloadEntry::file("/etc/pki/rpm-gpg/RPM-GPG-KEY-EPEL-7", 64, 0o644))
+        .with_entry(PayloadEntry::file(
+            "/etc/pki/rpm-gpg/RPM-GPG-KEY-EPEL-7",
+            64,
+            0o644,
+        ))
 }
 
 fn fakeroot_rpm(arch: &str) -> Package {
@@ -62,8 +69,11 @@ fn fakeroot_rpm(arch: &str) -> Package {
 }
 
 fn fakeroot_libs(arch: &str) -> Package {
-    Package::new("fakeroot-libs", "1.25.3-1.el7", arch)
-        .with_entry(PayloadEntry::file("/usr/lib64/libfakeroot.so", 512, 0o755))
+    Package::new("fakeroot-libs", "1.25.3-1.el7", arch).with_entry(PayloadEntry::file(
+        "/usr/lib64/libfakeroot.so",
+        512,
+        0o755,
+    ))
 }
 
 fn hpc_stack(arch: &str) -> Vec<Package> {
@@ -73,9 +83,21 @@ fn hpc_stack(arch: &str) -> Vec<Package> {
             .with_entry(PayloadEntry::file("/usr/bin/g++", 4096, 0o755)),
         Package::new("openmpi", "4.0.5-3.el7", arch)
             .with_dep("gcc")
-            .with_entry(PayloadEntry::file("/usr/lib64/openmpi/bin/mpicc", 2048, 0o755))
-            .with_entry(PayloadEntry::file("/usr/lib64/openmpi/bin/mpirun", 2048, 0o755))
-            .with_entry(PayloadEntry::file("/usr/lib64/openmpi/lib/libmpi.so", 8192, 0o755)),
+            .with_entry(PayloadEntry::file(
+                "/usr/lib64/openmpi/bin/mpicc",
+                2048,
+                0o755,
+            ))
+            .with_entry(PayloadEntry::file(
+                "/usr/lib64/openmpi/bin/mpirun",
+                2048,
+                0o755,
+            ))
+            .with_entry(PayloadEntry::file(
+                "/usr/lib64/openmpi/lib/libmpi.so",
+                8192,
+                0o755,
+            )),
         Package::new("spack", "0.16.1-1.el7", "noarch")
             .with_dep("gcc")
             .with_entry(PayloadEntry::file("/opt/spack/bin/spack", 1024, 0o755)),
@@ -115,8 +137,11 @@ pub fn centos7_catalog(arch: &str) -> Catalog {
         .with_package(fakeroot_rpm(arch))
         .with_package(fakeroot_libs(arch))
         .with_package(
-            Package::new("pseudo", "1.9.0-1.el7", arch)
-                .with_entry(PayloadEntry::file("/usr/bin/pseudo", 512, 0o755)),
+            Package::new("pseudo", "1.9.0-1.el7", arch).with_entry(PayloadEntry::file(
+                "/usr/bin/pseudo",
+                512,
+                0o755,
+            )),
         );
     Catalog::new(vec![base, epel])
 }
@@ -129,7 +154,13 @@ fn openssh_client_deb(arch: &str) -> Package {
         .with_entry(PayloadEntry::file("/usr/bin/scp", 512, 0o755))
         // ssh-agent is installed setgid _ssh (GID 104 created by the
         // maintainer script) — the multi-GID ownership that needs faking.
-        .with_entry(PayloadEntry::file_owned("/usr/bin/ssh-agent", 512, 0o2755, 0, 104))
+        .with_entry(PayloadEntry::file_owned(
+            "/usr/bin/ssh-agent",
+            512,
+            0o2755,
+            0,
+            104,
+        ))
         .with_scriptlet(Scriptlet::AddGroup {
             name: "_ssh".into(),
             gid: 104,
@@ -147,18 +178,28 @@ pub fn debian10_catalog(arch: &str) -> Catalog {
     let buster = Repository::new("buster", "Debian 10 (buster) main")
         .with_package(openssh_client_deb(arch))
         .with_package(
-            Package::new("libxext6", "2:1.3.3-1+b2", arch)
-                .with_entry(PayloadEntry::file("/usr/lib/libXext.so.6", 1024, 0o644)),
+            Package::new("libxext6", "2:1.3.3-1+b2", arch).with_entry(PayloadEntry::file(
+                "/usr/lib/libXext.so.6",
+                1024,
+                0o644,
+            )),
         )
         .with_package(
-            Package::new("xauth", "1:1.0.10-1", arch)
-                .with_entry(PayloadEntry::file("/usr/bin/xauth", 256, 0o755)),
+            Package::new("xauth", "1:1.0.10-1", arch).with_entry(PayloadEntry::file(
+                "/usr/bin/xauth",
+                256,
+                0o755,
+            )),
         )
         .with_package(
             Package::new("pseudo", "1.9.0+git20180920-1", arch)
                 .with_entry(PayloadEntry::file("/usr/bin/pseudo", 512, 0o755))
                 .with_entry(PayloadEntry::file("/usr/bin/fakeroot", 128, 0o755))
-                .with_entry(PayloadEntry::file("/usr/lib/pseudo/libpseudo.so", 512, 0o755)),
+                .with_entry(PayloadEntry::file(
+                    "/usr/lib/pseudo/libpseudo.so",
+                    512,
+                    0o755,
+                )),
         )
         .with_package(
             // Debian's own fakeroot: installable, but cannot install packages
@@ -168,8 +209,11 @@ pub fn debian10_catalog(arch: &str) -> Catalog {
                 .with_entry(PayloadEntry::file("/usr/lib/libfakeroot-0.so", 256, 0o755)),
         )
         .with_package(
-            Package::new("openmpi-bin", "3.1.3-11", arch)
-                .with_entry(PayloadEntry::file("/usr/bin/mpirun.openmpi", 2048, 0o755)),
+            Package::new("openmpi-bin", "3.1.3-11", arch).with_entry(PayloadEntry::file(
+                "/usr/bin/mpirun.openmpi",
+                2048,
+                0o755,
+            )),
         );
     Catalog::new(vec![buster])
 }

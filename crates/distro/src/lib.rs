@@ -18,10 +18,14 @@ pub mod yum;
 
 pub use apt::{apt_config_dump, apt_install, apt_update, sandbox_user};
 pub use baseimage::{base_image, centos7, debian10, BaseImage};
-pub use catalog::{catalog_for, centos7_catalog, debian10_catalog, APT_UID, SSHD_UID, SSH_KEYS_GID};
+pub use catalog::{
+    catalog_for, centos7_catalog, debian10_catalog, APT_UID, SSHD_UID, SSH_KEYS_GID,
+};
 pub use package::{
     install_package, Catalog, InstallFailure, Package, PayloadEntry, PayloadKind, Repository,
     Scriptlet,
 };
 pub use passwd::{base_system_users, GroupEntry, PasswdEntry, UserDb};
-pub use yum::{enabled_repos, is_installed, repo_defined, yum_config_manager, yum_install, PmOutput};
+pub use yum::{
+    enabled_repos, is_installed, repo_defined, yum_config_manager, yum_install, PmOutput,
+};

@@ -323,7 +323,9 @@ impl Catalog {
                 return Ok(());
             }
             seen.push(name.to_string());
-            let (_, pkg) = catalog.find(name, enabled).ok_or_else(|| name.to_string())?;
+            let (_, pkg) = catalog
+                .find(name, enabled)
+                .ok_or_else(|| name.to_string())?;
             for dep in &pkg.depends {
                 visit(catalog, dep, enabled, seen, order)?;
             }
@@ -435,12 +437,11 @@ pub fn install_package(
                             // (static + LD_PRELOAD) silently degrades; mode
                             // lies are still recorded by chmod interception.
                             let _ = w.can_wrap(*statically_linked, container_arch);
-                            w.chmod(fs, actor, &entry.path, Mode::new(*mode)).map_err(|e| {
-                                InstallFailure::Write {
+                            w.chmod(fs, actor, &entry.path, Mode::new(*mode))
+                                .map_err(|e| InstallFailure::Write {
                                     path: entry.path.clone(),
                                     errno: e,
-                                }
-                            })?;
+                                })?;
                         }
                         None => {
                             // Plain chmod by the owner: the kernel clears
@@ -462,12 +463,11 @@ pub fn install_package(
                 if fs.exists(actor, &entry.path) {
                     let _ = fs.unlink(actor, &entry.path);
                 }
-                fs.symlink(actor, target, &entry.path).map_err(|e| {
-                    InstallFailure::Write {
+                fs.symlink(actor, target, &entry.path)
+                    .map_err(|e| InstallFailure::Write {
                         path: entry.path.clone(),
                         errno: e,
-                    }
-                })?;
+                    })?;
             }
             PayloadKind::CharDevice { major, minor, mode } => {
                 let r = match wrapper.as_deref_mut() {
@@ -744,12 +744,16 @@ mod tests {
     #[test]
     fn resolve_respects_repo_enablement() {
         let base = Repository::new("base", "Base").with_package(Package::new("x", "1", "noarch"));
-        let epel = Repository::new("epel", "EPEL").with_package(Package::new("fakeroot", "1.25", "noarch"));
+        let epel = Repository::new("epel", "EPEL")
+            .with_package(Package::new("fakeroot", "1.25", "noarch"));
         let cat = Catalog::new(vec![base, epel]);
         assert!(cat.find("fakeroot", &["base".to_string()]).is_none());
-        assert!(cat.find("fakeroot", &["base".to_string(), "epel".to_string()]).is_some());
+        assert!(cat
+            .find("fakeroot", &["base".to_string(), "epel".to_string()])
+            .is_some());
         assert_eq!(
-            cat.resolve(&["fakeroot"], &["base".to_string()]).unwrap_err(),
+            cat.resolve(&["fakeroot"], &["base".to_string()])
+                .unwrap_err(),
             "fakeroot"
         );
     }

@@ -193,9 +193,7 @@ impl UserDb {
 
     /// Loads the database from an image filesystem.
     pub fn load_from(fs: &Filesystem, actor: &Actor) -> Self {
-        let passwd = fs
-            .read_to_string(actor, "/etc/passwd")
-            .unwrap_or_default();
+        let passwd = fs.read_to_string(actor, "/etc/passwd").unwrap_or_default();
         let group = fs.read_to_string(actor, "/etc/group").unwrap_or_default();
         UserDb {
             users: Self::parse_passwd(&passwd),
@@ -275,7 +273,8 @@ mod tests {
     #[test]
     fn store_and_load_from_image() {
         let mut fs = Filesystem::new_local();
-        let db = base_system_users().with_user("_apt", 100, 65534, "/nonexistent", "/usr/sbin/nologin");
+        let db =
+            base_system_users().with_user("_apt", 100, 65534, "/nonexistent", "/usr/sbin/nologin");
         db.store_into(&mut fs);
         let creds = Credentials::host_root();
         let ns = UserNamespace::initial();

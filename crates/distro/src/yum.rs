@@ -110,7 +110,12 @@ fn record_installed(fs: &mut Filesystem, actor: &Actor, name: &str) {
         list.push(name.to_string());
     }
     let text = list.join("\n") + "\n";
-    let _ = fs.write_file(actor, "/var/lib/rpm/installed", text.into_bytes(), Mode::FILE_644);
+    let _ = fs.write_file(
+        actor,
+        "/var/lib/rpm/installed",
+        text.into_bytes(),
+        Mode::FILE_644,
+    );
 }
 
 /// True if a package is already installed in the image.
@@ -206,7 +211,10 @@ pub fn yum_install(
                         )
                     }
                     InstallFailure::Write { path, errno } => {
-                        format!("error: unpacking of archive failed on file {}: {}", path, errno)
+                        format!(
+                            "error: unpacking of archive failed on file {}: {}",
+                            path, errno
+                        )
                     }
                 };
                 lines.push(detail);
@@ -294,8 +302,8 @@ mod tests {
         let img = centos7("x86_64");
         let mut fs = img.fs;
         fs.flatten_ownership(Uid(1000), Gid(1000));
-        let creds =
-            Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]).entered_own_namespace();
+        let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)])
+            .entered_own_namespace();
         let ns = UserNamespace::type3(Uid(1000), Gid(1000));
         (fs, creds, ns, img.catalog)
     }
@@ -305,8 +313,8 @@ mod tests {
         let mut fs = img.fs;
         // Type II unpack: container root = invoking user's host UID.
         fs.flatten_ownership(Uid(1000), Gid(1000));
-        let creds =
-            Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]).entered_own_namespace();
+        let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)])
+            .entered_own_namespace();
         let ns = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
         (fs, creds, ns, img.catalog)
     }
@@ -326,7 +334,10 @@ mod tests {
         let actor = Actor::new(&creds, &ns);
         let out = yum_install(&mut fs, &actor, None, &catalog, &["openssh"], &[], "x86_64");
         assert_eq!(out.status, 1);
-        assert!(out.lines.iter().any(|l| l.contains("Installing : openssh-7.4p1-21.el7.x86_64")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("Installing : openssh-7.4p1-21.el7.x86_64")));
         assert!(out
             .lines
             .iter()
@@ -335,7 +346,7 @@ mod tests {
     }
 
     #[test]
-    fn openssh_succeeds_in_type2(){
+    fn openssh_succeeds_in_type2() {
         let (mut fs, creds, ns, catalog) = type2_build_env();
         let actor = Actor::new(&creds, &ns);
         let out = yum_install(&mut fs, &actor, None, &catalog, &["openssh"], &[], "x86_64");
@@ -352,13 +363,37 @@ mod tests {
         let (mut fs, creds, ns, catalog) = type3_build_env();
         let actor = Actor::new(&creds, &ns);
         // Install EPEL + fakeroot first (these work without the wrapper).
-        let out = yum_install(&mut fs, &actor, None, &catalog, &["epel-release"], &[], "x86_64");
+        let out = yum_install(
+            &mut fs,
+            &actor,
+            None,
+            &catalog,
+            &["epel-release"],
+            &[],
+            "x86_64",
+        );
         assert!(out.success());
-        let out = yum_install(&mut fs, &actor, None, &catalog, &["fakeroot"], &[], "x86_64");
+        let out = yum_install(
+            &mut fs,
+            &actor,
+            None,
+            &catalog,
+            &["fakeroot"],
+            &[],
+            "x86_64",
+        );
         assert!(out.success(), "{:?}", out.lines);
         // Now the wrapped install succeeds.
         let mut w = FakerootSession::new(Flavor::Fakeroot);
-        let out = yum_install(&mut fs, &actor, Some(&mut w), &catalog, &["openssh"], &[], "x86_64");
+        let out = yum_install(
+            &mut fs,
+            &actor,
+            Some(&mut w),
+            &catalog,
+            &["openssh"],
+            &[],
+            "x86_64",
+        );
         assert!(out.success(), "{:?}", out.lines);
         assert!(out.lines.iter().any(|l| l == "Complete!"));
         assert!(!w.db.is_empty());
@@ -369,7 +404,15 @@ mod tests {
         let (mut fs, creds, ns, catalog) = type3_build_env();
         let actor = Actor::new(&creds, &ns);
         assert!(!repo_defined(&fs, &actor, "epel"));
-        let out = yum_install(&mut fs, &actor, None, &catalog, &["epel-release"], &[], "x86_64");
+        let out = yum_install(
+            &mut fs,
+            &actor,
+            None,
+            &catalog,
+            &["epel-release"],
+            &[],
+            "x86_64",
+        );
         assert!(out.success());
         assert!(repo_defined(&fs, &actor, "epel"));
         assert!(enabled_repos(&fs, &actor).contains(&"epel".to_string()));
@@ -379,12 +422,28 @@ mod tests {
     fn yum_config_manager_disables_epel() {
         let (mut fs, creds, ns, catalog) = type3_build_env();
         let actor = Actor::new(&creds, &ns);
-        yum_install(&mut fs, &actor, None, &catalog, &["epel-release"], &[], "x86_64");
+        yum_install(
+            &mut fs,
+            &actor,
+            None,
+            &catalog,
+            &["epel-release"],
+            &[],
+            "x86_64",
+        );
         let out = yum_config_manager(&mut fs, &actor, "epel", false);
         assert!(out.success());
         assert!(!enabled_repos(&fs, &actor).contains(&"epel".to_string()));
         // --enablerepo=epel still allows installing from it for one command.
-        let out = yum_install(&mut fs, &actor, None, &catalog, &["fakeroot"], &["epel"], "x86_64");
+        let out = yum_install(
+            &mut fs,
+            &actor,
+            None,
+            &catalog,
+            &["fakeroot"],
+            &["epel"],
+            "x86_64",
+        );
         assert!(out.success(), "{:?}", out.lines);
     }
 
@@ -392,9 +451,20 @@ mod tests {
     fn missing_package_reports_nothing_to_do() {
         let (mut fs, creds, ns, catalog) = type3_build_env();
         let actor = Actor::new(&creds, &ns);
-        let out = yum_install(&mut fs, &actor, None, &catalog, &["no-such-pkg"], &[], "x86_64");
+        let out = yum_install(
+            &mut fs,
+            &actor,
+            None,
+            &catalog,
+            &["no-such-pkg"],
+            &[],
+            "x86_64",
+        );
         assert_eq!(out.status, 1);
-        assert!(out.lines.iter().any(|l| l.contains("No package no-such-pkg available")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("No package no-such-pkg available")));
     }
 
     #[test]
@@ -414,7 +484,15 @@ mod tests {
         // wrapper, not all.
         let (mut fs, creds, ns, catalog) = type3_build_env();
         let actor = Actor::new(&creds, &ns);
-        let out = yum_install(&mut fs, &actor, None, &catalog, &["atse-env"], &[], "x86_64");
+        let out = yum_install(
+            &mut fs,
+            &actor,
+            None,
+            &catalog,
+            &["atse-env"],
+            &[],
+            "x86_64",
+        );
         assert!(out.success(), "{:?}", out.lines);
         assert!(is_installed(&fs, &actor, "openmpi"));
         assert!(is_installed(&fs, &actor, "spack"));

@@ -49,18 +49,38 @@ pub fn representative_packages() -> Vec<PackageNeeds> {
     vec![
         // Figure 2/8/10: the openssh payload chowns root:ssh_keys and installs
         // setuid helpers.
-        PackageNeeds::new("openssh", &[InterceptOp::Chown, InterceptOp::Chmod, InterceptOp::Stat], false),
+        PackageNeeds::new(
+            "openssh",
+            &[InterceptOp::Chown, InterceptOp::Chmod, InterceptOp::Stat],
+            false,
+        ),
         // Figure 3/9/11: openssh-client plus APT's own bookkeeping.
-        PackageNeeds::new("openssh-client", &[InterceptOp::Chown, InterceptOp::Stat], false),
+        PackageNeeds::new(
+            "openssh-client",
+            &[InterceptOp::Chown, InterceptOp::Stat],
+            false,
+        ),
         // A package shipping device nodes (e.g. a udev-style package).
         PackageNeeds::new("dev-nodes", &[InterceptOp::Mknod, InterceptOp::Stat], false),
         // A package that chowns symlinks (alternatives-style layouts).
-        PackageNeeds::new("alternatives", &[InterceptOp::Lchown, InterceptOp::Stat], false),
+        PackageNeeds::new(
+            "alternatives",
+            &[InterceptOp::Lchown, InterceptOp::Stat],
+            false,
+        ),
         // A package setting file capabilities via xattrs (e.g. iputils' ping).
-        PackageNeeds::new("iputils", &[InterceptOp::Xattr, InterceptOp::Chown, InterceptOp::Stat], false),
+        PackageNeeds::new(
+            "iputils",
+            &[InterceptOp::Xattr, InterceptOp::Chown, InterceptOp::Stat],
+            false,
+        ),
         // A package whose maintainer scripts invoke a statically linked tool
         // (busybox-style), invisible to LD_PRELOAD wrappers.
-        PackageNeeds::new("static-tools", &[InterceptOp::Chown, InterceptOp::Stat], true),
+        PackageNeeds::new(
+            "static-tools",
+            &[InterceptOp::Chown, InterceptOp::Stat],
+            true,
+        ),
         // MPI and compiler stacks need no privileged calls at all.
         PackageNeeds::new("openmpi", &[InterceptOp::Stat], false),
     ]
@@ -267,8 +287,14 @@ mod tests {
     #[test]
     fn static_binaries_defeat_ld_preload_but_not_ptrace() {
         let m = CoverageMatrix::characterize(&representative_packages(), "x86_64");
-        assert_eq!(m.cell("static-tools", Flavor::Fakeroot), Some(&Verdict::StaticBinaries));
-        assert_eq!(m.cell("static-tools", Flavor::Pseudo), Some(&Verdict::StaticBinaries));
+        assert_eq!(
+            m.cell("static-tools", Flavor::Fakeroot),
+            Some(&Verdict::StaticBinaries)
+        );
+        assert_eq!(
+            m.cell("static-tools", Flavor::Pseudo),
+            Some(&Verdict::StaticBinaries)
+        );
         assert!(m.cell("static-tools", Flavor::FakerootNg).unwrap().works());
     }
 
@@ -277,8 +303,14 @@ mod tests {
         // On Astra's aarch64 the ptrace implementation does not exist, so the
         // static-binaries package becomes uninstallable under every wrapper.
         let m = CoverageMatrix::characterize(&representative_packages(), "aarch64");
-        assert_eq!(m.cell("openssh", Flavor::FakerootNg), Some(&Verdict::Architecture));
-        assert_eq!(m.uninstallable_everywhere(), vec!["static-tools".to_string()]);
+        assert_eq!(
+            m.cell("openssh", Flavor::FakerootNg),
+            Some(&Verdict::Architecture)
+        );
+        assert_eq!(
+            m.uninstallable_everywhere(),
+            vec!["static-tools".to_string()]
+        );
         // On x86-64 nothing is uninstallable everywhere.
         let m86 = CoverageMatrix::characterize(&representative_packages(), "x86_64");
         assert!(m86.uninstallable_everywhere().is_empty());

@@ -205,7 +205,13 @@ pub fn render_table1() -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<12} {:<15} {:<20} {:<12} {:<20} {:<8} {}\n",
-        "implementation", "initial release", "latest version", "approach", "architectures", "daemon?", "persistency"
+        "implementation",
+        "initial release",
+        "latest version",
+        "approach",
+        "architectures",
+        "daemon?",
+        "persistency"
     ));
     for flavor in Flavor::ALL {
         let i = flavor.info();
@@ -243,7 +249,10 @@ mod tests {
 
     #[test]
     fn table1_persistence() {
-        assert_eq!(Flavor::Fakeroot.info().persistency, Persistency::SaveRestoreFile);
+        assert_eq!(
+            Flavor::Fakeroot.info().persistency,
+            Persistency::SaveRestoreFile
+        );
         assert_eq!(Flavor::Pseudo.info().persistency, Persistency::Database);
     }
 

@@ -16,8 +16,7 @@ pub mod flavor;
 pub mod session;
 
 pub use coverage::{
-    representative_packages, CoverageMatrix, PackageNeeds, PlacementCost, Verdict,
-    WrapperPlacement,
+    representative_packages, CoverageMatrix, PackageNeeds, PlacementCost, Verdict, WrapperPlacement,
 };
 pub use db::{LieDatabase, LieRecord};
 pub use flavor::{render_table1, Approach, Flavor, FlavorInfo, InterceptOp, Persistency};

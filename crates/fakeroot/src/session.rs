@@ -96,7 +96,8 @@ impl FakerootSession {
             let new_gid = gid
                 .map(|g| g.0)
                 .unwrap_or_else(|| cur.as_ref().map(|r| r.gid).unwrap_or(0));
-            self.db.record_chown(&Self::canonical(path), new_uid, new_gid);
+            self.db
+                .record_chown(&Self::canonical(path), new_uid, new_gid);
             self.stats.intercepted += 1;
             Ok(())
         } else {
@@ -128,7 +129,8 @@ impl FakerootSession {
             let new_gid = gid
                 .map(|g| g.0)
                 .unwrap_or_else(|| cur.as_ref().map(|r| r.gid).unwrap_or(0));
-            self.db.record_chown(&Self::canonical(path), new_uid, new_gid);
+            self.db
+                .record_chown(&Self::canonical(path), new_uid, new_gid);
             self.stats.intercepted += 1;
             Ok(())
         } else {
@@ -199,7 +201,9 @@ impl FakerootSession {
             Ok(())
         } else {
             self.stats.passed_through += 1;
-            let r = fs.mknod(actor, path, file_type, major, minor, mode).map(|_| ());
+            let r = fs
+                .mknod(actor, path, file_type, major, minor, mode)
+                .map(|_| ());
             if r.is_err() {
                 self.stats.failed += 1;
             }
@@ -296,7 +300,8 @@ mod tests {
 
     fn setup() -> (Filesystem, Credentials, UserNamespace) {
         let mut fs = Filesystem::new_local();
-        fs.install_dir("/work", Uid(1000), Gid(1000), Mode::new(0o755)).unwrap();
+        fs.install_dir("/work", Uid(1000), Gid(1000), Mode::new(0o755))
+            .unwrap();
         let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
         let ns = UserNamespace::initial();
         (fs, creds, ns)
@@ -327,14 +332,23 @@ mod tests {
         let mut session = FakerootSession::new(Flavor::Fakeroot);
 
         // + touch test.file
-        fs.write_file(&actor, "/work/test.file", Vec::new(), Mode::new(0o640)).unwrap();
+        fs.write_file(&actor, "/work/test.file", Vec::new(), Mode::new(0o640))
+            .unwrap();
         // + chown nobody test.file
         session
             .chown(&mut fs, &actor, "/work/test.file", Some(Uid(65534)), None)
             .unwrap();
         // + mknod test.dev c 1 1
         session
-            .mknod(&mut fs, &actor, "/work/test.dev", FileType::CharDevice, 1, 1, Mode::new(0o640))
+            .mknod(
+                &mut fs,
+                &actor,
+                "/work/test.dev",
+                FileType::CharDevice,
+                1,
+                1,
+                Mode::new(0o640),
+            )
             .unwrap();
 
         // + ls -lh (inside the fakeroot context)
@@ -351,7 +365,9 @@ mod tests {
         let outside_dev = fs.ls_line(&actor, "/work/test.dev", names, gnames).unwrap();
         assert!(outside_dev.starts_with("-rw-r-----"));
         assert!(outside_dev.contains("alice alice"));
-        let outside_file = fs.ls_line(&actor, "/work/test.file", names, gnames).unwrap();
+        let outside_file = fs
+            .ls_line(&actor, "/work/test.file", names, gnames)
+            .unwrap();
         assert!(outside_file.contains("alice alice"));
     }
 
@@ -360,8 +376,10 @@ mod tests {
         let (mut fs, creds, ns) = setup();
         let actor = Actor::new(&creds, &ns);
         let mut s = FakerootSession::new(Flavor::Pseudo);
-        fs.write_file(&actor, "/work/f", b"x".to_vec(), Mode::FILE_644).unwrap();
-        s.chown(&mut fs, &actor, "/work/f", Some(Uid(74)), Some(Gid(74))).unwrap();
+        fs.write_file(&actor, "/work/f", b"x".to_vec(), Mode::FILE_644)
+            .unwrap();
+        s.chown(&mut fs, &actor, "/work/f", Some(Uid(74)), Some(Gid(74)))
+            .unwrap();
         let st = s.stat(&fs, &actor, "/work/f").unwrap();
         assert_eq!(st.uid_view, Uid(74));
         assert_eq!(st.gid_view, Gid(74));
@@ -375,7 +393,8 @@ mod tests {
         let actor = Actor::new(&creds, &ns);
         let mut s = FakerootSession::new(Flavor::Fakeroot);
         assert_eq!(
-            s.chown(&mut fs, &actor, "/work/missing", Some(Uid(0)), None).unwrap_err(),
+            s.chown(&mut fs, &actor, "/work/missing", Some(Uid(0)), None)
+                .unwrap_err(),
             Errno::ENOENT
         );
     }
@@ -384,15 +403,19 @@ mod tests {
     fn lchown_coverage_differs_by_flavor() {
         let (mut fs, creds, ns) = setup();
         let actor = Actor::new(&creds, &ns);
-        fs.write_file(&actor, "/work/target", b"x".to_vec(), Mode::FILE_644).unwrap();
+        fs.write_file(&actor, "/work/target", b"x".to_vec(), Mode::FILE_644)
+            .unwrap();
         fs.symlink(&actor, "target", "/work/link").unwrap();
         // pseudo intercepts lchown.
         let mut pseudo = FakerootSession::new(Flavor::Pseudo);
-        pseudo.lchown(&mut fs, &actor, "/work/link", Some(Uid(0)), Some(Gid(0))).unwrap();
+        pseudo
+            .lchown(&mut fs, &actor, "/work/link", Some(Uid(0)), Some(Gid(0)))
+            .unwrap();
         // plain fakeroot does not: the call passes through and fails (EPERM).
         let mut fr = FakerootSession::new(Flavor::Fakeroot);
         assert_eq!(
-            fr.lchown(&mut fs, &actor, "/work/link", Some(Uid(0)), Some(Gid(0))).unwrap_err(),
+            fr.lchown(&mut fs, &actor, "/work/link", Some(Uid(0)), Some(Gid(0)))
+                .unwrap_err(),
             Errno::EPERM
         );
         assert_eq!(fr.stats().failed, 1);
@@ -403,8 +426,10 @@ mod tests {
         let (mut fs, creds, ns) = setup();
         let actor = Actor::new(&creds, &ns);
         let mut s = FakerootSession::new(Flavor::Fakeroot);
-        fs.write_file(&actor, "/work/su", b"elf".to_vec(), Mode::new(0o755)).unwrap();
-        s.chmod(&mut fs, &actor, "/work/su", Mode::new(0o4755)).unwrap();
+        fs.write_file(&actor, "/work/su", b"elf".to_vec(), Mode::new(0o755))
+            .unwrap();
+        s.chmod(&mut fs, &actor, "/work/su", Mode::new(0o4755))
+            .unwrap();
         assert!(s.stat(&fs, &actor, "/work/su").unwrap().mode.is_setuid());
         assert!(!fs.stat(&actor, "/work/su").unwrap().mode.is_setuid());
     }
@@ -416,17 +441,27 @@ mod tests {
         assert!(preload.can_wrap(false, "aarch64").is_ok());
         let ptrace = FakerootSession::new(Flavor::FakerootNg);
         assert!(ptrace.can_wrap(true, "x86_64").is_ok());
-        assert_eq!(ptrace.can_wrap(false, "aarch64").unwrap_err(), Errno::ENOSYS);
+        assert_eq!(
+            ptrace.can_wrap(false, "aarch64").unwrap_err(),
+            Errno::ENOSYS
+        );
     }
 
     #[test]
     fn security_xattr_only_with_xattr_coverage() {
         let (mut fs, creds, ns) = setup();
         let actor = Actor::new(&creds, &ns);
-        fs.write_file(&actor, "/work/ping", b"elf".to_vec(), Mode::new(0o755)).unwrap();
+        fs.write_file(&actor, "/work/ping", b"elf".to_vec(), Mode::new(0o755))
+            .unwrap();
         let mut pseudo = FakerootSession::new(Flavor::Pseudo);
         pseudo
-            .set_security_xattr(&mut fs, &actor, "/work/ping", "security.capability", b"cap_net_raw+p")
+            .set_security_xattr(
+                &mut fs,
+                &actor,
+                "/work/ping",
+                "security.capability",
+                b"cap_net_raw+p",
+            )
             .unwrap();
         let mut fr = FakerootSession::new(Flavor::Fakeroot);
         assert!(fr
@@ -439,11 +474,17 @@ mod tests {
         let (mut fs, creds, ns) = setup();
         let actor = Actor::new(&creds, &ns);
         let mut s = FakerootSession::new(Flavor::Fakeroot);
-        fs.write_file(&actor, "/work/f", b"x".to_vec(), Mode::FILE_644).unwrap();
-        s.chown(&mut fs, &actor, "/work/f", Some(Uid(74)), Some(Gid(74))).unwrap();
+        fs.write_file(&actor, "/work/f", b"x".to_vec(), Mode::FILE_644)
+            .unwrap();
+        s.chown(&mut fs, &actor, "/work/f", Some(Uid(74)), Some(Gid(74)))
+            .unwrap();
         let saved = s.db.save();
-        let resumed = FakerootSession::with_db(Flavor::Fakeroot, LieDatabase::load(&saved).unwrap());
-        assert_eq!(resumed.stat(&fs, &actor, "/work/f").unwrap().uid_view, Uid(74));
+        let resumed =
+            FakerootSession::with_db(Flavor::Fakeroot, LieDatabase::load(&saved).unwrap());
+        assert_eq!(
+            resumed.stat(&fs, &actor, "/work/f").unwrap().uid_view,
+            Uid(74)
+        );
     }
 
     #[test]
@@ -451,8 +492,10 @@ mod tests {
         let (mut fs, creds, ns) = setup();
         let actor = Actor::new(&creds, &ns);
         let mut s = FakerootSession::new(Flavor::Pseudo);
-        fs.write_file(&actor, "/work/f", b"x".to_vec(), Mode::FILE_644).unwrap();
-        s.chown(&mut fs, &actor, "/work/f", Some(Uid(74)), None).unwrap();
+        fs.write_file(&actor, "/work/f", b"x".to_vec(), Mode::FILE_644)
+            .unwrap();
+        s.chown(&mut fs, &actor, "/work/f", Some(Uid(74)), None)
+            .unwrap();
         s.unlink(&mut fs, &actor, "/work/f").unwrap();
         assert!(s.db.is_empty());
     }

@@ -159,7 +159,8 @@ impl Image {
         for l in &self.layers {
             out.push_str(&format!(
                 "    {{ \"digest\": \"{}\", \"size\": {} }},\n",
-                l.digest, l.tar.len()
+                l.digest,
+                l.tar.len()
             ));
         }
         out.push_str(&format!(
@@ -303,10 +304,22 @@ mod tests {
         let mut fs = Filesystem::new_local();
         fs.install_file("/bin/app", b"elf".to_vec(), Uid(0), Gid(0), Mode::EXEC_755)
             .unwrap();
-        fs.install_file("/usr/bin/passwd", b"elf".to_vec(), Uid(0), Gid(0), Mode::new(0o4755))
-            .unwrap();
-        fs.install_file("/var/empty/sshd/.keep", b"".to_vec(), Uid(74), Gid(74), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/usr/bin/passwd",
+            b"elf".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::new(0o4755),
+        )
+        .unwrap();
+        fs.install_file(
+            "/var/empty/sshd/.keep",
+            b"".to_vec(),
+            Uid(74),
+            Gid(74),
+            Mode::FILE_644,
+        )
+        .unwrap();
         fs
     }
 
@@ -319,7 +332,8 @@ mod tests {
         let fs = sample_fs();
         let (c, n) = root_actor();
         let actor = Actor::new(&c, &n);
-        let img = Image::from_fs_flattened("example/app:1", &fs, &actor, ImageConfig::default()).unwrap();
+        let img =
+            Image::from_fs_flattened("example/app:1", &fs, &actor, ImageConfig::default()).unwrap();
         assert_eq!(img.ownership, OwnershipMode::Flattened);
         assert_eq!(img.distinct_recorded_uids(), 1);
         let entries = tar::list(&img.layers[0].tar).unwrap();
@@ -331,7 +345,8 @@ mod tests {
         let fs = sample_fs();
         let (c, n) = root_actor();
         let actor = Actor::new(&c, &n);
-        let img = Image::from_fs_preserved("example/app:1", &fs, &actor, ImageConfig::default()).unwrap();
+        let img =
+            Image::from_fs_preserved("example/app:1", &fs, &actor, ImageConfig::default()).unwrap();
         assert!(img.distinct_recorded_uids() > 1);
     }
 
@@ -345,7 +360,10 @@ mod tests {
         let img =
             Image::from_fs_with_ownership_db("x", &fs, &actor, ImageConfig::default(), db).unwrap();
         let entries = tar::list(&img.layers[0].tar).unwrap();
-        let e = entries.iter().find(|e| e.path == "var/empty/sshd/.keep").unwrap();
+        let e = entries
+            .iter()
+            .find(|e| e.path == "var/empty/sshd/.keep")
+            .unwrap();
         assert_eq!((e.uid, e.gid), (74, 74));
     }
 

@@ -179,7 +179,8 @@ mod tests {
             reg.pull("missing/app:1"),
             Err(RegistryError::UnknownRepository(_))
         ));
-        reg.push("alice", &dummy_image("present/app:1", b"x")).unwrap();
+        reg.push("alice", &dummy_image("present/app:1", b"x"))
+            .unwrap();
         assert!(matches!(
             reg.pull("present/app:2"),
             Err(RegistryError::UnknownTag(_))
@@ -190,7 +191,10 @@ mod tests {
     fn authorization_is_enforced() {
         let mut reg = Registry::new("r").with_authorized_users(&["ci-runner"]);
         let img = dummy_image("a/b:1", b"x");
-        assert_eq!(reg.push("mallory", &img).unwrap_err(), RegistryError::Unauthorized);
+        assert_eq!(
+            reg.push("mallory", &img).unwrap_err(),
+            RegistryError::Unauthorized
+        );
         assert!(reg.push("ci-runner", &img).is_ok());
     }
 

@@ -120,11 +120,7 @@ impl Credentials {
 /// be `allow`, (b) CAP_SETGID in the namespace, and (c) every GID to be
 /// mapped. In an unprivileged (Type III) namespace the policy is `deny`, so
 /// the call fails with `EPERM` — the first error in Figure 3.
-pub fn sys_setgroups(
-    creds: &mut Credentials,
-    ns: &UserNamespace,
-    ns_gids: &[Gid],
-) -> KResult<()> {
+pub fn sys_setgroups(creds: &mut Credentials, ns: &UserNamespace, ns_gids: &[Gid]) -> KResult<()> {
     if ns.setgroups == SetgroupsPolicy::Deny {
         return Err(Errno::EPERM);
     }
@@ -168,9 +164,7 @@ pub fn sys_setresuid(
     let allowed = |target: &Option<Uid>| -> bool {
         match target {
             None => true,
-            Some(t) => {
-                privileged || *t == creds.ruid || *t == creds.euid || *t == creds.suid
-            }
+            Some(t) => privileged || *t == creds.ruid || *t == creds.euid || *t == creds.suid,
         }
     };
     if !(allowed(&new_r) && allowed(&new_e) && allowed(&new_s)) {
@@ -230,9 +224,7 @@ pub fn sys_setresgid(
     let allowed = |target: &Option<Gid>| -> bool {
         match target {
             None => true,
-            Some(t) => {
-                privileged || *t == creds.rgid || *t == creds.egid || *t == creds.sgid
-            }
+            Some(t) => privileged || *t == creds.rgid || *t == creds.egid || *t == creds.sgid,
         }
     };
     if !(allowed(&new_r) && allowed(&new_e) && allowed(&new_s)) {
@@ -280,9 +272,21 @@ mod tests {
             gid_map_origin: MapOrigin::Unwritten,
         };
         let none = CapabilitySet::empty();
-        write_uid_map(&mut ns, vec![IdMapEntry::new(0, owner.euid.0, 1)], owner, &none).unwrap();
+        write_uid_map(
+            &mut ns,
+            vec![IdMapEntry::new(0, owner.euid.0, 1)],
+            owner,
+            &none,
+        )
+        .unwrap();
         deny_setgroups(&mut ns).unwrap();
-        write_gid_map(&mut ns, vec![IdMapEntry::new(0, owner.egid.0, 1)], owner, &none).unwrap();
+        write_gid_map(
+            &mut ns,
+            vec![IdMapEntry::new(0, owner.egid.0, 1)],
+            owner,
+            &none,
+        )
+        .unwrap();
         ns
     }
 
@@ -400,7 +404,14 @@ mod tests {
         let mut creds = Credentials::host_root();
         let host = UserNamespace::initial();
         sys_setgroups(&mut creds, &host, &[Gid(4), Gid(39)]).unwrap();
-        sys_setresuid(&mut creds, &host, Some(Uid(100)), Some(Uid(100)), Some(Uid(100))).unwrap();
+        sys_setresuid(
+            &mut creds,
+            &host,
+            Some(Uid(100)),
+            Some(Uid(100)),
+            Some(Uid(100)),
+        )
+        .unwrap();
         assert_eq!(creds.euid, Uid(100));
     }
 

@@ -115,8 +115,8 @@ impl IdMap {
         // Check for overlaps on either side.
         for (i, a) in entries.iter().enumerate() {
             for b in entries.iter().skip(i + 1) {
-                let inside_overlap =
-                    a.inside_start < b.inside_end() as u32 && b.inside_start < a.inside_end() as u32;
+                let inside_overlap = a.inside_start < b.inside_end() as u32
+                    && b.inside_start < a.inside_end() as u32;
                 let outside_overlap = a.outside_start < b.outside_end() as u32
                     && b.outside_start < a.outside_end() as u32;
                 if inside_overlap || outside_overlap {
@@ -348,8 +348,7 @@ mod tests {
 
     #[test]
     fn range_overflow_rejected() {
-        let err =
-            IdMap::from_entries(vec![IdMapEntry::new(u32::MAX - 1, 0, 10)]).unwrap_err();
+        let err = IdMap::from_entries(vec![IdMapEntry::new(u32::MAX - 1, 0, 10)]).unwrap_err();
         assert_eq!(err, Errno::EINVAL);
     }
 
@@ -365,7 +364,10 @@ mod tests {
         // Host UID 1000 (alice, in use) is mapped -> case 1.
         assert_eq!(classify_host_id(&m, 1000, true), IdMapCase::InUseMapped);
         // Host UID 200005 (unused) is mapped -> case 2.
-        assert_eq!(classify_host_id(&m, 200_005, false), IdMapCase::UnusedMapped);
+        assert_eq!(
+            classify_host_id(&m, 200_005, false),
+            IdMapCase::UnusedMapped
+        );
         // Host UID 1001 (bob, in use) is not mapped -> case 3.
         assert_eq!(classify_host_id(&m, 1001, true), IdMapCase::InUseUnmapped);
         // Host UID 4000000 (unused) not mapped -> case 4.

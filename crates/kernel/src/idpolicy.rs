@@ -385,18 +385,14 @@ mod tests {
     #[test]
     fn supplementary_identity_maps_only_the_users_own_groups() {
         let mut alloc = UniqueRangeAllocator::new(200_000, 65_536);
-        let map =
-            policy_gid_map(MapPolicy::SupplementaryIdentity, &alice(), &mut alloc).unwrap();
+        let map = policy_gid_map(MapPolicy::SupplementaryIdentity, &alice(), &mut alloc).unwrap();
         // Primary group appears as root; supplementary groups identity-map.
         assert_eq!(map.to_host(0), Some(1000));
         assert_eq!(map.to_host(2000), Some(2000));
         assert_eq!(map.to_host(3000), Some(3000));
         // A group the user is not in stays unmapped.
         assert_eq!(map.to_host(4000), None);
-        assert_eq!(
-            newly_visible_groups(&alice()),
-            vec![Gid(2000), Gid(3000)]
-        );
+        assert_eq!(newly_visible_groups(&alice()), vec![Gid(2000), Gid(3000)]);
     }
 
     #[test]
@@ -415,7 +411,10 @@ mod tests {
         db.claim(43, Owner::new(100, 65_534));
         assert!(db.has_claim(42));
         assert_eq!(db.effective(42, Owner::ROOT), Owner::new(0, 999));
-        assert_eq!(db.effective(99, Owner::new(1000, 1000)), Owner::new(1000, 1000));
+        assert_eq!(
+            db.effective(99, Owner::new(1000, 1000)),
+            Owner::new(1000, 1000)
+        );
         assert_eq!(db.len(), 2);
         assert_eq!(db.claim_calls(), 2);
         let exported = db.export();
@@ -429,8 +428,16 @@ mod tests {
         let rows = policy_requirements();
         assert_eq!(rows.len(), 5);
         for row in rows.iter().filter(|r| r.kernel_change) {
-            assert!(!row.helper_binary, "{} should not need helpers", row.policy_name);
-            assert!(!row.subid_files, "{} should not need subid files", row.policy_name);
+            assert!(
+                !row.helper_binary,
+                "{} should not need helpers",
+                row.policy_name
+            );
+            assert!(
+                !row.subid_files,
+                "{} should not need subid files",
+                row.policy_name
+            );
         }
         // Today's Type II is the only one needing both.
         let type2 = &rows[0];

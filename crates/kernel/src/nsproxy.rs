@@ -143,7 +143,11 @@ impl NsInstance {
     pub fn proc_link(&self) -> String {
         // The real kernel numbers namespace inodes from a fixed base; we keep
         // the same look so transcripts read naturally.
-        format!("{}:[{}]", self.kind.proc_name(), 4_026_531_840u64 + self.serial)
+        format!(
+            "{}:[{}]",
+            self.kind.proc_name(),
+            4_026_531_840u64 + self.serial
+        )
     }
 }
 

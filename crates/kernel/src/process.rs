@@ -179,9 +179,7 @@ impl Kernel {
         if !self.sysctl.has_user_namespaces() {
             return Err(Errno::EINVAL);
         }
-        if !self.sysctl.unprivileged_userns_clone
-            && !proc.creds.has_cap(Capability::CapSysAdmin)
-        {
+        if !self.sysctl.unprivileged_userns_clone && !proc.creds.has_cap(Capability::CapSysAdmin) {
             return Err(Errno::EPERM);
         }
         if self.user_namespaces_created >= self.sysctl.max_user_namespaces {
@@ -193,7 +191,11 @@ impl Kernel {
         let id = UsernsId(self.next_ns);
         self.next_ns += 1;
         self.user_namespaces_created += 1;
-        let level = self.namespaces.get(&parent_ns).map(|n| n.level + 1).unwrap_or(1);
+        let level = self
+            .namespaces
+            .get(&parent_ns)
+            .map(|n| n.level + 1)
+            .unwrap_or(1);
         self.namespaces.insert(
             id,
             UserNamespace {
@@ -361,7 +363,10 @@ mod tests {
         let (mut k, pid) = kernel_with_alice();
         k.setup_type3_namespace(pid).unwrap();
         let child = k.fork(pid, "yum").unwrap();
-        assert_eq!(k.process(child).unwrap().userns, k.process(pid).unwrap().userns);
+        assert_eq!(
+            k.process(child).unwrap().userns,
+            k.process(pid).unwrap().userns
+        );
         k.exit(child);
         assert!(k.process(child).is_none());
     }

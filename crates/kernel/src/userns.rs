@@ -101,8 +101,7 @@ impl UserNamespace {
     /// True if this namespace was configured by privileged helpers — the
     /// paper's Type II setup.
     pub fn is_privileged_setup(&self) -> bool {
-        self.uid_map_origin == MapOrigin::Privileged
-            || self.gid_map_origin == MapOrigin::Privileged
+        self.uid_map_origin == MapOrigin::Privileged || self.gid_map_origin == MapOrigin::Privileged
     }
 
     /// Maps an in-namespace UID to a host UID.
@@ -303,13 +302,8 @@ mod tests {
         let mut ns = child_ns(&alice);
         let no_caps = CapabilitySet::empty();
         // Mapping someone else's UID is refused.
-        let err = write_uid_map(
-            &mut ns,
-            vec![IdMapEntry::new(0, 1001, 1)],
-            &alice,
-            &no_caps,
-        )
-        .unwrap_err();
+        let err = write_uid_map(&mut ns, vec![IdMapEntry::new(0, 1001, 1)], &alice, &no_caps)
+            .unwrap_err();
         assert_eq!(err, Errno::EPERM);
         // Mapping a range is refused.
         let err = write_uid_map(
@@ -331,13 +325,8 @@ mod tests {
         let alice = alice();
         let mut ns = child_ns(&alice);
         let no_caps = CapabilitySet::empty();
-        let err = write_gid_map(
-            &mut ns,
-            vec![IdMapEntry::new(0, 1000, 1)],
-            &alice,
-            &no_caps,
-        )
-        .unwrap_err();
+        let err = write_gid_map(&mut ns, vec![IdMapEntry::new(0, 1000, 1)], &alice, &no_caps)
+            .unwrap_err();
         assert_eq!(err, Errno::EPERM);
         deny_setgroups(&mut ns).unwrap();
         write_gid_map(&mut ns, vec![IdMapEntry::new(0, 1000, 1)], &alice, &no_caps).unwrap();
@@ -380,13 +369,8 @@ mod tests {
         let mut ns = child_ns(&alice);
         let no_caps = CapabilitySet::empty();
         write_uid_map(&mut ns, vec![IdMapEntry::new(0, 1000, 1)], &alice, &no_caps).unwrap();
-        let err = write_uid_map(
-            &mut ns,
-            vec![IdMapEntry::new(0, 1000, 1)],
-            &alice,
-            &no_caps,
-        )
-        .unwrap_err();
+        let err = write_uid_map(&mut ns, vec![IdMapEntry::new(0, 1000, 1)], &alice, &no_caps)
+            .unwrap_err();
         assert_eq!(err, Errno::EPERM);
     }
 
@@ -395,7 +379,13 @@ mod tests {
         let alice = alice();
         let mut ns = child_ns(&alice);
         let helper_caps = CapabilitySet::of(&[Capability::CapSetgid]);
-        write_gid_map(&mut ns, vec![IdMapEntry::new(0, 1000, 1)], &alice, &helper_caps).unwrap();
+        write_gid_map(
+            &mut ns,
+            vec![IdMapEntry::new(0, 1000, 1)],
+            &alice,
+            &helper_caps,
+        )
+        .unwrap();
         assert_eq!(deny_setgroups(&mut ns).unwrap_err(), Errno::EPERM);
     }
 

@@ -194,7 +194,10 @@ mod tests {
         let data = b"layer contents".to_vec();
         let good = sha256(&data);
         let bad = sha256(b"something else");
-        assert_eq!(store.put(&bad, data.clone()).unwrap_err(), ApiError::DigestInvalid);
+        assert_eq!(
+            store.put(&bad, data.clone()).unwrap_err(),
+            ApiError::DigestInvalid
+        );
         store.put(&good, data.clone()).unwrap();
         assert!(store.has(&good));
         assert_eq!(store.get(&good).unwrap(), data.as_slice());
@@ -260,6 +263,9 @@ mod tests {
     #[test]
     fn get_missing_blob_is_blob_unknown() {
         let store = BlobStore::new();
-        assert_eq!(store.get(&sha256(b"nope")).unwrap_err(), ApiError::BlobUnknown);
+        assert_eq!(
+            store.get(&sha256(b"nope")).unwrap_err(),
+            ApiError::BlobUnknown
+        );
     }
 }

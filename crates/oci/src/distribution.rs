@@ -175,7 +175,11 @@ impl DistributionRegistry {
             ));
         }
         let manifest = OciManifest::new(
-            Descriptor::new(MediaType::ImageConfig, config_digest, config_bytes.len() as u64),
+            Descriptor::new(
+                MediaType::ImageConfig,
+                config_digest,
+                config_bytes.len() as u64,
+            ),
             layer_descs,
         )
         .with_annotation(FLATTEN_ANNOTATION, policy.as_str())
@@ -209,7 +213,11 @@ impl DistributionRegistry {
     }
 
     /// Fetches a manifest by digest.
-    pub fn manifest(&self, repo: &str, digest: &hpcc_image::Digest) -> Result<&OciManifest, ApiError> {
+    pub fn manifest(
+        &self,
+        repo: &str,
+        digest: &hpcc_image::Digest,
+    ) -> Result<&OciManifest, ApiError> {
         let r = self.repos.get(repo).ok_or(ApiError::NameUnknown)?;
         r.manifests.get(digest).ok_or(ApiError::ManifestUnknown)
     }
@@ -351,8 +359,14 @@ mod tests {
                 .unwrap_err(),
             ApiError::Denied
         );
-        reg.push_image("ci-runner", "atse/prod", "1.0", Platform::linux_amd64(), &img)
-            .unwrap();
+        reg.push_image(
+            "ci-runner",
+            "atse/prod",
+            "1.0",
+            Platform::linux_amd64(),
+            &img,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -360,8 +374,14 @@ mod tests {
         let mut reg = registry();
         let amd = test_image("amd64", b"amd64 build", OwnershipMode::Flattened);
         let arm = test_image("arm64", b"arm64 build", OwnershipMode::Flattened);
-        reg.push_image("ci-runner", "atse/app", "2.0", Platform::linux_amd64(), &amd)
-            .unwrap();
+        reg.push_image(
+            "ci-runner",
+            "atse/app",
+            "2.0",
+            Platform::linux_amd64(),
+            &amd,
+        )
+        .unwrap();
         // Before the aarch64 CI job runs, Astra cannot pull — the Figure 6
         // motivation, surfaced as MANIFEST_UNKNOWN.
         assert_eq!(
@@ -369,8 +389,14 @@ mod tests {
                 .unwrap_err(),
             ApiError::ManifestUnknown
         );
-        reg.push_image("ci-runner", "atse/app", "2.0", Platform::linux_arm64(), &arm)
-            .unwrap();
+        reg.push_image(
+            "ci-runner",
+            "atse/app",
+            "2.0",
+            Platform::linux_arm64(),
+            &arm,
+        )
+        .unwrap();
         assert_eq!(reg.index("atse/app", "2.0").unwrap().len(), 2);
         let pulled = reg
             .pull_for_platform("alice", "atse/app", "2.0", &Platform::linux_arm64())
@@ -384,13 +410,25 @@ mod tests {
         reg.create_repository("secure/app", &[], FlattenPolicy::Require);
         let preserved = test_image("amd64", b"multi-uid", OwnershipMode::Preserved);
         assert_eq!(
-            reg.push_image("alice", "secure/app", "1.0", Platform::linux_amd64(), &preserved)
-                .unwrap_err(),
+            reg.push_image(
+                "alice",
+                "secure/app",
+                "1.0",
+                Platform::linux_amd64(),
+                &preserved
+            )
+            .unwrap_err(),
             ApiError::Unsupported
         );
         let flattened = test_image("amd64", b"flat", OwnershipMode::Flattened);
-        reg.push_image("alice", "secure/app", "1.0", Platform::linux_amd64(), &flattened)
-            .unwrap();
+        reg.push_image(
+            "alice",
+            "secure/app",
+            "1.0",
+            Platform::linux_amd64(),
+            &flattened,
+        )
+        .unwrap();
     }
 
     #[test]

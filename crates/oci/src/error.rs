@@ -74,6 +74,9 @@ mod tests {
 
     #[test]
     fn display_is_code_plus_status() {
-        assert_eq!(ApiError::ManifestUnknown.to_string(), "MANIFEST_UNKNOWN (404)");
+        assert_eq!(
+            ApiError::ManifestUnknown.to_string(),
+            "MANIFEST_UNKNOWN (404)"
+        );
     }
 }

@@ -83,7 +83,11 @@ mod tests {
 
     #[test]
     fn parse_round_trips_all_values() {
-        for p in [FlattenPolicy::Disallow, FlattenPolicy::Allow, FlattenPolicy::Require] {
+        for p in [
+            FlattenPolicy::Disallow,
+            FlattenPolicy::Allow,
+            FlattenPolicy::Require,
+        ] {
             assert_eq!(FlattenPolicy::parse(p.as_str()).unwrap(), p);
         }
         assert_eq!(
@@ -107,7 +111,9 @@ mod tests {
                 .unwrap_err(),
             ApiError::Unsupported
         );
-        assert!(FlattenPolicy::Disallow.check(OwnershipMode::Preserved).is_ok());
+        assert!(FlattenPolicy::Disallow
+            .check(OwnershipMode::Preserved)
+            .is_ok());
         assert!(!FlattenPolicy::Disallow.satisfiable_by_type3());
     }
 
@@ -119,7 +125,9 @@ mod tests {
                 .unwrap_err(),
             ApiError::Unsupported
         );
-        assert!(FlattenPolicy::Require.check(OwnershipMode::Flattened).is_ok());
+        assert!(FlattenPolicy::Require
+            .check(OwnershipMode::Flattened)
+            .is_ok());
         assert!(FlattenPolicy::Require.satisfiable_by_type3());
     }
 }

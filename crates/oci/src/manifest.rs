@@ -217,7 +217,10 @@ mod tests {
         let empty = OciManifest::new(config_desc(), vec![]);
         assert_eq!(empty.validate().unwrap_err(), ApiError::ManifestInvalid);
         let bad_config = OciManifest::new(layer_desc(b"x"), vec![layer_desc(b"y")]);
-        assert_eq!(bad_config.validate().unwrap_err(), ApiError::ManifestInvalid);
+        assert_eq!(
+            bad_config.validate().unwrap_err(),
+            ApiError::ManifestInvalid
+        );
         let good = OciManifest::new(config_desc(), vec![layer_desc(b"y")]);
         assert!(good.validate().is_ok());
     }

@@ -195,8 +195,14 @@ mod tests {
 
     #[test]
     fn uname_mapping() {
-        assert_eq!(Platform::from_uname("x86_64"), Some(Platform::linux_amd64()));
-        assert_eq!(Platform::from_uname("aarch64"), Some(Platform::linux_arm64()));
+        assert_eq!(
+            Platform::from_uname("x86_64"),
+            Some(Platform::linux_amd64())
+        );
+        assert_eq!(
+            Platform::from_uname("aarch64"),
+            Some(Platform::linux_arm64())
+        );
         assert_eq!(Platform::from_uname("riscv64"), None);
     }
 

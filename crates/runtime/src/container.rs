@@ -79,10 +79,18 @@ impl Invoker {
 fn add_pseudo_filesystems(fs: &mut Filesystem) {
     // /proc and /sys are kernel-owned mounts: owned by *host* root, which in
     // an unprivileged namespace displays as `nobody` (paper §4.1.1).
-    fs.install_dir("/proc", Uid::ROOT, Gid::ROOT, Mode::new(0o555)).ok();
-    fs.install_dir("/sys", Uid::ROOT, Gid::ROOT, Mode::new(0o555)).ok();
-    fs.install_file("/proc/cpuinfo", b"processor\t: 0\n".to_vec(), Uid::ROOT, Gid::ROOT, Mode::new(0o444))
+    fs.install_dir("/proc", Uid::ROOT, Gid::ROOT, Mode::new(0o555))
         .ok();
+    fs.install_dir("/sys", Uid::ROOT, Gid::ROOT, Mode::new(0o555))
+        .ok();
+    fs.install_file(
+        "/proc/cpuinfo",
+        b"processor\t: 0\n".to_vec(),
+        Uid::ROOT,
+        Gid::ROOT,
+        Mode::new(0o444),
+    )
+    .ok();
 }
 
 impl Container {
@@ -387,7 +395,10 @@ mod tests {
     #[test]
     fn arch_mismatch_refuses_to_run() {
         let x86_image = sample_image("x86_64");
-        assert_eq!(check_arch(&x86_image, "aarch64").unwrap_err(), Errno::ENOSYS);
+        assert_eq!(
+            check_arch(&x86_image, "aarch64").unwrap_err(),
+            Errno::ENOSYS
+        );
         assert!(check_arch(&x86_image, "x86_64").is_ok());
         assert_eq!(
             Container::launch_type1(&x86_image, Some("aarch64")).unwrap_err(),

@@ -20,8 +20,11 @@ pub enum PrivilegeType {
 
 impl PrivilegeType {
     /// All three types.
-    pub const ALL: [PrivilegeType; 3] =
-        [PrivilegeType::TypeI, PrivilegeType::TypeII, PrivilegeType::TypeIII];
+    pub const ALL: [PrivilegeType; 3] = [
+        PrivilegeType::TypeI,
+        PrivilegeType::TypeII,
+        PrivilegeType::TypeIII,
+    ];
 
     /// True if container setup requires host privilege (root or a privileged
     /// helper).
@@ -219,7 +222,10 @@ mod tests {
     #[test]
     fn paper_examples_are_type2_and_type3() {
         let impls = implementations();
-        let podman = impls.iter().find(|i| i.name == "Podman (rootless)").unwrap();
+        let podman = impls
+            .iter()
+            .find(|i| i.name == "Podman (rootless)")
+            .unwrap();
         assert!(podman.types.contains(&PrivilegeType::TypeII));
         assert!(!podman.daemon);
         let ch = impls.iter().find(|i| i.name == "Charliecloud").unwrap();
@@ -239,7 +245,10 @@ mod tests {
     #[test]
     fn enroot_and_shifter_cannot_build() {
         for name in ["Enroot", "Shifter", "Sarus"] {
-            let i = implementations().into_iter().find(|i| i.name == name).unwrap();
+            let i = implementations()
+                .into_iter()
+                .find(|i| i.name == name)
+                .unwrap();
             assert_eq!(i.build, BuildSupport::ConversionOnly, "{}", name);
         }
     }

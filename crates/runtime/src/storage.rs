@@ -7,7 +7,7 @@
 //! (§6.1) — that interaction is modelled here.
 
 use hpcc_kernel::{Errno, KResult, Sysctl, Uid};
-use hpcc_vfs::{tar, FsBackend, Filesystem};
+use hpcc_vfs::{tar, Filesystem, FsBackend};
 
 use hpcc_image::Image;
 
@@ -27,8 +27,11 @@ pub enum StorageDriver {
 
 impl StorageDriver {
     /// All drivers.
-    pub const ALL: [StorageDriver; 3] =
-        [StorageDriver::Vfs, StorageDriver::OverlayFs, StorageDriver::FuseOverlayFs];
+    pub const ALL: [StorageDriver; 3] = [
+        StorageDriver::Vfs,
+        StorageDriver::OverlayFs,
+        StorageDriver::FuseOverlayFs,
+    ];
 
     /// Name as used by container engines.
     pub fn name(self) -> &'static str {
@@ -114,7 +117,8 @@ pub fn prepare_rootfs(
     id_persistence: IdPersistence,
 ) -> KResult<(Filesystem, StorageCost)> {
     driver.available_unprivileged(sysctl, &backend)?;
-    if id_persistence == IdPersistence::SubordinateIds && !backend.supports_subordinate_uid_creation()
+    if id_persistence == IdPersistence::SubordinateIds
+        && !backend.supports_subordinate_uid_creation()
     {
         return Err(Errno::EPERM);
     }
@@ -130,10 +134,7 @@ pub fn prepare_rootfs(
             cost.bytes_copied += e.content.len() as u64;
         }
         let force_owner = match id_persistence {
-            IdPersistence::SingleUser => Some((
-                Uid(invoker_uid),
-                hpcc_kernel::Gid(invoker_uid),
-            )),
+            IdPersistence::SingleUser => Some((Uid(invoker_uid), hpcc_kernel::Gid(invoker_uid))),
             _ => None,
         };
         tar::unpack(
@@ -158,7 +159,12 @@ pub fn prepare_rootfs(
                 continue;
             }
             let value = format!("{}:{}:{:o}", st.uid_host, st.gid_host, st.mode.bits());
-            fs.set_xattr(&actor, &p, "user.containers.override_stat", value.as_bytes())?;
+            fs.set_xattr(
+                &actor,
+                &p,
+                "user.containers.override_stat",
+                value.as_bytes(),
+            )?;
         }
     }
     cost.cost_units = (cost.bytes_copied as f64 * driver.space_overhead_factor()) as u64
@@ -177,8 +183,14 @@ mod tests {
         let mut fs = Filesystem::new_local();
         fs.install_file("/bin/sh", b"elf".to_vec(), Uid(0), Gid(0), Mode::EXEC_755)
             .unwrap();
-        fs.install_file("/etc/passwd", b"root:x:0:0::/root:/bin/sh\n".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/etc/passwd",
+            b"root:x:0:0::/root:/bin/sh\n".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::FILE_644,
+        )
+        .unwrap();
         let creds = Credentials::host_root();
         let ns = UserNamespace::initial();
         let actor = Actor::new(&creds, &ns);
@@ -188,7 +200,11 @@ mod tests {
     #[test]
     fn vfs_driver_works_everywhere() {
         let img = sample_image();
-        for backend in [FsBackend::LocalDisk, FsBackend::default_nfs(), FsBackend::default_lustre()] {
+        for backend in [
+            FsBackend::LocalDisk,
+            FsBackend::default_nfs(),
+            FsBackend::default_lustre(),
+        ] {
             let r = prepare_rootfs(
                 &img,
                 StorageDriver::Vfs,

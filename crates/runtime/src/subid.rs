@@ -110,8 +110,8 @@ impl SubIdDb {
                     ));
                 }
                 for (other_user, other) in &all {
-                    let overlap = r.start < other.start + other.count
-                        && other.start < r.start + r.count;
+                    let overlap =
+                        r.start < other.start + other.count && other.start < r.start + r.count;
                     if overlap {
                         return Err(format!(
                             "ranges for {} and {} overlap: {}..{} vs {}..{}",
@@ -264,13 +264,19 @@ mod tests {
             ns,
             "alice",
             &creds,
-            vec![IdMapEntry::new(0, 1234, 1), IdMapEntry::new(1, 200_000, 65_536)],
+            vec![
+                IdMapEntry::new(0, 1234, 1),
+                IdMapEntry::new(1, 200_000, 65_536),
+            ],
             &db,
             &HelperConfig::default(),
         )
         .unwrap();
         let text = kernel.proc_uid_map(pid).unwrap();
-        let rows: Vec<Vec<&str>> = text.lines().map(|l| l.split_whitespace().collect()).collect();
+        let rows: Vec<Vec<&str>> = text
+            .lines()
+            .map(|l| l.split_whitespace().collect())
+            .collect();
         assert_eq!(rows[0], vec!["0", "1234", "1"]);
         assert_eq!(rows[1], vec!["1", "200000", "65536"]);
     }
@@ -288,7 +294,10 @@ mod tests {
             ns,
             "alice",
             &creds,
-            vec![IdMapEntry::new(0, 1000, 1), IdMapEntry::new(1, 300_000, 65_536)],
+            vec![
+                IdMapEntry::new(0, 1000, 1),
+                IdMapEntry::new(1, 300_000, 65_536),
+            ],
             &db,
             &HelperConfig::default(),
         )
@@ -322,7 +331,10 @@ mod tests {
             ns,
             "alice",
             &creds,
-            vec![IdMapEntry::new(0, 1234, 1), IdMapEntry::new(1, 200_000, 65_536)],
+            vec![
+                IdMapEntry::new(0, 1234, 1),
+                IdMapEntry::new(1, 200_000, 65_536),
+            ],
             &db,
             &HelperConfig::default(),
         )
@@ -354,7 +366,10 @@ mod tests {
                 ns,
                 "alice",
                 &creds,
-                vec![IdMapEntry::new(0, 1000, 1), IdMapEntry::new(1, 200_000, 65_536)],
+                vec![
+                    IdMapEntry::new(0, 1000, 1),
+                    IdMapEntry::new(1, 200_000, 65_536),
+                ],
                 &db,
                 &HelperConfig {
                     installed: true,
@@ -397,6 +412,9 @@ mod tests {
     fn parse_rejects_malformed() {
         assert!(SubIdDb::parse("alice:abc:10").is_err());
         assert!(SubIdDb::parse("alice:10").is_err());
-        assert!(SubIdDb::parse("# comment only\n").unwrap().ranges.is_empty());
+        assert!(SubIdDb::parse("# comment only\n")
+            .unwrap()
+            .ranges
+            .is_empty());
     }
 }

@@ -201,7 +201,10 @@ impl<'a> ExecEnv<'a> {
                 let parts: Vec<&str> = pattern.splitn(2, '*').collect();
                 let (prefix, suffix) = (parts[0], parts.get(1).copied().unwrap_or(""));
                 for e in entries {
-                    if e.starts_with(prefix) && e.ends_with(suffix) && e.len() >= prefix.len() + suffix.len() {
+                    if e.starts_with(prefix)
+                        && e.ends_with(suffix)
+                        && e.len() >= prefix.len() + suffix.len()
+                    {
                         matched.push(format!("{}/{}", dir, e));
                     }
                 }
@@ -226,7 +229,9 @@ impl<'a> ExecEnv<'a> {
         } else if let Ok(n) = user.parse::<u32>() {
             Some(Uid(n))
         } else {
-            db.user_by_name(user).map(|u| Uid(u.uid)).or(Some(Uid(65534)))
+            db.user_by_name(user)
+                .map(|u| Uid(u.uid))
+                .or(Some(Uid(65534)))
         };
         let gid = match group {
             None => None,
@@ -425,7 +430,10 @@ impl<'a> ExecEnv<'a> {
             }
             let path = self.abspath(a);
             if !self.fs.exists(&actor, &path) {
-                if let Err(e) = self.fs.write_file(&actor, &path, Vec::new(), Mode::new(0o644)) {
+                if let Err(e) = self
+                    .fs
+                    .write_file(&actor, &path, Vec::new(), Mode::new(0o644))
+                {
                     return CmdResult {
                         lines: vec![format!("touch: cannot touch '{}': {}", a, e.message())],
                         status: 1,
@@ -454,7 +462,11 @@ impl<'a> ExecEnv<'a> {
                 }
             } else if let Err(e) = self.fs.mkdir(&actor, &path, Mode::DIR_755) {
                 return CmdResult {
-                    lines: vec![format!("mkdir: cannot create directory '{}': {}", a, e.message())],
+                    lines: vec![format!(
+                        "mkdir: cannot create directory '{}': {}",
+                        a,
+                        e.message()
+                    )],
                     status: 1,
                 };
             }
@@ -490,7 +502,12 @@ impl<'a> ExecEnv<'a> {
     fn builtin_chown(&mut self, args: &[&str]) -> CmdResult {
         let spec = match args.iter().find(|a| !a.starts_with('-')) {
             Some(s) => *s,
-            None => return CmdResult { lines: vec![], status: 1 },
+            None => {
+                return CmdResult {
+                    lines: vec![],
+                    status: 1,
+                }
+            }
         };
         let (uid, gid) = self.resolve_owner(spec);
         let files: Vec<String> = args
@@ -513,7 +530,11 @@ impl<'a> ExecEnv<'a> {
             };
             if let Err(e) = r {
                 return CmdResult {
-                    lines: vec![format!("chown: changing ownership of '{}': {}", f, e.message())],
+                    lines: vec![format!(
+                        "chown: changing ownership of '{}': {}",
+                        f,
+                        e.message()
+                    )],
                     status: 1,
                 };
             }
@@ -524,7 +545,10 @@ impl<'a> ExecEnv<'a> {
     fn builtin_mknod(&mut self, args: &[&str]) -> CmdResult {
         // mknod PATH c MAJOR MINOR
         if args.len() < 4 {
-            return CmdResult { lines: vec!["mknod: missing operand".into()], status: 1 };
+            return CmdResult {
+                lines: vec!["mknod: missing operand".into()],
+                status: 1,
+            };
         }
         let path = self.abspath(args[0]);
         let ftype = match args[1] {
@@ -545,7 +569,9 @@ impl<'a> ExecEnv<'a> {
         let actor = Actor::new(creds, userns);
         let r = match active_wrapper.as_mut() {
             Some(w) => w.mknod(fs, &actor, &path, ftype, major, minor, Mode::new(0o640)),
-            None => fs.mknod(&actor, &path, ftype, major, minor, Mode::new(0o640)).map(|_| ()),
+            None => fs
+                .mknod(&actor, &path, ftype, major, minor, Mode::new(0o640))
+                .map(|_| ()),
         };
         match r {
             Ok(()) => CmdResult::ok(),
@@ -711,7 +737,9 @@ impl<'a> ExecEnv<'a> {
         }
         match (enable, repo) {
             (Some(e), Some(r)) => {
-                let ExecEnv { fs, creds, userns, .. } = self;
+                let ExecEnv {
+                    fs, creds, userns, ..
+                } = self;
                 let actor = Actor::new(creds, userns);
                 let out = yum::yum_config_manager(fs, &actor, r, e);
                 CmdResult {
@@ -751,7 +779,14 @@ impl<'a> ExecEnv<'a> {
         let actor = Actor::new(creds, userns);
         let out = match subcommand {
             Some("update") => apt::apt_update(fs, &actor, catalog),
-            Some("install") => apt::apt_install(fs, &actor, active_wrapper.as_mut(), catalog, &packages, arch),
+            Some("install") => apt::apt_install(
+                fs,
+                &actor,
+                active_wrapper.as_mut(),
+                catalog,
+                &packages,
+                arch,
+            ),
             Some("clean") | Some("autoremove") => hpcc_distro::PmOutput::ok(vec![]),
             _ => hpcc_distro::PmOutput::fail(vec!["E: Invalid operation".to_string()], 100),
         };
@@ -884,7 +919,13 @@ mod tests {
     }
 
     fn exec<'a>(env: &'a mut Env) -> ExecEnv<'a> {
-        ExecEnv::new(&mut env.fs, env.creds.clone(), &env.ns, &env.catalog, &env.arch)
+        ExecEnv::new(
+            &mut env.fs,
+            env.creds.clone(),
+            &env.ns,
+            &env.catalog,
+            &env.arch,
+        )
     }
 
     #[test]
@@ -942,9 +983,8 @@ mod tests {
     fn figure9_manual_workflow_debian() {
         let mut env = debian_type3();
         let mut sh = exec(&mut env);
-        let r = sh.run_command(
-            "echo 'APT::Sandbox::User \"root\"; ' > /etc/apt/apt.conf.d/no-sandbox",
-        );
+        let r =
+            sh.run_command("echo 'APT::Sandbox::User \"root\"; ' > /etc/apt/apt.conf.d/no-sandbox");
         assert!(r.success(), "{:?}", r.lines);
         assert!(sh.run_command("echo hello").success());
         let r = sh.run_command("apt-get update");
@@ -958,7 +998,10 @@ mod tests {
             .any(|l| l.contains("W: chown to root:adm of file /var/log/apt/term.log failed")));
         let r = sh.run_command("fakeroot apt-get install -y openssh-client");
         assert!(r.success(), "{:?}", r.lines);
-        assert!(r.lines.iter().any(|l| l.contains("Setting up openssh-client")));
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.contains("Setting up openssh-client")));
     }
 
     #[test]
@@ -974,13 +1017,19 @@ mod tests {
         assert!(r.success(), "{:?}", r.lines);
         // The echoed commands appear (set -x).
         assert!(r.lines.iter().any(|l| l.starts_with("+ grep")));
-        assert!(r.lines.iter().any(|l| l.starts_with("+ yum install -y epel-release")));
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.starts_with("+ yum install -y epel-release")));
         // Now the check passes and re-running the apply skips the EPEL install.
         let r = sh.run_command("command -v fakeroot > /dev/null");
         assert!(r.success());
         let r = sh.run_command(apply);
         assert!(r.success());
-        assert!(!r.lines.iter().any(|l| l.starts_with("+ yum install -y epel-release")));
+        assert!(!r
+            .lines
+            .iter()
+            .any(|l| l.starts_with("+ yum install -y epel-release")));
     }
 
     #[test]
@@ -992,7 +1041,8 @@ mod tests {
         let r = sh.run_command(check1);
         assert_eq!(r.status, 1, "sandbox not yet disabled: check must fail");
         // Step 1 apply.
-        let r = sh.run_command("echo 'APT::Sandbox::User \"root\"; ' > /etc/apt/apt.conf.d/no-sandbox");
+        let r =
+            sh.run_command("echo 'APT::Sandbox::User \"root\"; ' > /etc/apt/apt.conf.d/no-sandbox");
         assert!(r.success());
         let r = sh.run_command(check1);
         assert!(r.success(), "{:?}", r.lines);

@@ -129,7 +129,8 @@ mod tests {
     fn unmapped_group_access_persists_inside_namespace() {
         // Paper §2.1.1 case 3: access via an unmapped supplementary group
         // still works inside the namespace (host IDs govern).
-        let alice = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000), Gid(2000)]);
+        let alice =
+            Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000), Gid(2000)]);
         let ns = UserNamespace::type3(Uid(1000), Gid(1000));
         let actor = Actor::new(&alice, &ns);
         let shared = inode(999, 2000, 0o640);

@@ -106,7 +106,9 @@ impl Filesystem {
     /// Mutably borrow an inode. Like every mutating path, this detaches the
     /// inode table from any snapshot sharing it (metadata-only copy).
     pub fn inode_mut(&mut self, ino: Ino) -> KResult<&mut Inode> {
-        Arc::make_mut(&mut self.inodes).get_mut(&ino).ok_or(Errno::ENOENT)
+        Arc::make_mut(&mut self.inodes)
+            .get_mut(&ino)
+            .ok_or(Errno::ENOENT)
     }
 
     /// Mutable inode table, detached from snapshots on first use.
@@ -506,7 +508,11 @@ impl Filesystem {
         let (parent, name) = self.resolve_parent(actor, path)?;
         let parent_inode = self.inode(parent)?;
         actor.check_access(parent_inode, Access::WRITE)?;
-        let target = parent_inode.entries().get(&name).copied().ok_or(Errno::ENOENT)?;
+        let target = parent_inode
+            .entries()
+            .get(&name)
+            .copied()
+            .ok_or(Errno::ENOENT)?;
         if self.inode(target)?.is_dir() {
             return Err(Errno::EISDIR);
         }
@@ -525,7 +531,11 @@ impl Filesystem {
         let (parent, name) = self.resolve_parent(actor, path)?;
         let parent_inode = self.inode(parent)?;
         actor.check_access(parent_inode, Access::WRITE)?;
-        let target = parent_inode.entries().get(&name).copied().ok_or(Errno::ENOENT)?;
+        let target = parent_inode
+            .entries()
+            .get(&name)
+            .copied()
+            .ok_or(Errno::ENOENT)?;
         let t = self.inode(target)?;
         if !t.is_dir() {
             return Err(Errno::ENOTDIR);
@@ -609,8 +619,12 @@ impl Filesystem {
             .ok_or(Errno::ENOENT)?;
         let (to_parent, to_name) = self.resolve_parent(actor, to)?;
         actor.check_access(self.inode(to_parent)?, Access::WRITE)?;
-        self.inode_mut(from_parent)?.entries_mut().remove(&from_name);
-        self.inode_mut(to_parent)?.entries_mut().insert(to_name, ino);
+        self.inode_mut(from_parent)?
+            .entries_mut()
+            .remove(&from_name);
+        self.inode_mut(to_parent)?
+            .entries_mut()
+            .insert(to_name, ino);
         Ok(())
     }
 
@@ -946,7 +960,12 @@ impl Filesystem {
                 let ino = self.install_dir(dst_path, inode.uid, inode.gid, inode.mode)?;
                 self.inode_mut(ino)?.xattrs = inode.xattrs.clone();
                 for (name, &child) in entries {
-                    self.copy_inode_recursive(src, child, &format!("{}/{}", dst_path, name), count)?;
+                    self.copy_inode_recursive(
+                        src,
+                        child,
+                        &format!("{}/{}", dst_path, name),
+                        count,
+                    )?;
                 }
             }
             InodeData::Regular { content } => {
@@ -961,7 +980,9 @@ impl Filesystem {
             InodeData::CharDevice { major, minor } => {
                 // Device nodes may be unsupported on the destination backend;
                 // propagate the error so callers can decide.
-                self.install_char_device(dst_path, *major, *minor, inode.uid, inode.gid, inode.mode)?;
+                self.install_char_device(
+                    dst_path, *major, *minor, inode.uid, inode.gid, inode.mode,
+                )?;
             }
             InodeData::BlockDevice { .. } | InodeData::Fifo | InodeData::Socket => {
                 // Rare in images; recreate as empty regular files to keep the
@@ -1059,18 +1080,28 @@ mod tests {
     #[test]
     fn nested_install_creates_parents() {
         let mut fs = Filesystem::new_local();
-        fs.install_file("/usr/share/doc/README", b"hi".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/usr/share/doc/README",
+            b"hi".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::FILE_644,
+        )
+        .unwrap();
         let (creds, ns) = root_actor();
         let actor = Actor::new(&creds, &ns);
         assert!(fs.is_dir(&actor, "/usr/share/doc"));
-        assert_eq!(fs.read_file(&actor, "/usr/share/doc/README").unwrap(), b"hi");
+        assert_eq!(
+            fs.read_file(&actor, "/usr/share/doc/README").unwrap(),
+            b"hi"
+        );
     }
 
     #[test]
     fn unprivileged_cannot_write_root_owned_dirs() {
         let mut fs = Filesystem::new_local();
-        fs.install_dir("/etc", Uid(0), Gid(0), Mode::DIR_755).unwrap();
+        fs.install_dir("/etc", Uid(0), Gid(0), Mode::DIR_755)
+            .unwrap();
         let (creds, ns) = alice();
         let actor = Actor::new(&creds, &ns);
         assert_eq!(
@@ -1083,13 +1114,20 @@ mod tests {
     #[test]
     fn chown_requires_privilege_and_mapped_target() {
         let mut fs = Filesystem::new_local();
-        fs.install_file("/data/file", b"x".to_vec(), Uid(1000), Gid(1000), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/data/file",
+            b"x".to_vec(),
+            Uid(1000),
+            Gid(1000),
+            Mode::FILE_644,
+        )
+        .unwrap();
         // Unprivileged host user cannot chown to another user.
         let (creds, ns) = alice();
         let actor = Actor::new(&creds, &ns);
         assert_eq!(
-            fs.chown(&actor, "/data/file", Some(Uid(0)), None).unwrap_err(),
+            fs.chown(&actor, "/data/file", Some(Uid(0)), None)
+                .unwrap_err(),
             Errno::EPERM
         );
         // Container root in a Type III namespace: target UID 74 unmapped -> EINVAL.
@@ -1097,13 +1135,15 @@ mod tests {
         let t3 = UserNamespace::type3(Uid(1000), Gid(1000));
         let actor3 = Actor::new(&c_creds, &t3);
         assert_eq!(
-            fs.chown(&actor3, "/data/file", Some(Uid(74)), None).unwrap_err(),
+            fs.chown(&actor3, "/data/file", Some(Uid(74)), None)
+                .unwrap_err(),
             Errno::EINVAL
         );
         // Type II namespace: UID 74 maps to 200073 -> succeeds.
         let t2 = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
         let actor2 = Actor::new(&c_creds, &t2);
-        fs.chown(&actor2, "/data/file", Some(Uid(74)), Some(Gid(74))).unwrap();
+        fs.chown(&actor2, "/data/file", Some(Uid(74)), Some(Gid(74)))
+            .unwrap();
         let st = fs.stat(&actor2, "/data/file").unwrap();
         assert_eq!(st.uid_host, Uid(200_073));
         assert_eq!(st.uid_view, Uid(74));
@@ -1112,16 +1152,24 @@ mod tests {
     #[test]
     fn chown_group_by_owner_to_member_group() {
         let mut fs = Filesystem::new_local();
-        fs.install_file("/home/alice/f", b"x".to_vec(), Uid(1000), Gid(1000), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/home/alice/f",
+            b"x".to_vec(),
+            Uid(1000),
+            Gid(1000),
+            Mode::FILE_644,
+        )
+        .unwrap();
         let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000), Gid(50)]);
         let ns = UserNamespace::initial();
         let actor = Actor::new(&creds, &ns);
         // To a group alice belongs to: OK.
-        fs.chown(&actor, "/home/alice/f", None, Some(Gid(50))).unwrap();
+        fs.chown(&actor, "/home/alice/f", None, Some(Gid(50)))
+            .unwrap();
         // To a group she does not belong to: EPERM.
         assert_eq!(
-            fs.chown(&actor, "/home/alice/f", None, Some(Gid(999))).unwrap_err(),
+            fs.chown(&actor, "/home/alice/f", None, Some(Gid(999)))
+                .unwrap_err(),
             Errno::EPERM
         );
     }
@@ -1130,47 +1178,84 @@ mod tests {
     fn chown_on_shared_fs_to_subordinate_uid_fails() {
         // Paper §4.2: Podman's mappers cannot work when storage is NFS.
         let mut fs = Filesystem::new(FsBackend::default_nfs());
-        fs.install_file("/storage/file", b"x".to_vec(), Uid(1000), Gid(1000), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/storage/file",
+            b"x".to_vec(),
+            Uid(1000),
+            Gid(1000),
+            Mode::FILE_644,
+        )
+        .unwrap();
         let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
         let c_creds = creds.entered_own_namespace();
         let t2 = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
         let actor = Actor::new(&c_creds, &t2);
         assert_eq!(
-            fs.chown(&actor, "/storage/file", Some(Uid(74)), None).unwrap_err(),
+            fs.chown(&actor, "/storage/file", Some(Uid(74)), None)
+                .unwrap_err(),
             Errno::EPERM
         );
         // On local disk the same operation succeeds.
         let mut local = Filesystem::new_local();
         local
-            .install_file("/storage/file", b"x".to_vec(), Uid(1000), Gid(1000), Mode::FILE_644)
+            .install_file(
+                "/storage/file",
+                b"x".to_vec(),
+                Uid(1000),
+                Gid(1000),
+                Mode::FILE_644,
+            )
             .unwrap();
-        local.chown(&actor, "/storage/file", Some(Uid(74)), None).unwrap();
+        local
+            .chown(&actor, "/storage/file", Some(Uid(74)), None)
+            .unwrap();
     }
 
     #[test]
     fn mknod_device_requires_host_privilege() {
         let mut fs = Filesystem::new_local();
-        fs.install_dir("/dev", Uid(0), Gid(0), Mode::new(0o777)).unwrap();
+        fs.install_dir("/dev", Uid(0), Gid(0), Mode::new(0o777))
+            .unwrap();
         // Container root (Type III): EPERM.
         let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
         let c = creds.entered_own_namespace();
         let t3 = UserNamespace::type3(Uid(1000), Gid(1000));
         let actor = Actor::new(&c, &t3);
         assert_eq!(
-            fs.mknod(&actor, "/dev/null2", FileType::CharDevice, 1, 3, Mode::new(0o666))
-                .unwrap_err(),
+            fs.mknod(
+                &actor,
+                "/dev/null2",
+                FileType::CharDevice,
+                1,
+                3,
+                Mode::new(0o666)
+            )
+            .unwrap_err(),
             Errno::EPERM
         );
         // Host root: OK.
         let (r, ns) = root_actor();
         let ra = Actor::new(&r, &ns);
-        fs.mknod(&ra, "/dev/null2", FileType::CharDevice, 1, 3, Mode::new(0o666))
-            .unwrap();
+        fs.mknod(
+            &ra,
+            "/dev/null2",
+            FileType::CharDevice,
+            1,
+            3,
+            Mode::new(0o666),
+        )
+        .unwrap();
         assert_eq!(fs.stat(&ra, "/dev/null2").unwrap().rdev, Some((1, 3)));
         // FIFOs do not need privilege.
-        fs.mknod(&actor, "/dev/myfifo", FileType::Fifo, 0, 0, Mode::new(0o644))
-            .unwrap();
+        fs.mknod(
+            &actor,
+            "/dev/myfifo",
+            FileType::Fifo,
+            0,
+            0,
+            Mode::new(0o644),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -1178,9 +1263,16 @@ mod tests {
         let mut fs = Filesystem::new_local();
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
-        fs.install_file("/etc/real.conf", b"cfg".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+        fs.install_file(
+            "/etc/real.conf",
+            b"cfg".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::FILE_644,
+        )
+        .unwrap();
+        fs.symlink(&actor, "/etc/real.conf", "/etc/link.conf")
             .unwrap();
-        fs.symlink(&actor, "/etc/real.conf", "/etc/link.conf").unwrap();
         assert_eq!(fs.read_file(&actor, "/etc/link.conf").unwrap(), b"cfg");
         // Relative symlink.
         fs.symlink(&actor, "real.conf", "/etc/rel.conf").unwrap();
@@ -1201,8 +1293,14 @@ mod tests {
         let mut fs = Filesystem::new_local();
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
-        fs.install_file("/var/log/apt/term.log", b"".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/var/log/apt/term.log",
+            b"".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::FILE_644,
+        )
+        .unwrap();
         assert_eq!(fs.rmdir(&actor, "/var/log").unwrap_err(), Errno::ENOTEMPTY);
         fs.unlink(&actor, "/var/log/apt/term.log").unwrap();
         fs.rmdir(&actor, "/var/log/apt").unwrap();
@@ -1218,9 +1316,13 @@ mod tests {
         let mut fs = Filesystem::new_local();
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
-        fs.write_file(&actor, "/f1", b"data".to_vec(), Mode::FILE_644).unwrap();
+        fs.write_file(&actor, "/f1", b"data".to_vec(), Mode::FILE_644)
+            .unwrap();
         fs.link(&actor, "/f1", "/f2").unwrap();
-        assert_eq!(fs.stat(&actor, "/f1").unwrap().ino, fs.stat(&actor, "/f2").unwrap().ino);
+        assert_eq!(
+            fs.stat(&actor, "/f1").unwrap().ino,
+            fs.stat(&actor, "/f2").unwrap().ino
+        );
         assert_eq!(fs.stat(&actor, "/f2").unwrap().nlink, 2);
         fs.unlink(&actor, "/f1").unwrap();
         assert_eq!(fs.read_file(&actor, "/f2").unwrap(), b"data");
@@ -1231,14 +1333,21 @@ mod tests {
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
         let mut local = Filesystem::new_local();
-        local.install_file("/f", b"".to_vec(), Uid(0), Gid(0), Mode::FILE_644).unwrap();
-        local.set_xattr(&actor, "/f", "user.containers.override_stat", b"0:0:0755").unwrap();
+        local
+            .install_file("/f", b"".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        local
+            .set_xattr(&actor, "/f", "user.containers.override_stat", b"0:0:0755")
+            .unwrap();
         assert_eq!(
-            local.get_xattr(&actor, "/f", "user.containers.override_stat").unwrap(),
+            local
+                .get_xattr(&actor, "/f", "user.containers.override_stat")
+                .unwrap(),
             b"0:0:0755"
         );
         let mut nfs = Filesystem::new(FsBackend::default_nfs());
-        nfs.install_file("/f", b"".to_vec(), Uid(0), Gid(0), Mode::FILE_644).unwrap();
+        nfs.install_file("/f", b"".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
         assert_eq!(
             nfs.set_xattr(&actor, "/f", "user.containers.override_stat", b"x")
                 .unwrap_err(),
@@ -1249,15 +1358,25 @@ mod tests {
     #[test]
     fn walk_and_copy_tree() {
         let mut src = Filesystem::new_local();
-        src.install_file("/opt/app/bin/run", b"#!/bin/sh".to_vec(), Uid(0), Gid(0), Mode::EXEC_755)
+        src.install_file(
+            "/opt/app/bin/run",
+            b"#!/bin/sh".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::EXEC_755,
+        )
+        .unwrap();
+        src.install_symlink("/opt/app/current", "bin/run", Uid(0), Gid(0))
             .unwrap();
-        src.install_symlink("/opt/app/current", "bin/run", Uid(0), Gid(0)).unwrap();
         let mut dst = Filesystem::new_local();
         let copied = dst.copy_tree_from(&src, "/opt", "/srv/opt").unwrap();
         assert!(copied >= 4);
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
-        assert_eq!(dst.read_file(&actor, "/srv/opt/app/bin/run").unwrap(), b"#!/bin/sh");
+        assert_eq!(
+            dst.read_file(&actor, "/srv/opt/app/bin/run").unwrap(),
+            b"#!/bin/sh"
+        );
         let paths: Vec<String> = dst.walk().into_iter().map(|(p, _)| p).collect();
         assert!(paths.contains(&"/srv/opt/app/bin/run".to_string()));
     }
@@ -1265,10 +1384,22 @@ mod tests {
     #[test]
     fn flatten_ownership_clears_setid_and_owners() {
         let mut fs = Filesystem::new_local();
-        fs.install_file("/usr/bin/sudo", b"elf".to_vec(), Uid(0), Gid(0), Mode::new(0o4755))
-            .unwrap();
-        fs.install_file("/var/empty/sshd", b"".to_vec(), Uid(74), Gid(74), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/usr/bin/sudo",
+            b"elf".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::new(0o4755),
+        )
+        .unwrap();
+        fs.install_file(
+            "/var/empty/sshd",
+            b"".to_vec(),
+            Uid(74),
+            Gid(74),
+            Mode::FILE_644,
+        )
+        .unwrap();
         assert!(fs.distinct_owner_uids().len() > 1);
         fs.flatten_ownership(Uid(0), Gid(0));
         assert_eq!(fs.distinct_owner_uids(), vec![Uid(0)]);
@@ -1280,12 +1411,14 @@ mod tests {
     #[test]
     fn readonly_fs_rejects_mutation() {
         let mut fs = Filesystem::new_local();
-        fs.install_file("/f", b"x".to_vec(), Uid(0), Gid(0), Mode::FILE_644).unwrap();
+        fs.install_file("/f", b"x".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
         fs.readonly = true;
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
         assert_eq!(
-            fs.write_file(&actor, "/g", b"y".to_vec(), Mode::FILE_644).unwrap_err(),
+            fs.write_file(&actor, "/g", b"y".to_vec(), Mode::FILE_644)
+                .unwrap_err(),
             Errno::EROFS
         );
         assert_eq!(fs.unlink(&actor, "/f").unwrap_err(), Errno::EROFS);
@@ -1303,8 +1436,20 @@ mod tests {
             .ls_line(
                 &actor,
                 "/work/test.dev",
-                |u| if u.is_root() { "root".into() } else { u.to_string() },
-                |g| if g.is_root() { "root".into() } else { g.to_string() },
+                |u| {
+                    if u.is_root() {
+                        "root".into()
+                    } else {
+                        u.to_string()
+                    }
+                },
+                |g| {
+                    if g.is_root() {
+                        "root".into()
+                    } else {
+                        g.to_string()
+                    }
+                },
             )
             .unwrap();
         assert_eq!(line, "crw-r----- 1 root root 1, 1 test.dev");
@@ -1315,7 +1460,8 @@ mod tests {
         let mut fs = Filesystem::new_local();
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
-        fs.write_file(&actor, "/a.txt", b"1".to_vec(), Mode::FILE_644).unwrap();
+        fs.write_file(&actor, "/a.txt", b"1".to_vec(), Mode::FILE_644)
+            .unwrap();
         fs.mkdir(&actor, "/dir", Mode::DIR_755).unwrap();
         fs.rename(&actor, "/a.txt", "/dir/b.txt").unwrap();
         assert!(!fs.exists(&actor, "/a.txt"));
@@ -1324,7 +1470,10 @@ mod tests {
 
     #[test]
     fn components_normalization() {
-        assert_eq!(Filesystem::components("/a//b/./c/../d"), vec!["a", "b", "d"]);
+        assert_eq!(
+            Filesystem::components("/a//b/./c/../d"),
+            vec!["a", "b", "d"]
+        );
         assert!(Filesystem::components("/").is_empty());
     }
 
@@ -1333,8 +1482,14 @@ mod tests {
         let mut fs = Filesystem::new_local();
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
-        fs.install_file("/etc/conf", b"original".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/etc/conf",
+            b"original".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::FILE_644,
+        )
+        .unwrap();
         let snapshot = fs.clone();
         // The clone shares the stored bytes (no copy happened).
         let a = fs.file_bytes(&actor, "/etc/conf").unwrap();
@@ -1347,21 +1502,35 @@ mod tests {
         let mut fs = Filesystem::new_local();
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
-        fs.install_file("/etc/conf", b"original".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/etc/conf",
+            b"original".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::FILE_644,
+        )
+        .unwrap();
         fs.install_file("/data/big", vec![7u8; 4096], Uid(0), Gid(0), Mode::FILE_644)
             .unwrap();
         let snapshot = fs.clone();
         // Overwrite, append, create, delete, chmod in the live tree.
         fs.write_file(&actor, "/etc/conf", b"changed".to_vec(), Mode::FILE_644)
             .unwrap();
-        fs.append_file(&actor, "/data/big", b"tail", Mode::FILE_644).unwrap();
-        fs.write_file(&actor, "/etc/new", b"n".to_vec(), Mode::FILE_644).unwrap();
+        fs.append_file(&actor, "/data/big", b"tail", Mode::FILE_644)
+            .unwrap();
+        fs.write_file(&actor, "/etc/new", b"n".to_vec(), Mode::FILE_644)
+            .unwrap();
         fs.unlink(&actor, "/data/big").unwrap();
         fs.chmod(&actor, "/etc/conf", Mode::new(0o600)).unwrap();
         // The snapshot still sees the world as it was at clone time.
-        assert_eq!(snapshot.read_file(&actor, "/etc/conf").unwrap(), b"original");
-        assert_eq!(snapshot.stat(&actor, "/etc/conf").unwrap().mode, Mode::FILE_644);
+        assert_eq!(
+            snapshot.read_file(&actor, "/etc/conf").unwrap(),
+            b"original"
+        );
+        assert_eq!(
+            snapshot.stat(&actor, "/etc/conf").unwrap().mode,
+            Mode::FILE_644
+        );
         assert_eq!(snapshot.read_file(&actor, "/data/big").unwrap().len(), 4096);
         assert!(!snapshot.exists(&actor, "/etc/new"));
         // Untouched files still share bytes; written files have diverged.
@@ -1375,9 +1544,12 @@ mod tests {
         let mut fs = Filesystem::new_local();
         let (r, ns) = root_actor();
         let actor = Actor::new(&r, &ns);
-        fs.install_file("/f", b"one".to_vec(), Uid(0), Gid(0), Mode::FILE_644).unwrap();
+        fs.install_file("/f", b"one".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
         let mut snapshot = fs.clone();
-        snapshot.write_file(&actor, "/f", b"two".to_vec(), Mode::FILE_644).unwrap();
+        snapshot
+            .write_file(&actor, "/f", b"two".to_vec(), Mode::FILE_644)
+            .unwrap();
         snapshot.remove_tree(&actor, "/f").unwrap();
         assert_eq!(fs.read_file(&actor, "/f").unwrap(), b"one");
     }

@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn file_types_match_payload() {
-        assert_eq!(mk(InodeData::file(b"x".to_vec())).file_type(), FileType::Regular);
+        assert_eq!(
+            mk(InodeData::file(b"x".to_vec())).file_type(),
+            FileType::Regular
+        );
         assert_eq!(mk(InodeData::empty_dir()).file_type(), FileType::Directory);
         assert_eq!(
             mk(InodeData::Symlink {

@@ -122,24 +122,25 @@ impl Mode {
     /// display conventions (`s`, `S`, `t`, `T`).
     pub fn render(self) -> String {
         let mut s = String::with_capacity(9);
-        let triplet = |bits: u16, special: bool, special_char_exec: char, special_char_noexec: char| {
-            let mut t = String::with_capacity(3);
-            t.push(if bits & 4 != 0 { 'r' } else { '-' });
-            t.push(if bits & 2 != 0 { 'w' } else { '-' });
-            let exec = bits & 1 != 0;
-            t.push(if special {
-                if exec {
-                    special_char_exec
+        let triplet =
+            |bits: u16, special: bool, special_char_exec: char, special_char_noexec: char| {
+                let mut t = String::with_capacity(3);
+                t.push(if bits & 4 != 0 { 'r' } else { '-' });
+                t.push(if bits & 2 != 0 { 'w' } else { '-' });
+                let exec = bits & 1 != 0;
+                t.push(if special {
+                    if exec {
+                        special_char_exec
+                    } else {
+                        special_char_noexec
+                    }
+                } else if exec {
+                    'x'
                 } else {
-                    special_char_noexec
-                }
-            } else if exec {
-                'x'
-            } else {
-                '-'
-            });
-            t
-        };
+                    '-'
+                });
+                t
+            };
         s.push_str(&triplet(self.user_bits(), self.is_setuid(), 's', 'S'));
         s.push_str(&triplet(self.group_bits(), self.is_setgid(), 's', 'S'));
         s.push_str(&triplet(self.other_bits(), self.is_sticky(), 't', 'T'));

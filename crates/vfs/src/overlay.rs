@@ -169,7 +169,11 @@ impl OverlayFs {
         if self.is_whited_out(path) {
             return None;
         }
-        self.lowers.iter().rev().find(|&lower| lower.exists(&actor, path)).map(|v| v as _)
+        self.lowers
+            .iter()
+            .rev()
+            .find(|&lower| lower.exists(&actor, path))
+            .map(|v| v as _)
     }
 
     /// True if `path` exists in the merged view.
@@ -182,7 +186,9 @@ impl OverlayFs {
 
     /// `stat(2)` against the merged view.
     pub fn stat(&self, actor: &Actor, path: &str) -> KResult<Stat> {
-        self.providing_fs(path).ok_or(Errno::ENOENT)?.stat(actor, path)
+        self.providing_fs(path)
+            .ok_or(Errno::ENOENT)?
+            .stat(actor, path)
     }
 
     /// Reads a regular file from the merged view, borrowing the bytes from
@@ -374,10 +380,7 @@ impl OverlayFs {
         if self.upper.exists(&root, &p) {
             self.upper.unlink(&root, &p)?;
         }
-        let in_lower = self
-            .lowers
-            .iter()
-            .any(|l| l.exists(&root, &p) );
+        let in_lower = self.lowers.iter().any(|l| l.exists(&root, &p));
         if in_lower {
             self.whiteouts.insert(p);
             self.stats.whiteouts += 1;
@@ -420,10 +423,18 @@ mod tests {
 
     fn base_layer() -> Filesystem {
         let mut fs = Filesystem::new_local();
-        fs.install_dir("/etc", Uid::ROOT, Gid::ROOT, Mode::DIR_755).unwrap();
-        fs.install_dir("/bin", Uid::ROOT, Gid::ROOT, Mode::DIR_755).unwrap();
-        fs.install_file("/etc/os-release", b"CentOS 7".to_vec(), Uid::ROOT, Gid::ROOT, Mode::FILE_644)
+        fs.install_dir("/etc", Uid::ROOT, Gid::ROOT, Mode::DIR_755)
             .unwrap();
+        fs.install_dir("/bin", Uid::ROOT, Gid::ROOT, Mode::DIR_755)
+            .unwrap();
+        fs.install_file(
+            "/etc/os-release",
+            b"CentOS 7".to_vec(),
+            Uid::ROOT,
+            Gid::ROOT,
+            Mode::FILE_644,
+        )
+        .unwrap();
         fs.install_file("/bin/sh", b"#!", Uid::ROOT, Gid::ROOT, Mode::EXEC_755)
             .unwrap();
         fs
@@ -439,7 +450,10 @@ mod tests {
         let (creds, ns) = root_actor();
         let actor = Actor::new(&creds, &ns);
         assert!(ov.exists(&actor, "/etc/os-release"));
-        assert_eq!(ov.read_file(&actor, "/etc/os-release").unwrap(), b"CentOS 7");
+        assert_eq!(
+            ov.read_file(&actor, "/etc/os-release").unwrap(),
+            b"CentOS 7"
+        );
         assert_eq!(ov.stats().copy_ups, 0);
     }
 
@@ -448,9 +462,13 @@ mod tests {
         let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
         let (creds, ns) = root_actor();
         let actor = Actor::new(&creds, &ns);
-        ov.write_file(&actor, "/etc/os-release", b"CentOS 7.9".to_vec()).unwrap();
+        ov.write_file(&actor, "/etc/os-release", b"CentOS 7.9".to_vec())
+            .unwrap();
         assert_eq!(ov.stats().copy_ups, 1);
-        assert_eq!(ov.read_file(&actor, "/etc/os-release").unwrap(), b"CentOS 7.9");
+        assert_eq!(
+            ov.read_file(&actor, "/etc/os-release").unwrap(),
+            b"CentOS 7.9"
+        );
         // Lower layer untouched; upper holds the new content.
         assert!(ov.upper().exists(&actor, "/etc/os-release"));
         let st = ov.stat(&actor, "/etc/os-release").unwrap();
@@ -462,7 +480,8 @@ mod tests {
         let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Fuse);
         let (creds, ns) = root_actor();
         let actor = Actor::new(&creds, &ns);
-        ov.write_file(&actor, "/etc/new.conf", b"x".to_vec()).unwrap();
+        ov.write_file(&actor, "/etc/new.conf", b"x".to_vec())
+            .unwrap();
         assert_eq!(ov.stats().copy_ups, 0);
         assert_eq!(ov.stats().upper_writes, 1);
         assert!(ov.exists(&actor, "/etc/new.conf"));
@@ -487,7 +506,9 @@ mod tests {
         let mut upper_adds = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
         let (creds, ns) = root_actor();
         let actor = Actor::new(&creds, &ns);
-        upper_adds.write_file(&actor, "/etc/hostname", b"astra".to_vec()).unwrap();
+        upper_adds
+            .write_file(&actor, "/etc/hostname", b"astra".to_vec())
+            .unwrap();
         upper_adds.unlink(&actor, "/etc/os-release").unwrap();
         let listing = upper_adds.readdir(&actor, "/etc").unwrap();
         assert!(listing.contains(&"hostname".to_string()));
@@ -499,7 +520,8 @@ mod tests {
         let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
         let (creds, ns) = root_actor();
         let actor = Actor::new(&creds, &ns);
-        ov.write_file(&actor, "/etc/motd", b"welcome".to_vec()).unwrap();
+        ov.write_file(&actor, "/etc/motd", b"welcome".to_vec())
+            .unwrap();
         ov.unlink(&actor, "/bin/sh").unwrap();
         let flat = ov.squash();
         let flat_actor = Actor::new(&creds, &ns);
@@ -531,7 +553,9 @@ mod tests {
         let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
         let ns = UserNamespace::initial();
         let actor = Actor::new(&creds, &ns);
-        let err = ov.write_file(&actor, "/etc/os-release", b"haxx".to_vec()).unwrap_err();
+        let err = ov
+            .write_file(&actor, "/etc/os-release", b"haxx".to_vec())
+            .unwrap_err();
         assert_eq!(err, Errno::EACCES);
         // And the merged view is unchanged.
         let (rc, rns) = root_actor();
@@ -550,8 +574,10 @@ mod tests {
         let mut ov = OverlayFs::new(vec![base_layer()], OverlayBackend::Native);
         let (creds, ns) = root_actor();
         let actor = Actor::new(&creds, &ns);
-        ov.chown(&actor, "/etc/os-release", Uid(123), Gid(456)).unwrap();
-        ov.chmod(&actor, "/etc/os-release", Mode::new(0o600)).unwrap();
+        ov.chown(&actor, "/etc/os-release", Uid(123), Gid(456))
+            .unwrap();
+        ov.chmod(&actor, "/etc/os-release", Mode::new(0o600))
+            .unwrap();
         let st = ov.stat(&actor, "/etc/os-release").unwrap();
         assert_eq!(st.uid_host, Uid(123));
         assert_eq!(st.mode, Mode::new(0o600));

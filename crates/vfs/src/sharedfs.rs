@@ -6,8 +6,7 @@
 //! disk work. This module models those feature differences.
 
 /// What kind of storage backs a [`crate::fs::Filesystem`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FsBackend {
     /// Node-local disk (ext4/xfs): everything supported.
     #[default]
@@ -105,7 +104,6 @@ impl FsBackend {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -307,7 +307,11 @@ pub fn list(archive: &[u8]) -> KResult<Vec<TarEntry>> {
             gid,
             content,
             link_target,
-            dev: if ft.is_device() { Some((maj, min)) } else { None },
+            dev: if ft.is_device() {
+                Some((maj, min))
+            } else {
+                None
+            },
         });
     }
     Ok(entries)
@@ -374,8 +378,14 @@ mod tests {
 
     fn sample_fs() -> Filesystem {
         let mut fs = Filesystem::new_local();
-        fs.install_file("/image/bin/sh", b"#!elf".to_vec(), Uid(0), Gid(0), Mode::EXEC_755)
-            .unwrap();
+        fs.install_file(
+            "/image/bin/sh",
+            b"#!elf".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::EXEC_755,
+        )
+        .unwrap();
         fs.install_file(
             "/image/usr/bin/passwd",
             b"elf".to_vec(),
@@ -392,7 +402,8 @@ mod tests {
             Mode::FILE_644,
         )
         .unwrap();
-        fs.install_symlink("/image/bin/bash", "sh", Uid(0), Gid(0)).unwrap();
+        fs.install_symlink("/image/bin/bash", "sh", Uid(0), Gid(0))
+            .unwrap();
         fs
     }
 
@@ -411,7 +422,10 @@ mod tests {
         let passwd = entries.iter().find(|e| e.path == "usr/bin/passwd").unwrap();
         assert!(passwd.mode.is_setuid());
         assert_eq!(passwd.content, b"elf");
-        let sshd = entries.iter().find(|e| e.path == "var/empty/sshd/.keep").unwrap();
+        let sshd = entries
+            .iter()
+            .find(|e| e.path == "var/empty/sshd/.keep")
+            .unwrap();
         assert_eq!((sshd.uid, sshd.gid), (74, 74));
         let link = entries.iter().find(|e| e.path == "bin/bash").unwrap();
         assert_eq!(link.file_type, FileType::Symlink);
@@ -444,8 +458,14 @@ mod tests {
         // Files owned by subordinate host UID 200073 should be recorded as
         // container UID 74 when packing "from inside" a Type II namespace.
         let mut fs = Filesystem::new_local();
-        fs.install_file("/image/f", b"x".to_vec(), Uid(200_073), Gid(200_073), Mode::FILE_644)
-            .unwrap();
+        fs.install_file(
+            "/image/f",
+            b"x".to_vec(),
+            Uid(200_073),
+            Gid(200_073),
+            Mode::FILE_644,
+        )
+        .unwrap();
         let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
         let ns = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
         let actor = Actor::new(&creds, &ns);
@@ -482,7 +502,10 @@ mod tests {
         )
         .unwrap();
         let entries = list(&archive).unwrap();
-        let sshd = entries.iter().find(|e| e.path == "var/empty/sshd/.keep").unwrap();
+        let sshd = entries
+            .iter()
+            .find(|e| e.path == "var/empty/sshd/.keep")
+            .unwrap();
         assert_eq!((sshd.uid, sshd.gid), (74, 74));
     }
 

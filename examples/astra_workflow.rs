@@ -25,7 +25,11 @@ fn main() {
     println!("{}", report.transcript_text());
     println!(
         "\nworkflow {}; {}/{} node launches succeeded",
-        if report.success { "succeeded" } else { "FAILED" },
+        if report.success {
+            "succeeded"
+        } else {
+            "FAILED"
+        },
         report.launches.iter().filter(|l| l.success).count(),
         report.launches.len()
     );

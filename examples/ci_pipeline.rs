@@ -20,7 +20,11 @@ fn main() {
     println!("{}", report.transcript_text());
     println!(
         "\npipeline {}; registry now holds {:?}",
-        if report.success { "succeeded" } else { "FAILED" },
+        if report.success {
+            "succeeded"
+        } else {
+            "FAILED"
+        },
         registry.repositories()
     );
 }

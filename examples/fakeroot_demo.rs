@@ -30,7 +30,8 @@ fn main() {
     println!("{}", render_table1());
 
     let mut fs = Filesystem::new_local();
-    fs.install_dir("/work", Uid(1000), Gid(1000), Mode::new(0o755)).unwrap();
+    fs.install_dir("/work", Uid(1000), Gid(1000), Mode::new(0o755))
+        .unwrap();
     let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
     let ns = UserNamespace::initial();
     let actor = Actor::new(&creds, &ns);
@@ -38,23 +39,52 @@ fn main() {
     let mut session = FakerootSession::new(Flavor::Fakeroot);
     println!("$ fakeroot ./fakeroot.sh");
     println!("+ touch test.file");
-    fs.write_file(&actor, "/work/test.file", Vec::new(), Mode::new(0o640)).unwrap();
+    fs.write_file(&actor, "/work/test.file", Vec::new(), Mode::new(0o640))
+        .unwrap();
     println!("+ chown nobody test.file");
     session
         .chown(&mut fs, &actor, "/work/test.file", Some(Uid(65534)), None)
         .unwrap();
     println!("+ mknod test.dev c 1 1");
     session
-        .mknod(&mut fs, &actor, "/work/test.dev", FileType::CharDevice, 1, 1, Mode::new(0o640))
+        .mknod(
+            &mut fs,
+            &actor,
+            "/work/test.dev",
+            FileType::CharDevice,
+            1,
+            1,
+            Mode::new(0o640),
+        )
         .unwrap();
     println!("+ ls -lh test.dev test.file");
-    println!("{}", session.ls_line(&fs, &actor, "/work/test.dev", name, gname).unwrap());
-    println!("{}", session.ls_line(&fs, &actor, "/work/test.file", name, gname).unwrap());
+    println!(
+        "{}",
+        session
+            .ls_line(&fs, &actor, "/work/test.dev", name, gname)
+            .unwrap()
+    );
+    println!(
+        "{}",
+        session
+            .ls_line(&fs, &actor, "/work/test.file", name, gname)
+            .unwrap()
+    );
     println!("$ ls -lh test*   # outside the wrapper: the lies are exposed");
-    println!("{}", fs.ls_line(&actor, "/work/test.dev", name, gname).unwrap());
-    println!("{}", fs.ls_line(&actor, "/work/test.file", name, gname).unwrap());
+    println!(
+        "{}",
+        fs.ls_line(&actor, "/work/test.dev", name, gname).unwrap()
+    );
+    println!(
+        "{}",
+        fs.ls_line(&actor, "/work/test.file", name, gname).unwrap()
+    );
 
-    println!("\nsaved lie database ({} entries):\n{}", session.db.len(), session.db.save());
+    println!(
+        "\nsaved lie database ({} entries):\n{}",
+        session.db.len(),
+        session.db.save()
+    );
 
     println!("wrapper capabilities per implementation:");
     for flavor in Flavor::ALL {

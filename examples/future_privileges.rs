@@ -11,9 +11,7 @@
 //!
 //! Run with: `cargo run --example future_privileges`
 
-use hpcc_repro::fakeroot::{
-    representative_packages, CoverageMatrix, Flavor, WrapperPlacement,
-};
+use hpcc_repro::fakeroot::{representative_packages, CoverageMatrix, Flavor, WrapperPlacement};
 use hpcc_repro::image::OwnershipMode;
 use hpcc_repro::kernel::idpolicy::{
     policy_gid_map, policy_requirements, policy_uid_map, KernelOwnershipDb, MapPolicy,
@@ -57,8 +55,12 @@ fn main() {
     println!("\n== §6.2.4: proposed kernel ID-map mechanisms ==");
     let alice = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000), Gid(2000)]);
     let mut alloc = UniqueRangeAllocator::new(200_000, 65_536);
-    let uid_map = policy_uid_map(MapPolicy::RootPlusUniqueRange { count: 65_536 }, &alice, &mut alloc)
-        .expect("policy map");
+    let uid_map = policy_uid_map(
+        MapPolicy::RootPlusUniqueRange { count: 65_536 },
+        &alice,
+        &mut alloc,
+    )
+    .expect("policy map");
     println!("  root+unique-range UID map (no helpers, no /etc/subuid):");
     for line in uid_map.render_procfs().lines() {
         println!("    {}", line);
@@ -83,7 +85,11 @@ fn main() {
     }
 
     println!("\n== §6.2.5: ownership-flattening annotation ==");
-    for policy in [FlattenPolicy::Disallow, FlattenPolicy::Allow, FlattenPolicy::Require] {
+    for policy in [
+        FlattenPolicy::Disallow,
+        FlattenPolicy::Allow,
+        FlattenPolicy::Require,
+    ] {
         let flattened = policy.check(OwnershipMode::Flattened).is_ok();
         let preserved = policy.check(OwnershipMode::Preserved).is_ok();
         println!(

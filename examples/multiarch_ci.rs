@@ -51,7 +51,12 @@ fn main() {
     // Nobody built ppc64le, so a ppc64le machine gets MANIFEST_UNKNOWN instead
     // of a binary that fails to exec (paper §4.2).
     let err = registry
-        .pull_for_platform("ci-runner", "atse/openssh", "1.0", &Platform::linux_ppc64le())
+        .pull_for_platform(
+            "ci-runner",
+            "atse/openssh",
+            "1.0",
+            &Platform::linux_ppc64le(),
+        )
         .unwrap_err();
     println!("pull for linux/ppc64le -> {}", err);
 

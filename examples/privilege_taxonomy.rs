@@ -5,15 +5,21 @@
 //!
 //! Run with: `cargo run --example privilege_taxonomy`
 
-use hpcc_repro::kernel::creds::{sys_setegid, sys_setgroups, sys_seteuid};
+use hpcc_repro::kernel::creds::{sys_setegid, sys_seteuid, sys_setgroups};
 use hpcc_repro::kernel::{Credentials, Gid, Uid, UserNamespace};
 use hpcc_repro::runtime::{render_implementation_table, PrivilegeType};
 use hpcc_repro::vfs::{Actor, Filesystem, Mode};
 
 fn try_chown(label: &str, ns: &UserNamespace, creds: &Credentials) {
     let mut fs = Filesystem::new_local();
-    fs.install_file("/pkg/file", b"payload".to_vec(), creds.euid, creds.egid, Mode::FILE_644)
-        .unwrap();
+    fs.install_file(
+        "/pkg/file",
+        b"payload".to_vec(),
+        creds.euid,
+        creds.egid,
+        Mode::FILE_644,
+    )
+    .unwrap();
     let actor = Actor::new(creds, ns);
     match fs.chown(&actor, "/pkg/file", Some(Uid(74)), Some(Gid(74))) {
         Ok(()) => {
@@ -35,9 +41,15 @@ fn try_apt_privilege_drop(label: &str, ns: &UserNamespace, creds: &Credentials) 
     println!(
         "{:<28} setgroups: {:<22} setegid: {:<22} seteuid: {}",
         label,
-        setgroups.map(|_| "ok".to_string()).unwrap_or_else(|e| e.to_string()),
-        setegid.map(|_| "ok".to_string()).unwrap_or_else(|e| e.to_string()),
-        seteuid.map(|_| "ok".to_string()).unwrap_or_else(|e| e.to_string()),
+        setgroups
+            .map(|_| "ok".to_string())
+            .unwrap_or_else(|e| e.to_string()),
+        setegid
+            .map(|_| "ok".to_string())
+            .unwrap_or_else(|e| e.to_string()),
+        seteuid
+            .map(|_| "ok".to_string())
+            .unwrap_or_else(|e| e.to_string()),
     );
 }
 
@@ -63,8 +75,8 @@ fn main() {
     let t2_ns = UserNamespace::type2(Uid(1000), Gid(1000), 200_000, 65_536);
     // Type III: single-ID map.
     let t3_ns = UserNamespace::type3(Uid(1000), Gid(1000));
-    let alice_in_container =
-        Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]).entered_own_namespace();
+    let alice_in_container = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)])
+        .entered_own_namespace();
 
     println!("UID maps (container -> host):");
     println!("  Type II:\n{}", t2_ns.uid_map.render_procfs());

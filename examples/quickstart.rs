@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use hpcc_repro::core::{centos7_dockerfile, BuildOptions, Builder, PushOwnership};
 use hpcc_repro::core::default_subuid_for;
+use hpcc_repro::core::{centos7_dockerfile, BuildOptions, Builder, PushOwnership};
 use hpcc_repro::image::Registry;
 use hpcc_repro::runtime::Invoker;
 
@@ -38,11 +38,17 @@ fn main() {
     println!("== 4. push (flattened) and pull back as bob ==");
     let mut registry = Registry::new("registry.example.gov");
     let digest = ch
-        .push("foo", "hpc/openssh:latest", &mut registry, PushOwnership::Flatten)
+        .push(
+            "foo",
+            "hpc/openssh:latest",
+            &mut registry,
+            PushOwnership::Flatten,
+        )
         .expect("push");
     println!("pushed hpc/openssh:latest ({})", digest.short());
     let mut bob = Builder::ch_image(Invoker::user("bob", 1001, 1001));
-    bob.pull(&mut registry, "hpc/openssh:latest", "openssh").expect("pull");
+    bob.pull(&mut registry, "hpc/openssh:latest", "openssh")
+        .expect("pull");
     println!(
         "bob pulled the image; every file is now owned by bob's UID: {:?}",
         bob.image("openssh").unwrap().fs.distinct_owner_uids()

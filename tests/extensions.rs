@@ -5,8 +5,8 @@
 
 use hpcc_repro::cluster::{astra_plus_x86_sites, multisite_ci};
 use hpcc_repro::core::{
-    build_multistage, centos7_dockerfile, push_to_oci, BuildOptions, Builder, LayerMode,
-    MultiStagePlan,
+    build_multistage, centos7_dockerfile, push_to_oci, BuildGraph, BuildIr, BuildOptions, Builder,
+    LayerMode, StageBase,
 };
 use hpcc_repro::fakeroot::{representative_packages, CoverageMatrix, Flavor};
 use hpcc_repro::image::OwnershipMode;
@@ -49,8 +49,12 @@ fn type3_namespace_stack_with_policy_maps() {
     assert_eq!(out.created.len(), 4);
     // The §6.2.4 policy map reproduces the Figure 1 shape without newuidmap.
     let mut ranges = UniqueRangeAllocator::new(200_000, 65_536);
-    let map = policy_uid_map(MapPolicy::RootPlusUniqueRange { count: 65_536 }, &alice, &mut ranges)
-        .unwrap();
+    let map = policy_uid_map(
+        MapPolicy::RootPlusUniqueRange { count: 65_536 },
+        &alice,
+        &mut ranges,
+    )
+    .unwrap();
     assert_eq!(map.to_host(0), Some(1000));
     assert_eq!(map.to_host(1), Some(200_000));
 }
@@ -69,10 +73,24 @@ fn forced_build_pushes_both_layer_modes_to_oci() {
     assert!(report.success);
 
     let mut reg = DistributionRegistry::new("registry.example.gov", &["alice"]);
-    let single = push_to_oci(&builder, "foo", &mut reg, "hpc/foo", "flat", LayerMode::SingleFlattened)
-        .unwrap();
-    let layered = push_to_oci(&builder, "foo", &mut reg, "hpc/foo", "layered", LayerMode::BaseAndDiff)
-        .unwrap();
+    let single = push_to_oci(
+        &builder,
+        "foo",
+        &mut reg,
+        "hpc/foo",
+        "flat",
+        LayerMode::SingleFlattened,
+    )
+    .unwrap();
+    let layered = push_to_oci(
+        &builder,
+        "foo",
+        &mut reg,
+        "hpc/foo",
+        "layered",
+        LayerMode::BaseAndDiff,
+    )
+    .unwrap();
     assert_eq!(single.layer_count, 1);
     assert_eq!(layered.layer_count, 2);
 
@@ -94,15 +112,36 @@ fn forced_build_pushes_both_layer_modes_to_oci() {
 fn registry_flatten_policy_gates_pushes() {
     let alice = Invoker::user("alice", 1000, 1000);
     let mut builder = Builder::ch_image(alice);
-    assert!(builder
-        .build(centos7_dockerfile(), &BuildOptions::new("foo").with_force(), None)
-        .success);
+    assert!(
+        builder
+            .build(
+                centos7_dockerfile(),
+                &BuildOptions::new("foo").with_force(),
+                None
+            )
+            .success
+    );
     let mut reg = DistributionRegistry::new("registry.example.gov", &["alice"]);
     reg.create_repository("secure/foo", &["alice"], FlattenPolicy::Require);
-    push_to_oci(&builder, "foo", &mut reg, "secure/foo", "1", LayerMode::SingleFlattened).unwrap();
+    push_to_oci(
+        &builder,
+        "foo",
+        &mut reg,
+        "secure/foo",
+        "1",
+        LayerMode::SingleFlattened,
+    )
+    .unwrap();
     assert_eq!(
-        push_to_oci(&builder, "foo", &mut reg, "secure/foo", "1", LayerMode::BaseAndDiff)
-            .unwrap_err(),
+        push_to_oci(
+            &builder,
+            "foo",
+            &mut reg,
+            "secure/foo",
+            "1",
+            LayerMode::BaseAndDiff
+        )
+        .unwrap_err(),
         ApiError::Unsupported
     );
 }
@@ -133,20 +172,84 @@ FROM centos:7
 COPY --from=compile /opt/app/bin/hpc-app /usr/local/bin/hpc-app
 RUN echo runtime stage done
 ";
-    let plan = MultiStagePlan::parse(text).unwrap();
-    assert!(plan.is_multistage());
+    let ir = BuildIr::parse(text).unwrap();
+    assert!(ir.is_multistage());
+    let graph = BuildGraph::plan(&ir).unwrap();
+    assert_eq!(graph.node(1).deps, vec![0]);
     let alice = Invoker::user("alice", 1000, 1000);
     let mut builder = Builder::ch_image(alice);
-    let report = build_multistage(&mut builder, text, &BuildOptions::new("app").with_force(), None);
+    let report = build_multistage(
+        &mut builder,
+        text,
+        &BuildOptions::new("app").with_force(),
+        None,
+    );
     assert!(report.success);
     let built = builder.image("app").unwrap();
     let creds = Credentials::host_root();
     let ns = UserNamespace::initial();
     let actor = Actor::new(&creds, &ns);
     assert_eq!(
-        built.fs.read_file(&actor, "/usr/local/bin/hpc-app").unwrap(),
+        built
+            .fs
+            .read_file(&actor, "/usr/local/bin/hpc-app")
+            .unwrap(),
         b"compiled\n".to_vec()
     );
+    // The intermediate compile stage is not tagged.
+    assert!(builder.image("app.stage0").is_none());
+    assert_eq!(builder.tags(), vec!["app".to_string()]);
+}
+
+/// A diamond-shaped four-stage Dockerfile plans into the expected DAG and
+/// builds end to end: the two middle stages are independent (and execute
+/// concurrently under the default options), and the final stage assembles
+/// artifacts from both via `COPY --from`.
+#[test]
+fn diamond_stage_graph_builds_in_parallel() {
+    let text = "\
+FROM centos:7 AS base
+RUN yum install -y gcc
+
+FROM base AS left
+RUN yum install -y openmpi
+RUN mkdir -p /opt/out && echo left > /opt/out/left
+
+FROM base AS right
+RUN yum install -y spack
+RUN mkdir -p /opt/out && echo right > /opt/out/right
+
+FROM centos:7
+COPY --from=left /opt/out/left /opt/final/left
+COPY --from=2 /opt/out/right /opt/final/right
+RUN echo assembled
+";
+    let ir = BuildIr::parse(text).unwrap();
+    let graph = BuildGraph::plan(&ir).unwrap();
+    assert_eq!(graph.levels(), &[vec![0], vec![1, 2], vec![3]]);
+    assert_eq!(graph.node(1).base, StageBase::Stage(0));
+    // --from=<alias> and --from=<index> resolve identically.
+    assert_eq!(graph.node(3).deps, vec![1, 2]);
+
+    let alice = Invoker::user("alice", 1000, 1000);
+    let mut builder = Builder::ch_image(alice);
+    let report = build_multistage(&mut builder, text, &BuildOptions::new("diamond"), None);
+    assert!(report.success, "{:?}", report.error);
+    assert_eq!(report.stages.len(), 4);
+    let built = builder.image("diamond").unwrap();
+    let creds = Credentials::host_root();
+    let ns = UserNamespace::initial();
+    let actor = Actor::new(&creds, &ns);
+    assert_eq!(
+        built.fs.read_file(&actor, "/opt/final/left").unwrap(),
+        b"left\n".to_vec()
+    );
+    assert_eq!(
+        built.fs.read_file(&actor, "/opt/final/right").unwrap(),
+        b"right\n".to_vec()
+    );
+    // The final image is the runtime stage, not a union: no compilers.
+    assert!(!built.fs.exists(&actor, "/usr/bin/gcc"));
 }
 
 /// Overlay storage behaves like the paper's storage drivers: writes copy up,
@@ -155,15 +258,22 @@ RUN echo runtime stage done
 #[test]
 fn overlay_squash_matches_merged_view() {
     let mut base = hpcc_repro::vfs::Filesystem::new_local();
-    base.install_file("/etc/os-release", b"CentOS 7".to_vec(), Uid::ROOT, Gid::ROOT, Mode::FILE_644)
-        .unwrap();
+    base.install_file(
+        "/etc/os-release",
+        b"CentOS 7".to_vec(),
+        Uid::ROOT,
+        Gid::ROOT,
+        Mode::FILE_644,
+    )
+    .unwrap();
     base.install_file("/bin/true", b"#!", Uid::ROOT, Gid::ROOT, Mode::EXEC_755)
         .unwrap();
     let mut ov = OverlayFs::new(vec![base], OverlayBackend::Fuse);
     let creds = Credentials::host_root();
     let ns = UserNamespace::initial();
     let actor = Actor::new(&creds, &ns);
-    ov.write_file(&actor, "/etc/motd", b"hello".to_vec()).unwrap();
+    ov.write_file(&actor, "/etc/motd", b"hello".to_vec())
+        .unwrap();
     ov.unlink(&actor, "/bin/true").unwrap();
     let (diff, whiteouts) = ov.commit_layer();
     assert!(diff.exists(&actor, "/etc/motd"));

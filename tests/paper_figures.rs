@@ -58,7 +58,10 @@ fn figure2_centos_build_fails_unprivileged_then_figure10_force_succeeds() {
     let ns = UserNamespace::initial();
     let actor = Actor::new(&creds, &ns);
     assert!(img.fs.exists(&actor, "/usr/libexec/openssh/ssh-keysign"));
-    assert!(img.fs.exists(&actor, "/usr/bin/fakeroot"), "fakeroot installed into image (§6.1)");
+    assert!(
+        img.fs.exists(&actor, "/usr/bin/fakeroot"),
+        "fakeroot installed into image (§6.1)"
+    );
 }
 
 #[test]
@@ -134,32 +137,54 @@ fn figure6_astra_workflow_and_lanl_pipeline() {
 #[test]
 fn figure7_fakeroot_lies_are_visible_inside_only() {
     let mut fs = Filesystem::new_local();
-    fs.install_dir("/work", Uid(1000), Gid(1000), Mode::new(0o755)).unwrap();
+    fs.install_dir("/work", Uid(1000), Gid(1000), Mode::new(0o755))
+        .unwrap();
     let creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
     let ns = UserNamespace::initial();
     let actor = Actor::new(&creds, &ns);
     let mut s = FakerootSession::new(Flavor::Fakeroot);
-    fs.write_file(&actor, "/work/test.file", Vec::new(), Mode::new(0o640)).unwrap();
-    s.chown(&mut fs, &actor, "/work/test.file", Some(Uid(65534)), None).unwrap();
-    s.mknod(&mut fs, &actor, "/work/test.dev", FileType::CharDevice, 1, 1, Mode::new(0o640))
+    fs.write_file(&actor, "/work/test.file", Vec::new(), Mode::new(0o640))
         .unwrap();
+    s.chown(&mut fs, &actor, "/work/test.file", Some(Uid(65534)), None)
+        .unwrap();
+    s.mknod(
+        &mut fs,
+        &actor,
+        "/work/test.dev",
+        FileType::CharDevice,
+        1,
+        1,
+        Mode::new(0o640),
+    )
+    .unwrap();
     // Inside: device + nobody-owned file.
     assert_eq!(
         s.stat(&fs, &actor, "/work/test.dev").unwrap().file_type,
         FileType::CharDevice
     );
-    assert_eq!(s.stat(&fs, &actor, "/work/test.file").unwrap().uid_view, Uid(65534));
+    assert_eq!(
+        s.stat(&fs, &actor, "/work/test.file").unwrap().uid_view,
+        Uid(65534)
+    );
     // Outside: both are plain files owned by alice.
-    assert_eq!(fs.stat(&actor, "/work/test.dev").unwrap().file_type, FileType::Regular);
-    assert_eq!(fs.stat(&actor, "/work/test.file").unwrap().uid_host, Uid(1000));
+    assert_eq!(
+        fs.stat(&actor, "/work/test.dev").unwrap().file_type,
+        FileType::Regular
+    );
+    assert_eq!(
+        fs.stat(&actor, "/work/test.file").unwrap().uid_host,
+        Uid(1000)
+    );
 }
 
 #[test]
 fn figures8_and_9_manually_modified_dockerfiles_build() {
     let mut builder = Builder::ch_image(alice());
-    assert!(builder
-        .build(centos7_fr_dockerfile(), &BuildOptions::new("foo"), None)
-        .success);
+    assert!(
+        builder
+            .build(centos7_fr_dockerfile(), &BuildOptions::new("foo"), None)
+            .success
+    );
     let mut builder = Builder::ch_image(alice());
     let r = builder.build(
         debian10_fr_dockerfile(),
@@ -201,9 +226,15 @@ fn type2_rootless_podman_builds_unmodified_dockerfiles() {
 fn push_policies_affect_recorded_ownership() {
     let mut registry = Registry::new("r");
     let mut builder = Builder::ch_image(alice());
-    assert!(builder
-        .build(centos7_dockerfile(), &BuildOptions::new("c7").with_force(), None)
-        .success);
+    assert!(
+        builder
+            .build(
+                centos7_dockerfile(),
+                &BuildOptions::new("c7").with_force(),
+                None
+            )
+            .success
+    );
     builder
         .push("c7", "a/flat:1", &mut registry, PushOwnership::Flatten)
         .unwrap();
@@ -218,5 +249,8 @@ fn push_policies_affect_recorded_ownership() {
         .iter()
         .find(|e| e.path == "usr/libexec/openssh/ssh-keysign")
         .unwrap();
-    assert_eq!(keysign.gid, 999, "fakeroot-db push keeps the intended group");
+    assert_eq!(
+        keysign.gid, 999,
+        "fakeroot-db push keeps the intended group"
+    );
 }

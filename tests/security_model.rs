@@ -15,8 +15,14 @@ fn setgroups_trap_dropping_a_group_gains_access() {
     // call setgroups(2) and drop `managers` flips from the group triplet
     // (---) to the other triplet (r-x).
     let mut fs = Filesystem::new_local();
-    fs.install_file("/bin/reboot", b"elf".to_vec(), Uid(0), Gid(500), Mode::new(0o705))
-        .unwrap();
+    fs.install_file(
+        "/bin/reboot",
+        b"elf".to_vec(),
+        Uid(0),
+        Gid(500),
+        Mode::new(0o705),
+    )
+    .unwrap();
     let host = hpcc_repro::kernel::UserNamespace::initial();
     let manager = Credentials::unprivileged_user(Uid(10), Gid(100), vec![Gid(100), Gid(500)]);
     let actor = Actor::new(&manager, &host);
@@ -98,7 +104,10 @@ fn misconfigured_subuid_ranges_are_detected() {
         ns,
         "alice",
         &creds,
-        vec![IdMapEntry::new(0, 1000, 1), IdMapEntry::new(65_537, 1001, 1)],
+        vec![
+            IdMapEntry::new(0, 1000, 1),
+            IdMapEntry::new(65_537, 1001, 1),
+        ],
         &subuid,
         &HelperConfig::default(),
     )
@@ -193,7 +202,13 @@ fn containerized_root_has_no_host_privilege() {
 
     let mut host_fs = Filesystem::new_local();
     host_fs
-        .install_file("/etc/shadow", b"root:!::".to_vec(), Uid(0), Gid(0), Mode::new(0o000))
+        .install_file(
+            "/etc/shadow",
+            b"root:!::".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::new(0o000),
+        )
         .unwrap();
     let actor = Actor::new(&container_root, &ns);
     assert_eq!(
