@@ -8,7 +8,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use hpcc_bench::alice;
+use hpcc_bench::{alice, many_tiny_run_dockerfile};
 use hpcc_core::{centos7_dockerfile, BuildOptions, Builder};
 use hpcc_image::sha256;
 
@@ -80,6 +80,23 @@ fn bench_sha256_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_snapshot_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_store");
+    // Cold build with the cache on: one snapshot stored per instruction,
+    // with the next instruction's first mutation paying the detach. The
+    // old flat Arc-shared inode table made this O(instructions × inodes).
+    group.bench_function("many_tiny_run", |b| {
+        let dockerfile = many_tiny_run_dockerfile(64);
+        b.iter(|| {
+            let mut builder = Builder::ch_image(alice());
+            let r = builder.build(&dockerfile, &BuildOptions::new("tiny").with_cache(), None);
+            assert!(r.success, "{}", r.transcript_text());
+            r
+        })
+    });
+    group.finish();
+}
+
 fn bench_cached_rebuild(c: &mut Criterion) {
     let mut group = c.benchmark_group("cached_rebuild");
     group.bench_function("centos7_fully_cached", |b| {
@@ -105,6 +122,7 @@ fn bench_cached_rebuild(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_snapshot_clone,
+    bench_snapshot_store,
     bench_sha256_throughput,
     bench_cached_rebuild
 );

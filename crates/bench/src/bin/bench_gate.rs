@@ -1,0 +1,130 @@
+//! CI bench-regression gate.
+//!
+//! Compares a freshly measured bench results file (JSON lines written by the
+//! criterion shim when `BENCH_JSON` is set) against a committed baseline and
+//! fails — exit code 1 — if any benchmark named in the baseline regressed by
+//! more than the allowed ratio (default 3×, generous enough to absorb
+//! runner-to-runner noise while still catching an asymptotic regression like
+//! the O(instructions × inodes) snapshot-store detach this gate was built
+//! for, PERF.md §5).
+//!
+//! Usage: `bench_gate <current.json> <baseline.json> [max_ratio]`
+//!
+//! Only benchmarks present in the baseline are gated; extra entries in the
+//! current results are informational. A baseline entry missing from the
+//! current results fails the gate (the bench silently disappearing is itself
+//! a regression).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed result line: benchmark id -> mean nanoseconds.
+fn parse_results(text: &str, source: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match (json_str_field(line, "id"), json_num_field(line, "mean_ns")) {
+            (Some(id), Some(mean)) => {
+                out.insert(id, mean);
+            }
+            _ => eprintln!(
+                "bench_gate: {}: skipping unparseable line: {}",
+                source, line
+            ),
+        }
+    }
+    out
+}
+
+/// Extracts `"key":"value"` from a flat JSON object line.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{}\":\"", key);
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts `"key":number` from a flat JSON object line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{}\":", key);
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_gate <current.json> <baseline.json> [max_ratio]");
+        return ExitCode::FAILURE;
+    }
+    let max_ratio: f64 = args
+        .get(3)
+        .map(|s| s.parse().expect("max_ratio must be a number"))
+        .unwrap_or(3.0);
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {}", path, e);
+            std::process::exit(1);
+        }
+    };
+    let current = parse_results(&read(&args[1]), &args[1]);
+    let baseline = parse_results(&read(&args[2]), &args[2]);
+    if baseline.is_empty() {
+        eprintln!("bench_gate: baseline {} has no entries", args[2]);
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    println!(
+        "{:<50} {:>12} {:>12} {:>8}  verdict (gate: {}x)",
+        "benchmark", "baseline_ns", "current_ns", "ratio", max_ratio
+    );
+    for (id, base_mean) in &baseline {
+        match current.get(id) {
+            None => {
+                println!(
+                    "{:<50} {:>12.0} {:>12} {:>8}  MISSING",
+                    id, base_mean, "-", "-"
+                );
+                failed = true;
+            }
+            Some(cur_mean) => {
+                let ratio = cur_mean / base_mean.max(1.0);
+                let verdict = if ratio > max_ratio { "REGRESSED" } else { "ok" };
+                println!(
+                    "{:<50} {:>12.0} {:>12.0} {:>8.2}  {}",
+                    id, base_mean, cur_mean, ratio, verdict
+                );
+                if ratio > max_ratio {
+                    failed = true;
+                }
+            }
+        }
+    }
+    for id in current.keys() {
+        if !baseline.contains_key(id) {
+            println!(
+                "{:<50} {:>12} {:>12.0} {:>8}  (ungated)",
+                id, "-", current[id], "-"
+            );
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: FAILED — regression over {}x (or missing bench) detected",
+            max_ratio
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: ok");
+        ExitCode::SUCCESS
+    }
+}

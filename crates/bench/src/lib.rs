@@ -216,6 +216,21 @@ pub fn repro_table1() -> String {
     out
 }
 
+/// A pathological many-tiny-RUN single-stage Dockerfile with `instructions`
+/// total instructions, every `RUN` touching one small file. With the build
+/// cache enabled each instruction both stores a snapshot and immediately
+/// mutates the filesystem again — the snapshot-store worst case (ISSUE 3,
+/// PERF.md §5). Shared by the `snapshot_store/many_tiny_run` bench and the
+/// `tests/snapshot_scaling.rs` sub-quadratic pin so both measure the same
+/// workload.
+pub fn many_tiny_run_dockerfile(instructions: usize) -> String {
+    let mut text = String::from("FROM centos:7\nRUN mkdir -p /opt/artifacts\n");
+    for i in 0..instructions.saturating_sub(2) {
+        text.push_str(&format!("RUN echo payload-{i} > /opt/artifacts/f{i}\n"));
+    }
+    text
+}
+
 /// The diamond-shaped four-stage Dockerfile used by the stage-graph bench
 /// (ISSUE 2): a shared toolchain base, two *independent* middle stages (MPI
 /// stack vs Spack tree) the graph executor builds concurrently, and a

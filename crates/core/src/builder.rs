@@ -7,7 +7,7 @@
 //!   `--force` automatic injection of `fakeroot(1)` (paper §5).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use hpcc_distro::{base_image, catalog_for, Catalog};
 use hpcc_fakeroot::LieDatabase;
@@ -16,7 +16,7 @@ use hpcc_kernel::{Credentials, Sysctl, UserNamespace};
 use hpcc_runtime::{Container, Invoker, PrivilegeType, StorageDriver, SubIdDb};
 use hpcc_vfs::{Actor, Filesystem, FsBackend};
 
-use crate::cache::BuildCache;
+use crate::cache::ShardedBuildCache;
 use crate::error::BuildError;
 use crate::executor::run_graph;
 use crate::graph::BuildGraph;
@@ -193,7 +193,9 @@ pub struct Builder {
     pub invoker: Invoker,
     /// The per-instruction build cache, shared across the concurrently
     /// executing stages of a build (and across builds by this builder).
-    pub(crate) cache: Arc<Mutex<BuildCache>>,
+    /// Sharded 16-way by digest prefix so wide stage graphs don't serialize
+    /// their probes and stores on a single lock.
+    pub(crate) cache: Arc<ShardedBuildCache>,
     store: HashMap<String, BuiltImage>,
 }
 
@@ -212,7 +214,7 @@ impl Builder {
         Builder {
             kind,
             invoker,
-            cache: Arc::new(Mutex::new(BuildCache::new())),
+            cache: Arc::new(ShardedBuildCache::new()),
             store: HashMap::new(),
         }
     }
@@ -264,7 +266,7 @@ impl Builder {
 
     /// Clears the per-instruction build cache.
     pub fn clear_cache(&mut self) {
-        self.cache.lock().expect("build cache poisoned").clear();
+        self.cache.clear();
     }
 
     pub(crate) fn setup_from(&self, reference: &str, arch: &str) -> Result<BuildEnv, String> {
@@ -723,6 +725,32 @@ mod tests {
         assert!(third.success);
         assert_eq!(third.cache_hits, 3);
         assert!(third.transcript_text().contains("echo extra"));
+    }
+
+    #[test]
+    fn global_arg_substitutes_into_from_parse_plan_execute() {
+        // Parse: the global ARG's default lands in the FROM reference.
+        let df = "ARG BASE=centos:7\nFROM ${BASE}\nRUN echo hi\n";
+        let (ir, graph) = Builder::plan(df).expect("plan");
+        // Plan: one stage, rooted on the concrete base image (not treated as
+        // an alias or an unknown stage reference).
+        assert_eq!(ir.global_args.len(), 1);
+        assert_eq!(ir.stages[0].base, "centos:7");
+        assert_eq!(graph.stage_count(), 1);
+        // Execute: the build runs against the substituted base.
+        let mut b = Builder::ch_image(alice());
+        let r = b.build(df, &BuildOptions::new("argsub"), None);
+        assert!(r.success, "{}", r.transcript_text());
+        assert!(r.transcript_text().contains("FROM centos:7"));
+        assert_eq!(b.image("argsub").unwrap().base_reference, "centos:7");
+        // An ARG-substituted FROM also chains the cache: rebuilding with a
+        // different spelling of the same resolved reference hits.
+        let opts = BuildOptions::new("argsub").with_cache();
+        let first = b.build(df, &opts, None);
+        assert!(first.success);
+        let direct = b.build("FROM centos:7\nRUN echo hi\n", &opts, None);
+        assert!(direct.success);
+        assert_eq!(direct.cache_misses, 0, "{}", direct.transcript_text());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! first subsequent mutation, not a deep copy of the image tree.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use hpcc_fakeroot::LieDatabase;
 use hpcc_image::{Digest, ImageConfig, Sha256};
@@ -111,6 +111,86 @@ impl BuildCache {
     }
 }
 
+/// Number of shards in a [`ShardedBuildCache`].
+pub const CACHE_SHARDS: usize = 16;
+
+/// A [`BuildCache`] sharded 16 ways by digest prefix.
+///
+/// The stage executor shares one build cache across every concurrently
+/// executing stage. A single `Mutex<BuildCache>` serializes all probes and
+/// stores of a wide stage graph on one lock; sharding by the first digest
+/// nibble keeps contention local to the 1/16th of key space two stages
+/// happen to collide on. Chain digests are SHA-256 output, so keys spread
+/// uniformly across shards.
+#[derive(Debug, Default)]
+pub struct ShardedBuildCache {
+    shards: [Mutex<BuildCache>; CACHE_SHARDS],
+}
+
+impl ShardedBuildCache {
+    /// Empty sharded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shard owning `id` (first nibble of the digest's leading byte).
+    fn shard(&self, id: &Digest) -> &Mutex<BuildCache> {
+        &self.shards[(id.0[0] & (CACHE_SHARDS as u8 - 1)) as usize]
+    }
+
+    /// Looks up a state in its shard, counting a hit or miss there.
+    pub fn lookup(&self, id: &Digest) -> Option<Arc<CachedState>> {
+        self.shard(id)
+            .lock()
+            .expect("build cache poisoned")
+            .lookup(id)
+    }
+
+    /// Stores a state in its shard.
+    pub fn store(&self, state: CachedState) {
+        self.shard(&state.state_id)
+            .lock()
+            .expect("build cache poisoned")
+            .store(state);
+    }
+
+    /// Number of cached states across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("build cache poisoned").len())
+            .sum()
+    }
+
+    /// True if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far, summed across shards.
+    pub fn hits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("build cache poisoned").hits())
+            .sum()
+    }
+
+    /// Cache misses so far, summed across shards.
+    pub fn misses(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("build cache poisoned").misses())
+            .sum()
+    }
+
+    /// Clears every shard (including statistics).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("build cache poisoned").clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +281,57 @@ mod tests {
             vec![9u8; 8192]
         );
         assert!(!hit2.fs.exists(&actor, "/extra"));
+    }
+
+    #[test]
+    fn sharded_cache_spreads_keys_and_sums_stats() {
+        let cache = ShardedBuildCache::new();
+        let mut shard_indices = std::collections::HashSet::new();
+        let mut ids = Vec::new();
+        for i in 0..64 {
+            let id = BuildCache::state_id(None, &format!("RUN step {}", i));
+            shard_indices.insert((id.0[0] & (CACHE_SHARDS as u8 - 1)) as usize);
+            cache.store(dummy_state(id));
+            ids.push(id);
+        }
+        // SHA-256 output spreads across many shards, not one.
+        assert!(
+            shard_indices.len() > CACHE_SHARDS / 2,
+            "{:?}",
+            shard_indices
+        );
+        assert_eq!(cache.len(), 64);
+        for id in &ids {
+            assert!(cache.lookup(id).is_some());
+        }
+        assert!(cache
+            .lookup(&BuildCache::state_id(None, "missing"))
+            .is_none());
+        assert_eq!(cache.hits(), 64);
+        assert_eq!(cache.misses(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn sharded_cache_concurrent_store_lookup() {
+        use std::sync::Arc;
+        let cache = Arc::new(ShardedBuildCache::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..32 {
+                        let id = BuildCache::state_id(None, &format!("t{} i{}", t, i));
+                        cache.store(dummy_state(id));
+                        assert!(cache.lookup(&id).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 4 * 32);
+        assert_eq!(cache.hits(), 4 * 32);
     }
 
     #[test]

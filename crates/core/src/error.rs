@@ -1,7 +1,7 @@
 //! Build errors.
 //!
 //! One error type spans the whole pipeline — front end ([`crate::ir`]),
-//! planner ([`crate::graph`]), and executor ([`crate::executor`]) — so both
+//! planner ([`crate::graph`]), and executor (`crate::executor`) — so both
 //! the single-stage and multi-stage entry points report failures the same
 //! way instead of smuggling strings through unrelated fields.
 

@@ -10,9 +10,10 @@
 //! [`std::thread::scope`], a stage is spawned the moment its last dependency
 //! completes, and independent stages (e.g. the two middle stages of a
 //! diamond) build concurrently. All stages share the builder's
-//! [`BuildCache`] behind its `Arc<Mutex<_>>`, so an instruction chain built
-//! by one stage is a cache hit for every other stage — including stages of
-//! the same build.
+//! [`crate::cache::ShardedBuildCache`] — 16 digest-prefix shards, each with
+//! its own lock — so an instruction chain built by one stage is a cache hit
+//! for every other stage (including stages of the same build) without wide
+//! graphs serializing on a single cache lock.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -223,8 +224,7 @@ impl<'a> StageCtx<'a> {
 
         if let Some(id) = state_id {
             if let Some(env) = &self.env {
-                let mut cache = self.builder.cache.lock().expect("build cache poisoned");
-                cache.store(CachedState {
+                self.builder.cache.store(CachedState {
                     fs: env.fs.clone(),
                     config: self.config.clone(),
                     fakeroot_db: self.fakeroot_db.clone(),
@@ -284,8 +284,7 @@ impl<'a> StageCtx<'a> {
     }
 
     fn cache_lookup(&mut self, id: &Digest) -> Option<std::sync::Arc<CachedState>> {
-        let mut cache = self.builder.cache.lock().expect("build cache poisoned");
-        let hit = cache.lookup(id);
+        let hit = self.builder.cache.lookup(id);
         match hit.is_some() {
             true => self.cache_hits += 1,
             false => self.cache_misses += 1,

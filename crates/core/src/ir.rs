@@ -7,6 +7,8 @@
 //! into DAG edges. The multi-stage path used to re-tokenize the Dockerfile
 //! text with its own line-based parser; that duplicate is gone.
 
+use std::collections::BTreeMap;
+
 use crate::dockerfile::{Dockerfile, InstrSpan, Instruction};
 use crate::error::BuildError;
 
@@ -60,8 +62,16 @@ impl BuildIr {
     }
 
     /// Lowers a parsed [`Dockerfile`] into stages.
+    ///
+    /// Global `ARG` defaults (recorded in [`BuildIr::global_args`]) are
+    /// substituted into `FROM` image references here — `FROM ${BASE}` and
+    /// `FROM $BASE` resolve against the `ARG`s seen so far — so the planner
+    /// sees concrete references when it distinguishes stage aliases from
+    /// image names, and the executor's cache keys bind to the substituted
+    /// reference (Docker's "ARG before FROM" semantics).
     pub fn from_dockerfile(df: &Dockerfile) -> Result<BuildIr, BuildError> {
         let mut global_args = Vec::new();
+        let mut arg_values: BTreeMap<String, String> = BTreeMap::new();
         let mut stages: Vec<IrStage> = Vec::new();
         for (i, instruction) in df.instructions.iter().enumerate() {
             let span = df
@@ -70,11 +80,15 @@ impl BuildIr {
                 .copied()
                 .unwrap_or(InstrSpan { start: 0, end: 0 });
             if let Instruction::From { image, alias } = instruction {
+                let image = substitute_args(image, &arg_values);
                 stages.push(IrStage {
                     index: stages.len(),
                     alias: alias.clone(),
                     base: image.clone(),
-                    instructions: vec![instruction.clone()],
+                    instructions: vec![Instruction::From {
+                        image,
+                        alias: alias.clone(),
+                    }],
                     spans: vec![span],
                 });
                 continue;
@@ -87,7 +101,10 @@ impl BuildIr {
                 None => {
                     // Docker permits global ARGs before the first FROM;
                     // anything else there is an error.
-                    if let Instruction::Arg { .. } = instruction {
+                    if let Instruction::Arg { name, default } = instruction {
+                        if let Some(value) = default {
+                            arg_values.insert(name.clone(), value.clone());
+                        }
                         global_args.push(instruction.clone());
                     } else {
                         return Err(BuildError::BeforeFirstFrom {
@@ -128,6 +145,50 @@ impl BuildIr {
             .find(|s| s.alias.as_deref() == Some(reference))
             .map(|s| s.index)
     }
+}
+
+/// Substitutes `${NAME}` and `$NAME` references in `reference` with values
+/// from `args`. Unknown names are left verbatim so the error surfaces later
+/// as an unknown image reference instead of a silent empty string.
+pub fn substitute_args(reference: &str, args: &BTreeMap<String, String>) -> String {
+    let bytes = reference.as_bytes();
+    let mut out = String::with_capacity(reference.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'$' {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'$' {
+                i += 1;
+            }
+            // '$' is ASCII, so these are valid UTF-8 boundaries.
+            out.push_str(&reference[start..i]);
+            continue;
+        }
+        let braced = i + 1 < bytes.len() && bytes[i + 1] == b'{';
+        let name_start = if braced { i + 2 } else { i + 1 };
+        let mut j = name_start;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        let name = &reference[name_start..j];
+        let closed = !braced || (j < bytes.len() && bytes[j] == b'}');
+        if name.is_empty() || !closed {
+            out.push('$');
+            i += 1;
+            continue;
+        }
+        match args.get(name) {
+            Some(value) => {
+                out.push_str(value);
+                i = if braced { j + 1 } else { j };
+            }
+            None => {
+                out.push('$');
+                i += 1;
+            }
+        }
+    }
+    out
 }
 
 fn keyword(instruction: &Instruction) -> &'static str {
@@ -208,6 +269,41 @@ RUN echo runtime ready
         let ir = BuildIr::parse("ARG VERSION=1\nFROM centos:7\nRUN echo hi\n").unwrap();
         assert_eq!(ir.global_args.len(), 1);
         assert_eq!(ir.stages[0].instructions.len(), 2);
+    }
+
+    #[test]
+    fn global_arg_substitutes_into_from_reference() {
+        let ir = BuildIr::parse("ARG BASE=centos:7\nFROM ${BASE}\nRUN echo hi\n").unwrap();
+        assert_eq!(ir.stages[0].base, "centos:7");
+        // The stored FROM instruction carries the substituted reference too,
+        // so cache keys and transcripts bind to the concrete image.
+        assert_eq!(
+            ir.stages[0].instructions[0],
+            Instruction::From {
+                image: "centos:7".into(),
+                alias: None
+            }
+        );
+        // Unbraced form and partial substitution.
+        let ir = BuildIr::parse("ARG TAG=7\nFROM centos:$TAG\n").unwrap();
+        assert_eq!(ir.stages[0].base, "centos:7");
+        // ARG without a default (or unknown name) leaves the reference as-is.
+        let ir = BuildIr::parse("ARG BASE\nFROM ${BASE}\n").unwrap();
+        assert_eq!(ir.stages[0].base, "${BASE}");
+    }
+
+    #[test]
+    fn substitute_args_edge_cases() {
+        let mut args = BTreeMap::new();
+        args.insert("BASE".to_string(), "centos".to_string());
+        args.insert("TAG".to_string(), "7".to_string());
+        assert_eq!(substitute_args("${BASE}:${TAG}", &args), "centos:7");
+        assert_eq!(substitute_args("$BASE:$TAG", &args), "centos:7");
+        assert_eq!(substitute_args("plain:ref", &args), "plain:ref");
+        // Unknown name, unterminated brace, trailing dollar: all verbatim.
+        assert_eq!(substitute_args("${NOPE}", &args), "${NOPE}");
+        assert_eq!(substitute_args("${BASE", &args), "${BASE");
+        assert_eq!(substitute_args("x$", &args), "x$");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod ocipush;
 pub use builder::{
     default_subuid_for, BuildOptions, BuildReport, Builder, BuilderKind, BuiltImage, PushOwnership,
 };
-pub use cache::{BuildCache, CachedState};
+pub use cache::{BuildCache, CachedState, ShardedBuildCache, CACHE_SHARDS};
 pub use dockerfile::{
     centos7_dockerfile, centos7_fr_dockerfile, debian10_dockerfile, debian10_fr_dockerfile,
     Dockerfile, InstrSpan, Instruction, ParseError,

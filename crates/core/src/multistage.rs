@@ -9,7 +9,7 @@
 //!
 //! The heavy lifting lives elsewhere now: [`crate::ir`] parses the stages
 //! (one tokenizer, shared with single-stage builds), [`crate::graph`] plans
-//! the DAG, and [`crate::executor`] runs independent stages concurrently
+//! the DAG, and `crate::executor` runs independent stages concurrently
 //! against the shared build cache, handing artifacts downstream as
 //! copy-on-write snapshots. This module is the entry point that keeps the
 //! per-stage [`BuildReport`]s separate; [`Builder::build`] runs the same

@@ -9,6 +9,13 @@
 //! analysis, no HTML reports. Swap the path dependency back to crates.io
 //! `criterion` when network access is available; no bench source changes are
 //! needed.
+//!
+//! When the `BENCH_JSON` environment variable names a file, every benchmark
+//! additionally appends one machine-readable JSON line to it:
+//! `{"id":"group/name","low_ns":L,"mean_ns":M,"high_ns":H}`. CI uses this to
+//! collect results across bench binaries into one artifact and gate
+//! regressions against a committed baseline (see `bench_gate` in
+//! `crates/bench`).
 
 use std::fmt;
 use std::hint;
@@ -139,6 +146,37 @@ fn report(group: &str, name: &str, samples: &[Duration]) {
         fmt_duration(mean),
         fmt_duration(high)
     );
+    append_json_line(group, name, low, mean, high);
+}
+
+/// Appends one JSON line per benchmark to the file named by `BENCH_JSON`
+/// (append mode, so several bench binaries can share one results file).
+fn append_json_line(group: &str, name: &str, low: Duration, mean: Duration, high: Duration) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"id\":\"{}/{}\",\"low_ns\":{},\"mean_ns\":{},\"high_ns\":{}}}\n",
+        group,
+        name,
+        low.as_nanos(),
+        mean.as_nanos(),
+        high.as_nanos()
+    );
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    match file {
+        Ok(mut f) => {
+            let _ = f.write_all(line.as_bytes());
+        }
+        Err(e) => eprintln!("BENCH_JSON: cannot open {}: {}", path, e),
+    }
 }
 
 /// A named group of benchmarks.

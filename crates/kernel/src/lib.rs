@@ -46,11 +46,11 @@ pub use process::{Kernel, Pid, Process};
 pub use sysctl::Sysctl;
 pub use userns::{MapOrigin, SetgroupsPolicy, UserNamespace, UsernsId};
 
-// The property-based suite needs the external `proptest` crate. The offline
-// build environment cannot resolve registry dependencies (even optional ones
-// enter the lockfile), so it is not declared in Cargo.toml: to run these
-// suites where the registry is reachable, add `proptest = "1"` as a
-// dev-dependency and build with `--features proptest`.
+// The property-based suite runs against the offline `proptest` drop-in in
+// crates/proptest-shim (a path dev-dependency, so no registry is needed):
+// `cargo test --features proptest` executes it everywhere, and CI runs that
+// as a matrix leg. Swap the path dependency for crates.io `proptest = "1"`
+// to regain shrinking; test sources need no changes.
 #[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;

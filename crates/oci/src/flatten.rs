@@ -5,7 +5,7 @@
 //! file tree (all files owned by one user, as Charliecloud and Singularity SIF
 //! produce) is sufficient and often advantageous. It proposes "a potential
 //! extension to the OCI specification and/or the Dockerfile language
-//! [allowing] explicit marking of images to disallow, allow, or require them
+//! \[allowing\] explicit marking of images to disallow, allow, or require them
 //! to be ownership-flattened." This module implements that extension.
 
 use hpcc_image::OwnershipMode;

@@ -1,0 +1,437 @@
+//! A minimal, dependency-free drop-in for the subset of the `proptest` API
+//! this workspace's property-test modules use. The real `proptest` crate
+//! cannot be fetched in offline build environments, so this local package
+//! (named `proptest`, like `crates/criterion-shim` is named `criterion`)
+//! lets `cargo test --features proptest` actually *execute* the suites
+//! everywhere instead of leaving them compile-gated forever.
+//!
+//! Supported surface — exactly what the workspace uses:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, ...) { body } }`
+//! * integer range strategies (`1u32..100_000`, `0u16..0o7777`, …)
+//! * `&str` regex-subset strategies (`"[a-z][a-z0-9_]{0,8}"`)
+//! * `any::<u8>()`, `any::<bool>()` and friends
+//! * `proptest::collection::{vec, btree_map}`
+//! * tuple strategies, `Strategy::prop_map`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
+//!
+//! Generation is deterministic: each test derives its RNG seed from the test
+//! name, and runs [`CASES`] cases. There is no shrinking — a failing case
+//! panics with the generated values visible via the assertion message. Swap
+//! the path dependency for crates.io `proptest = "1"` to regain shrinking
+//! and exhaustive strategies; test sources need no changes.
+
+#![forbid(unsafe_code)]
+
+/// Number of generated cases per property test.
+pub const CASES: usize = 64;
+
+/// Deterministic xorshift64* RNG.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a over the bytes) so every property test
+    /// gets a distinct, reproducible sequence.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            state: h | 1, // never zero
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. The shim's strategies sample directly; there is no
+/// shrink tree.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+/// `&'static str` patterns act as regex-subset strategies. Supported syntax:
+/// literal characters, `[a-z0-9_]`-style classes (characters and ranges),
+/// and `{m,n}` repetition after a class.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (choices, after) = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated class in pattern")
+                    + i;
+                (parse_class(&chars[i + 1..close]), close + 1)
+            } else {
+                (vec![chars[i]], i + 1)
+            };
+            let (min, max, next) = if after < chars.len() && chars[after] == '{' {
+                let close = chars[after..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition in pattern")
+                    + after;
+                let spec: String = chars[after + 1..close].iter().collect();
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                    None => {
+                        let n: usize = spec.parse().unwrap();
+                        (n, n)
+                    }
+                };
+                (lo, hi, close + 1)
+            } else {
+                (1, 1, after)
+            };
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(choices[rng.below(choices.len() as u64) as usize]);
+            }
+            i = next;
+        }
+        out
+    }
+}
+
+fn parse_class(body: &[char]) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            for c in lo..=hi {
+                out.push(char::from_u32(c).expect("valid class range"));
+            }
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Marker trait backing [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        rng.next_u64() as u16
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: an arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_map}`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.start
+                + rng.below((self.size.end - self.size.start).max(1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>` with a size drawn from
+    /// `size` (duplicate keys collapse, as in real proptest).
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// `btree_map(key, value, size_range)`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.start
+                + rng.below((self.size.end - self.size.start).max(1) as u64) as usize;
+            let mut out = std::collections::BTreeMap::new();
+            for _ in 0..len {
+                out.insert(self.key.sample(rng), self.value.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy, TestRng,
+    };
+}
+
+/// Declares property tests: each becomes a `#[test]` running [`CASES`]
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )+) => {
+        $(
+            // The source's own attributes (doc comments and `#[test]`) are
+            // re-emitted onto the generated zero-argument test fn.
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under its proptest name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under its proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under its proptest name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(10u32..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let w = Strategy::sample(&(0usize..1), &mut rng);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = TestRng::for_test("pattern");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.len()), "{}", s);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{}", s);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{}",
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn collections_and_tuples_compose() {
+        let mut rng = TestRng::for_test("compose");
+        let strat = collection::btree_map(
+            "[a-z]{1,4}",
+            (collection::vec(any::<u8>(), 0..8), 0u32..100),
+            1..10,
+        );
+        for _ in 0..50 {
+            let m = Strategy::sample(&strat, &mut rng);
+            assert!(m.len() < 10);
+            for (k, (bytes, n)) in &m {
+                assert!(!k.is_empty() && k.len() <= 4);
+                assert!(bytes.len() < 8);
+                assert!(*n < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        let mut c = TestRng::for_test("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        /// The macro itself: generated args are in range and the body runs.
+        #[test]
+        fn macro_roundtrip(x in 1u32..10, name in "[a-z]{1,3}", flag in any::<bool>()) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(!name.is_empty() && name.len() <= 3);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(name.len(), 0);
+        }
+    }
+}

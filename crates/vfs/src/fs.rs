@@ -6,8 +6,7 @@
 //! is the substrate on which package installation either fails (`cpio: chown`,
 //! Figure 2) or succeeds depending on the container privilege type.
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::collections::BTreeMap;
 
 use hpcc_kernel::{Capability, Errno, Gid, KResult, Uid, UsernsId};
 
@@ -16,21 +15,24 @@ use crate::bytes::FileBytes;
 use crate::inode::{Ino, Inode, InodeData, Stat};
 use crate::mode::{Access, FileType, Mode};
 use crate::sharedfs::FsBackend;
+use crate::table::InodeTable;
 
 /// Maximum symlink traversals before `ELOOP`.
 const MAX_SYMLINK_DEPTH: u32 = 40;
 
 /// An in-memory POSIX-like filesystem.
 ///
-/// Snapshots are cheap: the inode table lives behind an [`Arc`], so
-/// `Filesystem::clone()` is O(1) and the first mutation after a clone copies
-/// only inode *metadata* — regular-file bytes stay shared copy-on-write via
-/// [`FileBytes`] until the individual file is written. This is what makes
-/// build-cache hits, multi-stage `FROM`, and overlay commits O(metadata)
-/// instead of O(image bytes).
+/// Snapshots are cheap: the inode table is a persistent structural-sharing
+/// trie ([`InodeTable`]), so `Filesystem::clone()` is O(1) and a mutation
+/// after a clone path-copies only the O(depth) trie nodes leading to the
+/// touched inode — never the whole table, and regular-file bytes stay shared
+/// copy-on-write via [`FileBytes`] until the individual file is written.
+/// This is what makes build-cache hits, per-instruction snapshot stores,
+/// multi-stage `FROM`, and overlay commits O(metadata of what changed)
+/// instead of O(image size).
 #[derive(Debug, Clone)]
 pub struct Filesystem {
-    inodes: Arc<HashMap<Ino, Inode>>,
+    inodes: InodeTable,
     next_ino: Ino,
     root: Ino,
     clock: u64,
@@ -47,7 +49,7 @@ pub struct Filesystem {
 impl Filesystem {
     /// Creates an empty filesystem with a root directory owned by root:root.
     pub fn new(backend: FsBackend) -> Self {
-        let mut inodes = HashMap::new();
+        let mut inodes = InodeTable::new();
         inodes.insert(
             1,
             Inode {
@@ -62,7 +64,7 @@ impl Filesystem {
             },
         );
         Filesystem {
-            inodes: Arc::new(inodes),
+            inodes,
             next_ino: 2,
             root: 1,
             clock: 1,
@@ -89,31 +91,24 @@ impl Filesystem {
 
     /// Sum of regular-file sizes, in bytes.
     pub fn total_file_bytes(&self) -> u64 {
-        self.inodes
-            .values()
-            .filter_map(|i| match &i.data {
-                InodeData::Regular { content } => Some(content.len() as u64),
-                _ => None,
-            })
-            .sum()
+        let mut total = 0u64;
+        self.inodes.for_each(|_, i| {
+            if let InodeData::Regular { content } = &i.data {
+                total += content.len() as u64;
+            }
+        });
+        total
     }
 
     /// Borrow an inode.
     pub fn inode(&self, ino: Ino) -> KResult<&Inode> {
-        self.inodes.get(&ino).ok_or(Errno::ENOENT)
+        self.inodes.get(ino).ok_or(Errno::ENOENT)
     }
 
-    /// Mutably borrow an inode. Like every mutating path, this detaches the
-    /// inode table from any snapshot sharing it (metadata-only copy).
+    /// Mutably borrow an inode. Like every mutating path, this path-copies
+    /// the O(depth) trie nodes shared with snapshots — never the whole table.
     pub fn inode_mut(&mut self, ino: Ino) -> KResult<&mut Inode> {
-        Arc::make_mut(&mut self.inodes)
-            .get_mut(&ino)
-            .ok_or(Errno::ENOENT)
-    }
-
-    /// Mutable inode table, detached from snapshots on first use.
-    fn inodes_mut(&mut self) -> &mut HashMap<Ino, Inode> {
-        Arc::make_mut(&mut self.inodes)
+        self.inodes.get_mut(ino).ok_or(Errno::ENOENT)
     }
 
     fn tick(&mut self) -> u64 {
@@ -125,7 +120,7 @@ impl Filesystem {
         let ino = self.next_ino;
         self.next_ino += 1;
         let mtime = self.tick();
-        self.inodes_mut().insert(
+        self.inodes.insert(
             ino,
             Inode {
                 ino,
@@ -520,7 +515,7 @@ impl Filesystem {
         let inode = self.inode_mut(target)?;
         inode.nlink = inode.nlink.saturating_sub(1);
         if inode.nlink == 0 {
-            self.inodes_mut().remove(&target);
+            self.inodes.remove(target);
         }
         Ok(())
     }
@@ -544,7 +539,7 @@ impl Filesystem {
             return Err(Errno::ENOTEMPTY);
         }
         self.inode_mut(parent)?.entries_mut().remove(&name);
-        self.inodes_mut().remove(&target);
+        self.inodes.remove(target);
         Ok(())
     }
 
@@ -825,7 +820,7 @@ impl Filesystem {
     }
 
     fn stat_ino(&self, actor: &Actor, ino: Ino) -> Stat {
-        let inode = self.inodes.get(&ino).expect("resolved inode exists");
+        let inode = self.inodes.get(ino).expect("resolved inode exists");
         Stat {
             ino,
             file_type: inode.file_type(),
@@ -912,7 +907,7 @@ impl Filesystem {
     }
 
     fn walk_from(&self, dir: Ino, prefix: &str, out: &mut Vec<(String, Ino)>) {
-        let inode = match self.inodes.get(&dir) {
+        let inode = match self.inodes.get(dir) {
             Some(i) => i,
             None => return,
         };
@@ -920,7 +915,7 @@ impl Filesystem {
             for (name, &child) in entries {
                 let path = format!("{}/{}", prefix, name);
                 out.push((path.clone(), child));
-                if self.inodes.get(&child).map(|c| c.is_dir()).unwrap_or(false) {
+                if self.inodes.get(child).map(|c| c.is_dir()).unwrap_or(false) {
                     self.walk_from(child, &path, out);
                 }
             }
@@ -997,16 +992,17 @@ impl Filesystem {
     /// setuid/setgid bits — what Charliecloud does on push "to avoid leaking
     /// site IDs" (paper §6.1).
     pub fn flatten_ownership(&mut self, new_uid: Uid, new_gid: Gid) {
-        for inode in self.inodes_mut().values_mut() {
+        self.inodes.for_each_mut(|inode| {
             inode.uid = new_uid;
             inode.gid = new_gid;
             inode.mode = inode.mode.without_setid();
-        }
+        });
     }
 
     /// Returns the distinct host UIDs owning files in this filesystem.
     pub fn distinct_owner_uids(&self) -> Vec<Uid> {
-        let mut v: Vec<Uid> = self.inodes.values().map(|i| i.uid).collect();
+        let mut v: Vec<Uid> = Vec::new();
+        self.inodes.for_each(|_, i| v.push(i.uid));
         v.sort_unstable();
         v.dedup();
         v

@@ -17,6 +17,7 @@ pub mod inode;
 pub mod mode;
 pub mod overlay;
 pub mod sharedfs;
+pub mod table;
 pub mod tar;
 
 pub use actor::Actor;
@@ -26,12 +27,13 @@ pub use inode::{Ino, Inode, InodeData, Stat};
 pub use mode::{Access, FileType, Mode};
 pub use overlay::{OverlayBackend, OverlayFs, OverlayStats};
 pub use sharedfs::FsBackend;
+pub use table::{cow_detach_nodes, InodeTable};
 
-// The property-based suite needs the external `proptest` crate. The offline
-// build environment cannot resolve registry dependencies (even optional ones
-// enter the lockfile), so it is not declared in Cargo.toml: to run these
-// suites where the registry is reachable, add `proptest = "1"` as a
-// dev-dependency and build with `--features proptest`.
+// The property-based suite runs against the offline `proptest` drop-in in
+// crates/proptest-shim (a path dev-dependency, so no registry is needed):
+// `cargo test --features proptest` executes it everywhere, and CI runs that
+// as a matrix leg. Swap the path dependency for crates.io `proptest = "1"`
+// to regain shrinking; test sources need no changes.
 #[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;

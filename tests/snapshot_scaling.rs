@@ -1,0 +1,67 @@
+//! Snapshot-store scaling: with the build cache enabled, a cold build stores
+//! a copy-on-write snapshot after every instruction, and the next
+//! instruction's first mutation pays a detach against that snapshot.
+//!
+//! With the seed's flat `Arc<HashMap>` inode table, each such detach copied
+//! the *entire* table — O(instructions × inodes) total work for many-tiny-RUN
+//! Dockerfiles. The persistent structural-sharing `InodeTable` path-copies
+//! only O(depth) trie nodes per mutated inode, making total snapshot-store
+//! work linear in the instruction count. The instrumented detach counter
+//! (`hpcc_vfs::cow_detach_nodes`) lets this test pin the asymptotics.
+
+use hpcc_bench::many_tiny_run_dockerfile;
+use hpcc_core::{BuildOptions, Builder};
+use hpcc_runtime::Invoker;
+
+/// Cold cached build of an n-instruction Dockerfile, returning the number of
+/// trie-node copies forced by snapshot detaches plus the final inode count.
+fn detach_work(instructions: usize) -> (u64, usize) {
+    let mut builder = Builder::ch_image(Invoker::user("alice", 1000, 1000));
+    let dockerfile = many_tiny_run_dockerfile(instructions);
+    let before = hpcc_vfs::cow_detach_nodes();
+    let report = builder.build(&dockerfile, &BuildOptions::new("tiny").with_cache(), None);
+    assert!(report.success, "{}", report.transcript_text());
+    assert_eq!(report.instructions_total, instructions);
+    let work = hpcc_vfs::cow_detach_nodes() - before;
+    let inodes = builder.image("tiny").unwrap().fs.inode_count();
+    (work, inodes)
+}
+
+#[test]
+fn snapshot_store_work_scales_subquadratically() {
+    // Warm up distro catalogs etc. so both measurements see the same world.
+    let _ = detach_work(4);
+
+    let (work_16, _) = detach_work(16);
+    let (work_64, inodes_64) = detach_work(64);
+
+    // Sub-quadratic in instruction count: 4x the instructions must cost far
+    // less than 16x the detach work (the flat-table behaviour, where every
+    // per-instruction detach copies a table that also grows per instruction).
+    // Linear scaling gives a ratio of ~4; leave headroom for trie splits.
+    assert!(
+        work_16 > 0,
+        "instrumentation should observe snapshot detaches"
+    );
+    let ratio = work_64 as f64 / work_16 as f64;
+    assert!(
+        ratio < 8.0,
+        "detach work grew {}x from 16 to 64 instructions ({} -> {}): \
+         snapshot stores are no longer sub-quadratic",
+        ratio,
+        work_16,
+        work_64
+    );
+
+    // And the per-instruction cost is bounded by trie depth, not table size:
+    // a whole-table detach per instruction would copy >= inode_count nodes
+    // (the image tree alone is >100 inodes here).
+    let per_instruction = work_64 as f64 / 64.0;
+    assert!(
+        per_instruction < inodes_64 as f64 / 2.0,
+        "avg {} node copies per instruction vs {} inodes — detaches are \
+         copying the whole table again",
+        per_instruction,
+        inodes_64
+    );
+}
