@@ -110,6 +110,9 @@ fn bench_cached_rebuild(c: &mut Criterion) {
             r
         })
     });
+    // Instruction cache off, builder reused: every RUN re-executes, but the
+    // memoized base environment serves FROM as a CoW snapshot — the
+    // "rebuild during iterative development without a cache" path.
     group.bench_function("centos7_uncached", |b| {
         let mut builder = Builder::ch_image(alice());
         let opts = BuildOptions::new("c7").with_force();
@@ -119,11 +122,63 @@ fn bench_cached_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cold_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_build");
+    // A *fresh builder* per iteration: nothing is memoized, so this pays
+    // base-tree construction, the pack/unpack tar round trip, and every RUN
+    // — the true first-build-on-a-new-node cost the paper's "build
+    // anywhere" workflow exercises.
+    group.bench_function("centos7_uncached", |b| {
+        b.iter(|| {
+            let mut builder = Builder::ch_image(alice());
+            let r = builder.build(
+                centos7_dockerfile(),
+                &BuildOptions::new("c7").with_force(),
+                None,
+            );
+            assert!(r.success, "{}", r.transcript_text());
+            r
+        })
+    });
+    group.finish();
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    use hpcc_kernel::{Credentials, Gid, Uid, UserNamespace};
+    use hpcc_vfs::{Actor, Filesystem, Mode};
+
+    let mut group = c.benchmark_group("resolve");
+    // Repeated lookups of one deep path — the shape of a RUN script reading
+    // a package database: the generation-stamped resolve cache serves every
+    // iteration after the first in O(1) with zero allocations.
+    let mut fs = Filesystem::new_local();
+    fs.install_file(
+        "/usr/lib/sysimage/rpm/db/Packages/index/data",
+        b"rpmdb".to_vec(),
+        Uid(0),
+        Gid(0),
+        Mode::FILE_644,
+    )
+    .unwrap();
+    let creds = Credentials::host_root();
+    let ns = UserNamespace::initial();
+    let actor = Actor::new(&creds, &ns);
+    group.bench_function("deep_path_hot", |b| {
+        b.iter(|| {
+            fs.resolve(&actor, "/usr/lib/sysimage/rpm/db/Packages/index/data")
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_snapshot_clone,
     bench_snapshot_store,
     bench_sha256_throughput,
-    bench_cached_rebuild
+    bench_cached_rebuild,
+    bench_cold_build,
+    bench_resolve
 );
 criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! first subsequent mutation, not a deep copy of the image tree.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hpcc_fakeroot::LieDatabase;
@@ -33,10 +34,23 @@ pub struct CachedState {
     pub state_id: Digest,
 }
 
-/// The cache: chain-digest keyed snapshots.
+/// The cache: chain-digest keyed snapshots, with optional LRU eviction.
+///
+/// When a capacity is set, inserting past it evicts the least-recently-used
+/// entry — but never one still **pinned** by an in-flight stage: a pinned
+/// entry is one whose `Arc` has an outstanding reference beyond the cache's
+/// own (a stage adopted the snapshot and is still building on it). If every
+/// entry is pinned the cache temporarily exceeds its capacity rather than
+/// invalidating live state.
 #[derive(Debug, Clone, Default)]
 pub struct BuildCache {
-    entries: HashMap<Digest, Arc<CachedState>>,
+    entries: HashMap<Digest, (Arc<CachedState>, u64)>,
+    /// Monotonic recency clock; bumped on every lookup hit and store.
+    tick: u64,
+    /// Maximum entries to retain (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Entries evicted so far.
+    evictions: u64,
     hits: usize,
     misses: usize,
 }
@@ -45,6 +59,30 @@ impl BuildCache {
     /// Empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty cache that evicts least-recently-used entries past `capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BuildCache {
+            capacity: Some(capacity),
+            ..Default::default()
+        }
+    }
+
+    /// Sets (or removes) the entry cap. Shrinking evicts immediately.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        self.evict_to_capacity();
+    }
+
+    /// The configured entry cap.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Computes the state id for executing `instruction` on top of `parent`.
@@ -66,10 +104,10 @@ impl BuildCache {
     /// mutating a filesystem cloned out of it never writes back into the
     /// cache (copy-on-write).
     pub fn lookup(&mut self, id: &Digest) -> Option<Arc<CachedState>> {
-        match self.entries.get(id) {
+        match self.probe(id) {
             Some(state) => {
                 self.hits += 1;
-                Some(Arc::clone(state))
+                Some(state)
             }
             None => {
                 self.misses += 1;
@@ -78,9 +116,46 @@ impl BuildCache {
         }
     }
 
-    /// Stores a state.
+    /// Looks up a state and refreshes its recency *without* touching the
+    /// hit/miss counters — the sharded wrapper counts via atomics instead.
+    pub fn probe(&mut self, id: &Digest) -> Option<Arc<CachedState>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(id).map(|slot| {
+            slot.1 = tick;
+            Arc::clone(&slot.0)
+        })
+    }
+
+    /// Stores a state, evicting LRU entries past the capacity.
     pub fn store(&mut self, state: CachedState) {
-        self.entries.insert(state.state_id, Arc::new(state));
+        self.tick += 1;
+        self.entries
+            .insert(state.state_id, (Arc::new(state), self.tick));
+        self.evict_to_capacity();
+    }
+
+    /// Evicts least-recently-used entries until within capacity, skipping
+    /// entries pinned by in-flight stages (outstanding `Arc` references).
+    fn evict_to_capacity(&mut self) {
+        let Some(cap) = self.capacity else { return };
+        while self.entries.len() > cap {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, (state, _))| Arc::strong_count(state) == 1)
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    self.entries.remove(&id);
+                    self.evictions += 1;
+                }
+                // Everything is pinned: exceed capacity rather than drop
+                // state a stage is still building on.
+                None => break,
+            }
+        }
     }
 
     /// Number of cached states.
@@ -108,6 +183,7 @@ impl BuildCache {
         self.entries.clear();
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 }
 
@@ -122,9 +198,15 @@ pub const CACHE_SHARDS: usize = 16;
 /// nibble keeps contention local to the 1/16th of key space two stages
 /// happen to collide on. Chain digests are SHA-256 output, so keys spread
 /// uniformly across shards.
+///
+/// Hit/miss statistics live in `AtomicU64`s on the wrapper: reading them
+/// never takes a shard lock (the old implementation summed per-shard
+/// counters under all sixteen locks).
 #[derive(Debug, Default)]
 pub struct ShardedBuildCache {
     shards: [Mutex<BuildCache>; CACHE_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl ShardedBuildCache {
@@ -133,20 +215,46 @@ impl ShardedBuildCache {
         Self::default()
     }
 
+    /// Empty sharded cache whose total entry count is capped at `capacity`
+    /// (split evenly across shards, rounded up).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = Self::default();
+        cache.set_capacity(Some(capacity));
+        cache
+    }
+
+    /// Sets (or removes) the total entry cap, splitting it across shards.
+    /// Shrinking evicts LRU entries immediately; entries pinned by in-flight
+    /// stages are never dropped.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        let per_shard = capacity.map(|c| c.div_ceil(CACHE_SHARDS).max(1));
+        for s in &self.shards {
+            s.lock()
+                .expect("build cache poisoned")
+                .set_capacity(per_shard);
+        }
+    }
+
     /// The shard owning `id` (first nibble of the digest's leading byte).
     fn shard(&self, id: &Digest) -> &Mutex<BuildCache> {
         &self.shards[(id.0[0] & (CACHE_SHARDS as u8 - 1)) as usize]
     }
 
-    /// Looks up a state in its shard, counting a hit or miss there.
+    /// Looks up a state in its shard, counting the hit or miss atomically.
     pub fn lookup(&self, id: &Digest) -> Option<Arc<CachedState>> {
-        self.shard(id)
+        let hit = self
+            .shard(id)
             .lock()
             .expect("build cache poisoned")
-            .lookup(id)
+            .probe(id);
+        match hit.is_some() {
+            true => self.hits.fetch_add(1, Ordering::Relaxed),
+            false => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
     }
 
-    /// Stores a state in its shard.
+    /// Stores a state in its shard (evicting LRU entries past the cap).
     pub fn store(&self, state: CachedState) {
         self.shard(&state.state_id)
             .lock()
@@ -167,19 +275,21 @@ impl ShardedBuildCache {
         self.len() == 0
     }
 
-    /// Cache hits so far, summed across shards.
+    /// Cache hits so far (one relaxed atomic load; no shard locks).
     pub fn hits(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("build cache poisoned").hits())
-            .sum()
+        self.hits.load(Ordering::Relaxed) as usize
     }
 
-    /// Cache misses so far, summed across shards.
+    /// Cache misses so far (one relaxed atomic load; no shard locks).
     pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed) as usize
+    }
+
+    /// Entries evicted so far, summed across shards.
+    pub fn evictions(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("build cache poisoned").misses())
+            .map(|s| s.lock().expect("build cache poisoned").evictions())
             .sum()
     }
 
@@ -188,6 +298,8 @@ impl ShardedBuildCache {
         for s in &self.shards {
             s.lock().expect("build cache poisoned").clear();
         }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -332,6 +444,96 @@ mod tests {
         });
         assert_eq!(cache.len(), 4 * 32);
         assert_eq!(cache.hits(), 4 * 32);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let mut cache = BuildCache::with_capacity(3);
+        let ids: Vec<Digest> = (0..4)
+            .map(|i| BuildCache::state_id(None, &format!("RUN step {}", i)))
+            .collect();
+        for &id in &ids[..3] {
+            cache.store(dummy_state(id));
+        }
+        // Touch id 0 so id 1 becomes the least recently used.
+        assert!(cache.lookup(&ids[0]).is_some());
+        cache.store(dummy_state(ids[3]));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(&ids[1]).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&ids[0]).is_some());
+        assert!(cache.lookup(&ids[3]).is_some());
+    }
+
+    #[test]
+    fn eviction_never_drops_entries_pinned_by_in_flight_stages() {
+        let mut cache = BuildCache::with_capacity(2);
+        let pinned_id = BuildCache::state_id(None, "FROM centos:7");
+        cache.store(dummy_state(pinned_id));
+        // An in-flight stage holds the snapshot it adopted from the cache.
+        let pinned = cache.lookup(&pinned_id).expect("just stored");
+        // Flood the cache well past capacity.
+        for i in 0..8 {
+            cache.store(dummy_state(BuildCache::state_id(
+                None,
+                &format!("RUN flood {}", i),
+            )));
+        }
+        assert!(
+            cache.lookup(&pinned_id).is_some(),
+            "pinned entry survived eviction pressure"
+        );
+        assert!(cache.len() <= 3, "unpinned entries were evicted");
+        assert!(cache.evictions() >= 6);
+        drop(pinned);
+        // Once unpinned, the entry is evictable like any other.
+        cache.set_capacity(Some(1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn when_everything_is_pinned_capacity_is_exceeded_not_violated() {
+        let mut cache = BuildCache::new();
+        let a = BuildCache::state_id(None, "a");
+        let b = BuildCache::state_id(None, "b");
+        cache.store(dummy_state(a));
+        cache.store(dummy_state(b));
+        let pin_a = cache.lookup(&a).unwrap();
+        let pin_b = cache.lookup(&b).unwrap();
+        // Both entries pinned by in-flight stages: shrinking the capacity
+        // finds nothing evictable and the cache exceeds the cap instead.
+        cache.set_capacity(Some(1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&a).is_some() && cache.lookup(&b).is_some());
+        drop(pin_a);
+        // One entry unpinned: the next store can now evict down toward the
+        // cap (the unpinned LRU entry goes first).
+        let c = BuildCache::state_id(None, "c");
+        cache.store(dummy_state(c));
+        assert!(cache.lookup(&a).is_none(), "unpinned LRU entry evicted");
+        assert!(cache.lookup(&b).is_some(), "pinned entry survived");
+        drop(pin_b);
+    }
+
+    #[test]
+    fn sharded_capacity_splits_across_shards_and_counts_atomically() {
+        let cache = ShardedBuildCache::with_capacity(16);
+        for i in 0..256 {
+            cache.store(dummy_state(BuildCache::state_id(
+                None,
+                &format!("RUN fill {}", i),
+            )));
+        }
+        // Each shard holds at most ceil(16/16) = 1 entry.
+        assert!(cache.len() <= CACHE_SHARDS, "len = {}", cache.len());
+        assert!(cache.evictions() >= 200);
+        // Atomic counters: reads do not require consistent shard locks.
+        let before_hits = cache.hits();
+        assert!(cache
+            .lookup(&BuildCache::state_id(None, "definitely missing"))
+            .is_none());
+        assert_eq!(cache.hits(), before_hits);
+        assert!(cache.misses() >= 1);
     }
 
     #[test]

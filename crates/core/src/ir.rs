@@ -55,24 +55,56 @@ pub struct BuildIr {
 
 impl BuildIr {
     /// Parses Dockerfile text straight to IR (single tokenizer:
-    /// [`Dockerfile::parse`]).
+    /// [`Dockerfile::parse`]), with no per-build `ARG` overrides.
     pub fn parse(text: &str) -> Result<BuildIr, BuildError> {
+        BuildIr::parse_with_args(text, &BTreeMap::new())
+    }
+
+    /// Like [`BuildIr::parse`], but with `--build-arg`-style overrides: a
+    /// value in `build_args` overrides the default of any *declared* `ARG`
+    /// of that name (overrides for undeclared names are ignored, as Docker
+    /// does).
+    pub fn parse_with_args(
+        text: &str,
+        build_args: &BTreeMap<String, String>,
+    ) -> Result<BuildIr, BuildError> {
         let df = Dockerfile::parse(text)?;
-        BuildIr::from_dockerfile(&df)
+        BuildIr::from_dockerfile_with_args(&df, build_args)
+    }
+
+    /// Lowers a parsed [`Dockerfile`] into stages without overrides.
+    pub fn from_dockerfile(df: &Dockerfile) -> Result<BuildIr, BuildError> {
+        BuildIr::from_dockerfile_with_args(df, &BTreeMap::new())
     }
 
     /// Lowers a parsed [`Dockerfile`] into stages.
     ///
-    /// Global `ARG` defaults (recorded in [`BuildIr::global_args`]) are
-    /// substituted into `FROM` image references here — `FROM ${BASE}` and
-    /// `FROM $BASE` resolve against the `ARG`s seen so far — so the planner
-    /// sees concrete references when it distinguishes stage aliases from
-    /// image names, and the executor's cache keys bind to the substituted
-    /// reference (Docker's "ARG before FROM" semantics).
-    pub fn from_dockerfile(df: &Dockerfile) -> Result<BuildIr, BuildError> {
+    /// `ARG` substitution happens here, at lowering time, so the planner
+    /// sees concrete `FROM` references and the executor's cache keys bind to
+    /// the *substituted* instruction text (a rebuild with different
+    /// `--build-arg` values can never hit a stale entry):
+    ///
+    /// * global `ARG`s (before the first `FROM`) substitute into `FROM`
+    ///   image references — Docker's "ARG before FROM" semantics — and seed
+    ///   every stage's scope (a documented simplification: Docker proper
+    ///   requires redeclaration inside the stage);
+    /// * `ARG`s declared inside a stage join that stage's scope from that
+    ///   instruction on;
+    /// * `RUN` commands, `ENV` values, and `COPY` sources/destination are
+    ///   substituted against the scope in effect;
+    /// * values from `build_args` override declared defaults.
+    pub fn from_dockerfile_with_args(
+        df: &Dockerfile,
+        build_args: &BTreeMap<String, String>,
+    ) -> Result<BuildIr, BuildError> {
         let mut global_args = Vec::new();
         let mut arg_values: BTreeMap<String, String> = BTreeMap::new();
+        // Per-stage scope, reseeded from the globals at each FROM.
+        let mut stage_args: BTreeMap<String, String> = BTreeMap::new();
         let mut stages: Vec<IrStage> = Vec::new();
+        let effective = |name: &str, default: &Option<String>| -> Option<String> {
+            build_args.get(name).or(default.as_ref()).cloned()
+        };
         for (i, instruction) in df.instructions.iter().enumerate() {
             let span = df
                 .spans
@@ -81,6 +113,7 @@ impl BuildIr {
                 .unwrap_or(InstrSpan { start: 0, end: 0 });
             if let Instruction::From { image, alias } = instruction {
                 let image = substitute_args(image, &arg_values);
+                stage_args = arg_values.clone();
                 stages.push(IrStage {
                     index: stages.len(),
                     alias: alias.clone(),
@@ -95,15 +128,43 @@ impl BuildIr {
             }
             match stages.last_mut() {
                 Some(stage) => {
-                    stage.instructions.push(instruction.clone());
+                    let lowered = match instruction {
+                        Instruction::Arg { name, default } => {
+                            if let Some(value) = effective(name, default) {
+                                stage_args.insert(name.clone(), value);
+                            }
+                            instruction.clone()
+                        }
+                        Instruction::Run(cmd) => {
+                            Instruction::Run(substitute_args(cmd, &stage_args))
+                        }
+                        Instruction::Env { key, value } => Instruction::Env {
+                            key: key.clone(),
+                            value: substitute_args(value, &stage_args),
+                        },
+                        Instruction::Copy {
+                            sources,
+                            dest,
+                            from,
+                        } => Instruction::Copy {
+                            sources: sources
+                                .iter()
+                                .map(|s| substitute_args(s, &stage_args))
+                                .collect(),
+                            dest: substitute_args(dest, &stage_args),
+                            from: from.clone(),
+                        },
+                        other => other.clone(),
+                    };
+                    stage.instructions.push(lowered);
                     stage.spans.push(span);
                 }
                 None => {
                     // Docker permits global ARGs before the first FROM;
                     // anything else there is an error.
                     if let Instruction::Arg { name, default } = instruction {
-                        if let Some(value) = default {
-                            arg_values.insert(name.clone(), value.clone());
+                        if let Some(value) = effective(name, default) {
+                            arg_values.insert(name.clone(), value);
                         }
                         global_args.push(instruction.clone());
                     } else {
@@ -304,6 +365,92 @@ RUN echo runtime ready
         assert_eq!(substitute_args("${NOPE}", &args), "${NOPE}");
         assert_eq!(substitute_args("${BASE", &args), "${BASE");
         assert_eq!(substitute_args("x$", &args), "x$");
+    }
+
+    #[test]
+    fn args_substitute_into_run_env_copy_operands() {
+        let df = "\
+ARG PKG=openssh
+ARG PREFIX=/opt
+FROM centos:7
+ARG EXTRA=vim
+RUN yum install -y ${PKG} $EXTRA
+ENV TOOLDIR=${PREFIX}/tools
+COPY ${PKG}.conf ${PREFIX}/etc/
+";
+        let ir = BuildIr::parse(df).unwrap();
+        let instrs = &ir.stages[0].instructions;
+        assert_eq!(
+            instrs[2],
+            Instruction::Run("yum install -y openssh vim".into())
+        );
+        assert_eq!(
+            instrs[3],
+            Instruction::Env {
+                key: "TOOLDIR".into(),
+                value: "/opt/tools".into()
+            }
+        );
+        assert_eq!(
+            instrs[4],
+            Instruction::Copy {
+                sources: vec!["openssh.conf".into()],
+                dest: "/opt/etc/".into(),
+                from: None,
+            }
+        );
+    }
+
+    #[test]
+    fn build_arg_overrides_replace_declared_defaults_only() {
+        let df = "ARG PKG=openssh\nFROM centos:7\nRUN yum install -y ${PKG} ${UNDECLARED}\n";
+        let mut overrides = BTreeMap::new();
+        overrides.insert("PKG".to_string(), "gcc".to_string());
+        // Overrides for undeclared ARGs are ignored (Docker semantics).
+        overrides.insert("UNDECLARED".to_string(), "nope".to_string());
+        let ir = BuildIr::parse_with_args(df, &overrides).unwrap();
+        assert_eq!(
+            ir.stages[0].instructions[1],
+            Instruction::Run("yum install -y gcc ${UNDECLARED}".into())
+        );
+        // An override can supply a value for a default-less declared ARG.
+        let df2 = "FROM centos:7\nARG TARGET\nRUN echo building for ${TARGET}\n";
+        let mut ov2 = BTreeMap::new();
+        ov2.insert("TARGET".to_string(), "aarch64".to_string());
+        let ir2 = BuildIr::parse_with_args(df2, &ov2).unwrap();
+        assert_eq!(
+            ir2.stages[0].instructions[2],
+            Instruction::Run("echo building for aarch64".into())
+        );
+        // Without the override the default-less reference stays verbatim.
+        let ir3 = BuildIr::parse(df2).unwrap();
+        assert_eq!(
+            ir3.stages[0].instructions[2],
+            Instruction::Run("echo building for ${TARGET}".into())
+        );
+    }
+
+    #[test]
+    fn stage_scope_resets_at_from_boundaries() {
+        // A stage-local ARG does not leak into the next stage; globals seed
+        // every stage's scope.
+        let df = "\
+ARG BASE=centos:7
+FROM ${BASE} AS builder
+ARG LOCAL=one
+RUN echo ${LOCAL} ${BASE}
+FROM ${BASE}
+RUN echo ${LOCAL} ${BASE}
+";
+        let ir = BuildIr::parse(df).unwrap();
+        assert_eq!(
+            ir.stages[0].instructions[2],
+            Instruction::Run("echo one centos:7".into())
+        );
+        assert_eq!(
+            ir.stages[1].instructions[1],
+            Instruction::Run("echo ${LOCAL} centos:7".into())
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub fn build_multistage(
     options: &BuildOptions,
     context: Option<&Filesystem>,
 ) -> MultiStageReport {
-    let (ir, graph) = match Builder::plan(dockerfile_text) {
+    if options.cache_capacity.is_some() {
+        builder.cache.set_capacity(options.cache_capacity);
+    }
+    let (ir, graph) = match Builder::plan_with_args(dockerfile_text, &options.build_args) {
         Ok(p) => p,
         Err(e) => return MultiStageReport::failed(e),
     };

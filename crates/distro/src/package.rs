@@ -391,18 +391,11 @@ pub fn install_package(
             PayloadKind::Dir { mode } => {
                 // mkdir -p semantics; permission failures surface as write errors.
                 if !fs.exists(actor, &entry.path) {
-                    let mut partial = String::new();
-                    for comp in Filesystem::components(&entry.path) {
-                        partial = format!("{}/{}", partial, comp);
-                        if !fs.exists(actor, &partial) {
-                            fs.mkdir(actor, &partial, Mode::new(*mode)).map_err(|e| {
-                                InstallFailure::Write {
-                                    path: entry.path.clone(),
-                                    errno: e,
-                                }
-                            })?;
-                        }
-                    }
+                    fs.mkdir_p(actor, &entry.path, Mode::new(*mode), false)
+                        .map_err(|e| InstallFailure::Write {
+                            path: entry.path.clone(),
+                            errno: e,
+                        })?;
                 }
             }
             PayloadKind::File {
@@ -411,19 +404,11 @@ pub fn install_package(
                 statically_linked,
             } => {
                 // Ensure parent directories exist.
-                let comps = Filesystem::components(&entry.path);
-                let mut partial = String::new();
-                for comp in &comps[..comps.len().saturating_sub(1)] {
-                    partial = format!("{}/{}", partial, comp);
-                    if !fs.exists(actor, &partial) {
-                        fs.mkdir(actor, &partial, Mode::new(0o755)).map_err(|e| {
-                            InstallFailure::Write {
-                                path: entry.path.clone(),
-                                errno: e,
-                            }
-                        })?;
-                    }
-                }
+                fs.mkdir_p(actor, &entry.path, Mode::new(0o755), true)
+                    .map_err(|e| InstallFailure::Write {
+                        path: entry.path.clone(),
+                        errno: e,
+                    })?;
                 fs.write_file(actor, &entry.path, content.clone(), Mode::new(mode & 0o777))
                     .map_err(|e| InstallFailure::Write {
                         path: entry.path.clone(),
@@ -452,14 +437,7 @@ pub fn install_package(
                 }
             }
             PayloadKind::Symlink { target } => {
-                let comps = Filesystem::components(&entry.path);
-                let mut partial = String::new();
-                for comp in &comps[..comps.len().saturating_sub(1)] {
-                    partial = format!("{}/{}", partial, comp);
-                    if !fs.exists(actor, &partial) {
-                        let _ = fs.mkdir(actor, &partial, Mode::new(0o755));
-                    }
-                }
+                let _ = fs.mkdir_p(actor, &entry.path, Mode::new(0o755), true);
                 if fs.exists(actor, &entry.path) {
                     let _ = fs.unlink(actor, &entry.path);
                 }

@@ -70,7 +70,8 @@ impl FakerootSession {
     }
 
     fn canonical(path: &str) -> String {
-        format!("/{}", Filesystem::components(path).join("/"))
+        // Runs per intercepted syscall during a wrapped package install.
+        hpcc_vfs::path::canonical(path)
     }
 
     /// Wrapped `chown(2)`. If intercepted, the call "succeeds" without

@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 
 use hpcc_kernel::{Gid, KResult, Uid};
-use hpcc_vfs::{tar, Actor, Filesystem};
+use hpcc_vfs::{tar, Actor, FileBytes, Filesystem};
 
 use crate::sha256::{sha256, Digest, Sha256};
 
@@ -20,8 +20,8 @@ struct DigestingBuf {
 }
 
 impl DigestingBuf {
-    fn into_parts(self) -> (Vec<u8>, Digest) {
-        (self.buf, self.hasher.finalize())
+    fn into_parts(self) -> (FileBytes, Digest) {
+        (FileBytes::new(self.buf), self.hasher.finalize())
     }
 }
 
@@ -38,17 +38,24 @@ impl std::io::Write for DigestingBuf {
 }
 
 /// One image layer: a tar archive plus its digest.
+///
+/// The tar bytes live behind a [`FileBytes`] handle: cloning a layer,
+/// storing it in a registry, or pulling it back shares one buffer instead of
+/// copying the archive — layer bytes are materialized exactly once, when the
+/// tar stream is serialized.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layer {
     /// Content digest of the tar bytes.
     pub digest: Digest,
-    /// The tar archive.
-    pub tar: Vec<u8>,
+    /// The tar archive (shared, copy-on-write).
+    pub tar: FileBytes,
 }
 
 impl Layer {
-    /// Creates a layer from tar bytes.
-    pub fn from_tar(tar: Vec<u8>) -> Self {
+    /// Creates a layer from tar bytes; a `FileBytes` handle is adopted
+    /// without copying.
+    pub fn from_tar(tar: impl Into<FileBytes>) -> Self {
+        let tar = tar.into();
         Layer {
             digest: sha256(&tar),
             tar,

@@ -159,55 +159,110 @@ impl Sha256 {
     }
 
     /// The SHA-256 compression function over one 64-byte block.
+    ///
+    /// The message schedule lives in a **fixed 16-word rolling scratch
+    /// array** extended in place, instead of a fully materialized 64-entry
+    /// table: each round past 15 overwrites the slot it is about to consume
+    /// (`w[t mod 16]`), which keeps the whole schedule in registers/L1 and
+    /// unrolls cleanly. The round loop is unrolled 8-wide via
+    /// [`Sha256::round`] so the state rotation compiles to plain register
+    /// renaming rather than a shift chain.
     fn compress(&mut self, chunk: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                chunk[i * 4],
-                chunk[i * 4 + 1],
-                chunk[i * 4 + 2],
-                chunk[i * 4 + 3],
-            ]);
+        let mut w = [0u32; 16];
+        for (slot, bytes) in w.iter_mut().zip(chunk.chunks_exact(4)) {
+            *slot = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = self.h;
+        // Eight unrolled rounds at a time; the (a..hh) rotation is expressed
+        // by argument renaming, not data movement. The first 16 rounds read
+        // the loaded block directly; later rounds extend the rolling window
+        // in place — no branch inside the round body either way.
+        let mut t = 0usize;
+        while t < 16 {
+            hh = Self::round(a, b, c, &mut d, e, f, g, hh, K[t], w[t]);
+            g = Self::round(hh, a, b, &mut c, d, e, f, g, K[t + 1], w[t + 1]);
+            f = Self::round(g, hh, a, &mut b, c, d, e, f, K[t + 2], w[t + 2]);
+            e = Self::round(f, g, hh, &mut a, b, c, d, e, K[t + 3], w[t + 3]);
+            d = Self::round(e, f, g, &mut hh, a, b, c, d, K[t + 4], w[t + 4]);
+            c = Self::round(d, e, f, &mut g, hh, a, b, c, K[t + 5], w[t + 5]);
+            b = Self::round(c, d, e, &mut f, g, hh, a, b, K[t + 6], w[t + 6]);
+            a = Self::round(b, c, d, &mut e, f, g, hh, a, K[t + 7], w[t + 7]);
+            t += 8;
         }
-        let h = &mut self.h;
-        let (mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh) =
-            (h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]);
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = hh
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            hh = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
+        while t < 64 {
+            let w0 = Self::extend(&mut w, t);
+            hh = Self::round(a, b, c, &mut d, e, f, g, hh, K[t], w0);
+            let w1 = Self::extend(&mut w, t + 1);
+            g = Self::round(hh, a, b, &mut c, d, e, f, g, K[t + 1], w1);
+            let w2 = Self::extend(&mut w, t + 2);
+            f = Self::round(g, hh, a, &mut b, c, d, e, f, K[t + 2], w2);
+            let w3 = Self::extend(&mut w, t + 3);
+            e = Self::round(f, g, hh, &mut a, b, c, d, e, K[t + 3], w3);
+            let w4 = Self::extend(&mut w, t + 4);
+            d = Self::round(e, f, g, &mut hh, a, b, c, d, K[t + 4], w4);
+            let w5 = Self::extend(&mut w, t + 5);
+            c = Self::round(d, e, f, &mut g, hh, a, b, c, K[t + 5], w5);
+            let w6 = Self::extend(&mut w, t + 6);
+            b = Self::round(c, d, e, &mut f, g, hh, a, b, K[t + 6], w6);
+            let w7 = Self::extend(&mut w, t + 7);
+            a = Self::round(b, c, d, &mut e, f, g, hh, a, K[t + 7], w7);
+            t += 8;
         }
-        h[0] = h[0].wrapping_add(a);
-        h[1] = h[1].wrapping_add(b);
-        h[2] = h[2].wrapping_add(c);
-        h[3] = h[3].wrapping_add(d);
-        h[4] = h[4].wrapping_add(e);
-        h[5] = h[5].wrapping_add(f);
-        h[6] = h[6].wrapping_add(g);
-        h[7] = h[7].wrapping_add(hh);
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+        self.h[5] = self.h[5].wrapping_add(f);
+        self.h[6] = self.h[6].wrapping_add(g);
+        self.h[7] = self.h[7].wrapping_add(hh);
+    }
+
+    /// Message-schedule word for round `t ≥ 16`, extending the rolling
+    /// 16-word window in place: slot `t mod 16` holds `w[t-16]` and is
+    /// overwritten with `w[t]` just before the round consumes it.
+    #[inline(always)]
+    fn extend(w: &mut [u32; 16], t: usize) -> u32 {
+        let i = t & 15;
+        let w15 = w[(t + 1) & 15];
+        let w2 = w[(t + 14) & 15];
+        let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+        let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+        w[i] = w[i]
+            .wrapping_add(s0)
+            .wrapping_add(w[(t + 9) & 15])
+            .wrapping_add(s1);
+        w[i]
+    }
+
+    /// One SHA-256 round. `d` is updated in place; the new working variable
+    /// `a` is returned (callers rename the rest).
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn round(
+        a: u32,
+        b: u32,
+        c: u32,
+        d: &mut u32,
+        e: u32,
+        f: u32,
+        g: u32,
+        hh: u32,
+        k: u32,
+        w: u32,
+    ) -> u32 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let temp1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(k)
+            .wrapping_add(w);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        *d = d.wrapping_add(temp1);
+        temp1.wrapping_add(temp2)
     }
 }
 

@@ -10,14 +10,19 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use hpcc_image::{sha256, Digest, Sha256};
+use hpcc_image::{sha256, Digest, FileBytes, Sha256};
 
 use crate::error::ApiError;
 
 /// A content-addressed blob store.
+///
+/// Blobs are held as [`FileBytes`] handles: a push whose layer bytes already
+/// live behind a handle (every [`hpcc_image::Layer`]) is stored by bumping a
+/// refcount, and a pull hands the same buffer back — blob bytes are never
+/// copied between the image and the store.
 #[derive(Debug, Clone, Default)]
 pub struct BlobStore {
-    blobs: HashMap<Digest, Vec<u8>>,
+    blobs: HashMap<Digest, FileBytes>,
     /// Bytes actually stored (deduplicated).
     stored_bytes: u64,
     /// Bytes offered for upload including duplicates (what a naive store
@@ -46,9 +51,17 @@ impl BlobStore {
             .ok_or(ApiError::BlobUnknown)
     }
 
+    /// Fetches a blob as a shared handle (no copy) — what a pull uses to
+    /// reconstruct layers.
+    pub fn get_shared(&self, digest: &Digest) -> Result<FileBytes, ApiError> {
+        self.blobs.get(digest).cloned().ok_or(ApiError::BlobUnknown)
+    }
+
     /// Stores a blob directly (monolithic upload), verifying the digest the
-    /// client claims matches the content.
-    pub fn put(&mut self, claimed: &Digest, data: Vec<u8>) -> Result<(), ApiError> {
+    /// client claims matches the content. Passing a [`FileBytes`] handle
+    /// (e.g. `layer.tar.clone()`) shares the buffer instead of copying it.
+    pub fn put(&mut self, claimed: &Digest, data: impl Into<FileBytes>) -> Result<(), ApiError> {
+        let data = data.into();
         let actual = sha256(&data);
         if actual != *claimed {
             return Err(ApiError::DigestInvalid);
@@ -59,7 +72,7 @@ impl BlobStore {
 
     /// Records a digest-verified blob, deduplicating and keeping the byte
     /// accounting consistent across both upload protocols.
-    fn insert_verified(&mut self, digest: Digest, data: Vec<u8>) {
+    fn insert_verified(&mut self, digest: Digest, data: FileBytes) {
         self.offered_bytes += data.len() as u64;
         if !self.blobs.contains_key(&digest) {
             self.stored_bytes += data.len() as u64;
@@ -124,7 +137,9 @@ impl BlobStore {
         if actual != *claimed {
             return Err(ApiError::DigestInvalid);
         }
-        self.insert_verified(actual, session.buffer);
+        // The accumulated buffer moves into a shared handle — the chunks
+        // were hashed as they arrived and are never re-read or re-copied.
+        self.insert_verified(actual, FileBytes::new(session.buffer));
         self.uploads_completed += 1;
         Ok(actual)
     }

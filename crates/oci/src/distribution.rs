@@ -162,7 +162,8 @@ impl DistributionRegistry {
         if !self.blobs.has(&config_digest) {
             self.blobs.put(&config_digest, config_bytes.clone())?;
         }
-        // Upload layer blobs, skipping ones already present.
+        // Upload layer blobs, skipping ones already present. `layer.tar` is
+        // a shared handle, so an upload is a refcount bump, not a copy.
         let mut layer_descs = Vec::with_capacity(image.layers.len());
         for layer in &image.layers {
             if !self.blobs.has(&layer.digest) {
@@ -246,8 +247,12 @@ impl DistributionRegistry {
         };
         let mut layers = Vec::with_capacity(manifest.layers.len());
         for desc in &manifest.layers {
-            let bytes = self.blobs.get(&desc.digest)?.to_vec();
-            layers.push(Layer::from_tar(bytes));
+            // Shares the stored buffer; the digest is already known, so the
+            // blob is neither copied nor re-hashed.
+            layers.push(Layer {
+                digest: desc.digest,
+                tar: self.blobs.get_shared(&desc.digest)?,
+            });
         }
         let ownership = match manifest
             .annotations

@@ -453,13 +453,7 @@ impl<'a> ExecEnv<'a> {
             }
             let path = self.abspath(a);
             if recursive {
-                let mut partial = String::new();
-                for c in Filesystem::components(&path) {
-                    partial = format!("{}/{}", partial, c);
-                    if !self.fs.exists(&actor, &partial) {
-                        let _ = self.fs.mkdir(&actor, &partial, Mode::DIR_755);
-                    }
-                }
+                let _ = self.fs.mkdir_p(&actor, &path, Mode::DIR_755, false);
             } else if let Err(e) = self.fs.mkdir(&actor, &path, Mode::DIR_755) {
                 return CmdResult {
                     lines: vec![format!(

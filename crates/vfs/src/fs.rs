@@ -6,7 +6,8 @@
 //! is the substrate on which package installation either fails (`cpio: chown`,
 //! Figure 2) or succeeds depending on the container privilege type.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
 
 use hpcc_kernel::{Capability, Errno, Gid, KResult, Uid, UsernsId};
 
@@ -14,11 +15,37 @@ use crate::actor::Actor;
 use crate::bytes::FileBytes;
 use crate::inode::{Ino, Inode, InodeData, Stat};
 use crate::mode::{Access, FileType, Mode};
+use crate::path::{clean_parent_split, PathComponents};
 use crate::sharedfs::FsBackend;
 use crate::table::InodeTable;
 
 /// Maximum symlink traversals before `ELOOP`.
 const MAX_SYMLINK_DEPTH: u32 = 40;
+
+/// Deepest path (in components) the resolve cache will record.
+const RESOLVE_CACHE_MAX_DEPTH: usize = 24;
+/// Entry cap per filesystem; the cache is dumped wholesale when full (an
+/// epoch clear is cheaper than LRU bookkeeping at this size).
+const RESOLVE_CACHE_MAX_ENTRIES: usize = 512;
+
+/// One cached resolution: the final inode plus the chain of parent
+/// directories whose EXECUTE permission the walk checked.
+///
+/// The entry stores *structure only*. Permission-relevant state (modes,
+/// ownership, the acting credentials) is deliberately not captured: every
+/// hit re-runs `check_access` over `parents`, so `chmod`/`chown` and actor
+/// changes need no invalidation and can never be bypassed through the cache.
+#[derive(Debug, Clone, Copy)]
+struct ResolveEntry {
+    /// Filesystem generation the entry was recorded at.
+    generation: u64,
+    /// The resolved inode.
+    ino: Ino,
+    /// Parent directory inodes traversed, in order ([0] is the root).
+    parents: [Ino; RESOLVE_CACHE_MAX_DEPTH],
+    /// Number of live slots in `parents`.
+    parents_len: u8,
+}
 
 /// An in-memory POSIX-like filesystem.
 ///
@@ -30,12 +57,27 @@ const MAX_SYMLINK_DEPTH: u32 = 40;
 /// This is what makes build-cache hits, per-instruction snapshot stores,
 /// multi-stage `FROM`, and overlay commits O(metadata of what changed)
 /// instead of O(image size).
-#[derive(Debug, Clone)]
+///
+/// Repeated lookups are O(1): a per-filesystem resolve cache maps raw path
+/// strings to inodes, stamped with a structural generation counter that any
+/// namespace mutation bumps. Access checks are re-run on every hit, so
+/// permission changes need no invalidation, and `clone()` starts the copy
+/// with an empty cache.
+#[derive(Debug)]
 pub struct Filesystem {
     inodes: InodeTable,
     next_ino: Ino,
     root: Ino,
     clock: u64,
+    /// Structural generation: bumped by any mutation that changes the
+    /// name → inode mapping (create, remove, rename, link). Content writes
+    /// and metadata changes do not bump it.
+    generation: u64,
+    /// Path → inode resolve cache (see [`ResolveEntry`]). Behind a `Mutex`
+    /// because lookups take `&self` and snapshots are shared across build
+    /// stages; the lock is uncontended in practice and held only for the
+    /// map probe.
+    resolve_cache: Mutex<HashMap<String, ResolveEntry>>,
     /// Storage backend, which determines xattr/device support and shared
     /// semantics.
     pub backend: FsBackend,
@@ -44,6 +86,25 @@ pub struct Filesystem {
     pub owner_userns: UsernsId,
     /// Mounted read-only.
     pub readonly: bool,
+}
+
+impl Clone for Filesystem {
+    /// O(1): bumps the inode-table refcount. The resolve cache is *not*
+    /// carried over — the clone starts cold and re-fills on use, which keeps
+    /// per-instruction snapshot stores allocation-free.
+    fn clone(&self) -> Self {
+        Filesystem {
+            inodes: self.inodes.clone(),
+            next_ino: self.next_ino,
+            root: self.root,
+            clock: self.clock,
+            generation: self.generation,
+            resolve_cache: Mutex::new(HashMap::new()),
+            backend: self.backend,
+            owner_userns: self.owner_userns,
+            readonly: self.readonly,
+        }
+    }
 }
 
 impl Filesystem {
@@ -68,6 +129,8 @@ impl Filesystem {
             next_ino: 2,
             root: 1,
             clock: 1,
+            generation: 0,
+            resolve_cache: Mutex::new(HashMap::new()),
             backend,
             owner_userns: UsernsId::INIT,
             readonly: false,
@@ -107,7 +170,20 @@ impl Filesystem {
 
     /// Mutably borrow an inode. Like every mutating path, this path-copies
     /// the O(depth) trie nodes shared with snapshots — never the whole table.
+    ///
+    /// Conservatively bumps the structural generation (external callers can
+    /// replace `Inode::data` wholesale through this handle); internal
+    /// content-only writes use the quiet variant instead.
     pub fn inode_mut(&mut self, ino: Ino) -> KResult<&mut Inode> {
+        self.generation = self.generation.wrapping_add(1);
+        self.inodes.get_mut(ino).ok_or(Errno::ENOENT)
+    }
+
+    /// Mutably borrow an inode *without* bumping the structural generation.
+    /// For internal paths that change file content or metadata only — the
+    /// name → inode mapping is untouched, so cached resolutions stay valid
+    /// (access checks re-run on every cache hit regardless).
+    fn inode_mut_quiet(&mut self, ino: Ino) -> KResult<&mut Inode> {
         self.inodes.get_mut(ino).ok_or(Errno::ENOENT)
     }
 
@@ -116,6 +192,25 @@ impl Filesystem {
         self.clock
     }
 
+    /// Links `child` under `parent` as `name` without bumping the structural
+    /// generation for pure insertions: a *new* name cannot invalidate any
+    /// cached resolution (negative results are never cached, and existing
+    /// name → inode mappings are untouched). Replacing an existing mapping
+    /// orphans its old inode, so that case does bump.
+    fn link_entry(&mut self, parent: Ino, name: String, child: Ino) -> KResult<()> {
+        let parent_inode = self.inode_mut_quiet(parent)?;
+        if !parent_inode.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        if parent_inode.entries_mut().insert(name, child).is_some() {
+            self.generation = self.generation.wrapping_add(1);
+        }
+        Ok(())
+    }
+
+    /// Allocates a fresh inode. Inode numbers are never reused, and an
+    /// allocation alone changes no name → inode mapping, so this does not
+    /// bump the structural generation (`link_entry` decides).
     fn alloc(&mut self, data: InodeData, uid: Uid, gid: Gid, mode: Mode) -> Ino {
         let ino = self.next_ino;
         self.next_ino += 1;
@@ -139,18 +234,15 @@ impl Filesystem {
     // ----------------------------------------------------------------- paths
 
     /// Splits a path into normalized components (handles `//`, `.`, `..`).
+    ///
+    /// Allocates one `String` per component; the resolution hot paths use
+    /// the borrowed [`PathComponents`] instead — this form remains for
+    /// callers that need owned components.
     pub fn components(path: &str) -> Vec<String> {
-        let mut out: Vec<String> = Vec::new();
-        for part in path.split('/') {
-            match part {
-                "" | "." => {}
-                ".." => {
-                    out.pop();
-                }
-                p => out.push(p.to_string()),
-            }
-        }
-        out
+        PathComponents::parse(path)
+            .iter()
+            .map(|c| c.to_string())
+            .collect()
     }
 
     fn lookup_in_dir(&self, dir: Ino, name: &str) -> KResult<Ino> {
@@ -159,6 +251,54 @@ impl Filesystem {
             InodeData::Directory { entries } => entries.get(name).copied().ok_or(Errno::ENOENT),
             _ => Err(Errno::ENOTDIR),
         }
+    }
+
+    /// Probes the resolve cache for `path`. A hit re-runs the EXECUTE checks
+    /// over the recorded parent chain with the *current* actor — permission
+    /// failures surface exactly as the walk would surface them. Returns
+    /// `Ok(None)` on a miss (stale generation, uncached path).
+    fn resolve_cache_probe(&self, actor: &Actor, path: &str) -> KResult<Option<Ino>> {
+        let entry = {
+            let cache = self.resolve_cache.lock().expect("resolve cache poisoned");
+            match cache.get(path) {
+                Some(e) if e.generation == self.generation => *e,
+                _ => return Ok(None),
+            }
+        };
+        for &dir in &entry.parents[..entry.parents_len as usize] {
+            let dir_inode = match self.inodes.get(dir) {
+                Some(i) => i,
+                None => return Ok(None),
+            };
+            if !dir_inode.is_dir() {
+                return Ok(None);
+            }
+            actor.check_access(dir_inode, Access::EXECUTE)?;
+        }
+        Ok(Some(entry.ino))
+    }
+
+    /// Records a symlink-free resolution under its raw path key.
+    fn resolve_cache_store(&self, path: &str, ino: Ino, parents: &[Ino]) {
+        if parents.len() > RESOLVE_CACHE_MAX_DEPTH {
+            return;
+        }
+        let mut entry = ResolveEntry {
+            generation: self.generation,
+            ino,
+            parents: [0; RESOLVE_CACHE_MAX_DEPTH],
+            parents_len: parents.len() as u8,
+        };
+        entry.parents[..parents.len()].copy_from_slice(parents);
+        let mut cache = self.resolve_cache.lock().expect("resolve cache poisoned");
+        if let Some(slot) = cache.get_mut(path) {
+            *slot = entry;
+            return;
+        }
+        if cache.len() >= RESOLVE_CACHE_MAX_ENTRIES {
+            cache.clear();
+        }
+        cache.insert(path.to_string(), entry);
     }
 
     fn resolve_inner(
@@ -171,41 +311,74 @@ impl Filesystem {
         if depth > MAX_SYMLINK_DEPTH {
             return Err(Errno::ELOOP);
         }
-        let comps = Self::components(path);
+        if let Some(ino) = self.resolve_cache_probe(actor, path)? {
+            return Ok(ino);
+        }
+        let comps = PathComponents::parse(path);
+        self.walk_components(actor, comps.as_slice(), follow_final, depth, Some(path))
+    }
+
+    /// The resolution walk over borrowed components. `cache_key` is the raw
+    /// path to record a symlink-free result under (`None` skips caching —
+    /// used for parent walks of non-canonical paths).
+    fn walk_components(
+        &self,
+        actor: &Actor,
+        comps: &[&str],
+        follow_final: bool,
+        depth: u32,
+        cache_key: Option<&str>,
+    ) -> KResult<Ino> {
+        let mut parents: [Ino; RESOLVE_CACHE_MAX_DEPTH] = [0; RESOLVE_CACHE_MAX_DEPTH];
+        let mut cacheable = comps.len() <= RESOLVE_CACHE_MAX_DEPTH;
         let mut cur = self.root;
-        for (i, name) in comps.iter().enumerate() {
+        for (i, &name) in comps.iter().enumerate() {
             let is_last = i + 1 == comps.len();
             let dir_inode = self.inode(cur)?;
             if !dir_inode.is_dir() {
                 return Err(Errno::ENOTDIR);
             }
             actor.check_access(dir_inode, Access::EXECUTE)?;
+            if cacheable {
+                parents[i] = cur;
+            }
             let child = self.lookup_in_dir(cur, name)?;
             let child_inode = self.inode(child)?;
-            if child_inode.is_symlink() && (!is_last || follow_final) {
-                let target = match &child_inode.data {
-                    InodeData::Symlink { target } => target.clone(),
-                    _ => unreachable!(),
-                };
-                let resolved_path = if target.starts_with('/') {
-                    let rest = comps[i + 1..].join("/");
-                    if rest.is_empty() {
-                        target
+            if child_inode.is_symlink() {
+                if !is_last || follow_final {
+                    let target = match &child_inode.data {
+                        InodeData::Symlink { target } => target.as_str(),
+                        _ => unreachable!(),
+                    };
+                    let resolved_path = if target.starts_with('/') {
+                        let rest = comps[i + 1..].join("/");
+                        if rest.is_empty() {
+                            target.to_string()
+                        } else {
+                            format!("{}/{}", target, rest)
+                        }
                     } else {
-                        format!("{}/{}", target, rest)
-                    }
-                } else {
-                    let parent = comps[..i].join("/");
-                    let rest = comps[i + 1..].join("/");
-                    let mut p = format!("/{}/{}", parent, target);
-                    if !rest.is_empty() {
-                        p = format!("{}/{}", p, rest);
-                    }
-                    p
-                };
-                return self.resolve_inner(actor, &resolved_path, follow_final, depth + 1);
+                        let parent = comps[..i].join("/");
+                        let rest = comps[i + 1..].join("/");
+                        let mut p = format!("/{}/{}", parent, target);
+                        if !rest.is_empty() {
+                            p = format!("{}/{}", p, rest);
+                        }
+                        p
+                    };
+                    return self.resolve_inner(actor, &resolved_path, follow_final, depth + 1);
+                }
+                // `lstat` of a final symlink: a valid result, but `resolve`
+                // and `resolve_no_follow` would disagree on this path, so it
+                // must not enter the shared cache.
+                cacheable = false;
             }
             cur = child;
+        }
+        if cacheable && !comps.is_empty() {
+            if let Some(key) = cache_key {
+                self.resolve_cache_store(key, cur, &parents[..comps.len()]);
+            }
         }
         Ok(cur)
     }
@@ -223,14 +396,24 @@ impl Filesystem {
     /// Resolves the parent directory of `path`, returning `(parent_ino,
     /// final_name)`.
     pub fn resolve_parent(&self, actor: &Actor, path: &str) -> KResult<(Ino, String)> {
-        let comps = Self::components(path);
-        let name = comps.last().ok_or(Errno::EINVAL)?.clone();
-        let parent_path = format!("/{}", comps[..comps.len() - 1].join("/"));
-        let parent = self.resolve(actor, &parent_path)?;
+        // Clean absolute paths (the overwhelmingly common case) split by
+        // slice, so the parent lookup hits the resolve cache without
+        // building a parent path string.
+        if let Some((parent_path, name)) = clean_parent_split(path) {
+            let parent = self.resolve(actor, parent_path)?;
+            if !self.inode(parent)?.is_dir() {
+                return Err(Errno::ENOTDIR);
+            }
+            return Ok((parent, name.to_string()));
+        }
+        let comps = PathComponents::parse(path);
+        let comps = comps.as_slice();
+        let (&name, dir_comps) = comps.split_last().ok_or(Errno::EINVAL)?;
+        let parent = self.walk_components(actor, dir_comps, true, 0, None)?;
         if !self.inode(parent)?.is_dir() {
             return Err(Errno::ENOTDIR);
         }
-        Ok((parent, name))
+        Ok((parent, name.to_string()))
     }
 
     /// True if the path exists (for the given actor's view).
@@ -252,26 +435,80 @@ impl Filesystem {
     /// checks. Used by base-image construction and archive extraction when
     /// acting as the image author.
     pub fn install_dir(&mut self, path: &str, uid: Uid, gid: Gid, mode: Mode) -> KResult<Ino> {
-        let comps = Self::components(path);
+        let comps = PathComponents::parse(path);
+        self.install_dir_comps(comps.as_slice(), uid, gid, mode)
+    }
+
+    /// [`Filesystem::install_dir`] over pre-split borrowed components; names
+    /// are copied only when a directory is actually created.
+    fn install_dir_comps(
+        &mut self,
+        comps: &[&str],
+        uid: Uid,
+        gid: Gid,
+        mode: Mode,
+    ) -> KResult<Ino> {
         let mut cur = self.root;
-        for name in comps {
+        for &name in comps {
             let existing = {
                 let inode = self.inode(cur)?;
                 if !inode.is_dir() {
                     return Err(Errno::ENOTDIR);
                 }
-                inode.entries().get(&name).copied()
+                inode.entries().get(name).copied()
             };
             cur = match existing {
                 Some(i) => i,
                 None => {
                     let ino = self.alloc(InodeData::empty_dir(), uid, gid, mode);
-                    self.inode_mut(cur)?.entries_mut().insert(name, ino);
+                    self.link_entry(cur, name.to_string(), ino)?;
                     ino
                 }
             };
         }
         Ok(cur)
+    }
+
+    /// Creates or replaces the entry `name` under the directory `parent`
+    /// without permission checks.
+    ///
+    /// A **regular-file** install over an existing entry rewrites that inode
+    /// in place (the historical `install_file` overwrite semantics — hard
+    /// links observe the new content). Installing any **other** kind over an
+    /// existing entry allocates a fresh inode and repoints the entry, so a
+    /// hard-linked destination file is never converted into a symlink or
+    /// device through one of its names.
+    fn install_node(
+        &mut self,
+        parent: Ino,
+        name: &str,
+        data: InodeData,
+        uid: Uid,
+        gid: Gid,
+        mode: Mode,
+    ) -> KResult<Ino> {
+        let parent_inode = self.inode(parent)?;
+        if !parent_inode.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        let existing = parent_inode.entries().get(name).copied();
+        if let (Some(existing), InodeData::Regular { .. }) = (existing, &data) {
+            let tick = self.tick();
+            // In-place rewrite can change the entry's file type (e.g. a
+            // symlink becomes a regular file), so this is a structural
+            // mutation — `inode_mut` bumps the generation.
+            let inode = self.inode_mut(existing)?;
+            inode.data = data;
+            inode.uid = uid;
+            inode.gid = gid;
+            inode.mode = mode;
+            inode.mtime = tick;
+            return Ok(existing);
+        }
+        let ino = self.alloc(data, uid, gid, mode);
+        // `link_entry` bumps the generation when this replaces an entry.
+        self.link_entry(parent, name.to_string(), ino)?;
+        Ok(ino)
     }
 
     /// Installs a regular file without permission checks, creating parent
@@ -287,27 +524,18 @@ impl Filesystem {
         gid: Gid,
         mode: Mode,
     ) -> KResult<Ino> {
-        let comps = Self::components(path);
-        if comps.is_empty() {
-            return Err(Errno::EINVAL);
-        }
-        let dir_path = comps[..comps.len() - 1].join("/");
-        let parent = self.install_dir(&dir_path, uid, gid, Mode::new(0o755))?;
-        let name = comps.last().unwrap().clone();
-        let content = content.into();
-        if let Some(&existing) = self.inode(parent)?.entries().get(&name) {
-            let tick = self.tick();
-            let inode = self.inode_mut(existing)?;
-            inode.data = InodeData::file(content);
-            inode.uid = uid;
-            inode.gid = gid;
-            inode.mode = mode;
-            inode.mtime = tick;
-            return Ok(existing);
-        }
-        let ino = self.alloc(InodeData::file(content), uid, gid, mode);
-        self.inode_mut(parent)?.entries_mut().insert(name, ino);
-        Ok(ino)
+        let comps = PathComponents::parse(path);
+        let comps = comps.as_slice();
+        let (&name, dir_comps) = comps.split_last().ok_or(Errno::EINVAL)?;
+        let parent = self.install_dir_comps(dir_comps, uid, gid, Mode::new(0o755))?;
+        self.install_node(
+            parent,
+            name,
+            InodeData::file(content.into()),
+            uid,
+            gid,
+            mode,
+        )
     }
 
     /// Installs a symlink without permission checks.
@@ -318,13 +546,10 @@ impl Filesystem {
         uid: Uid,
         gid: Gid,
     ) -> KResult<Ino> {
-        let comps = Self::components(path);
-        if comps.is_empty() {
-            return Err(Errno::EINVAL);
-        }
-        let dir_path = comps[..comps.len() - 1].join("/");
-        let parent = self.install_dir(&dir_path, uid, gid, Mode::new(0o755))?;
-        let name = comps.last().unwrap().clone();
+        let comps = PathComponents::parse(path);
+        let comps = comps.as_slice();
+        let (&name, dir_comps) = comps.split_last().ok_or(Errno::EINVAL)?;
+        let parent = self.install_dir_comps(dir_comps, uid, gid, Mode::new(0o755))?;
         let ino = self.alloc(
             InodeData::Symlink {
                 target: target.to_string(),
@@ -333,7 +558,7 @@ impl Filesystem {
             gid,
             Mode::new(0o777),
         );
-        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        self.link_entry(parent, name.to_string(), ino)?;
         Ok(ino)
     }
 
@@ -351,15 +576,12 @@ impl Filesystem {
         if !self.backend.supports_device_nodes() {
             return Err(Errno::EPERM);
         }
-        let comps = Self::components(path);
-        if comps.is_empty() {
-            return Err(Errno::EINVAL);
-        }
-        let dir_path = comps[..comps.len() - 1].join("/");
-        let parent = self.install_dir(&dir_path, uid, gid, Mode::new(0o755))?;
-        let name = comps.last().unwrap().clone();
+        let comps = PathComponents::parse(path);
+        let comps = comps.as_slice();
+        let (&name, dir_comps) = comps.split_last().ok_or(Errno::EINVAL)?;
+        let parent = self.install_dir_comps(dir_comps, uid, gid, Mode::new(0o755))?;
         let ino = self.alloc(InodeData::CharDevice { major, minor }, uid, gid, mode);
-        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        self.link_entry(parent, name.to_string(), ino)?;
         Ok(ino)
     }
 
@@ -388,8 +610,37 @@ impl Filesystem {
             actor.creds.egid
         };
         let ino = self.alloc(InodeData::empty_dir(), actor.creds.euid, gid, mode);
-        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        self.link_entry(parent, name, ino)?;
         Ok(ino)
+    }
+
+    /// `mkdir -p`: creates `path` — or, with `parents_only`, just its
+    /// ancestors — level by level *with* permission checks, skipping
+    /// components that already exist. One reused buffer and borrowed
+    /// components; this is the hot preamble of every package payload write.
+    pub fn mkdir_p(
+        &mut self,
+        actor: &Actor,
+        path: &str,
+        mode: Mode,
+        parents_only: bool,
+    ) -> KResult<()> {
+        let comps = PathComponents::parse(path);
+        let comps = comps.as_slice();
+        let take = if parents_only {
+            comps.len().saturating_sub(1)
+        } else {
+            comps.len()
+        };
+        let mut partial = String::with_capacity(path.len());
+        for &comp in &comps[..take] {
+            partial.push('/');
+            partial.push_str(comp);
+            if !self.exists(actor, &partial) {
+                self.mkdir(actor, &partial, mode)?;
+            }
+        }
+        Ok(())
     }
 
     /// Creates or truncates a regular file with the given content
@@ -412,8 +663,17 @@ impl Filesystem {
                     return Err(Errno::EISDIR);
                 }
                 actor.check_access(inode, Access::WRITE)?;
+                let was_symlink = inode.is_symlink();
                 let tick = self.tick();
-                let inode = self.inode_mut(ino)?;
+                // A regular-file content rewrite leaves the name → inode
+                // mapping untouched (quiet borrow, cached resolutions stay
+                // valid); replacing a symlink changes resolution behaviour
+                // and must bump the generation.
+                let inode = if was_symlink {
+                    self.inode_mut(ino)?
+                } else {
+                    self.inode_mut_quiet(ino)?
+                };
                 inode.data = InodeData::file(content);
                 inode.mtime = tick;
                 Ok(ino)
@@ -427,7 +687,7 @@ impl Filesystem {
                     actor.creds.egid
                 };
                 let ino = self.alloc(InodeData::file(content), actor.creds.euid, gid, mode);
-                self.inode_mut(parent)?.entries_mut().insert(name, ino);
+                self.link_entry(parent, name, ino)?;
                 Ok(ino)
             }
         }
@@ -447,7 +707,7 @@ impl Filesystem {
                 let inode = self.inode(ino)?;
                 actor.check_access(inode, Access::WRITE)?;
                 let tick = self.tick();
-                let inode = self.inode_mut(ino)?;
+                let inode = self.inode_mut_quiet(ino)?;
                 if let InodeData::Regular { content: existing } = &mut inode.data {
                     existing.to_mut().extend_from_slice(content);
                     inode.mtime = tick;
@@ -579,7 +839,7 @@ impl Filesystem {
             actor.creds.egid,
             Mode::new(0o777),
         );
-        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        self.link_entry(parent, name, ino)?;
         Ok(ino)
     }
 
@@ -596,8 +856,8 @@ impl Filesystem {
         if parent_inode.entries().contains_key(&name) {
             return Err(Errno::EEXIST);
         }
-        self.inode_mut(parent)?.entries_mut().insert(name, src);
-        self.inode_mut(src)?.nlink += 1;
+        self.link_entry(parent, name, src)?;
+        self.inode_mut_quiet(src)?.nlink += 1;
         Ok(())
     }
 
@@ -713,7 +973,9 @@ impl Filesystem {
             }
         }
         let tick = self.tick();
-        let inode = self.inode_mut(ino)?;
+        // Ownership-only change: cached resolutions re-run access checks on
+        // every hit, so no structural invalidation is needed.
+        let inode = self.inode_mut_quiet(ino)?;
         if let Some(u) = host_uid {
             inode.uid = u;
         }
@@ -747,7 +1009,8 @@ impl Filesystem {
             mode = Mode::new(mode.bits() & !Mode::SETGID);
         }
         let tick = self.tick();
-        let inode = self.inode_mut(ino)?;
+        // Mode-only change: see `chown_ino` — access is re-checked on hits.
+        let inode = self.inode_mut_quiet(ino)?;
         inode.mode = mode;
         inode.mtime = tick;
         Ok(())
@@ -802,7 +1065,7 @@ impl Filesystem {
             FileType::Directory | FileType::Symlink => return Err(Errno::EINVAL),
         };
         let ino = self.alloc(data, actor.creds.euid, actor.creds.egid, mode);
-        self.inode_mut(parent)?.entries_mut().insert(name, ino);
+        self.link_entry(parent, name, ino)?;
         Ok(ino)
     }
 
@@ -871,7 +1134,7 @@ impl Filesystem {
         let ino = self.resolve(actor, path)?;
         let inode = self.inode(ino)?;
         actor.check_access(inode, Access::WRITE)?;
-        let inode = self.inode_mut(ino)?;
+        let inode = self.inode_mut_quiet(ino)?;
         inode.xattrs.insert(name.to_string(), value.to_vec());
         Ok(())
     }
@@ -926,6 +1189,10 @@ impl Filesystem {
     /// this filesystem, preserving ownership, modes, and xattrs. Performed
     /// without permission checks (used by runtimes and storage drivers acting
     /// as the storage owner). Returns the number of inodes copied.
+    ///
+    /// The recursion carries destination *parent inodes* instead of path
+    /// strings, so each copied inode costs O(1) installs — not a fresh
+    /// root-to-leaf walk over a freshly formatted path.
     pub fn copy_tree_from(
         &mut self,
         src: &Filesystem,
@@ -936,8 +1203,36 @@ impl Filesystem {
         let host_ns = hpcc_kernel::UserNamespace::initial();
         let actor = Actor::new(&root_creds, &host_ns);
         let src_ino = src.resolve(&actor, src_path)?;
+        let src_inode = src.inode(src_ino)?;
+        let (uid, gid) = (src_inode.uid, src_inode.gid);
+        let parent_mode = if src_inode.is_dir() {
+            src_inode.mode
+        } else {
+            Mode::new(0o755)
+        };
+        let comps = PathComponents::parse(dst_path);
+        let comps = comps.as_slice();
         let mut count = 0;
-        self.copy_inode_recursive(src, src_ino, dst_path, &mut count)?;
+        match comps.split_last() {
+            None => {
+                // Copying *into* the destination root merges the source
+                // directory's children under `/`.
+                let inode = src.inode(src_ino)?.clone();
+                let InodeData::Directory { entries } = &inode.data else {
+                    return Err(Errno::EINVAL);
+                };
+                count += 1;
+                let root = self.root;
+                self.inode_mut_quiet(root)?.xattrs = inode.xattrs.clone();
+                for (name, &child) in entries {
+                    self.copy_inode_recursive(src, child, root, name, &mut count)?;
+                }
+            }
+            Some((&name, dir_comps)) => {
+                let parent = self.install_dir_comps(dir_comps, uid, gid, parent_mode)?;
+                self.copy_inode_recursive(src, src_ino, parent, name, &mut count)?;
+            }
+        }
         Ok(count)
     }
 
@@ -945,44 +1240,89 @@ impl Filesystem {
         &mut self,
         src: &Filesystem,
         src_ino: Ino,
-        dst_path: &str,
+        dst_parent: Ino,
+        name: &str,
         count: &mut usize,
     ) -> KResult<()> {
         let inode = src.inode(src_ino)?.clone();
         *count += 1;
         match &inode.data {
             InodeData::Directory { entries } => {
-                let ino = self.install_dir(dst_path, inode.uid, inode.gid, inode.mode)?;
-                self.inode_mut(ino)?.xattrs = inode.xattrs.clone();
-                for (name, &child) in entries {
-                    self.copy_inode_recursive(
-                        src,
-                        child,
-                        &format!("{}/{}", dst_path, name),
-                        count,
-                    )?;
+                let parent_inode = self.inode(dst_parent)?;
+                if !parent_inode.is_dir() {
+                    return Err(Errno::ENOTDIR);
+                }
+                // An existing directory is reused as-is (ownership kept);
+                // only its xattrs are refreshed from the source.
+                let ino = match parent_inode.entries().get(name).copied() {
+                    Some(i) => i,
+                    None => {
+                        let ino =
+                            self.alloc(InodeData::empty_dir(), inode.uid, inode.gid, inode.mode);
+                        self.link_entry(dst_parent, name.to_string(), ino)?;
+                        ino
+                    }
+                };
+                self.inode_mut_quiet(ino)?.xattrs = inode.xattrs.clone();
+                for (child_name, &child) in entries {
+                    self.copy_inode_recursive(src, child, ino, child_name, count)?;
                 }
             }
             InodeData::Regular { content } => {
                 // Shares the bytes with the source tree (copy-on-write).
-                let ino =
-                    self.install_file(dst_path, content.clone(), inode.uid, inode.gid, inode.mode)?;
-                self.inode_mut(ino)?.xattrs = inode.xattrs.clone();
+                let ino = self.install_node(
+                    dst_parent,
+                    name,
+                    InodeData::Regular {
+                        content: content.clone(),
+                    },
+                    inode.uid,
+                    inode.gid,
+                    inode.mode,
+                )?;
+                self.inode_mut_quiet(ino)?.xattrs = inode.xattrs.clone();
             }
             InodeData::Symlink { target } => {
-                self.install_symlink(dst_path, target, inode.uid, inode.gid)?;
+                self.install_node(
+                    dst_parent,
+                    name,
+                    InodeData::Symlink {
+                        target: target.clone(),
+                    },
+                    inode.uid,
+                    inode.gid,
+                    Mode::new(0o777),
+                )?;
             }
             InodeData::CharDevice { major, minor } => {
                 // Device nodes may be unsupported on the destination backend;
                 // propagate the error so callers can decide.
-                self.install_char_device(
-                    dst_path, *major, *minor, inode.uid, inode.gid, inode.mode,
+                if !self.backend.supports_device_nodes() {
+                    return Err(Errno::EPERM);
+                }
+                self.install_node(
+                    dst_parent,
+                    name,
+                    InodeData::CharDevice {
+                        major: *major,
+                        minor: *minor,
+                    },
+                    inode.uid,
+                    inode.gid,
+                    inode.mode,
                 )?;
             }
             InodeData::BlockDevice { .. } | InodeData::Fifo | InodeData::Socket => {
                 // Rare in images; recreate as empty regular files to keep the
                 // tree shape (documented simplification).
-                self.install_file(dst_path, Vec::new(), inode.uid, inode.gid, inode.mode)?;
+                self.install_node(
+                    dst_parent,
+                    name,
+                    InodeData::file(Vec::new()),
+                    inode.uid,
+                    inode.gid,
+                    inode.mode,
+                )?;
             }
         }
         Ok(())
@@ -1018,9 +1358,9 @@ impl Filesystem {
         group_name: impl Fn(Gid) -> String,
     ) -> KResult<String> {
         let st = self.lstat(actor, path)?;
-        let name = Filesystem::components(path)
+        let name = PathComponents::parse(path)
             .last()
-            .cloned()
+            .map(|s| s.to_string())
             .unwrap_or_else(|| "/".to_string());
         let size_field = match st.rdev {
             Some((maj, min)) => format!("{}, {}", maj, min),
@@ -1375,6 +1715,35 @@ mod tests {
         );
         let paths: Vec<String> = dst.walk().into_iter().map(|(p, _)| p).collect();
         assert!(paths.contains(&"/srv/opt/app/bin/run".to_string()));
+    }
+
+    #[test]
+    fn copy_tree_symlink_over_hard_linked_file_keeps_other_links_intact() {
+        // dst has /bin/bash hard-linked to /bin/sh; src replaces /bin/sh
+        // with a symlink. The copy must repoint the /bin/sh entry to a fresh
+        // inode — never rewrite the shared inode, which would convert
+        // /bin/bash into a symlink through its sibling name.
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        let mut dst = Filesystem::new_local();
+        dst.install_file("/bin/bash", b"elf".to_vec(), Uid(0), Gid(0), Mode::EXEC_755)
+            .unwrap();
+        dst.link(&actor, "/bin/bash", "/bin/sh").unwrap();
+        let mut src = Filesystem::new_local();
+        src.install_dir("/bin", Uid(0), Gid(0), Mode::DIR_755)
+            .unwrap();
+        src.install_symlink("/bin/sh", "dash", Uid(0), Gid(0))
+            .unwrap();
+        dst.copy_tree_from(&src, "/bin", "/bin").unwrap();
+        assert_eq!(
+            dst.lstat(&actor, "/bin/sh").unwrap().file_type,
+            FileType::Symlink
+        );
+        assert_eq!(
+            dst.lstat(&actor, "/bin/bash").unwrap().file_type,
+            FileType::Regular
+        );
+        assert_eq!(dst.read_file(&actor, "/bin/bash").unwrap(), b"elf");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod fs;
 pub mod inode;
 pub mod mode;
 pub mod overlay;
+pub mod path;
 pub mod sharedfs;
 pub mod table;
 pub mod tar;
@@ -26,6 +27,7 @@ pub use fs::Filesystem;
 pub use inode::{Ino, Inode, InodeData, Stat};
 pub use mode::{Access, FileType, Mode};
 pub use overlay::{OverlayBackend, OverlayFs, OverlayStats};
+pub use path::PathComponents;
 pub use sharedfs::FsBackend;
 pub use table::{cow_detach_nodes, InodeTable};
 
@@ -119,6 +121,99 @@ mod proptests {
             let ns = UserNamespace::initial();
             let actor = Actor::new(&creds, &ns);
             prop_assert!(fs.write_file(&actor, "/data/f", b"y".to_vec(), Mode::FILE_644).is_err());
+        }
+
+        /// The borrowed `PathComponents` normalizes byte-for-byte like the
+        /// seed's owned `components()` did, across `//`, `.`, `..`, and
+        /// trailing slashes (the oracle below is the seed implementation).
+        #[test]
+        fn path_components_match_legacy_split(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+            fn legacy(path: &str) -> Vec<String> {
+                let mut out: Vec<String> = Vec::new();
+                for part in path.split('/') {
+                    match part {
+                        "" | "." => {}
+                        ".." => { out.pop(); }
+                        p => out.push(p.to_string()),
+                    }
+                }
+                out
+            }
+            // Build a path mixing empty, dot, dotdot, and named components,
+            // absolute or relative, with or without a trailing slash.
+            let mut path = String::new();
+            if bytes.len() % 2 == 0 {
+                path.push('/');
+            }
+            for &b in &bytes {
+                match b % 7 {
+                    0 => path.push_str("//"),
+                    1 => path.push_str("./"),
+                    2 => path.push_str("../"),
+                    3 => path.push_str("a/"),
+                    4 => path.push_str("bc/"),
+                    5 => path.push_str("name7/"),
+                    _ => path.push_str(".hidden/"),
+                }
+            }
+            let byte_sum: u32 = bytes.iter().map(|&b| b as u32).sum();
+            if byte_sum % 3 == 0 && path.ends_with('/') && path.len() > 1 {
+                path.pop(); // sometimes drop the trailing slash
+            }
+            let new: Vec<&str> = path::PathComponents::parse(&path).as_slice().to_vec();
+            let old = legacy(&path);
+            prop_assert_eq!(new, old.iter().map(String::as_str).collect::<Vec<_>>());
+            // And the compatibility wrapper stays identical to the oracle.
+            prop_assert_eq!(Filesystem::components(&path), old);
+        }
+
+        /// Resolve-cache coherence: random interleavings of structural
+        /// mutations, metadata changes, and lookups never let a cached
+        /// resolution diverge from a cold walk — for a privileged *and* an
+        /// unprivileged actor (hits re-run the unprivileged access checks).
+        #[test]
+        fn resolve_cache_never_returns_stale_inodes(
+            ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..48)) {
+            const POOL: [&str; 10] = [
+                "/a", "/a/b", "/a/b/f1", "/a/b/f2", "/c", "/c/d", "/c/d/f3",
+                "/f4", "/a/link", "/c/d/e",
+            ];
+            let mut fs = Filesystem::new_local();
+            let root_creds = Credentials::host_root();
+            let ns = UserNamespace::initial();
+            let root = Actor::new(&root_creds, &ns);
+            let alice_creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+            let alice = Actor::new(&alice_creds, &ns);
+            for (op, i, j) in ops {
+                let p1 = POOL[i as usize % POOL.len()];
+                let p2 = POOL[j as usize % POOL.len()];
+                match op % 8 {
+                    0 => { let _ = fs.write_file(&root, p1, b"x".to_vec(), Mode::FILE_644); }
+                    1 => { let _ = fs.mkdir(&root, p1, Mode::DIR_755); }
+                    2 => { let _ = fs.unlink(&root, p1); }
+                    3 => { let _ = fs.rmdir(&root, p1); }
+                    4 => { let _ = fs.rename(&root, p1, p2); }
+                    5 => { let _ = fs.chmod(&root, p1, Mode::new(if op % 2 == 0 { 0o700 } else { 0o755 })); }
+                    6 => { let _ = fs.symlink(&root, p2, p1); }
+                    _ => { let _ = fs.install_file(p1, b"i".to_vec(), Uid(0), Gid(0), Mode::FILE_644); }
+                }
+                // Warm lookups (second call may be served by the cache) must
+                // match a cold-cache clone's ground-truth walk exactly —
+                // same inode or same errno, for both actors.
+                for p in [p1, p2] {
+                    let cold = fs.clone();
+                    for actor in [&root, &alice] {
+                        let warm1 = fs.resolve(actor, p);
+                        let warm2 = fs.resolve(actor, p);
+                        let truth = cold.resolve(actor, p);
+                        prop_assert_eq!(warm1, truth, "path {} diverged (first)", p);
+                        prop_assert_eq!(warm2, truth, "path {} diverged (second)", p);
+                        let warm_nf = fs.resolve_no_follow(actor, p);
+                        prop_assert_eq!(warm_nf, cold.resolve_no_follow(actor, p),
+                                        "no-follow path {} diverged", p);
+                    }
+                }
+            }
         }
     }
 }

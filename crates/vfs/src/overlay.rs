@@ -83,12 +83,7 @@ pub struct OverlayFs {
 }
 
 fn norm(path: &str) -> String {
-    let comps = Filesystem::components(path);
-    if comps.is_empty() {
-        "/".to_string()
-    } else {
-        format!("/{}", comps.join("/"))
-    }
+    crate::path::canonical(path)
 }
 
 fn root_actor_creds() -> (Credentials, UserNamespace) {
@@ -234,14 +229,16 @@ impl OverlayFs {
     /// copying metadata from the merged view (the "copy up directory chain"
     /// step of a copy-up).
     fn copy_up_parents(&mut self, path: &str) -> KResult<()> {
-        let comps = Filesystem::components(path);
+        let comps = crate::path::PathComponents::parse(path);
+        let comps = comps.as_slice();
         if comps.is_empty() {
             return Ok(());
         }
         let (creds, ns) = root_actor_creds();
-        let mut prefix = String::new();
-        for comp in &comps[..comps.len() - 1] {
-            prefix = format!("{}/{}", prefix, comp);
+        let mut prefix = String::with_capacity(path.len());
+        for &comp in &comps[..comps.len() - 1] {
+            prefix.push('/');
+            prefix.push_str(comp);
             let actor = Actor::new(&creds, &ns);
             if self.upper.exists(&actor, &prefix) {
                 continue;

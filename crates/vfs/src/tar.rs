@@ -70,21 +70,35 @@ pub struct TarEntry {
     pub dev: Option<(u32, u32)>,
 }
 
+/// Writes `value` as zero-padded octal digits with a trailing NUL — the old
+/// `format!("{:0width$o}")` allocated a `String` per field, eight fields per
+/// entry, on the layer-packing hot path.
 fn octal_field(buf: &mut [u8], value: u64) {
-    let s = format!("{:0width$o}", value, width = buf.len() - 1);
-    let bytes = s.as_bytes();
-    let n = bytes.len().min(buf.len() - 1);
-    buf[..n].copy_from_slice(&bytes[bytes.len() - n..]);
-    buf[buf.len() - 1] = 0;
+    let n = buf.len() - 1;
+    buf[n] = 0;
+    let mut v = value;
+    for slot in buf[..n].iter_mut().rev() {
+        *slot = b'0' + (v & 7) as u8;
+        v >>= 3;
+    }
 }
 
+/// Parses an octal header field in place (no intermediate `String`).
 fn parse_octal(field: &[u8]) -> u64 {
-    let s: String = field
-        .iter()
-        .take_while(|&&b| b != 0)
-        .map(|&b| b as char)
-        .collect();
-    u64::from_str_radix(s.trim(), 8).unwrap_or(0)
+    let mut out = 0u64;
+    let mut seen_digit = false;
+    for &b in field {
+        match b {
+            0 => break,
+            b' ' if !seen_digit => {}
+            b'0'..=b'7' => {
+                seen_digit = true;
+                out = (out << 3) | (b - b'0') as u64;
+            }
+            _ => break,
+        }
+    }
+    out
 }
 
 fn type_flag(ft: FileType) -> u8 {
@@ -129,15 +143,16 @@ fn io_err(_: std::io::Error) -> Errno {
 
 fn write_header<W: std::io::Write>(f: &HeaderFields<'_>, out: &mut W) -> KResult<()> {
     let mut hdr = [0u8; BLOCK];
-    let name = if f.file_type == FileType::Directory {
-        format!("{}/", f.path)
-    } else {
-        f.path.to_string()
-    };
-    if name.len() > 100 {
+    // Name written in place — no `String` is built per entry.
+    let is_dir = f.file_type == FileType::Directory;
+    let name_len = f.path.len() + usize::from(is_dir);
+    if name_len > 100 {
         return Err(Errno::ENAMETOOLONG);
     }
-    hdr[..name.len()].copy_from_slice(name.as_bytes());
+    hdr[..f.path.len()].copy_from_slice(f.path.as_bytes());
+    if is_dir {
+        hdr[f.path.len()] = b'/';
+    }
     octal_field(&mut hdr[100..108], f.mode.bits() as u64);
     octal_field(&mut hdr[108..116], f.uid as u64);
     octal_field(&mut hdr[116..124], f.gid as u64);
@@ -167,8 +182,14 @@ fn write_header<W: std::io::Write>(f: &HeaderFields<'_>, out: &mut W) -> KResult
         *b = b' ';
     }
     let sum: u64 = hdr.iter().map(|&b| b as u64).sum();
-    let s = format!("{:06o}\0 ", sum);
-    hdr[148..156].copy_from_slice(s.as_bytes());
+    // Rendered as six octal digits, NUL, space (max possible sum fits).
+    let mut v = sum;
+    for slot in hdr[148..154].iter_mut().rev() {
+        *slot = b'0' + (v & 7) as u8;
+        v >>= 3;
+    }
+    hdr[154] = 0;
+    hdr[155] = b' ';
     out.write_all(&hdr).map_err(io_err)
 }
 
@@ -187,8 +208,8 @@ pub fn pack_into<W: std::io::Write>(
 ) -> KResult<()> {
     const ZEROES: [u8; BLOCK] = [0u8; BLOCK];
     let prefix = {
-        let comps = Filesystem::components(root_path);
-        format!("/{}", comps.join("/"))
+        let comps = crate::path::PathComponents::parse(root_path);
+        format!("/{}", comps.as_slice().join("/"))
     };
     for (path, ino) in fs.walk() {
         if !(path.starts_with(&prefix) || prefix == "/") {
@@ -261,46 +282,109 @@ pub fn pack(
     Ok(out)
 }
 
-/// Parses a ustar archive into entries.
-pub fn list(archive: &[u8]) -> KResult<Vec<TarEntry>> {
-    let mut entries = Vec::new();
-    let mut off = 0;
-    while off + BLOCK <= archive.len() {
-        let hdr = &archive[off..off + BLOCK];
-        if hdr.iter().all(|&b| b == 0) {
-            break;
+/// One entry *borrowed* from an archive buffer: header fields plus a content
+/// slice. Nothing is copied — [`entries`] parses a whole archive without
+/// materializing any entry body, which is what lets [`unpack`] move bytes
+/// from the wire straight into [`crate::bytes::FileBytes`] handles with a
+/// single copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TarEntryRef<'a> {
+    /// Path, relative, without a leading slash or trailing `/`.
+    pub path: &'a str,
+    /// Entry type.
+    pub file_type: FileType,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Recorded owner UID.
+    pub uid: u32,
+    /// Recorded owner GID.
+    pub gid: u32,
+    /// File contents, borrowed from the archive (empty for non-regular
+    /// entries).
+    pub content: &'a [u8],
+    /// Symlink target.
+    pub link_target: &'a str,
+    /// Device numbers.
+    pub dev: Option<(u32, u32)>,
+}
+
+impl TarEntryRef<'_> {
+    /// Copies the borrowed entry into an owned [`TarEntry`].
+    pub fn to_owned_entry(&self) -> TarEntry {
+        TarEntry {
+            path: self.path.to_string(),
+            file_type: self.file_type,
+            mode: self.mode,
+            uid: self.uid,
+            gid: self.gid,
+            content: self.content.to_vec(),
+            link_target: self.link_target.to_string(),
+            dev: self.dev,
         }
-        let name: String = hdr[..100]
-            .iter()
-            .take_while(|&&b| b != 0)
-            .map(|&b| b as char)
-            .collect();
+    }
+}
+
+/// Streaming archive parser: yields borrowed entries in order.
+#[derive(Debug, Clone)]
+pub struct TarIter<'a> {
+    archive: &'a [u8],
+    off: usize,
+    done: bool,
+}
+
+fn header_str(field: &[u8]) -> KResult<&str> {
+    let end = field.iter().position(|&b| b == 0).unwrap_or(field.len());
+    std::str::from_utf8(&field[..end]).map_err(|_| Errno::EINVAL)
+}
+
+impl<'a> Iterator for TarIter<'a> {
+    type Item = KResult<TarEntryRef<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.off + BLOCK > self.archive.len() {
+            return None;
+        }
+        let hdr = &self.archive[self.off..self.off + BLOCK];
+        if hdr.iter().all(|&b| b == 0) {
+            self.done = true;
+            return None;
+        }
+        let name = match header_str(&hdr[..100]) {
+            Ok(n) => n,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+        };
+        let link_target = match header_str(&hdr[157..257]) {
+            Ok(t) => t,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+        };
         let mode = Mode::new(parse_octal(&hdr[100..108]) as u16);
         let uid = parse_octal(&hdr[108..116]) as u32;
         let gid = parse_octal(&hdr[116..124]) as u32;
         let size = parse_octal(&hdr[124..136]) as usize;
         let ft = flag_type(hdr[156]);
-        let link_target: String = hdr[157..257]
-            .iter()
-            .take_while(|&&b| b != 0)
-            .map(|&b| b as char)
-            .collect();
         let maj = parse_octal(&hdr[329..337]) as u32;
         let min = parse_octal(&hdr[337..345]) as u32;
-        off += BLOCK;
-        let content = if ft == FileType::Regular && size > 0 {
-            if off + size > archive.len() {
-                return Err(Errno::EINVAL);
+        self.off += BLOCK;
+        let content: &[u8] = if ft == FileType::Regular && size > 0 {
+            if self.off + size > self.archive.len() {
+                self.done = true;
+                return Some(Err(Errno::EINVAL));
             }
-            archive[off..off + size].to_vec()
+            &self.archive[self.off..self.off + size]
         } else {
-            Vec::new()
+            &[]
         };
         if ft == FileType::Regular {
-            off += size + (BLOCK - size % BLOCK) % BLOCK;
+            self.off += size + (BLOCK - size % BLOCK) % BLOCK;
         }
-        entries.push(TarEntry {
-            path: name.trim_end_matches('/').to_string(),
+        Some(Ok(TarEntryRef {
+            path: name.trim_end_matches('/'),
             file_type: ft,
             mode,
             uid,
@@ -312,9 +396,25 @@ pub fn list(archive: &[u8]) -> KResult<Vec<TarEntry>> {
             } else {
                 None
             },
-        });
+        }))
     }
-    Ok(entries)
+}
+
+/// Parses an archive lazily into borrowed entries (no content copies).
+pub fn entries(archive: &[u8]) -> TarIter<'_> {
+    TarIter {
+        archive,
+        off: 0,
+        done: false,
+    }
+}
+
+/// Parses a ustar archive into owned entries. Prefer [`entries`] on hot
+/// paths — this form copies every entry body.
+pub fn list(archive: &[u8]) -> KResult<Vec<TarEntry>> {
+    entries(archive)
+        .map(|e| e.map(|r| r.to_owned_entry()))
+        .collect()
 }
 
 /// Options controlling unpack behaviour.
@@ -336,24 +436,30 @@ pub fn unpack(
     dest: &str,
     options: &UnpackOptions,
 ) -> KResult<usize> {
-    let entries = list(archive)?;
     let mut installed = 0;
-    for e in entries {
+    let mut path = String::with_capacity(dest.len() + 64);
+    for entry in entries(archive) {
+        let e = entry?;
         let (uid, gid) = match options.force_owner {
             Some((u, g)) => (u, g),
             None => (Uid(e.uid), Gid(e.gid)),
         };
-        let path = format!("{}/{}", dest, e.path);
+        // One reused scratch string instead of a fresh allocation per entry.
+        path.clear();
+        path.push_str(dest);
+        path.push('/');
+        path.push_str(e.path);
         match e.file_type {
             FileType::Directory => {
                 fs.install_dir(&path, uid, gid, e.mode)?;
             }
             FileType::Regular => {
-                // Moves the parsed bytes into the filesystem, no copy.
+                // The single unavoidable copy: archive bytes into the
+                // filesystem's own `FileBytes` buffer.
                 fs.install_file(&path, e.content, uid, gid, e.mode)?;
             }
             FileType::Symlink => {
-                fs.install_symlink(&path, &e.link_target, uid, gid)?;
+                fs.install_symlink(&path, e.link_target, uid, gid)?;
             }
             FileType::CharDevice | FileType::BlockDevice => {
                 if options.skip_devices {
