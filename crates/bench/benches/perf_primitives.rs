@@ -8,7 +8,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use hpcc_bench::{alice, many_tiny_run_dockerfile};
+use hpcc_bench::{alice, many_tiny_run_dockerfile, MANY_TINY_INSTRUCTIONS};
 use hpcc_core::{centos7_dockerfile, BuildOptions, Builder};
 use hpcc_image::sha256;
 
@@ -86,7 +86,7 @@ fn bench_snapshot_store(c: &mut Criterion) {
     // with the next instruction's first mutation paying the detach. The
     // old flat Arc-shared inode table made this O(instructions × inodes).
     group.bench_function("many_tiny_run", |b| {
-        let dockerfile = many_tiny_run_dockerfile(64);
+        let dockerfile = many_tiny_run_dockerfile(MANY_TINY_INSTRUCTIONS);
         b.iter(|| {
             let mut builder = Builder::ch_image(alice());
             let r = builder.build(&dockerfile, &BuildOptions::new("tiny").with_cache(), None);

@@ -14,9 +14,70 @@
 //! current results are informational. A baseline entry missing from the
 //! current results fails the gate (the bench silently disappearing is itself
 //! a regression).
+//!
+//! **Relative mode** — `bench_gate --relative <current.json> [max_ratio]` —
+//! is the runner-variance-proof fallback (ROADMAP): instead of absolute
+//! times against a committed baseline, it compares two benches from the
+//! *same run*: `snapshot_store/many_tiny_run` normalized to per-instruction
+//! time (the workload has [`hpcc_bench::MANY_TINY_INSTRUCTIONS`]
+//! instructions) against `cached_rebuild/centos7_fully_cached`. A slow
+//! runner slows both numerators identically, so the ratio only moves when
+//! the snapshot-store path itself regresses relative to the cached path.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+use hpcc_bench::MANY_TINY_INSTRUCTIONS;
+
+/// The two same-run benchmarks the relative gate compares.
+const RELATIVE_WORKLOAD: &str = "snapshot_store/many_tiny_run";
+const RELATIVE_REFERENCE: &str = "cached_rebuild/centos7_fully_cached";
+
+/// Per-instruction `many_tiny_run` time divided by the same-run
+/// `cached_rebuild` time. `None` if either bench is missing from the
+/// results.
+fn relative_ratio(results: &BTreeMap<String, f64>) -> Option<f64> {
+    let workload = results.get(RELATIVE_WORKLOAD)?;
+    let reference = results.get(RELATIVE_REFERENCE)?;
+    Some((workload / MANY_TINY_INSTRUCTIONS as f64) / reference.max(1.0))
+}
+
+/// Runs the relative gate; returns the process exit code.
+fn run_relative(current_path: &str, max_ratio: f64) -> ExitCode {
+    let text = match std::fs::read_to_string(current_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {}", current_path, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = parse_results(&text, current_path);
+    match relative_ratio(&current) {
+        None => {
+            eprintln!(
+                "bench_gate: relative mode needs both {} and {} in {}",
+                RELATIVE_WORKLOAD, RELATIVE_REFERENCE, current_path
+            );
+            ExitCode::FAILURE
+        }
+        Some(ratio) => {
+            println!(
+                "relative gate: ({} / {} instr) / {} = {:.2} (max {:.2})",
+                RELATIVE_WORKLOAD, MANY_TINY_INSTRUCTIONS, RELATIVE_REFERENCE, ratio, max_ratio
+            );
+            if ratio > max_ratio {
+                eprintln!(
+                    "bench_gate: FAILED — per-instruction snapshot-store time regressed {}x past the cached-rebuild reference",
+                    max_ratio
+                );
+                ExitCode::FAILURE
+            } else {
+                println!("bench_gate: ok (relative)");
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}
 
 /// One parsed result line: benchmark id -> mean nanoseconds.
 fn parse_results(text: &str, source: &str) -> BTreeMap<String, f64> {
@@ -60,8 +121,23 @@ fn json_num_field(line: &str, key: &str) -> Option<f64> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--relative") {
+        let current = match args.get(2) {
+            Some(c) => c,
+            None => {
+                eprintln!("usage: bench_gate --relative <current.json> [max_ratio]");
+                return ExitCode::FAILURE;
+            }
+        };
+        let max_ratio: f64 = args
+            .get(3)
+            .map(|s| s.parse().expect("max_ratio must be a number"))
+            .unwrap_or(3.0);
+        return run_relative(current, max_ratio);
+    }
     if args.len() < 3 {
         eprintln!("usage: bench_gate <current.json> <baseline.json> [max_ratio]");
+        eprintln!("       bench_gate --relative <current.json> [max_ratio]");
         return ExitCode::FAILURE;
     }
     let max_ratio: f64 = args
@@ -126,5 +202,53 @@ fn main() -> ExitCode {
     } else {
         println!("bench_gate: ok");
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results(workload_ns: f64, reference_ns: f64) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert(RELATIVE_WORKLOAD.to_string(), workload_ns);
+        m.insert(RELATIVE_REFERENCE.to_string(), reference_ns);
+        m
+    }
+
+    #[test]
+    fn relative_ratio_normalizes_per_instruction() {
+        // 64 instructions at exactly the cached-rebuild time each → 1.0.
+        let r = results(MANY_TINY_INSTRUCTIONS as f64 * 10_000.0, 10_000.0);
+        assert!((relative_ratio(&r).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_ratio_is_runner_speed_invariant() {
+        let fast = results(640_000.0, 12_000.0);
+        // The same machine 5x slower: both benches scale together.
+        let slow = results(5.0 * 640_000.0, 5.0 * 12_000.0);
+        assert!((relative_ratio(&fast).unwrap() - relative_ratio(&slow).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_ratio_requires_both_benches() {
+        let mut only_one = BTreeMap::new();
+        only_one.insert(RELATIVE_WORKLOAD.to_string(), 1000.0);
+        assert_eq!(relative_ratio(&only_one), None);
+        assert_eq!(relative_ratio(&BTreeMap::new()), None);
+    }
+
+    #[test]
+    fn parse_results_reads_shim_json_lines() {
+        let text = "\
+{\"id\":\"snapshot_store/many_tiny_run\",\"low_ns\":1,\"mean_ns\":640000,\"high_ns\":2}
+{\"id\":\"cached_rebuild/centos7_fully_cached\",\"low_ns\":1,\"mean_ns\":10000,\"high_ns\":2}
+not json
+";
+        let parsed = parse_results(text, "test");
+        assert_eq!(parsed.len(), 2);
+        let ratio = relative_ratio(&parsed).unwrap();
+        assert!((ratio - (640_000.0 / 64.0) / 10_000.0).abs() < 1e-9);
     }
 }

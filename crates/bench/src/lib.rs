@@ -216,6 +216,12 @@ pub fn repro_table1() -> String {
     out
 }
 
+/// Instruction count of the benched `snapshot_store/many_tiny_run`
+/// workload. Shared with `bench_gate --relative`, which normalizes that
+/// bench to per-instruction time before comparing it against the same-run
+/// `cached_rebuild` figure.
+pub const MANY_TINY_INSTRUCTIONS: usize = 64;
+
 /// A pathological many-tiny-RUN single-stage Dockerfile with `instructions`
 /// total instructions, every `RUN` touching one small file. With the build
 /// cache enabled each instruction both stores a snapshot and immediately

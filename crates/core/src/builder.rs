@@ -847,7 +847,8 @@ mod tests {
 
     #[test]
     fn build_args_substitute_into_run_and_invalidate_cache_keys() {
-        let df = "ARG PKG=openssh\nFROM centos:7\nRUN yum install -y ${PKG}\n";
+        // The global ARG is redeclared inside the stage (Docker scoping).
+        let df = "ARG PKG=openssh\nFROM centos:7\nARG PKG\nRUN yum install -y ${PKG}\n";
         let mut b = Builder::ch_image(alice());
         let opts = BuildOptions::new("pkg").with_force().with_cache();
         let first = b.build(df, &opts, None);

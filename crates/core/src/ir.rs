@@ -85,21 +85,25 @@ impl BuildIr {
     /// `--build-arg` values can never hit a stale entry):
     ///
     /// * global `ARG`s (before the first `FROM`) substitute into `FROM`
-    ///   image references — Docker's "ARG before FROM" semantics — and seed
-    ///   every stage's scope (a documented simplification: Docker proper
-    ///   requires redeclaration inside the stage);
+    ///   image references — Docker's "ARG before FROM" semantics — but are
+    ///   **not** visible inside a stage unless redeclared there (`ARG NAME`
+    ///   with no default inherits the global value), exactly as Docker
+    ///   scopes them;
     /// * `ARG`s declared inside a stage join that stage's scope from that
-    ///   instruction on;
+    ///   instruction on, shadowing any global of the same name, and every
+    ///   `FROM` starts an empty stage scope;
     /// * `RUN` commands, `ENV` values, and `COPY` sources/destination are
     ///   substituted against the scope in effect;
-    /// * values from `build_args` override declared defaults.
+    /// * values from `build_args` override declared defaults (global or
+    ///   stage-local).
     pub fn from_dockerfile_with_args(
         df: &Dockerfile,
         build_args: &BTreeMap<String, String>,
     ) -> Result<BuildIr, BuildError> {
         let mut global_args = Vec::new();
         let mut arg_values: BTreeMap<String, String> = BTreeMap::new();
-        // Per-stage scope, reseeded from the globals at each FROM.
+        // Per-stage scope, reset to empty at each FROM: globals must be
+        // redeclared inside the stage to become visible (Docker semantics).
         let mut stage_args: BTreeMap<String, String> = BTreeMap::new();
         let mut stages: Vec<IrStage> = Vec::new();
         let effective = |name: &str, default: &Option<String>| -> Option<String> {
@@ -113,7 +117,7 @@ impl BuildIr {
                 .unwrap_or(InstrSpan { start: 0, end: 0 });
             if let Instruction::From { image, alias } = instruction {
                 let image = substitute_args(image, &arg_values);
-                stage_args = arg_values.clone();
+                stage_args = BTreeMap::new();
                 stages.push(IrStage {
                     index: stages.len(),
                     alias: alias.clone(),
@@ -130,7 +134,13 @@ impl BuildIr {
                 Some(stage) => {
                     let lowered = match instruction {
                         Instruction::Arg { name, default } => {
-                            if let Some(value) = effective(name, default) {
+                            // Redeclaration: override > stage default >
+                            // global value (a default-less `ARG NAME`
+                            // inherits the global declaration, as Docker's
+                            // scoping rules specify).
+                            let value =
+                                effective(name, default).or_else(|| arg_values.get(name).cloned());
+                            if let Some(value) = value {
                                 stage_args.insert(name.clone(), value);
                             }
                             instruction.clone()
@@ -369,10 +379,14 @@ RUN echo runtime ready
 
     #[test]
     fn args_substitute_into_run_env_copy_operands() {
+        // Globals are redeclared inside the stage (Docker scoping); the
+        // default-less redeclarations inherit the global defaults.
         let df = "\
 ARG PKG=openssh
 ARG PREFIX=/opt
 FROM centos:7
+ARG PKG
+ARG PREFIX
 ARG EXTRA=vim
 RUN yum install -y ${PKG} $EXTRA
 ENV TOOLDIR=${PREFIX}/tools
@@ -381,18 +395,18 @@ COPY ${PKG}.conf ${PREFIX}/etc/
         let ir = BuildIr::parse(df).unwrap();
         let instrs = &ir.stages[0].instructions;
         assert_eq!(
-            instrs[2],
+            instrs[4],
             Instruction::Run("yum install -y openssh vim".into())
         );
         assert_eq!(
-            instrs[3],
+            instrs[5],
             Instruction::Env {
                 key: "TOOLDIR".into(),
                 value: "/opt/tools".into()
             }
         );
         assert_eq!(
-            instrs[4],
+            instrs[6],
             Instruction::Copy {
                 sources: vec!["openssh.conf".into()],
                 dest: "/opt/etc/".into(),
@@ -402,15 +416,109 @@ COPY ${PKG}.conf ${PREFIX}/etc/
     }
 
     #[test]
+    fn global_args_invisible_in_stage_without_redeclaration() {
+        // The documented gap vs Docker is closed: a global ARG substitutes
+        // into FROM but is NOT visible inside the stage unless redeclared.
+        let df = "\
+ARG BASE=centos:7
+ARG PKG=openssh
+FROM ${BASE}
+RUN yum install -y ${PKG}
+";
+        let ir = BuildIr::parse(df).unwrap();
+        assert_eq!(ir.stages[0].base, "centos:7");
+        assert_eq!(
+            ir.stages[0].instructions[1],
+            Instruction::Run("yum install -y ${PKG}".into()),
+            "undeclared use stays verbatim"
+        );
+        // Even a --build-arg override cannot reach an unredeclared name.
+        let mut ov = BTreeMap::new();
+        ov.insert("PKG".to_string(), "gcc".to_string());
+        let ir = BuildIr::parse_with_args(df, &ov).unwrap();
+        assert_eq!(
+            ir.stages[0].instructions[1],
+            Instruction::Run("yum install -y ${PKG}".into())
+        );
+    }
+
+    #[test]
+    fn stage_redeclaration_inherits_and_shadows_global() {
+        let df = "\
+ARG PKG=openssh
+FROM centos:7 AS first
+ARG PKG
+RUN echo ${PKG}
+FROM centos:7
+ARG PKG=vim
+RUN echo ${PKG}
+";
+        let ir = BuildIr::parse(df).unwrap();
+        // Default-less redeclaration inherits the global default.
+        assert_eq!(
+            ir.stages[0].instructions[2],
+            Instruction::Run("echo openssh".into())
+        );
+        // A stage default shadows the global one.
+        assert_eq!(
+            ir.stages[1].instructions[2],
+            Instruction::Run("echo vim".into())
+        );
+        // An override beats both the stage and global defaults.
+        let mut ov = BTreeMap::new();
+        ov.insert("PKG".to_string(), "tmux".to_string());
+        let ir = BuildIr::parse_with_args(df, &ov).unwrap();
+        assert_eq!(
+            ir.stages[0].instructions[2],
+            Instruction::Run("echo tmux".into())
+        );
+        assert_eq!(
+            ir.stages[1].instructions[2],
+            Instruction::Run("echo tmux".into())
+        );
+    }
+
+    #[test]
+    fn arg_scoping_survives_planning() {
+        // Parse → plan: ARG-substituted FROMs and aliases still produce a
+        // valid DAG, and the unredeclared global never leaks into stage
+        // instructions that the planner walks for COPY --from references.
+        let df = "\
+ARG BASE=centos:7
+FROM ${BASE} AS builder
+ARG OUT=/opt/app
+RUN mkdir -p ${OUT}
+FROM ${BASE}
+COPY --from=builder /opt/app /opt/app
+RUN echo ${OUT}
+";
+        let ir = BuildIr::parse(df).unwrap();
+        assert_eq!(ir.stages[0].base, "centos:7");
+        assert_eq!(ir.stages[1].base, "centos:7");
+        assert_eq!(
+            ir.stages[0].instructions[2],
+            Instruction::Run("mkdir -p /opt/app".into())
+        );
+        // OUT was stage-0-local: stage 1 sees it verbatim.
+        assert_eq!(
+            ir.stages[1].instructions[2],
+            Instruction::Run("echo ${OUT}".into())
+        );
+        let graph = crate::graph::BuildGraph::plan(&ir).expect("plans");
+        assert_eq!(graph.stage_count(), 2);
+    }
+
+    #[test]
     fn build_arg_overrides_replace_declared_defaults_only() {
-        let df = "ARG PKG=openssh\nFROM centos:7\nRUN yum install -y ${PKG} ${UNDECLARED}\n";
+        let df =
+            "ARG PKG=openssh\nFROM centos:7\nARG PKG\nRUN yum install -y ${PKG} ${UNDECLARED}\n";
         let mut overrides = BTreeMap::new();
         overrides.insert("PKG".to_string(), "gcc".to_string());
         // Overrides for undeclared ARGs are ignored (Docker semantics).
         overrides.insert("UNDECLARED".to_string(), "nope".to_string());
         let ir = BuildIr::parse_with_args(df, &overrides).unwrap();
         assert_eq!(
-            ir.stages[0].instructions[1],
+            ir.stages[0].instructions[2],
             Instruction::Run("yum install -y gcc ${UNDECLARED}".into())
         );
         // An override can supply a value for a default-less declared ARG.
@@ -432,8 +540,8 @@ COPY ${PKG}.conf ${PREFIX}/etc/
 
     #[test]
     fn stage_scope_resets_at_from_boundaries() {
-        // A stage-local ARG does not leak into the next stage; globals seed
-        // every stage's scope.
+        // A stage-local ARG does not leak into the next stage, and the
+        // global BASE is invisible inside both stages (never redeclared).
         let df = "\
 ARG BASE=centos:7
 FROM ${BASE} AS builder
@@ -445,11 +553,11 @@ RUN echo ${LOCAL} ${BASE}
         let ir = BuildIr::parse(df).unwrap();
         assert_eq!(
             ir.stages[0].instructions[2],
-            Instruction::Run("echo one centos:7".into())
+            Instruction::Run("echo one ${BASE}".into())
         );
         assert_eq!(
             ir.stages[1].instructions[1],
-            Instruction::Run("echo ${LOCAL} centos:7".into())
+            Instruction::Run("echo ${LOCAL} ${BASE}".into())
         );
     }
 

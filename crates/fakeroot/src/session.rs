@@ -4,9 +4,13 @@
 //! about their results, remembering the lies so later calls are consistent
 //! (paper §5.1, Figure 7). Non-privileged calls (e.g. `stat(2)`) really are
 //! made, then adjusted.
+//!
+//! Forwarded calls speak the VFS's inode-level op surface (resolve once,
+//! then `stat_ino`/`setattr_ino`/`unlink_at` — the same protocol a FUSE
+//! backend serves) rather than re-resolving per path-string method.
 
 use hpcc_kernel::{Errno, Gid, KResult, Uid};
-use hpcc_vfs::{Actor, FileType, Filesystem, Mode, Stat};
+use hpcc_vfs::{Actor, FileType, Filesystem, Mode, Setattr, Stat};
 
 use crate::db::LieDatabase;
 use crate::flavor::{Flavor, InterceptOp};
@@ -87,7 +91,7 @@ impl FakerootSession {
     ) -> KResult<()> {
         if self.flavor.intercepts(InterceptOp::Chown) {
             // The file must exist; fakeroot does not fake ENOENT away.
-            fs.stat(actor, path)?;
+            fs.resolve(actor, path)?;
             let cur = self.db.get(&Self::canonical(path)).cloned();
             // Inside the wrapper everything appears root-owned by default, so
             // an unspecified UID/GID stays at the previously-lied value or 0.
@@ -103,7 +107,17 @@ impl FakerootSession {
             Ok(())
         } else {
             self.stats.passed_through += 1;
-            let r = fs.chown(actor, path, uid, gid);
+            let r = fs.resolve(actor, path).and_then(|ino| {
+                fs.setattr_ino(
+                    actor,
+                    ino,
+                    &Setattr {
+                        uid,
+                        gid,
+                        ..Setattr::default()
+                    },
+                )
+            });
             if r.is_err() {
                 self.stats.failed += 1;
             }
@@ -122,7 +136,7 @@ impl FakerootSession {
         gid: Option<Gid>,
     ) -> KResult<()> {
         if self.flavor.intercepts(InterceptOp::Lchown) {
-            fs.lstat(actor, path)?;
+            fs.resolve_no_follow(actor, path)?;
             let cur = self.db.get(&Self::canonical(path)).cloned();
             let new_uid = uid
                 .map(|u| u.0)
@@ -136,7 +150,17 @@ impl FakerootSession {
             Ok(())
         } else {
             self.stats.passed_through += 1;
-            let r = fs.lchown(actor, path, uid, gid);
+            let r = fs.resolve_no_follow(actor, path).and_then(|ino| {
+                fs.setattr_ino(
+                    actor,
+                    ino,
+                    &Setattr {
+                        uid,
+                        gid,
+                        ..Setattr::default()
+                    },
+                )
+            });
             if r.is_err() {
                 self.stats.failed += 1;
             }
@@ -155,15 +179,18 @@ impl FakerootSession {
         mode: Mode,
     ) -> KResult<()> {
         if self.flavor.intercepts(InterceptOp::Chmod) {
-            let _ = fs.chmod(actor, path, Mode::new(mode.bits() & 0o777));
-            // Verify existence even if the real chmod failed.
-            fs.stat(actor, path)?;
+            // One resolution; existence is still required even if the real
+            // chmod is refused.
+            let ino = fs.resolve(actor, path)?;
+            let _ = fs.chmod_ino(actor, ino, Mode::new(mode.bits() & 0o777));
             self.db.record_chmod(&Self::canonical(path), mode);
             self.stats.intercepted += 1;
             Ok(())
         } else {
             self.stats.passed_through += 1;
-            let r = fs.chmod(actor, path, mode);
+            let r = fs
+                .resolve(actor, path)
+                .and_then(|ino| fs.chmod_ino(actor, ino, mode));
             if r.is_err() {
                 self.stats.failed += 1;
             }
@@ -233,9 +260,11 @@ impl FakerootSession {
         }
     }
 
-    /// Wrapped `stat(2)`: the real call adjusted by recorded lies.
+    /// Wrapped `stat(2)`: the real call (resolve + `stat_ino`) adjusted by
+    /// recorded lies.
     pub fn stat(&self, fs: &Filesystem, actor: &Actor, path: &str) -> KResult<Stat> {
-        let mut st = fs.stat(actor, path)?;
+        let ino = fs.resolve(actor, path)?;
+        let mut st = fs.stat_ino(actor, ino)?;
         if let Some(lie) = self.db.get(&Self::canonical(path)) {
             st.uid_view = Uid(lie.uid);
             st.gid_view = Gid(lie.gid);
@@ -256,9 +285,11 @@ impl FakerootSession {
         Ok(st)
     }
 
-    /// Wrapped `unlink(2)`: forwards and forgets lies about the path.
+    /// Wrapped `unlink(2)`: forwards (as a parent-directory entry op) and
+    /// forgets lies about the path.
     pub fn unlink(&mut self, fs: &mut Filesystem, actor: &Actor, path: &str) -> KResult<()> {
-        fs.unlink(actor, path)?;
+        let (parent, name) = fs.resolve_parent(actor, path)?;
+        fs.unlink_at(actor, parent, &name)?;
         self.db.forget(&Self::canonical(path));
         Ok(())
     }

@@ -1,0 +1,90 @@
+//! The backend trait: what a filesystem must implement to be served.
+//!
+//! [`FsOps`] is the inode-level contract between a [`Session`](crate::Session)
+//! and a storage backend. Methods mirror the FUSE operation set; each takes
+//! per-request [`FsCreds`] — the backend derives privilege from them relative
+//! to its own user namespace, so no kernel `Actor` crosses the boundary.
+//!
+//! Handle management (`open`/`release` bookkeeping, offsets, readdir
+//! cursors) lives in the session, not the backend: [`FsOps::open`] validates
+//! access and applies `O_TRUNC`, and [`FsOps::read`] returns the *whole*
+//! file as a copy-on-write [`FileBytes`] handle (an `Arc` bump), which the
+//! session windows per read request. That keeps every read O(1) and
+//! zero-copy while writes through other handles stay visible, exactly like
+//! reads through a real file descriptor.
+
+use hpcc_vfs::{FileBytes, Ino, Mode, Setattr};
+
+use crate::errno::OpResult;
+use crate::op::{Attr, DirEntry, Entry, FsCreds, OpenFlags, StatfsReply};
+
+/// Inode-level filesystem operations with per-request credentials.
+pub trait FsOps {
+    /// The root inode the session starts resolution from.
+    fn root_ino(&self) -> Ino;
+
+    /// Looks up `name` under the directory `parent`.
+    fn lookup(&self, cred: &FsCreds, parent: Ino, name: &str) -> OpResult<Entry>;
+
+    /// Attributes of an inode.
+    fn getattr(&self, cred: &FsCreds, ino: Ino) -> OpResult<Attr>;
+
+    /// Applies a metadata change (mode / ownership / size), returning the
+    /// new attributes.
+    fn setattr(&mut self, cred: &FsCreds, ino: Ino, changes: &Setattr) -> OpResult<Attr>;
+
+    /// Reads a symlink's target.
+    fn readlink(&self, cred: &FsCreds, ino: Ino) -> OpResult<String>;
+
+    /// Validates an open of a regular file (access checked **here**, at open
+    /// time, per POSIX) and applies `O_TRUNC` if requested.
+    fn open(&mut self, cred: &FsCreds, ino: Ino, flags: OpenFlags) -> OpResult<()>;
+
+    /// The whole file as a shared copy-on-write handle; the session windows
+    /// it per `read` request. O(1), no bytes copied.
+    fn read(&self, cred: &FsCreds, ino: Ino) -> OpResult<FileBytes>;
+
+    /// Writes at an offset (`pwrite` semantics), returning bytes written.
+    fn write(&mut self, cred: &FsCreds, ino: Ino, offset: u64, data: &[u8]) -> OpResult<u32>;
+
+    /// Creates an empty regular file.
+    fn create(&mut self, cred: &FsCreds, parent: Ino, name: &str, mode: Mode) -> OpResult<Entry>;
+
+    /// Creates a directory.
+    fn mkdir(&mut self, cred: &FsCreds, parent: Ino, name: &str, mode: Mode) -> OpResult<Entry>;
+
+    /// Removes a non-directory entry.
+    fn unlink(&mut self, cred: &FsCreds, parent: Ino, name: &str) -> OpResult<()>;
+
+    /// Removes an empty directory.
+    fn rmdir(&mut self, cred: &FsCreds, parent: Ino, name: &str) -> OpResult<()>;
+
+    /// Renames an entry, possibly across directories.
+    fn rename(
+        &mut self,
+        cred: &FsCreds,
+        parent: Ino,
+        name: &str,
+        new_parent: Ino,
+        new_name: &str,
+    ) -> OpResult<()>;
+
+    /// Creates a symlink.
+    fn symlink(&mut self, cred: &FsCreds, parent: Ino, name: &str, target: &str)
+        -> OpResult<Entry>;
+
+    /// The directory's entries, sorted by name.
+    fn readdir(&self, cred: &FsCreds, ino: Ino) -> OpResult<Vec<DirEntry>>;
+
+    /// Filesystem statistics.
+    fn statfs(&self, cred: &FsCreds) -> OpResult<StatfsReply>;
+
+    /// Reads an extended attribute.
+    fn getxattr(&self, cred: &FsCreds, ino: Ino, name: &str) -> OpResult<Vec<u8>>;
+
+    /// Sets an extended attribute.
+    fn setxattr(&mut self, cred: &FsCreds, ino: Ino, name: &str, value: &[u8]) -> OpResult<()>;
+
+    /// Lists extended attribute names.
+    fn listxattr(&self, cred: &FsCreds, ino: Ino) -> OpResult<Vec<String>>;
+}

@@ -1,0 +1,738 @@
+//! The session: open-handle table, path resolution, and queue dispatch.
+//!
+//! A [`Session`] owns a backend and the mutable protocol state a FUSE daemon
+//! keeps per mount: the file-handle table (flags and a sequential-read
+//! offset per handle) and readdir cursors (a stable snapshot of a
+//! directory's entries per `opendir`). Clients either call the typed
+//! methods directly or enqueue [`Request`] values and let
+//! [`Session::dispatch`] route them — both paths execute identically.
+//!
+//! Reads are O(1) and zero-copy end to end: `open` checks access once (per
+//! POSIX), and each `read` windows the file's shared
+//! [`FileBytes`](hpcc_vfs::FileBytes) handle
+//! via [`ReadReply`] — no bytes are copied at any point between the
+//! filesystem and the client.
+
+use std::collections::HashMap;
+
+use hpcc_vfs::{FileType, Ino, Mode, PathComponents, Setattr};
+
+use crate::errno::{Errno, OpResult};
+use crate::op::{
+    Attr, DirEntry, Entry, FsCreds, OpenFlags, Opened, Operation, ReadReply, Reply, Request,
+    StatfsReply, Written,
+};
+use crate::ops::FsOps;
+
+/// Maximum symlink traversals in [`Session::resolve_path`] before `ELOOP`.
+const MAX_SYMLINK_DEPTH: u32 = 40;
+
+/// State of one open handle.
+#[derive(Debug)]
+enum Handle {
+    /// A regular-file handle.
+    File {
+        /// The file's inode.
+        ino: Ino,
+        /// Flags the handle was opened with.
+        flags: OpenFlags,
+        /// Sequential-read position: advanced by each `read`, so a client
+        /// streaming a file never tracks offsets itself.
+        offset: u64,
+    },
+    /// A directory handle with its entry snapshot (the readdir cursor).
+    Dir {
+        /// The directory's inode.
+        ino: Ino,
+        /// Entries snapshotted at `opendir` — a stable cursor even if the
+        /// directory mutates mid-listing, like a real `getdents` stream.
+        entries: Vec<DirEntry>,
+    },
+}
+
+/// A protocol session over a backend.
+///
+/// Generic over the backend so a mount can own its filesystem
+/// (`Session<MemFs>`) while the shell borrows one
+/// (`Session<MemFs<&mut Filesystem>>`).
+#[derive(Debug)]
+pub struct Session<B> {
+    backend: B,
+    handles: HashMap<u64, Handle>,
+    next_fh: u64,
+    ops_dispatched: u64,
+}
+
+impl<B: FsOps> Session<B> {
+    /// Starts a session over a backend.
+    pub fn new(backend: B) -> Self {
+        Session {
+            backend,
+            handles: HashMap::new(),
+            next_fh: 1,
+            ops_dispatched: 0,
+        }
+    }
+
+    /// The backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Consumes the session, returning the backend. Open handles are
+    /// forgotten (as on unmount).
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// The root inode.
+    pub fn root_ino(&self) -> Ino {
+        self.backend.root_ino()
+    }
+
+    /// Number of currently open handles (files + directories). Zero after
+    /// every handle is released — the leak check the property suite pins.
+    pub fn open_handles(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The inode behind an open handle (file or directory), if the handle is
+    /// live.
+    pub fn handle_ino(&self, fh: u64) -> Option<Ino> {
+        match self.handles.get(&fh) {
+            Some(Handle::File { ino, .. }) | Some(Handle::Dir { ino, .. }) => Some(*ino),
+            None => None,
+        }
+    }
+
+    /// Total operations dispatched (typed calls and queued requests alike).
+    pub fn ops_dispatched(&self) -> u64 {
+        self.ops_dispatched
+    }
+
+    fn count(&mut self) {
+        self.ops_dispatched += 1;
+    }
+
+    // ------------------------------------------------------------ resolution
+
+    /// Resolves an absolute path to an entry by chaining `lookup` ops from
+    /// the root, following intermediate symlinks (and the final one when
+    /// `follow_final`), exactly as a FUSE client's kernel would drive the
+    /// protocol. This is a convenience for clients holding path strings; the
+    /// protocol itself never sees a multi-component path.
+    pub fn resolve_path(&self, cred: &FsCreds, path: &str, follow_final: bool) -> OpResult<Entry> {
+        self.resolve_path_depth(cred, path, follow_final, 0)
+    }
+
+    fn resolve_path_depth(
+        &self,
+        cred: &FsCreds,
+        path: &str,
+        follow_final: bool,
+        depth: u32,
+    ) -> OpResult<Entry> {
+        if depth > MAX_SYMLINK_DEPTH {
+            return Err(Errno::ELOOP);
+        }
+        let comps = PathComponents::parse(path);
+        let comps = comps.as_slice();
+        let root = self.backend.root_ino();
+        let mut cur = Entry {
+            ino: root,
+            attr: self.backend.getattr(cred, root)?,
+        };
+        for (i, &name) in comps.iter().enumerate() {
+            let is_last = i + 1 == comps.len();
+            let entry = self.backend.lookup(cred, cur.ino, name)?;
+            if entry.attr.file_type == FileType::Symlink && (!is_last || follow_final) {
+                let target = self.backend.readlink(cred, entry.ino)?;
+                let rest = comps[i + 1..].join("/");
+                let resolved = if target.starts_with('/') {
+                    if rest.is_empty() {
+                        target
+                    } else {
+                        format!("{}/{}", target, rest)
+                    }
+                } else {
+                    let parent = comps[..i].join("/");
+                    let mut p = format!("/{}/{}", parent, target);
+                    if !rest.is_empty() {
+                        p = format!("{}/{}", p, rest);
+                    }
+                    p
+                };
+                return self.resolve_path_depth(cred, &resolved, follow_final, depth + 1);
+            }
+            cur = entry;
+        }
+        Ok(cur)
+    }
+
+    // ------------------------------------------------------------- typed ops
+
+    /// `lookup`: one component under a parent directory.
+    pub fn lookup(&mut self, cred: &FsCreds, parent: Ino, name: &str) -> OpResult<Entry> {
+        self.count();
+        self.backend.lookup(cred, parent, name)
+    }
+
+    /// `getattr`.
+    pub fn getattr(&mut self, cred: &FsCreds, ino: Ino) -> OpResult<Attr> {
+        self.count();
+        self.backend.getattr(cred, ino)
+    }
+
+    /// `setattr`.
+    pub fn setattr(&mut self, cred: &FsCreds, ino: Ino, changes: &Setattr) -> OpResult<Attr> {
+        self.count();
+        self.backend.setattr(cred, ino, changes)
+    }
+
+    /// `readlink`.
+    pub fn readlink(&mut self, cred: &FsCreds, ino: Ino) -> OpResult<String> {
+        self.count();
+        self.backend.readlink(cred, ino)
+    }
+
+    /// `open`: validates access (and `O_TRUNC`) against the backend, then
+    /// allocates a file handle.
+    pub fn open(&mut self, cred: &FsCreds, ino: Ino, flags: OpenFlags) -> OpResult<Opened> {
+        self.count();
+        self.backend.open(cred, ino, flags)?;
+        let fh = self.alloc_fh(Handle::File {
+            ino,
+            flags,
+            offset: 0,
+        });
+        Ok(Opened { fh, flags })
+    }
+
+    /// `create`: creates an empty file and opens it in one op, like
+    /// `FUSE_CREATE`.
+    pub fn create(
+        &mut self,
+        cred: &FsCreds,
+        parent: Ino,
+        name: &str,
+        mode: Mode,
+        flags: OpenFlags,
+    ) -> OpResult<(Entry, Opened)> {
+        self.count();
+        let entry = self.backend.create(cred, parent, name, mode)?;
+        let fh = self.alloc_fh(Handle::File {
+            ino: entry.ino,
+            flags,
+            offset: 0,
+        });
+        Ok((entry, Opened { fh, flags }))
+    }
+
+    /// `read` at an explicit offset. Zero-copy: the reply windows the
+    /// file's shared bytes. Advances the handle's sequential position to
+    /// `offset + len`.
+    pub fn read(&mut self, cred: &FsCreds, fh: u64, offset: u64, size: u32) -> OpResult<ReadReply> {
+        self.count();
+        let (ino, flags) = match self.handles.get(&fh) {
+            Some(Handle::File { ino, flags, .. }) => (*ino, *flags),
+            Some(Handle::Dir { .. }) => return Err(Errno::EISDIR),
+            None => return Err(Errno::EBADF),
+        };
+        if !flags.readable() {
+            return Err(Errno::EBADF);
+        }
+        let bytes = self.backend.read(cred, ino)?;
+        let reply = ReadReply::new(bytes, offset, size);
+        let end = offset + reply.len() as u64;
+        if let Some(Handle::File { offset, .. }) = self.handles.get_mut(&fh) {
+            *offset = end;
+        }
+        Ok(reply)
+    }
+
+    /// Sequential `read`: continues from the handle's current position.
+    pub fn read_next(&mut self, cred: &FsCreds, fh: u64, size: u32) -> OpResult<ReadReply> {
+        let offset = match self.handles.get(&fh) {
+            Some(Handle::File { offset, .. }) => *offset,
+            Some(Handle::Dir { .. }) => return Err(Errno::EISDIR),
+            None => return Err(Errno::EBADF),
+        };
+        self.read(cred, fh, offset, size)
+    }
+
+    /// `write` at an explicit offset through an open handle.
+    pub fn write(
+        &mut self,
+        cred: &FsCreds,
+        fh: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> OpResult<Written> {
+        self.count();
+        let (ino, flags) = match self.handles.get(&fh) {
+            Some(Handle::File { ino, flags, .. }) => (*ino, *flags),
+            Some(Handle::Dir { .. }) => return Err(Errno::EISDIR),
+            None => return Err(Errno::EBADF),
+        };
+        if !flags.writable() {
+            return Err(Errno::EBADF);
+        }
+        let size = self.backend.write(cred, ino, offset, data)?;
+        let end = offset + size as u64;
+        if let Some(Handle::File { offset, .. }) = self.handles.get_mut(&fh) {
+            *offset = end;
+        }
+        Ok(Written { size })
+    }
+
+    /// `release`: closes a file handle.
+    pub fn release(&mut self, fh: u64) -> OpResult<()> {
+        self.count();
+        match self.handles.remove(&fh) {
+            Some(Handle::File { .. }) => Ok(()),
+            Some(dir @ Handle::Dir { .. }) => {
+                // Wrong release flavor: put it back, report EBADF.
+                self.handles.insert(fh, dir);
+                Err(Errno::EBADF)
+            }
+            None => Err(Errno::EBADF),
+        }
+    }
+
+    /// `opendir`: snapshots the directory's entries into a cursor handle.
+    pub fn opendir(&mut self, cred: &FsCreds, ino: Ino) -> OpResult<Opened> {
+        self.count();
+        let entries = self.backend.readdir(cred, ino)?;
+        let fh = self.alloc_fh(Handle::Dir { ino, entries });
+        Ok(Opened {
+            fh,
+            flags: OpenFlags::RDONLY,
+        })
+    }
+
+    /// `readdir`: up to `max` entries starting at cursor `offset`. An empty
+    /// reply means end of stream.
+    pub fn readdir(
+        &mut self,
+        _cred: &FsCreds,
+        fh: u64,
+        offset: usize,
+        max: usize,
+    ) -> OpResult<Vec<DirEntry>> {
+        self.count();
+        match self.handles.get(&fh) {
+            Some(Handle::Dir { entries, .. }) => {
+                let start = offset.min(entries.len());
+                let end = start.saturating_add(max).min(entries.len());
+                Ok(entries[start..end].to_vec())
+            }
+            Some(Handle::File { .. }) => Err(Errno::ENOTDIR),
+            None => Err(Errno::EBADF),
+        }
+    }
+
+    /// `releasedir`: closes a directory handle.
+    pub fn releasedir(&mut self, fh: u64) -> OpResult<()> {
+        self.count();
+        match self.handles.remove(&fh) {
+            Some(Handle::Dir { .. }) => Ok(()),
+            Some(file @ Handle::File { .. }) => {
+                self.handles.insert(fh, file);
+                Err(Errno::EBADF)
+            }
+            None => Err(Errno::EBADF),
+        }
+    }
+
+    /// `mkdir`.
+    pub fn mkdir(
+        &mut self,
+        cred: &FsCreds,
+        parent: Ino,
+        name: &str,
+        mode: Mode,
+    ) -> OpResult<Entry> {
+        self.count();
+        self.backend.mkdir(cred, parent, name, mode)
+    }
+
+    /// `unlink`.
+    pub fn unlink(&mut self, cred: &FsCreds, parent: Ino, name: &str) -> OpResult<()> {
+        self.count();
+        self.backend.unlink(cred, parent, name)
+    }
+
+    /// `rmdir`.
+    pub fn rmdir(&mut self, cred: &FsCreds, parent: Ino, name: &str) -> OpResult<()> {
+        self.count();
+        self.backend.rmdir(cred, parent, name)
+    }
+
+    /// `rename`.
+    pub fn rename(
+        &mut self,
+        cred: &FsCreds,
+        parent: Ino,
+        name: &str,
+        new_parent: Ino,
+        new_name: &str,
+    ) -> OpResult<()> {
+        self.count();
+        self.backend
+            .rename(cred, parent, name, new_parent, new_name)
+    }
+
+    /// `symlink`.
+    pub fn symlink(
+        &mut self,
+        cred: &FsCreds,
+        parent: Ino,
+        name: &str,
+        target: &str,
+    ) -> OpResult<Entry> {
+        self.count();
+        self.backend.symlink(cred, parent, name, target)
+    }
+
+    /// `statfs`.
+    pub fn statfs(&mut self, cred: &FsCreds) -> OpResult<StatfsReply> {
+        self.count();
+        self.backend.statfs(cred)
+    }
+
+    /// `getxattr`.
+    pub fn getxattr(&mut self, cred: &FsCreds, ino: Ino, name: &str) -> OpResult<Vec<u8>> {
+        self.count();
+        self.backend.getxattr(cred, ino, name)
+    }
+
+    /// `setxattr`.
+    pub fn setxattr(&mut self, cred: &FsCreds, ino: Ino, name: &str, value: &[u8]) -> OpResult<()> {
+        self.count();
+        self.backend.setxattr(cred, ino, name, value)
+    }
+
+    /// `listxattr`.
+    pub fn listxattr(&mut self, cred: &FsCreds, ino: Ino) -> OpResult<Vec<String>> {
+        self.count();
+        self.backend.listxattr(cred, ino)
+    }
+
+    // -------------------------------------------------------------- dispatch
+
+    /// Dispatches one request to the typed implementation, encoding the
+    /// result as a [`Reply`].
+    pub fn dispatch(&mut self, req: Request) -> Reply {
+        let cred = req.cred;
+        match req.op {
+            Operation::Lookup { parent, name } => {
+                reply(self.lookup(&cred, parent, &name).map(Reply::Entry))
+            }
+            Operation::Getattr { ino } => reply(self.getattr(&cred, ino).map(Reply::Attr)),
+            Operation::Setattr { ino, changes } => {
+                reply(self.setattr(&cred, ino, &changes).map(Reply::Attr))
+            }
+            Operation::Readlink { ino } => reply(self.readlink(&cred, ino).map(Reply::Link)),
+            Operation::Open { ino, flags } => {
+                reply(self.open(&cred, ino, flags).map(Reply::Opened))
+            }
+            Operation::Create {
+                parent,
+                name,
+                mode,
+                flags,
+            } => reply(
+                self.create(&cred, parent, &name, mode, flags)
+                    .map(|(_, opened)| Reply::Opened(opened)),
+            ),
+            Operation::Read { fh, offset, size } => {
+                reply(self.read(&cred, fh, offset, size).map(Reply::Data))
+            }
+            Operation::Write { fh, offset, data } => {
+                reply(self.write(&cred, fh, offset, &data).map(Reply::Written))
+            }
+            Operation::Release { fh } => reply(self.release(fh).map(|()| Reply::Unit)),
+            Operation::Opendir { ino } => reply(self.opendir(&cred, ino).map(Reply::Opened)),
+            Operation::Readdir { fh, offset, max } => {
+                reply(self.readdir(&cred, fh, offset, max).map(Reply::Dir))
+            }
+            Operation::Releasedir { fh } => reply(self.releasedir(fh).map(|()| Reply::Unit)),
+            Operation::Mkdir { parent, name, mode } => {
+                reply(self.mkdir(&cred, parent, &name, mode).map(Reply::Entry))
+            }
+            Operation::Unlink { parent, name } => {
+                reply(self.unlink(&cred, parent, &name).map(|()| Reply::Unit))
+            }
+            Operation::Rmdir { parent, name } => {
+                reply(self.rmdir(&cred, parent, &name).map(|()| Reply::Unit))
+            }
+            Operation::Rename {
+                parent,
+                name,
+                new_parent,
+                new_name,
+            } => reply(
+                self.rename(&cred, parent, &name, new_parent, &new_name)
+                    .map(|()| Reply::Unit),
+            ),
+            Operation::Symlink {
+                parent,
+                name,
+                target,
+            } => reply(
+                self.symlink(&cred, parent, &name, &target)
+                    .map(Reply::Entry),
+            ),
+            Operation::Statfs => reply(self.statfs(&cred).map(Reply::Statfs)),
+            Operation::Getxattr { ino, name } => {
+                reply(self.getxattr(&cred, ino, &name).map(Reply::Xattr))
+            }
+            Operation::Setxattr { ino, name, value } => reply(
+                self.setxattr(&cred, ino, &name, &value)
+                    .map(|()| Reply::Unit),
+            ),
+            Operation::Listxattr { ino } => reply(self.listxattr(&cred, ino).map(Reply::Names)),
+        }
+    }
+
+    /// Dispatches a queue of requests in order, one reply per request.
+    pub fn dispatch_all(&mut self, reqs: impl IntoIterator<Item = Request>) -> Vec<Reply> {
+        reqs.into_iter().map(|r| self.dispatch(r)).collect()
+    }
+
+    fn alloc_fh(&mut self, handle: Handle) -> u64 {
+        let fh = self.next_fh;
+        self.next_fh += 1;
+        self.handles.insert(fh, handle);
+        fh
+    }
+}
+
+fn reply(r: OpResult<Reply>) -> Reply {
+    r.unwrap_or_else(Reply::Err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfs::MemFs;
+    use hpcc_kernel::{Gid, Uid, UserNamespace};
+    use hpcc_vfs::Filesystem;
+
+    fn session() -> Session<MemFs> {
+        let mut fs = Filesystem::new_local();
+        fs.install_file(
+            "/etc/hostname",
+            b"astra".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::FILE_644,
+        )
+        .unwrap();
+        fs.install_file(
+            "/etc/secret",
+            b"k".to_vec(),
+            Uid(0),
+            Gid(0),
+            hpcc_vfs::Mode::new(0o600),
+        )
+        .unwrap();
+        fs.install_symlink("/etc/alias", "hostname", Uid(0), Gid(0))
+            .unwrap();
+        Session::new(MemFs::new(fs, UserNamespace::initial()))
+    }
+
+    #[test]
+    fn lookup_open_read_release_round_trip() {
+        let mut s = session();
+        let root = FsCreds::root();
+        let etc = s.lookup(&root, s.root_ino(), "etc").unwrap();
+        let host = s.lookup(&root, etc.ino, "hostname").unwrap();
+        assert_eq!(host.attr.size, 5);
+        let opened = s.open(&root, host.ino, OpenFlags::RDONLY).unwrap();
+        let data = s.read(&root, opened.fh, 0, 64).unwrap();
+        assert_eq!(data.as_slice(), b"astra");
+        // Zero copy: the reply shares the backing buffer.
+        let direct = s.backend().read(&root, host.ino).unwrap();
+        assert!(data.bytes().shares_buffer_with(&direct));
+        assert_eq!(s.open_handles(), 1);
+        s.release(opened.fh).unwrap();
+        assert_eq!(s.open_handles(), 0);
+        assert_eq!(s.release(opened.fh).unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn sequential_reads_advance_the_handle_offset() {
+        let mut s = session();
+        let root = FsCreds::root();
+        let host = s.resolve_path(&root, "/etc/hostname", true).unwrap();
+        let fh = s.open(&root, host.ino, OpenFlags::RDONLY).unwrap().fh;
+        assert_eq!(s.read_next(&root, fh, 2).unwrap().as_slice(), b"as");
+        assert_eq!(s.read_next(&root, fh, 2).unwrap().as_slice(), b"tr");
+        assert_eq!(s.read_next(&root, fh, 2).unwrap().as_slice(), b"a");
+        assert!(s.read_next(&root, fh, 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn permissions_checked_at_open_with_request_credentials() {
+        let mut s = session();
+        let alice = FsCreds::new(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let secret = s
+            .resolve_path(&FsCreds::root(), "/etc/secret", true)
+            .unwrap();
+        assert_eq!(
+            s.open(&alice, secret.ino, OpenFlags::RDONLY).unwrap_err(),
+            Errno::EACCES
+        );
+        // Root (namespace-root in the initial namespace) may open it.
+        assert!(s
+            .open(&FsCreds::root(), secret.ino, OpenFlags::RDONLY)
+            .is_ok());
+    }
+
+    #[test]
+    fn resolve_path_follows_symlinks_through_ops() {
+        let mut s = session();
+        let root = FsCreds::root();
+        let direct = s.resolve_path(&root, "/etc/hostname", true).unwrap();
+        let via_link = s.resolve_path(&root, "/etc/alias", true).unwrap();
+        assert_eq!(direct.ino, via_link.ino);
+        let no_follow = s.resolve_path(&root, "/etc/alias", false).unwrap();
+        assert_eq!(no_follow.attr.file_type, FileType::Symlink);
+        assert_eq!(s.readlink(&root, no_follow.ino).unwrap(), "hostname");
+    }
+
+    #[test]
+    fn readdir_cursor_pages_and_survives_mutation() {
+        let mut s = session();
+        let root = FsCreds::root();
+        let etc = s.resolve_path(&root, "/etc", true).unwrap();
+        let dh = s.opendir(&root, etc.ino).unwrap();
+        let page1 = s.readdir(&root, dh.fh, 0, 2).unwrap();
+        assert_eq!(page1.len(), 2);
+        // Mutating the directory does not disturb the open cursor.
+        s.unlink(&root, etc.ino, "secret").unwrap();
+        let page2 = s.readdir(&root, dh.fh, 2, 10).unwrap();
+        let mut names: Vec<String> = page1.into_iter().chain(page2).map(|e| e.name).collect();
+        names.sort();
+        assert_eq!(names, ["alias", "hostname", "secret"]);
+        s.releasedir(dh.fh).unwrap();
+        assert_eq!(s.open_handles(), 0);
+    }
+
+    #[test]
+    fn readdir_with_unbounded_max_and_nonzero_offset() {
+        let mut s = session();
+        let root = FsCreds::root();
+        let etc = s.resolve_path(&root, "/etc", true).unwrap();
+        let dh = s.opendir(&root, etc.ino).unwrap();
+        // "everything after the first entry" with max = usize::MAX must not
+        // overflow.
+        let rest = s.readdir(&root, dh.fh, 1, usize::MAX).unwrap();
+        assert_eq!(rest.len(), 2);
+        // Past-the-end cursor is an empty page, not an error.
+        assert!(s.readdir(&root, dh.fh, 64, usize::MAX).unwrap().is_empty());
+        s.releasedir(dh.fh).unwrap();
+    }
+
+    #[test]
+    fn write_through_handle_then_read_back() {
+        let mut s = session();
+        let root = FsCreds::root();
+        let etc = s.resolve_path(&root, "/etc", true).unwrap();
+        let (entry, opened) = s
+            .create(&root, etc.ino, "new.conf", Mode::FILE_644, OpenFlags::RDWR)
+            .unwrap();
+        assert_eq!(s.write(&root, opened.fh, 0, b"abc").unwrap().size, 3);
+        assert_eq!(s.write(&root, opened.fh, 3, b"def").unwrap().size, 3);
+        let back = s.read(&root, opened.fh, 0, 16).unwrap();
+        assert_eq!(back.as_slice(), b"abcdef");
+        s.release(opened.fh).unwrap();
+        // O_TRUNC on reopen.
+        let t = s
+            .open(&root, entry.ino, OpenFlags::WRONLY | OpenFlags::TRUNC)
+            .unwrap();
+        s.release(t.fh).unwrap();
+        assert_eq!(s.getattr(&root, entry.ino).unwrap().size, 0);
+    }
+
+    #[test]
+    fn wrong_handle_kinds_are_ebadf_family() {
+        let mut s = session();
+        let root = FsCreds::root();
+        let etc = s.resolve_path(&root, "/etc", true).unwrap();
+        let host = s.resolve_path(&root, "/etc/hostname", true).unwrap();
+        let dh = s.opendir(&root, etc.ino).unwrap();
+        let fhh = s.open(&root, host.ino, OpenFlags::RDONLY).unwrap();
+        assert_eq!(s.read(&root, dh.fh, 0, 1).unwrap_err(), Errno::EISDIR);
+        assert_eq!(s.readdir(&root, fhh.fh, 0, 1).unwrap_err(), Errno::ENOTDIR);
+        assert_eq!(s.release(dh.fh).unwrap_err(), Errno::EBADF);
+        assert_eq!(s.releasedir(fhh.fh).unwrap_err(), Errno::EBADF);
+        // The failed cross-releases did not leak or drop the handles.
+        assert_eq!(s.open_handles(), 2);
+        s.releasedir(dh.fh).unwrap();
+        s.release(fhh.fh).unwrap();
+        // A write through a read-only handle is EBADF.
+        let ro = s.open(&root, host.ino, OpenFlags::RDONLY).unwrap();
+        assert_eq!(s.write(&root, ro.fh, 0, b"x").unwrap_err(), Errno::EBADF);
+        s.release(ro.fh).unwrap();
+    }
+
+    #[test]
+    fn queue_dispatch_matches_typed_calls() {
+        let mut s = session();
+        let root = FsCreds::root();
+        let replies = s.dispatch_all([
+            Request::new(
+                root.clone(),
+                Operation::Lookup {
+                    parent: s.root_ino(),
+                    name: "etc".into(),
+                },
+            ),
+            Request::new(root.clone(), Operation::Statfs),
+            Request::new(
+                root.clone(),
+                Operation::Lookup {
+                    parent: s.root_ino(),
+                    name: "missing".into(),
+                },
+            ),
+        ]);
+        assert!(matches!(replies[0], Reply::Entry(_)));
+        assert!(matches!(replies[1], Reply::Statfs(_)));
+        assert_eq!(replies[2].err(), Some(Errno::ENOENT));
+        // Full open/read/release through the queue.
+        let etc = match &replies[0] {
+            Reply::Entry(e) => e.ino,
+            _ => unreachable!(),
+        };
+        let host = s.lookup(&root, etc, "hostname").unwrap();
+        let opened = match s.dispatch(Request::new(
+            root.clone(),
+            Operation::Open {
+                ino: host.ino,
+                flags: OpenFlags::RDONLY,
+            },
+        )) {
+            Reply::Opened(o) => o,
+            other => panic!("{:?}", other),
+        };
+        match s.dispatch(Request::new(
+            root.clone(),
+            Operation::Read {
+                fh: opened.fh,
+                offset: 0,
+                size: 32,
+            },
+        )) {
+            Reply::Data(d) => assert_eq!(d.as_slice(), b"astra"),
+            other => panic!("{:?}", other),
+        }
+        assert_eq!(
+            s.dispatch(Request::new(root, Operation::Release { fh: opened.fh })),
+            Reply::Unit
+        );
+        assert_eq!(s.open_handles(), 0);
+    }
+}

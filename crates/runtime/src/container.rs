@@ -6,6 +6,7 @@
 //! (rootless Podman with privileged helpers), and Type III (Charliecloud,
 //! fully unprivileged).
 
+use hpcc_fuseproto::{FsCreds, MemFs, ReadOnly, Session};
 use hpcc_kernel::{Credentials, Errno, Gid, KResult, Sysctl, Uid, UserNamespace};
 use hpcc_vfs::{tar, Actor, Filesystem, FsBackend, Mode};
 
@@ -198,6 +199,36 @@ impl Container {
     /// An [`Actor`] for operations performed by the container's root process.
     pub fn actor(&self) -> Actor<'_> {
         Actor::new(&self.creds, &self.userns)
+    }
+
+    /// Serves the container's root filesystem through the FUSE-style
+    /// operation protocol: returns a [`Session`] over a copy-on-write
+    /// snapshot of the rootfs (an O(1) clone — file bytes stay shared), in
+    /// the container's user namespace. This is what a real `ch-mount` /
+    /// FUSE daemon would export; `lookup`/`open`/`read`/`readdir` replies
+    /// are zero-copy against the image content.
+    ///
+    /// The session serves a *snapshot*: writes through it land in the
+    /// mount's own CoW copy, never in `self.rootfs` (exactly like serving a
+    /// built image to a runtime).
+    pub fn mount(&self) -> Session<MemFs> {
+        Session::new(MemFs::new(self.rootfs.clone(), self.userns.clone()))
+    }
+
+    /// Like [`Container::mount`], but read-only: every mutating operation
+    /// fails with `EROFS`. The mount for sharing one built image between
+    /// many consumers.
+    pub fn mount_readonly(&self) -> Session<ReadOnly<MemFs>> {
+        Session::new(ReadOnly::new(MemFs::new(
+            self.rootfs.clone(),
+            self.userns.clone(),
+        )))
+    }
+
+    /// Per-request credentials for the container's root process — what its
+    /// syscalls would carry into a mount served by [`Container::mount`].
+    pub fn fs_creds(&self) -> FsCreds {
+        FsCreds::from_credentials(&self.creds)
     }
 
     /// True if the container's processes appear to be root inside the
@@ -426,6 +457,47 @@ mod tests {
         assert_eq!(sshd.uid, 74);
         let sh = entries.iter().find(|e| e.path == "bin/sh").unwrap();
         assert_eq!(sh.uid, 0);
+    }
+
+    #[test]
+    fn mount_serves_image_through_ops_zero_copy() {
+        use hpcc_fuseproto::OpenFlags;
+        let c = Container::launch_type3(&sample_image("x86_64"), &alice()).unwrap();
+        let mut session = c.mount();
+        let cred = c.fs_creds();
+        let bin = session.lookup(&cred, session.root_ino(), "bin").unwrap();
+        let sh = session.lookup(&cred, bin.ino, "sh").unwrap();
+        // Ownership through the mount is the in-namespace view: root.
+        assert_eq!(sh.attr.uid, Uid(0));
+        let opened = session.open(&cred, sh.ino, OpenFlags::RDONLY).unwrap();
+        let data = session.read(&cred, opened.fh, 0, 64).unwrap();
+        assert_eq!(data.as_slice(), b"elf");
+        // Zero-copy: the reply shares the rootfs's buffer.
+        let direct = c.rootfs.file_bytes(&c.actor(), "/bin/sh").unwrap();
+        assert!(data.bytes().shares_buffer_with(&direct));
+        session.release(opened.fh).unwrap();
+        assert_eq!(session.open_handles(), 0);
+        // Writes land in the mount's CoW snapshot, not the container rootfs.
+        let newdir = session
+            .mkdir(&cred, bin.ino, "newdir", Mode::DIR_755)
+            .unwrap();
+        assert!(newdir.attr.ino > 0);
+        assert!(!c.rootfs.exists(&c.actor(), "/bin/newdir"));
+    }
+
+    #[test]
+    fn readonly_mount_refuses_mutation() {
+        let c = Container::launch_type3(&sample_image("x86_64"), &alice()).unwrap();
+        let mut session = c.mount_readonly();
+        let cred = c.fs_creds();
+        assert!(session.statfs(&cred).unwrap().readonly);
+        let bin = session.lookup(&cred, session.root_ino(), "bin").unwrap();
+        let err = session
+            .mkdir(&cred, bin.ino, "x", Mode::DIR_755)
+            .unwrap_err();
+        assert_eq!(err.code(), Errno::EROFS.code());
+        // Reads still flow.
+        assert!(session.opendir(&cred, bin.ino).is_ok());
     }
 
     #[test]

@@ -1,14 +1,131 @@
 //! Execution engine for the shell subset: builtins, the package-manager
 //! front-ends (`yum`, `apt-get`), and the `fakeroot` wrapper command.
+//!
+//! File I/O builtins (`cat`, `touch`, `rm`, and output redirection) speak
+//! the FUSE-style operation protocol (`hpcc-fuseproto`): each command runs a
+//! [`Session`] over the build filesystem and drives `lookup`/`open`/`read`/
+//! `write`/`release` ops with per-request credentials — the same wire a
+//! mount would use — instead of poking `Filesystem` path methods directly.
 
 use std::collections::BTreeMap;
 
 use hpcc_distro::{apt, yum, Catalog, UserDb};
 use hpcc_fakeroot::{FakerootSession, Flavor, LieDatabase};
+use hpcc_fuseproto::{Errno as OpErrno, FsCreds, MemFs, OpResult, OpenFlags, Session};
 use hpcc_kernel::{Credentials, Gid, Uid, UserNamespace};
 use hpcc_vfs::{Actor, FileType, Filesystem, Mode};
 
 use crate::parse::{parse_line, Connector, Pipeline, SimpleCommand, Statement};
+
+/// The op-session type shell builtins run over the borrowed build
+/// filesystem.
+type OpsSession<'b> = Session<MemFs<&'b mut Filesystem>>;
+
+/// Splits an absolute path into (parent path, final name).
+fn split_parent(path: &str) -> (&str, &str) {
+    match path.rfind('/') {
+        Some(0) => ("/", &path[1..]),
+        Some(idx) => (&path[..idx], &path[idx + 1..]),
+        None => ("/", path),
+    }
+}
+
+/// `rm` through the op protocol. Non-recursive is a single `unlink`;
+/// recursive mirrors `remove_tree`'s tolerance for a missing target.
+fn rm_via_ops(
+    sess: &mut OpsSession<'_>,
+    cred: &FsCreds,
+    path: &str,
+    recursive: bool,
+) -> OpResult<()> {
+    let (dir, name) = split_parent(path);
+    let parent = match sess.resolve_path(cred, dir, true) {
+        Ok(e) => e,
+        Err(e) if e == OpErrno::ENOENT && recursive => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if !recursive {
+        return sess.unlink(cred, parent.ino, name);
+    }
+    let entry = match sess.lookup(cred, parent.ino, name) {
+        Ok(e) => e,
+        Err(e) if e == OpErrno::ENOENT => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    remove_entry_recursive(
+        sess,
+        cred,
+        parent.ino,
+        name,
+        entry.ino,
+        entry.attr.file_type,
+    )
+}
+
+/// Depth-first removal driven entirely by ops: `opendir`/`readdir` cursors
+/// to list (the reply already carries each child's ino and type, so no
+/// per-child lookup is needed), `unlink`/`rmdir` per entry.
+fn remove_entry_recursive(
+    sess: &mut OpsSession<'_>,
+    cred: &FsCreds,
+    parent: hpcc_vfs::Ino,
+    name: &str,
+    ino: hpcc_vfs::Ino,
+    file_type: FileType,
+) -> OpResult<()> {
+    if file_type != FileType::Directory {
+        return sess.unlink(cred, parent, name);
+    }
+    let dh = sess.opendir(cred, ino)?;
+    let children = sess.readdir(cred, dh.fh, 0, usize::MAX)?;
+    sess.releasedir(dh.fh)?;
+    for child in children {
+        remove_entry_recursive(sess, cred, ino, &child.name, child.ino, child.file_type)?;
+    }
+    sess.rmdir(cred, parent, name)
+}
+
+/// Opens `path` for writing through ops, creating the file if absent. A
+/// *dangling symlink* occupying the final name is replaced by a fresh
+/// regular file, preserving the seed `write_file` behavior (which rewrote
+/// the symlink inode in place) — without this, `create` would fail EEXIST
+/// on the name.
+fn open_for_write_via_ops(
+    sess: &mut OpsSession<'_>,
+    cred: &FsCreds,
+    path: &str,
+) -> OpResult<hpcc_fuseproto::Opened> {
+    match sess.resolve_path(cred, path, true) {
+        Ok(entry) => sess.open(cred, entry.ino, OpenFlags::WRONLY | OpenFlags::TRUNC),
+        Err(e) if e == OpErrno::ENOENT => {
+            let (dir, name) = split_parent(path);
+            let parent = sess.resolve_path(cred, dir, true)?;
+            if let Ok(existing) = sess.lookup(cred, parent.ino, name) {
+                if existing.attr.file_type == FileType::Symlink {
+                    sess.unlink(cred, parent.ino, name)?;
+                }
+            }
+            Ok(sess
+                .create(cred, parent.ino, name, Mode::FILE_644, OpenFlags::WRONLY)?
+                .1)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Output redirection through the op protocol: truncate-or-create, write,
+/// release.
+fn redirect_via_ops(
+    sess: &mut OpsSession<'_>,
+    cred: &FsCreds,
+    path: &str,
+    content: &[u8],
+) -> OpResult<()> {
+    let opened = open_for_write_via_ops(sess, cred, path)?;
+    let wrote = sess.write(cred, opened.fh, 0, content).map(|_| ());
+    sess.release(opened.fh)?;
+    wrote
+}
 
 /// Result of running a command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +199,17 @@ impl<'a> ExecEnv<'a> {
             echo_commands: false,
             exit_on_error: false,
         }
+    }
+
+    /// Starts an operation session over the build filesystem with the
+    /// shell's credentials as the per-request identity — the path every
+    /// file-I/O builtin takes.
+    fn ops_session(&mut self) -> (OpsSession<'_>, FsCreds) {
+        let cred = FsCreds::from_credentials(&self.creds);
+        (
+            Session::new(MemFs::new(&mut *self.fs, self.userns.clone())),
+            cred,
+        )
     }
 
     /// Which `fakeroot(1)` implementation is installed in the image, if any.
@@ -304,20 +432,17 @@ impl<'a> ExecEnv<'a> {
             }
             other => self.exec_external(other),
         };
-        // Apply output redirection.
+        // Apply output redirection (through the op protocol).
         if let Some(target) = &cmd.redirect {
             if target != "/dev/null" {
-                let actor = Actor::new(&self.creds, self.userns);
                 let content = if result.lines.is_empty() {
                     String::new()
                 } else {
                     result.lines.join("\n") + "\n"
                 };
-                if self
-                    .fs
-                    .write_file(&actor, target, content.into_bytes(), Mode::FILE_644)
-                    .is_err()
-                {
+                let path = self.abspath(target);
+                let (mut sess, cred) = self.ops_session();
+                if redirect_via_ops(&mut sess, &cred, &path, content.as_bytes()).is_err() {
                     return CmdResult {
                         lines: vec![format!("sh: {}: Permission denied", target)],
                         status: 1,
@@ -423,22 +548,23 @@ impl<'a> ExecEnv<'a> {
     }
 
     fn builtin_touch(&mut self, args: &[&str]) -> CmdResult {
-        let actor = Actor::new(&self.creds, self.userns);
-        for a in args {
-            if a.starts_with('-') {
+        let files: Vec<(String, String)> = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .map(|a| (a.to_string(), self.abspath(a)))
+            .collect();
+        let (mut sess, cred) = self.ops_session();
+        for (arg, path) in &files {
+            if sess.resolve_path(&cred, path, true).is_ok() {
                 continue;
             }
-            let path = self.abspath(a);
-            if !self.fs.exists(&actor, &path) {
-                if let Err(e) = self
-                    .fs
-                    .write_file(&actor, &path, Vec::new(), Mode::new(0o644))
-                {
-                    return CmdResult {
-                        lines: vec![format!("touch: cannot touch '{}': {}", a, e.message())],
-                        status: 1,
-                    };
-                }
+            let created: OpResult<()> = open_for_write_via_ops(&mut sess, &cred, path)
+                .and_then(|opened| sess.release(opened.fh));
+            if let Err(e) = created {
+                return CmdResult {
+                    lines: vec![format!("touch: cannot touch '{}': {}", arg, e.message())],
+                    status: 1,
+                };
             }
         }
         CmdResult::ok()
@@ -469,22 +595,19 @@ impl<'a> ExecEnv<'a> {
     }
 
     fn builtin_rm(&mut self, args: &[&str]) -> CmdResult {
-        let actor = Actor::new(&self.creds, self.userns);
         let recursive = args.iter().any(|a| a.contains('r') && a.starts_with('-'));
-        for a in args {
-            if a.starts_with('-') {
-                continue;
-            }
-            let path = self.abspath(a);
-            let r = if recursive {
-                self.fs.remove_tree(&actor, &path)
-            } else {
-                self.fs.unlink(&actor, &path)
-            };
-            if let Err(e) = r {
-                if e != hpcc_kernel::Errno::ENOENT || !args.iter().any(|a| a.contains('f')) {
+        let force = args.iter().any(|a| a.starts_with('-') && a.contains('f'));
+        let files: Vec<(String, String)> = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .map(|a| (a.to_string(), self.abspath(a)))
+            .collect();
+        let (mut sess, cred) = self.ops_session();
+        for (arg, path) in &files {
+            if let Err(e) = rm_via_ops(&mut sess, &cred, path, recursive) {
+                if e != OpErrno::ENOENT || !force {
                     return CmdResult {
-                        lines: vec![format!("rm: cannot remove '{}': {}", a, e.message())],
+                        lines: vec![format!("rm: cannot remove '{}': {}", arg, e.message())],
                         status: 1,
                     };
                 }
@@ -615,18 +738,31 @@ impl<'a> ExecEnv<'a> {
         CmdResult { lines, status: 0 }
     }
 
-    fn builtin_cat(&self, args: &[&str]) -> CmdResult {
-        let actor = Actor::new(&self.creds, self.userns);
+    fn builtin_cat(&mut self, args: &[&str]) -> CmdResult {
+        let files: Vec<(String, String)> = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .map(|a| (a.to_string(), self.abspath(a)))
+            .collect();
+        let (mut sess, cred) = self.ops_session();
         let mut lines = Vec::new();
-        for a in args {
-            if a.starts_with('-') {
-                continue;
-            }
-            match self.fs.read_to_string(&actor, &self.abspath(a)) {
+        for (arg, path) in &files {
+            // lookup → open → read → release, like a process on a mount.
+            let text: OpResult<String> = (|| {
+                let entry = sess.resolve_path(&cred, path, true)?;
+                let opened = sess.open(&cred, entry.ino, OpenFlags::RDONLY)?;
+                let data = sess.read(&cred, opened.fh, 0, u32::MAX)?;
+                let text = std::str::from_utf8(data.as_slice())
+                    .map(|s| s.to_string())
+                    .map_err(|_| OpErrno::EINVAL);
+                sess.release(opened.fh)?;
+                text
+            })();
+            match text {
                 Ok(text) => lines.extend(text.lines().map(|l| l.to_string())),
                 Err(e) => {
                     return CmdResult {
-                        lines: vec![format!("cat: {}: {}", a, e.message())],
+                        lines: vec![format!("cat: {}: {}", arg, e.message())],
                         status: 1,
                     }
                 }
@@ -1103,6 +1239,27 @@ mod tests {
         assert_eq!(r.lines, vec!["hello"]);
         assert!(sh.run_command("rm -rf /opt/app").success());
         assert_eq!(sh.run_command("cat /opt/app/cfg/x.conf").status, 1);
+    }
+
+    #[test]
+    fn redirect_and_touch_replace_dangling_symlinks() {
+        let mut env = centos_type3();
+        {
+            let actor = Actor::new(&env.creds, &env.ns);
+            env.fs.mkdir(&actor, "/work", Mode::DIR_755).unwrap();
+            env.fs.symlink(&actor, "missing", "/work/link").unwrap();
+            env.fs.symlink(&actor, "gone", "/work/stamp").unwrap();
+        }
+        let mut sh = exec(&mut env);
+        // The seed's write_file rewrote a dangling symlink into a file;
+        // the op path must do the same, not fail EEXIST on the name.
+        assert!(sh.run_command("echo hi > /work/link").success());
+        assert_eq!(sh.run_command("cat /work/link").lines, vec!["hi"]);
+        assert!(sh.run_command("touch /work/stamp").success());
+        assert_eq!(
+            sh.run_command("cat /work/stamp").lines,
+            Vec::<String>::new()
+        );
     }
 
     #[test]

@@ -183,11 +183,16 @@ impl Filesystem {
     /// For internal paths that change file content or metadata only — the
     /// name → inode mapping is untouched, so cached resolutions stay valid
     /// (access checks re-run on every cache hit regardless).
-    fn inode_mut_quiet(&mut self, ino: Ino) -> KResult<&mut Inode> {
+    pub(crate) fn inode_mut_quiet(&mut self, ino: Ino) -> KResult<&mut Inode> {
         self.inodes.get_mut(ino).ok_or(Errno::ENOENT)
     }
 
-    fn tick(&mut self) -> u64 {
+    /// Drops an inode from the table (after its last name is gone).
+    pub(crate) fn remove_inode(&mut self, ino: Ino) {
+        self.inodes.remove(ino);
+    }
+
+    pub(crate) fn tick(&mut self) -> u64 {
         self.clock += 1;
         self.clock
     }
@@ -197,7 +202,7 @@ impl Filesystem {
     /// cached resolution (negative results are never cached, and existing
     /// name → inode mappings are untouched). Replacing an existing mapping
     /// orphans its old inode, so that case does bump.
-    fn link_entry(&mut self, parent: Ino, name: String, child: Ino) -> KResult<()> {
+    pub(crate) fn link_entry(&mut self, parent: Ino, name: String, child: Ino) -> KResult<()> {
         let parent_inode = self.inode_mut_quiet(parent)?;
         if !parent_inode.is_dir() {
             return Err(Errno::ENOTDIR);
@@ -211,7 +216,7 @@ impl Filesystem {
     /// Allocates a fresh inode. Inode numbers are never reused, and an
     /// allocation alone changes no name → inode mapping, so this does not
     /// bump the structural generation (`link_entry` decides).
-    fn alloc(&mut self, data: InodeData, uid: Uid, gid: Gid, mode: Mode) -> Ino {
+    pub(crate) fn alloc(&mut self, data: InodeData, uid: Uid, gid: Gid, mode: Mode) -> Ino {
         let ino = self.next_ino;
         self.next_ino += 1;
         let mtime = self.tick();
@@ -245,7 +250,7 @@ impl Filesystem {
             .collect()
     }
 
-    fn lookup_in_dir(&self, dir: Ino, name: &str) -> KResult<Ino> {
+    pub(crate) fn lookup_in_dir(&self, dir: Ino, name: &str) -> KResult<Ino> {
         let inode = self.inode(dir)?;
         match &inode.data {
             InodeData::Directory { entries } => entries.get(name).copied().ok_or(Errno::ENOENT),
@@ -587,7 +592,7 @@ impl Filesystem {
 
     // -------------------------------------------------------- checked ops
 
-    fn check_writable(&self) -> KResult<()> {
+    pub(crate) fn check_writable(&self) -> KResult<()> {
         if self.readonly {
             Err(Errno::EROFS)
         } else {
@@ -595,23 +600,12 @@ impl Filesystem {
         }
     }
 
-    /// `mkdir(2)`.
+    /// `mkdir(2)`: resolves the parent, then delegates to the inode-level
+    /// [`Filesystem::mkdir_at`] (the FUSE-style op surface).
     pub fn mkdir(&mut self, actor: &Actor, path: &str, mode: Mode) -> KResult<Ino> {
         self.check_writable()?;
         let (parent, name) = self.resolve_parent(actor, path)?;
-        let parent_inode = self.inode(parent)?;
-        actor.check_access(parent_inode, Access::WRITE)?;
-        if parent_inode.entries().contains_key(&name) {
-            return Err(Errno::EEXIST);
-        }
-        let gid = if parent_inode.mode.is_setgid() {
-            parent_inode.gid
-        } else {
-            actor.creds.egid
-        };
-        let ino = self.alloc(InodeData::empty_dir(), actor.creds.euid, gid, mode);
-        self.link_entry(parent, name, ino)?;
-        Ok(ino)
+        self.mkdir_at(actor, parent, &name, mode)
     }
 
     /// `mkdir -p`: creates `path` — or, with `parents_only`, just its
@@ -737,16 +731,11 @@ impl Filesystem {
 
     /// Reads a regular file as a cheap copy-on-write handle that shares the
     /// stored bytes (the snapshot-friendly way to move file content between
-    /// filesystems).
+    /// filesystems). Delegates to the inode-level
+    /// [`Filesystem::file_bytes_ino`].
     pub fn file_bytes(&self, actor: &Actor, path: &str) -> KResult<FileBytes> {
         let ino = self.resolve(actor, path)?;
-        let inode = self.inode(ino)?;
-        actor.check_access(inode, Access::READ)?;
-        match &inode.data {
-            InodeData::Regular { content } => Ok(content.clone()),
-            InodeData::Directory { .. } => Err(Errno::EISDIR),
-            _ => Err(Errno::EINVAL),
-        }
+        self.file_bytes_ino(actor, ino)
     }
 
     /// Reads a file as UTF-8 text.
@@ -757,50 +746,20 @@ impl Filesystem {
             .map_err(|_| Errno::EINVAL)
     }
 
-    /// `unlink(2)`.
+    /// `unlink(2)`: resolves the parent, then delegates to the inode-level
+    /// [`Filesystem::unlink_at`].
     pub fn unlink(&mut self, actor: &Actor, path: &str) -> KResult<()> {
         self.check_writable()?;
         let (parent, name) = self.resolve_parent(actor, path)?;
-        let parent_inode = self.inode(parent)?;
-        actor.check_access(parent_inode, Access::WRITE)?;
-        let target = parent_inode
-            .entries()
-            .get(&name)
-            .copied()
-            .ok_or(Errno::ENOENT)?;
-        if self.inode(target)?.is_dir() {
-            return Err(Errno::EISDIR);
-        }
-        self.inode_mut(parent)?.entries_mut().remove(&name);
-        let inode = self.inode_mut(target)?;
-        inode.nlink = inode.nlink.saturating_sub(1);
-        if inode.nlink == 0 {
-            self.inodes.remove(target);
-        }
-        Ok(())
+        self.unlink_at(actor, parent, &name)
     }
 
-    /// `rmdir(2)`.
+    /// `rmdir(2)`: resolves the parent, then delegates to the inode-level
+    /// [`Filesystem::rmdir_at`].
     pub fn rmdir(&mut self, actor: &Actor, path: &str) -> KResult<()> {
         self.check_writable()?;
         let (parent, name) = self.resolve_parent(actor, path)?;
-        let parent_inode = self.inode(parent)?;
-        actor.check_access(parent_inode, Access::WRITE)?;
-        let target = parent_inode
-            .entries()
-            .get(&name)
-            .copied()
-            .ok_or(Errno::ENOENT)?;
-        let t = self.inode(target)?;
-        if !t.is_dir() {
-            return Err(Errno::ENOTDIR);
-        }
-        if !t.entries().is_empty() {
-            return Err(Errno::ENOTEMPTY);
-        }
-        self.inode_mut(parent)?.entries_mut().remove(&name);
-        self.inodes.remove(target);
-        Ok(())
+        self.rmdir_at(actor, parent, &name)
     }
 
     /// Recursively removes a path (like `rm -rf`), used by builders to clean
@@ -822,25 +781,12 @@ impl Filesystem {
         }
     }
 
-    /// `symlink(2)`.
+    /// `symlink(2)`: resolves the parent, then delegates to the inode-level
+    /// [`Filesystem::symlink_at`].
     pub fn symlink(&mut self, actor: &Actor, target: &str, linkpath: &str) -> KResult<Ino> {
         self.check_writable()?;
         let (parent, name) = self.resolve_parent(actor, linkpath)?;
-        let parent_inode = self.inode(parent)?;
-        actor.check_access(parent_inode, Access::WRITE)?;
-        if parent_inode.entries().contains_key(&name) {
-            return Err(Errno::EEXIST);
-        }
-        let ino = self.alloc(
-            InodeData::Symlink {
-                target: target.to_string(),
-            },
-            actor.creds.euid,
-            actor.creds.egid,
-            Mode::new(0o777),
-        );
-        self.link_entry(parent, name, ino)?;
-        Ok(ino)
+        self.symlink_at(actor, parent, &name, target)
     }
 
     /// `link(2)`: hard link.
@@ -861,26 +807,13 @@ impl Filesystem {
         Ok(())
     }
 
-    /// `rename(2)` within this filesystem.
+    /// `rename(2)` within this filesystem: resolves both parents, then
+    /// delegates to the inode-level [`Filesystem::rename_at`].
     pub fn rename(&mut self, actor: &Actor, from: &str, to: &str) -> KResult<()> {
         self.check_writable()?;
         let (from_parent, from_name) = self.resolve_parent(actor, from)?;
-        actor.check_access(self.inode(from_parent)?, Access::WRITE)?;
-        let ino = self
-            .inode(from_parent)?
-            .entries()
-            .get(&from_name)
-            .copied()
-            .ok_or(Errno::ENOENT)?;
         let (to_parent, to_name) = self.resolve_parent(actor, to)?;
-        actor.check_access(self.inode(to_parent)?, Access::WRITE)?;
-        self.inode_mut(from_parent)?
-            .entries_mut()
-            .remove(&from_name);
-        self.inode_mut(to_parent)?
-            .entries_mut()
-            .insert(to_name, ino);
-        Ok(())
+        self.rename_at(actor, from_parent, &from_name, to_parent, &to_name)
     }
 
     /// `chown(2)` / `fchownat(2)`.
@@ -922,7 +855,11 @@ impl Filesystem {
         self.chown_ino(actor, ino, new_uid, new_gid)
     }
 
-    fn chown_ino(
+    /// `chown`/`fchown` by inode — the ownership half of `setattr` in the
+    /// inode-level op surface. `new_uid`/`new_gid` are in-namespace IDs; the
+    /// privilege rules are documented on [`Filesystem::chown`], which (like
+    /// [`Filesystem::lchown`]) resolves its path and delegates here.
+    pub fn chown_ino(
         &mut self,
         actor: &Actor,
         ino: Ino,
@@ -991,29 +928,12 @@ impl Filesystem {
         Ok(())
     }
 
-    /// `chmod(2)`.
+    /// `chmod(2)`: resolves the path, then delegates to the inode-level
+    /// [`Filesystem::chmod_ino`].
     pub fn chmod(&mut self, actor: &Actor, path: &str, mode: Mode) -> KResult<()> {
         self.check_writable()?;
         let ino = self.resolve(actor, path)?;
-        let inode = self.inode(ino)?;
-        if !actor.may_change_metadata(inode) {
-            return Err(Errno::EPERM);
-        }
-        // Setting setgid requires membership of the file's group (or
-        // privilege); otherwise the bit is silently cleared.
-        let mut mode = mode;
-        if mode.is_setgid()
-            && !actor.creds.in_group(inode.gid)
-            && !actor.cap_over_inode(inode, Capability::CapFowner)
-        {
-            mode = Mode::new(mode.bits() & !Mode::SETGID);
-        }
-        let tick = self.tick();
-        // Mode-only change: see `chown_ino` — access is re-checked on hits.
-        let inode = self.inode_mut_quiet(ino)?;
-        inode.mode = mode;
-        inode.mtime = tick;
-        Ok(())
+        self.chmod_ino(actor, ino, mode)
     }
 
     /// `mknod(2)`: creates a device node, FIFO, or socket. Device nodes
@@ -1070,50 +990,35 @@ impl Filesystem {
     }
 
     /// `stat(2)`: follows symlinks; IDs are reported both raw and as seen in
-    /// the actor's namespace.
+    /// the actor's namespace. Delegates to the inode-level
+    /// [`Filesystem::stat_ino`].
     pub fn stat(&self, actor: &Actor, path: &str) -> KResult<Stat> {
         let ino = self.resolve(actor, path)?;
-        Ok(self.stat_ino(actor, ino))
+        self.stat_ino(actor, ino)
     }
 
     /// `lstat(2)`.
     pub fn lstat(&self, actor: &Actor, path: &str) -> KResult<Stat> {
         let ino = self.resolve_no_follow(actor, path)?;
-        Ok(self.stat_ino(actor, ino))
+        self.stat_ino(actor, ino)
     }
 
-    fn stat_ino(&self, actor: &Actor, ino: Ino) -> Stat {
-        let inode = self.inodes.get(ino).expect("resolved inode exists");
-        Stat {
-            ino,
-            file_type: inode.file_type(),
-            mode: inode.mode,
-            uid_host: inode.uid,
-            gid_host: inode.gid,
-            uid_view: actor.userns.display_uid(inode.uid),
-            gid_view: actor.userns.display_gid(inode.gid),
-            size: inode.size(),
-            nlink: inode.nlink,
-            rdev: inode.rdev(),
-            mtime: inode.mtime,
-        }
-    }
-
-    /// `readdir(3)`: sorted entry names.
+    /// `readdir(3)`: sorted entry names. Delegates to the inode-level
+    /// [`Filesystem::readdir_ino`].
     pub fn readdir(&self, actor: &Actor, path: &str) -> KResult<Vec<String>> {
         let ino = self.resolve(actor, path)?;
-        let inode = self.inode(ino)?;
-        if !inode.is_dir() {
-            return Err(Errno::ENOTDIR);
-        }
-        actor.check_access(inode, Access::READ)?;
-        Ok(inode.entries().keys().cloned().collect())
+        Ok(self
+            .readdir_ino(actor, ino)?
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect())
     }
 
     // ------------------------------------------------------------- xattrs
 
     /// `setxattr(2)`. `user.*` attributes require the backend to support
     /// them; rootless Podman's ID mapping depends on this (paper §6.1).
+    /// Delegates to the inode-level [`Filesystem::set_xattr_ino`].
     pub fn set_xattr(
         &mut self,
         actor: &Actor,
@@ -1121,41 +1026,31 @@ impl Filesystem {
         name: &str,
         value: &[u8],
     ) -> KResult<()> {
+        // Writability and backend support are diagnosed before resolution,
+        // as the seed did (EROFS/EOPNOTSUPP win over ENOENT).
         self.check_writable()?;
         if name.starts_with("user.") && !self.backend.supports_user_xattrs() {
             return Err(Errno::EOPNOTSUPP);
         }
-        if name.starts_with("trusted.") {
-            // trusted.* requires CAP_SYS_ADMIN in the initial namespace.
-            if !(actor.creds.has_cap(Capability::CapSysAdmin) && actor.userns.is_initial()) {
-                return Err(Errno::EPERM);
-            }
-        }
         let ino = self.resolve(actor, path)?;
-        let inode = self.inode(ino)?;
-        actor.check_access(inode, Access::WRITE)?;
-        let inode = self.inode_mut_quiet(ino)?;
-        inode.xattrs.insert(name.to_string(), value.to_vec());
-        Ok(())
+        self.set_xattr_ino(actor, ino, name, value)
     }
 
-    /// `getxattr(2)`.
+    /// `getxattr(2)`. Delegates to the inode-level
+    /// [`Filesystem::get_xattr_ino`].
     pub fn get_xattr(&self, actor: &Actor, path: &str, name: &str) -> KResult<Vec<u8>> {
         if name.starts_with("user.") && !self.backend.supports_user_xattrs() {
             return Err(Errno::EOPNOTSUPP);
         }
         let ino = self.resolve(actor, path)?;
-        let inode = self.inode(ino)?;
-        actor.check_access(inode, Access::READ)?;
-        inode.xattrs.get(name).cloned().ok_or(Errno::ENODATA)
+        self.get_xattr_ino(actor, ino, name)
     }
 
-    /// `listxattr(2)`.
+    /// `listxattr(2)`. Delegates to the inode-level
+    /// [`Filesystem::list_xattrs_ino`].
     pub fn list_xattrs(&self, actor: &Actor, path: &str) -> KResult<Vec<String>> {
         let ino = self.resolve(actor, path)?;
-        let inode = self.inode(ino)?;
-        actor.check_access(inode, Access::READ)?;
-        Ok(inode.xattrs.keys().cloned().collect())
+        self.list_xattrs_ino(actor, ino)
     }
 
     // ------------------------------------------------------------ traversal

@@ -13,6 +13,7 @@
 pub mod actor;
 pub mod bytes;
 pub mod fs;
+pub mod ino_ops;
 pub mod inode;
 pub mod mode;
 pub mod overlay;
@@ -24,6 +25,7 @@ pub mod tar;
 pub use actor::Actor;
 pub use bytes::FileBytes;
 pub use fs::Filesystem;
+pub use ino_ops::{Setattr, MAX_FILE_SIZE};
 pub use inode::{Ino, Inode, InodeData, Stat};
 pub use mode::{Access, FileType, Mode};
 pub use overlay::{OverlayBackend, OverlayFs, OverlayStats};

@@ -8,6 +8,9 @@
 //!   maps, user namespaces, sysctl (paper §2.1).
 //! * [`vfs`] — in-memory POSIX filesystem with ownership, permissions,
 //!   devices, xattrs, tar, shared-filesystem backends.
+//! * [`fuseproto`] — the FUSE-style operation protocol over the VFS: typed
+//!   inode/handle ops with per-request credentials, errno-coded replies,
+//!   open-handle sessions, and image-serving backends.
 //! * [`fakeroot`] — `fakeroot(1)` / `fakeroot-ng` / `pseudo` interposition
 //!   (paper §5.1, Table 1).
 //! * [`distro`] — synthetic CentOS 7 / Debian 10 distributions with YUM- and
@@ -53,6 +56,7 @@ pub use hpcc_cluster as cluster;
 pub use hpcc_core as core;
 pub use hpcc_distro as distro;
 pub use hpcc_fakeroot as fakeroot;
+pub use hpcc_fuseproto as fuseproto;
 pub use hpcc_image as image;
 pub use hpcc_kernel as kernel;
 pub use hpcc_oci as oci;
