@@ -17,21 +17,42 @@
 //!
 //! **Relative mode** — `bench_gate --relative <current.json> [max_ratio]` —
 //! is the runner-variance-proof fallback (ROADMAP): instead of absolute
-//! times against a committed baseline, it compares two benches from the
-//! *same run*: `snapshot_store/many_tiny_run` normalized to per-instruction
-//! time (the workload has [`hpcc_bench::MANY_TINY_INSTRUCTIONS`]
-//! instructions) against `cached_rebuild/centos7_fully_cached`. A slow
-//! runner slows both numerators identically, so the ratio only moves when
-//! the snapshot-store path itself regresses relative to the cached path.
+//! times against a committed baseline, it compares benches from the *same
+//! run*, so a slow runner slows both sides identically and the ratio only
+//! moves when one code path regresses relative to the other. Two checks:
+//!
+//! 1. **Snapshot store**: `snapshot_store/many_tiny_run` normalized to
+//!    per-instruction time (the workload has
+//!    [`hpcc_bench::MANY_TINY_INSTRUCTIONS`] instructions) against
+//!    `cached_rebuild/centos7_fully_cached`, gated at `max_ratio`.
+//! 2. **Concurrent serving** (ISSUE 6): `shared_read/cycle_batch_8threads`
+//!    normalized to per-cycle time
+//!    ([`hpcc_bench::SHARED_READ_GATED_THREADS`] threads ×
+//!    [`hpcc_bench::SHARED_READ_CYCLES_PER_THREAD`] cycles per iteration)
+//!    against the same-run `shared_read/per_cycle_1thread` figure, gated at
+//!    a fixed 2× — with 8 readers over one shared image the mean per-op
+//!    cost must stay within 2× of the single-thread per-op cost. Because
+//!    the batch is wall-clock over *total* cycles, a single-core runner
+//!    (which serializes the threads) still satisfies the bound unless the
+//!    read path actually contends.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use hpcc_bench::MANY_TINY_INSTRUCTIONS;
+use hpcc_bench::{
+    MANY_TINY_INSTRUCTIONS, SHARED_READ_CYCLES_PER_THREAD, SHARED_READ_GATED_THREADS,
+};
 
-/// The two same-run benchmarks the relative gate compares.
+/// The two same-run benchmarks the snapshot-store relative check compares.
 const RELATIVE_WORKLOAD: &str = "snapshot_store/many_tiny_run";
 const RELATIVE_REFERENCE: &str = "cached_rebuild/centos7_fully_cached";
+
+/// The two same-run benchmarks the concurrent-serving check compares, and
+/// its fixed bound (ISSUE 6 acceptance: contended per-op cost ≤ 2× the
+/// single-thread per-op cost on the same run).
+const SHARED_READ_BATCH: &str = "shared_read/cycle_batch_8threads";
+const SHARED_READ_SINGLE: &str = "shared_read/per_cycle_1thread";
+const SHARED_READ_MAX_RATIO: f64 = 2.0;
 
 /// Per-instruction `many_tiny_run` time divided by the same-run
 /// `cached_rebuild` time. `None` if either bench is missing from the
@@ -42,7 +63,18 @@ fn relative_ratio(results: &BTreeMap<String, f64>) -> Option<f64> {
     Some((workload / MANY_TINY_INSTRUCTIONS as f64) / reference.max(1.0))
 }
 
-/// Runs the relative gate; returns the process exit code.
+/// Per-cycle cost of the 8-thread shared-read batch divided by the
+/// same-run single-thread per-cycle cost. `None` if either bench is
+/// missing from the results.
+fn shared_read_ratio(results: &BTreeMap<String, f64>) -> Option<f64> {
+    let batch = results.get(SHARED_READ_BATCH)?;
+    let single = results.get(SHARED_READ_SINGLE)?;
+    let total_cycles = (SHARED_READ_GATED_THREADS * SHARED_READ_CYCLES_PER_THREAD) as f64;
+    Some((batch / total_cycles) / single.max(1.0))
+}
+
+/// Runs the relative gate (both same-run checks); returns the process exit
+/// code.
 fn run_relative(current_path: &str, max_ratio: f64) -> ExitCode {
     let text = match std::fs::read_to_string(current_path) {
         Ok(t) => t,
@@ -52,13 +84,15 @@ fn run_relative(current_path: &str, max_ratio: f64) -> ExitCode {
         }
     };
     let current = parse_results(&text, current_path);
+    let mut failed = false;
+
     match relative_ratio(&current) {
         None => {
             eprintln!(
                 "bench_gate: relative mode needs both {} and {} in {}",
                 RELATIVE_WORKLOAD, RELATIVE_REFERENCE, current_path
             );
-            ExitCode::FAILURE
+            failed = true;
         }
         Some(ratio) => {
             println!(
@@ -70,12 +104,43 @@ fn run_relative(current_path: &str, max_ratio: f64) -> ExitCode {
                     "bench_gate: FAILED — per-instruction snapshot-store time regressed {}x past the cached-rebuild reference",
                     max_ratio
                 );
-                ExitCode::FAILURE
-            } else {
-                println!("bench_gate: ok (relative)");
-                ExitCode::SUCCESS
+                failed = true;
             }
         }
+    }
+
+    match shared_read_ratio(&current) {
+        None => {
+            eprintln!(
+                "bench_gate: relative mode needs both {} and {} in {}",
+                SHARED_READ_BATCH, SHARED_READ_SINGLE, current_path
+            );
+            failed = true;
+        }
+        Some(ratio) => {
+            println!(
+                "relative gate: ({} / {} cycles) / {} = {:.2} (max {:.2})",
+                SHARED_READ_BATCH,
+                SHARED_READ_GATED_THREADS * SHARED_READ_CYCLES_PER_THREAD,
+                SHARED_READ_SINGLE,
+                ratio,
+                SHARED_READ_MAX_RATIO
+            );
+            if ratio > SHARED_READ_MAX_RATIO {
+                eprintln!(
+                    "bench_gate: FAILED — contended shared-read per-cycle cost exceeded {}x the single-thread figure",
+                    SHARED_READ_MAX_RATIO
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: ok (relative)");
+        ExitCode::SUCCESS
     }
 }
 
@@ -237,6 +302,49 @@ mod tests {
         only_one.insert(RELATIVE_WORKLOAD.to_string(), 1000.0);
         assert_eq!(relative_ratio(&only_one), None);
         assert_eq!(relative_ratio(&BTreeMap::new()), None);
+    }
+
+    fn shared_results(batch_ns: f64, single_ns: f64) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert(SHARED_READ_BATCH.to_string(), batch_ns);
+        m.insert(SHARED_READ_SINGLE.to_string(), single_ns);
+        m
+    }
+
+    #[test]
+    fn shared_read_ratio_normalizes_per_cycle() {
+        // The batch costing exactly (threads × cycles) single-thread
+        // cycles → perfect scaling, ratio 1.0.
+        let total = (SHARED_READ_GATED_THREADS * SHARED_READ_CYCLES_PER_THREAD) as f64;
+        let r = shared_results(total * 2_000.0, 2_000.0);
+        assert!((shared_read_ratio(&r).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_read_ratio_is_runner_speed_invariant() {
+        let fast = shared_results(9_000_000.0, 1_800.0);
+        // The same machine 5x slower: both benches scale together.
+        let slow = shared_results(5.0 * 9_000_000.0, 5.0 * 1_800.0);
+        assert!(
+            (shared_read_ratio(&fast).unwrap() - shared_read_ratio(&slow).unwrap()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn shared_read_ratio_flags_contention() {
+        // A global lock on the read path would multiply per-cycle cost
+        // under 8 readers; 3x the single-thread figure must trip the bound.
+        let total = (SHARED_READ_GATED_THREADS * SHARED_READ_CYCLES_PER_THREAD) as f64;
+        let contended = shared_results(total * 3.0 * 2_000.0, 2_000.0);
+        assert!(shared_read_ratio(&contended).unwrap() > SHARED_READ_MAX_RATIO);
+    }
+
+    #[test]
+    fn shared_read_ratio_requires_both_benches() {
+        let mut only_one = BTreeMap::new();
+        only_one.insert(SHARED_READ_BATCH.to_string(), 1000.0);
+        assert_eq!(shared_read_ratio(&only_one), None);
+        assert_eq!(shared_read_ratio(&BTreeMap::new()), None);
     }
 
     #[test]

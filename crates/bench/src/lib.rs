@@ -222,6 +222,22 @@ pub fn repro_table1() -> String {
 /// `cached_rebuild` figure.
 pub const MANY_TINY_INSTRUCTIONS: usize = 64;
 
+/// Thread count of the gated many-readers workload
+/// (`shared_read/cycle_batch_8threads` in benches/shared_readers.rs): one
+/// iteration spawns this many reader threads against one [`hpcc_fuseproto::SharedImage`].
+/// Shared with `bench_gate --relative`, which normalizes the batch to
+/// per-cycle time before comparing it against the same-run
+/// `shared_read/per_cycle_1thread` figure — both numbers come from one
+/// process on one runner, so the ratio is machine- and core-count
+/// invariant: a single-core runner serializes the batch, but each cycle
+/// still costs the single-thread figure unless the read path contends.
+pub const SHARED_READ_GATED_THREADS: usize = 8;
+
+/// Full `resolve → open → read → release` cycles each reader thread runs
+/// per batch iteration. High enough that thread spawn/join overhead is
+/// amortized to noise against the measured per-cycle cost.
+pub const SHARED_READ_CYCLES_PER_THREAD: usize = 512;
+
 /// A pathological many-tiny-RUN single-stage Dockerfile with `instructions`
 /// total instructions, every `RUN` touching one small file. With the build
 /// cache enabled each instruction both stores a snapshot and immediately

@@ -34,6 +34,7 @@ pub mod memfs;
 pub mod op;
 pub mod ops;
 pub mod session;
+pub mod shared;
 
 pub use errno::{Errno, OpResult};
 pub use memfs::{MemFs, ReadOnly};
@@ -43,6 +44,7 @@ pub use op::{
 };
 pub use ops::FsOps;
 pub use session::Session;
+pub use shared::{ReaderSession, SharedImage};
 
 // Re-exported so protocol clients can build `Setattr` requests without
 // depending on hpcc-vfs directly.

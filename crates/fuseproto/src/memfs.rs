@@ -57,12 +57,21 @@ impl<F: Borrow<Filesystem>> MemFs<F> {
     /// Kernel credentials for a request: namespace-root requesters hold full
     /// in-namespace capabilities, everyone else none.
     fn credentials(&self, cred: &FsCreds) -> Credentials {
-        let base = Credentials::unprivileged_user(cred.uid, cred.gid, cred.groups.clone());
-        if self.userns.uid_to_ns(cred.uid).is_some_and(|u| u.is_root()) {
-            base.entered_own_namespace()
-        } else {
-            base
-        }
+        derive_credentials(&self.userns, cred)
+    }
+}
+
+/// Synthesizes kernel credentials for a request in `userns`: a requester
+/// whose UID maps to root in that namespace gets full in-namespace
+/// capabilities (the kernel's rule for namespace-root processes), everyone
+/// else is unprivileged. Shared between [`MemFs`] (per request) and
+/// `SharedImage` readers (derived once per client).
+pub(crate) fn derive_credentials(userns: &UserNamespace, cred: &FsCreds) -> Credentials {
+    let base = Credentials::unprivileged_user(cred.uid, cred.gid, cred.groups.clone());
+    if userns.uid_to_ns(cred.uid).is_some_and(|u| u.is_root()) {
+        base.entered_own_namespace()
+    } else {
+        base
     }
 }
 
@@ -74,7 +83,7 @@ impl MemFs<Filesystem> {
 }
 
 /// Maps a kernel error into the wire errno.
-fn wire(e: hpcc_kernel::Errno) -> Errno {
+pub(crate) fn wire(e: hpcc_kernel::Errno) -> Errno {
     Errno::from(e)
 }
 

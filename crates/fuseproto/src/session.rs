@@ -500,11 +500,22 @@ impl<B: FsOps> Session<B> {
         reqs.into_iter().map(|r| self.dispatch(r)).collect()
     }
 
+    /// Allocates a file-handle id. Wraparound-safe: after `u64::MAX` opens
+    /// the counter wraps (skipping 0, which clients may treat as "no
+    /// handle"), and any id still held by an open handle is skipped — a
+    /// long-lived handle can never be aliased by a later open.
     fn alloc_fh(&mut self, handle: Handle) -> u64 {
-        let fh = self.next_fh;
-        self.next_fh += 1;
-        self.handles.insert(fh, handle);
-        fh
+        loop {
+            let fh = self.next_fh;
+            self.next_fh = match self.next_fh.wrapping_add(1) {
+                0 => 1,
+                n => n,
+            };
+            if fh != 0 && !self.handles.contains_key(&fh) {
+                self.handles.insert(fh, handle);
+                return fh;
+            }
+        }
     }
 }
 
@@ -733,6 +744,36 @@ mod tests {
             s.dispatch(Request::new(root, Operation::Release { fh: opened.fh })),
             Reply::Unit
         );
+        assert_eq!(s.open_handles(), 0);
+    }
+
+    #[test]
+    fn fh_allocation_survives_wraparound_without_aliasing() {
+        let mut s = session();
+        let root = FsCreds::root();
+        let host = s.resolve_path(&root, "/etc/hostname", true).unwrap();
+        // A long-lived handle opened near the end of the id space…
+        s.next_fh = u64::MAX;
+        let pinned = s.open(&root, host.ino, OpenFlags::RDONLY).unwrap().fh;
+        assert_eq!(pinned, u64::MAX);
+        // …must survive the counter wrapping: later opens skip 0 and every
+        // still-open id, and open/release cycles never hand out a live id.
+        let mut seen = vec![pinned];
+        for _ in 0..4 {
+            let fh = s.open(&root, host.ino, OpenFlags::RDONLY).unwrap().fh;
+            assert_ne!(fh, 0, "fh 0 must never be handed out");
+            assert!(!seen.contains(&fh), "live fh {fh} aliased");
+            seen.push(fh);
+            // Read through the pinned handle still works (it was not stolen).
+            assert_eq!(s.read(&root, pinned, 0, 5).unwrap().as_slice(), b"astra");
+            s.release(fh).unwrap();
+        }
+        // Forcing the counter back over a live id skips it.
+        s.next_fh = u64::MAX;
+        let next = s.open(&root, host.ino, OpenFlags::RDONLY).unwrap().fh;
+        assert_ne!(next, pinned);
+        s.release(next).unwrap();
+        s.release(pinned).unwrap();
         assert_eq!(s.open_handles(), 0);
     }
 }

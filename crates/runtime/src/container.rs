@@ -6,7 +6,9 @@
 //! (rootless Podman with privileged helpers), and Type III (Charliecloud,
 //! fully unprivileged).
 
-use hpcc_fuseproto::{FsCreds, MemFs, ReadOnly, Session};
+use std::sync::OnceLock;
+
+use hpcc_fuseproto::{FsCreds, MemFs, ReaderSession, Session, SharedImage};
 use hpcc_kernel::{Credentials, Errno, Gid, KResult, Sysctl, Uid, UserNamespace};
 use hpcc_vfs::{tar, Actor, Filesystem, FsBackend, Mode};
 
@@ -31,6 +33,10 @@ pub struct Container {
     pub arch: String,
     /// Storage accounting from rootfs preparation.
     pub storage_cost: StorageCost,
+    /// The frozen image served to read-only mounts, built lazily on the
+    /// first [`Container::mount_readonly`] and shared by every later one
+    /// (cloning the container shares it too — it is immutable).
+    shared: OnceLock<SharedImage>,
 }
 
 /// Parameters describing the invoking host user.
@@ -110,6 +116,7 @@ impl Container {
             creds: Credentials::host_root(),
             arch: image.config.architecture.clone(),
             storage_cost: StorageCost::default(),
+            shared: OnceLock::new(),
         })
     }
 
@@ -146,6 +153,7 @@ impl Container {
             creds: invoker.host_creds().entered_own_namespace(),
             arch: image.config.architecture.clone(),
             storage_cost: cost,
+            shared: OnceLock::new(),
         })
     }
 
@@ -163,6 +171,7 @@ impl Container {
             creds: invoker.host_creds().entered_own_namespace(),
             arch: image.config.architecture.clone(),
             storage_cost: StorageCost::default(),
+            shared: OnceLock::new(),
         })
     }
 
@@ -193,6 +202,7 @@ impl Container {
             creds: invoker.host_creds().entered_own_namespace(),
             arch: image.config.architecture.clone(),
             storage_cost: cost,
+            shared: OnceLock::new(),
         })
     }
 
@@ -215,14 +225,27 @@ impl Container {
         Session::new(MemFs::new(self.rootfs.clone(), self.userns.clone()))
     }
 
+    /// The container's rootfs frozen for concurrent read-only serving:
+    /// built on first use (one O(1) CoW snapshot plus a resolver warm-up)
+    /// and shared by **every** read-only mount afterwards — N clients hold
+    /// one `Arc`-shared inode table and byte store, not N snapshots.
+    ///
+    /// The freeze captures the rootfs as of this first call; like any
+    /// served image, later writes to `self.rootfs` are not reflected.
+    pub fn shared_image(&self) -> &SharedImage {
+        self.shared
+            .get_or_init(|| SharedImage::new(self.rootfs.clone(), self.userns.clone()))
+    }
+
     /// Like [`Container::mount`], but read-only: every mutating operation
     /// fails with `EROFS`. The mount for sharing one built image between
-    /// many consumers.
-    pub fn mount_readonly(&self) -> Session<ReadOnly<MemFs>> {
-        Session::new(ReadOnly::new(MemFs::new(
-            self.rootfs.clone(),
-            self.userns.clone(),
-        )))
+    /// many consumers — all sessions read the *same* [`SharedImage`]
+    /// (lock-free resolve, sharded handle tables), so handing one out per
+    /// client thread is O(1). The session authenticates as the container's
+    /// root process; use [`Container::shared_image`] and
+    /// [`SharedImage::reader`] directly to serve other credentials.
+    pub fn mount_readonly(&self) -> ReaderSession {
+        self.shared_image().reader(self.fs_creds())
     }
 
     /// Per-request credentials for the container's root process — what its
@@ -488,16 +511,40 @@ mod tests {
     #[test]
     fn readonly_mount_refuses_mutation() {
         let c = Container::launch_type3(&sample_image("x86_64"), &alice()).unwrap();
-        let mut session = c.mount_readonly();
-        let cred = c.fs_creds();
-        assert!(session.statfs(&cred).unwrap().readonly);
-        let bin = session.lookup(&cred, session.root_ino(), "bin").unwrap();
-        let err = session
-            .mkdir(&cred, bin.ino, "x", Mode::DIR_755)
-            .unwrap_err();
+        let session = c.mount_readonly();
+        assert!(session.statfs().unwrap().readonly);
+        let bin = session.lookup(session.root_ino(), "bin").unwrap();
+        let err = session.mkdir(bin.ino, "x", Mode::DIR_755).unwrap_err();
         assert_eq!(err.code(), Errno::EROFS.code());
         // Reads still flow.
-        assert!(session.opendir(&cred, bin.ino).is_ok());
+        let dh = session.opendir(bin.ino).unwrap();
+        session.releasedir(dh.fh).unwrap();
+    }
+
+    #[test]
+    fn readonly_mounts_share_one_image() {
+        use hpcc_fuseproto::OpenFlags;
+        let c = Container::launch_type3(&sample_image("x86_64"), &alice()).unwrap();
+        let r1 = c.mount_readonly();
+        let r2 = c.mount_readonly();
+        // Both sessions serve the same frozen image — no per-client
+        // snapshot was taken.
+        assert!(r1.image().ptr_eq(r2.image()));
+        assert!(c.shared_image().ptr_eq(r1.image()));
+        let sh1 = r1.resolve_path("/bin/sh", true).unwrap();
+        let sh2 = r2.resolve_path("/bin/sh", true).unwrap();
+        let o1 = r1.open(sh1.ino, OpenFlags::RDONLY).unwrap();
+        let o2 = r2.open(sh2.ino, OpenFlags::RDONLY).unwrap();
+        let d1 = r1.read(o1.fh, 0, 64).unwrap();
+        let d2 = r2.read(o2.fh, 0, 64).unwrap();
+        assert_eq!(d1.as_slice(), b"elf");
+        // Zero-copy across clients *and* against the container rootfs.
+        assert!(d1.bytes().shares_buffer_with(d2.bytes()));
+        let direct = c.rootfs.file_bytes(&c.actor(), "/bin/sh").unwrap();
+        assert!(d1.bytes().shares_buffer_with(&direct));
+        r1.release(o1.fh).unwrap();
+        r2.release(o2.fh).unwrap();
+        assert_eq!(r1.open_handles() + r2.open_handles(), 0);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! A pre-warmed, lock-free path-resolution index for immutable filesystems.
+//!
+//! The per-[`Filesystem`] resolve cache lives behind a `Mutex` because it
+//! fills lazily while builds mutate the tree. A finished image is different:
+//! its tree is frozen, so the whole path → inode mapping can be computed
+//! once, up front, and then probed from any number of threads with **no lock
+//! at all** — the map is never written again. This is the resolve half of
+//! the concurrent read path: many readers serving one image (the paper's
+//! "thousands of nodes mount one image from shared storage" scenario) must
+//! not serialize on a cache mutex that can never earn its keep.
+//!
+//! Security model matches the mutable cache exactly: entries record
+//! *structure only* (the resolved inode plus the parent-directory chain the
+//! walk traversed), and every hit re-runs the EXECUTE checks over that chain
+//! with the probing actor's credentials. Per-client permissions are therefore
+//! enforced on every operation even though the index itself is shared.
+//!
+//! Symlinks are deliberately left out of the index (follow and no-follow
+//! semantics diverge on them); probes for such paths — and for any path not
+//! present at freeze time — fall back to [`Filesystem::resolve_uncached`],
+//! a full walk that also never touches the resolve-cache mutex.
+
+use std::collections::HashMap;
+
+use hpcc_kernel::KResult;
+
+use crate::actor::Actor;
+use crate::fs::{Filesystem, RESOLVE_CACHE_MAX_DEPTH};
+use crate::inode::Ino;
+use crate::mode::Access;
+
+/// One frozen resolution: the final inode and the parent directories whose
+/// EXECUTE permission a cold walk would check, in root-first order.
+#[derive(Debug)]
+struct FrozenEntry {
+    ino: Ino,
+    parents: Box<[Ino]>,
+}
+
+/// An immutable path → inode index, built once from a frozen filesystem and
+/// probed lock-free from any number of threads (`&self` everywhere, no
+/// interior mutability).
+///
+/// Build with [`FrozenResolver::warm`]; resolve with
+/// [`FrozenResolver::resolve`] / [`FrozenResolver::resolve_no_follow`].
+/// The filesystem it indexes must not be structurally mutated afterwards —
+/// freeze enforces nothing by itself, so callers (e.g. `SharedImage` in the
+/// fuseproto crate) keep the filesystem behind a shared immutable handle.
+#[derive(Debug)]
+pub struct FrozenResolver {
+    map: HashMap<String, FrozenEntry>,
+}
+
+impl FrozenResolver {
+    /// Walks the whole tree and records every symlink-free canonical path up
+    /// to the standard resolve-cache depth. O(tree size) once; probes are
+    /// O(1) forever after.
+    pub fn warm(fs: &Filesystem) -> Self {
+        let mut map = HashMap::new();
+        map.insert(
+            "/".to_string(),
+            FrozenEntry {
+                ino: fs.root_ino(),
+                parents: Box::new([]),
+            },
+        );
+        let mut chain = vec![fs.root_ino()];
+        let mut prefix = String::new();
+        Self::walk_dir(fs, fs.root_ino(), &mut prefix, &mut chain, &mut map);
+        FrozenResolver { map }
+    }
+
+    fn walk_dir(
+        fs: &Filesystem,
+        dir: Ino,
+        prefix: &mut String,
+        chain: &mut Vec<Ino>,
+        map: &mut HashMap<String, FrozenEntry>,
+    ) {
+        if chain.len() > RESOLVE_CACHE_MAX_DEPTH {
+            return;
+        }
+        let Ok(inode) = fs.inode(dir) else { return };
+        for (name, &child) in inode.entries() {
+            let Ok(child_inode) = fs.inode(child) else {
+                continue;
+            };
+            if child_inode.is_symlink() {
+                continue;
+            }
+            let len_before = prefix.len();
+            prefix.push('/');
+            prefix.push_str(name);
+            map.insert(
+                prefix.clone(),
+                FrozenEntry {
+                    ino: child,
+                    parents: chain.clone().into_boxed_slice(),
+                },
+            );
+            if child_inode.is_dir() {
+                chain.push(child);
+                Self::walk_dir(fs, child, prefix, chain, map);
+                chain.pop();
+            }
+            prefix.truncate(len_before);
+        }
+    }
+
+    /// Number of indexed paths (including `/`).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is indexed (never the case after `warm` — `/` is
+    /// always present).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn probe(&self, fs: &Filesystem, actor: &Actor, path: &str) -> Option<KResult<Ino>> {
+        let entry = self.map.get(path)?;
+        for &dir in entry.parents.iter() {
+            let dir_inode = match fs.inode(dir) {
+                Ok(i) => i,
+                Err(e) => return Some(Err(e)),
+            };
+            if let Err(e) = actor.check_access(dir_inode, Access::EXECUTE) {
+                return Some(Err(e));
+            }
+        }
+        Some(Ok(entry.ino))
+    }
+
+    /// Resolves `path` (following symlinks) against the frozen index; falls
+    /// back to an uncached full walk on a miss. Acquires no lock either way.
+    pub fn resolve(&self, fs: &Filesystem, actor: &Actor, path: &str) -> KResult<Ino> {
+        match self.probe(fs, actor, path) {
+            Some(r) => r,
+            None => fs.resolve_uncached(actor, path),
+        }
+    }
+
+    /// Resolves `path` with `lstat` semantics (no final symlink follow).
+    /// Indexed entries are never symlinks, so a hit is identical under both
+    /// semantics; misses fall back to the uncached no-follow walk.
+    pub fn resolve_no_follow(&self, fs: &Filesystem, actor: &Actor, path: &str) -> KResult<Ino> {
+        match self.probe(fs, actor, path) {
+            Some(r) => r,
+            None => fs.resolve_uncached_no_follow(actor, path),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcc_kernel::{Credentials, Gid, Uid, UserNamespace};
+
+    use crate::mode::Mode;
+
+    fn build_fs() -> Filesystem {
+        let mut fs = Filesystem::new_local();
+        fs.install_file("/etc/conf", b"c".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        fs.install_file(
+            "/usr/bin/tool",
+            b"elf".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::EXEC_755,
+        )
+        .unwrap();
+        fs.install_dir("/secret", Uid(0), Gid(0), Mode::new(0o700))
+            .unwrap();
+        fs.install_file(
+            "/secret/key",
+            b"k".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::new(0o600),
+        )
+        .unwrap();
+        let root_creds = Credentials::host_root();
+        let ns = UserNamespace::initial();
+        let root = Actor::new(&root_creds, &ns);
+        fs.symlink(&root, "/usr/bin/tool", "/usr/bin/alias")
+            .unwrap();
+        fs
+    }
+
+    #[test]
+    fn frozen_matches_live_resolution_everywhere() {
+        let fs = build_fs();
+        let frozen = FrozenResolver::warm(&fs);
+        let root_creds = Credentials::host_root();
+        let ns = UserNamespace::initial();
+        let root = Actor::new(&root_creds, &ns);
+        let paths = [
+            "/",
+            "/etc",
+            "/etc/conf",
+            "/usr/bin/tool",
+            "/usr/bin/alias", // symlink: served by fallback
+            "/secret/key",
+            "/enoent",
+            "/etc/conf/not-a-dir",
+        ];
+        for p in paths {
+            assert_eq!(frozen.resolve(&fs, &root, p), fs.resolve(&root, p), "{p}");
+            assert_eq!(
+                frozen.resolve_no_follow(&fs, &root, p),
+                fs.resolve_no_follow(&root, p),
+                "{p} (no-follow)"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_hits_reenforce_per_actor_permissions() {
+        let fs = build_fs();
+        let frozen = FrozenResolver::warm(&fs);
+        let ns = UserNamespace::initial();
+        let alice_creds = Credentials::unprivileged_user(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let alice = Actor::new(&alice_creds, &ns);
+        // /secret is 0700 root-owned: the shared index must still deny alice,
+        // exactly as the live walk does.
+        assert_eq!(
+            frozen.resolve(&fs, &alice, "/secret/key"),
+            fs.resolve(&alice, "/secret/key")
+        );
+        assert!(frozen.resolve(&fs, &alice, "/secret/key").is_err());
+        // Readable paths still work for her.
+        assert_eq!(
+            frozen.resolve(&fs, &alice, "/etc/conf"),
+            fs.resolve(&alice, "/etc/conf")
+        );
+    }
+
+    #[test]
+    fn warm_indexes_every_symlink_free_path() {
+        let fs = build_fs();
+        let frozen = FrozenResolver::warm(&fs);
+        // walk() yields every path; all non-symlink ones must be indexed.
+        let root_creds = Credentials::host_root();
+        let ns = UserNamespace::initial();
+        let root = Actor::new(&root_creds, &ns);
+        let mut expected = 1; // "/"
+        for (path, ino) in fs.walk() {
+            let inode = fs.inode(ino).unwrap();
+            if inode.is_symlink() {
+                continue;
+            }
+            expected += 1;
+            assert_eq!(frozen.resolve(&fs, &root, &path).unwrap(), ino, "{path}");
+        }
+        assert_eq!(frozen.len(), expected);
+        assert!(!frozen.is_empty());
+    }
+}

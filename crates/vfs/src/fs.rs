@@ -22,8 +22,9 @@ use crate::table::InodeTable;
 /// Maximum symlink traversals before `ELOOP`.
 const MAX_SYMLINK_DEPTH: u32 = 40;
 
-/// Deepest path (in components) the resolve cache will record.
-const RESOLVE_CACHE_MAX_DEPTH: usize = 24;
+/// Deepest path (in components) the resolve cache will record. Shared with
+/// the frozen resolver, which pre-warms to the same depth.
+pub(crate) const RESOLVE_CACHE_MAX_DEPTH: usize = 24;
 /// Entry cap per filesystem; the cache is dumped wholesale when full (an
 /// epoch clear is cheaper than LRU bookkeeping at this size).
 const RESOLVE_CACHE_MAX_ENTRIES: usize = 512;
@@ -258,13 +259,25 @@ impl Filesystem {
         }
     }
 
+    /// Locks the resolve cache, recovering from poisoning. A panic while the
+    /// lock was held can only have interrupted a map probe or a single-entry
+    /// insert, and entries are self-validating (generation stamp plus per-hit
+    /// access checks), so the map stays usable — one panicked reader must not
+    /// wedge every later resolve.
+    fn resolve_cache_lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, ResolveEntry>> {
+        self.resolve_cache.lock().unwrap_or_else(|poisoned| {
+            self.resolve_cache.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
     /// Probes the resolve cache for `path`. A hit re-runs the EXECUTE checks
     /// over the recorded parent chain with the *current* actor — permission
     /// failures surface exactly as the walk would surface them. Returns
     /// `Ok(None)` on a miss (stale generation, uncached path).
     fn resolve_cache_probe(&self, actor: &Actor, path: &str) -> KResult<Option<Ino>> {
         let entry = {
-            let cache = self.resolve_cache.lock().expect("resolve cache poisoned");
+            let cache = self.resolve_cache_lock();
             match cache.get(path) {
                 Some(e) if e.generation == self.generation => *e,
                 _ => return Ok(None),
@@ -295,7 +308,7 @@ impl Filesystem {
             parents_len: parents.len() as u8,
         };
         entry.parents[..parents.len()].copy_from_slice(parents);
-        let mut cache = self.resolve_cache.lock().expect("resolve cache poisoned");
+        let mut cache = self.resolve_cache_lock();
         if let Some(slot) = cache.get_mut(path) {
             *slot = entry;
             return;
@@ -312,20 +325,33 @@ impl Filesystem {
         path: &str,
         follow_final: bool,
         depth: u32,
+        use_cache: bool,
     ) -> KResult<Ino> {
         if depth > MAX_SYMLINK_DEPTH {
             return Err(Errno::ELOOP);
         }
-        if let Some(ino) = self.resolve_cache_probe(actor, path)? {
-            return Ok(ino);
+        if use_cache {
+            if let Some(ino) = self.resolve_cache_probe(actor, path)? {
+                return Ok(ino);
+            }
         }
         let comps = PathComponents::parse(path);
-        self.walk_components(actor, comps.as_slice(), follow_final, depth, Some(path))
+        let cache_key = if use_cache { Some(path) } else { None };
+        self.walk_components(
+            actor,
+            comps.as_slice(),
+            follow_final,
+            depth,
+            cache_key,
+            use_cache,
+        )
     }
 
     /// The resolution walk over borrowed components. `cache_key` is the raw
     /// path to record a symlink-free result under (`None` skips caching —
-    /// used for parent walks of non-canonical paths).
+    /// used for parent walks of non-canonical paths). `use_cache: false`
+    /// additionally keeps symlink re-resolution off the cache, so the whole
+    /// walk never touches the resolve-cache `Mutex`.
     fn walk_components(
         &self,
         actor: &Actor,
@@ -333,6 +359,7 @@ impl Filesystem {
         follow_final: bool,
         depth: u32,
         cache_key: Option<&str>,
+        use_cache: bool,
     ) -> KResult<Ino> {
         let mut parents: [Ino; RESOLVE_CACHE_MAX_DEPTH] = [0; RESOLVE_CACHE_MAX_DEPTH];
         let mut cacheable = comps.len() <= RESOLVE_CACHE_MAX_DEPTH;
@@ -371,7 +398,13 @@ impl Filesystem {
                         }
                         p
                     };
-                    return self.resolve_inner(actor, &resolved_path, follow_final, depth + 1);
+                    return self.resolve_inner(
+                        actor,
+                        &resolved_path,
+                        follow_final,
+                        depth + 1,
+                        use_cache,
+                    );
                 }
                 // `lstat` of a final symlink: a valid result, but `resolve`
                 // and `resolve_no_follow` would disagree on this path, so it
@@ -390,12 +423,28 @@ impl Filesystem {
 
     /// Resolves a path, following symlinks (including a final symlink).
     pub fn resolve(&self, actor: &Actor, path: &str) -> KResult<Ino> {
-        self.resolve_inner(actor, path, true, 0)
+        self.resolve_inner(actor, path, true, 0, true)
     }
 
     /// Resolves a path without following a final symlink (`lstat` semantics).
     pub fn resolve_no_follow(&self, actor: &Actor, path: &str) -> KResult<Ino> {
-        self.resolve_inner(actor, path, false, 0)
+        self.resolve_inner(actor, path, false, 0, true)
+    }
+
+    /// Resolves a path, following symlinks, without ever touching the
+    /// resolve-cache `Mutex` — neither probing nor storing, including across
+    /// symlink re-resolution. This is the lock-free read path for serving an
+    /// immutable filesystem to many concurrent readers (see
+    /// [`crate::frozen::FrozenResolver`]), where a shared lock would
+    /// serialize them and a per-reader cache would never amortize.
+    pub fn resolve_uncached(&self, actor: &Actor, path: &str) -> KResult<Ino> {
+        self.resolve_inner(actor, path, true, 0, false)
+    }
+
+    /// [`Filesystem::resolve_uncached`] with `lstat` semantics (no final
+    /// symlink follow).
+    pub fn resolve_uncached_no_follow(&self, actor: &Actor, path: &str) -> KResult<Ino> {
+        self.resolve_inner(actor, path, false, 0, false)
     }
 
     /// Resolves the parent directory of `path`, returning `(parent_ino,
@@ -414,7 +463,7 @@ impl Filesystem {
         let comps = PathComponents::parse(path);
         let comps = comps.as_slice();
         let (&name, dir_comps) = comps.split_last().ok_or(Errno::EINVAL)?;
-        let parent = self.walk_components(actor, dir_comps, true, 0, None)?;
+        let parent = self.walk_components(actor, dir_comps, true, 0, None, true)?;
         if !self.inode(parent)?.is_dir() {
             return Err(Errno::ENOTDIR);
         }
@@ -1812,5 +1861,73 @@ mod tests {
             .unwrap();
         snapshot.remove_tree(&actor, "/f").unwrap();
         assert_eq!(fs.read_file(&actor, "/f").unwrap(), b"one");
+    }
+
+    #[test]
+    fn resolve_cache_survives_poisoning() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.install_file("/etc/conf", b"x".to_vec(), Uid(0), Gid(0), Mode::FILE_644)
+            .unwrap();
+        // Warm the cache, then poison the mutex the way a panicking reader
+        // would: panic while holding the guard.
+        let ino = fs.resolve(&actor, "/etc/conf").unwrap();
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = fs.resolve_cache.lock().unwrap();
+            panic!("reader dies while holding the resolve-cache lock");
+        }));
+        assert!(poison.is_err());
+        assert!(fs.resolve_cache.is_poisoned());
+        // Resolution still works — both the cached hit and a fresh store.
+        assert_eq!(fs.resolve(&actor, "/etc/conf").unwrap(), ino);
+        assert_eq!(
+            fs.resolve(&actor, "/etc").unwrap(),
+            fs.resolve(&actor, "/etc").unwrap()
+        );
+        // And the recovery cleared the poison flag rather than paying the
+        // recovery branch on every later lock.
+        assert!(!fs.resolve_cache.is_poisoned());
+    }
+
+    #[test]
+    fn resolve_uncached_matches_cached_resolution() {
+        let mut fs = Filesystem::new_local();
+        let (r, ns) = root_actor();
+        let actor = Actor::new(&r, &ns);
+        fs.install_file(
+            "/usr/bin/tool",
+            b"elf".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::EXEC_755,
+        )
+        .unwrap();
+        fs.symlink(&actor, "/usr/bin/tool", "/usr/bin/alias")
+            .unwrap();
+        fs.symlink(&actor, "bin", "/usr/sbin").unwrap();
+        for path in [
+            "/",
+            "/usr",
+            "/usr/bin/tool",
+            "/usr/bin/alias",
+            "/usr/sbin/tool",
+            "/missing",
+        ] {
+            assert_eq!(
+                fs.resolve_uncached(&actor, path),
+                fs.resolve(&actor, path),
+                "follow diverged on {path}"
+            );
+            assert_eq!(
+                fs.resolve_uncached_no_follow(&actor, path),
+                fs.resolve_no_follow(&actor, path),
+                "no-follow diverged on {path}"
+            );
+        }
+        // The uncached walk leaves no trace in the cache.
+        let fresh = fs.clone();
+        fresh.resolve_uncached(&actor, "/usr/bin/tool").unwrap();
+        assert_eq!(fresh.resolve_cache_lock().len(), 0);
     }
 }

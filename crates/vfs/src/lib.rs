@@ -12,6 +12,7 @@
 
 pub mod actor;
 pub mod bytes;
+pub mod frozen;
 pub mod fs;
 pub mod ino_ops;
 pub mod inode;
@@ -24,6 +25,7 @@ pub mod tar;
 
 pub use actor::Actor;
 pub use bytes::FileBytes;
+pub use frozen::FrozenResolver;
 pub use fs::Filesystem;
 pub use ino_ops::{Setattr, MAX_FILE_SIZE};
 pub use inode::{Ino, Inode, InodeData, Stat};

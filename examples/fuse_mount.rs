@@ -134,10 +134,13 @@ fn main() {
     assert_eq!(replies[2].err().map(|e| e.code()), Some(2)); // ENOENT
     println!("  lookup(marker) ok, statfs ok, lookup(missing) -> ENOENT");
 
-    // 7. And a read-only mount refuses writes with EROFS.
-    let mut ro = container.mount_readonly();
+    // 7. And a read-only mount refuses writes with EROFS. Read-only mounts
+    //    are shared-image readers: every `mount_readonly()` serves the same
+    //    frozen snapshot (see examples/concurrent_serve.rs for the
+    //    many-threads version).
+    let ro = container.mount_readonly();
     let err = ro
-        .mkdir(&cred, ro.root_ino(), "nope", hpcc_repro::vfs::Mode::DIR_755)
+        .mkdir(ro.root_ino(), "nope", hpcc_repro::vfs::Mode::DIR_755)
         .unwrap_err();
     println!("== read-only mount: mkdir -> {} ==", err);
 
