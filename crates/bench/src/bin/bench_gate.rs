@@ -35,12 +35,23 @@
 //!    the batch is wall-clock over *total* cycles, a single-core runner
 //!    (which serializes the threads) still satisfies the bound unless the
 //!    read path actually contends.
+//! 3. **Farm throughput** (ISSUE 7):
+//!    `farm/throughput_256x8_full_overlap` normalized to per-build time
+//!    ([`hpcc_bench::FARM_GATED_BUILDS`] builds per iteration) against the
+//!    same-run `farm/serial_single_build` figure, gated at a fixed 0.75× —
+//!    the ratio must stay *below* one: at 100% overlap cross-tenant dedup
+//!    collapses 256 builds to one miss set plus cached adoptions, so a
+//!    farm build must cost well under a standalone build. The bound is
+//!    runner-speed invariant for the same reason as the other checks, and
+//!    a single-core runner (which serializes the workers) still passes
+//!    because dedup removes the work itself, not just the wall-clock.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use hpcc_bench::{
-    MANY_TINY_INSTRUCTIONS, SHARED_READ_CYCLES_PER_THREAD, SHARED_READ_GATED_THREADS,
+    FARM_GATED_BUILDS, MANY_TINY_INSTRUCTIONS, SHARED_READ_CYCLES_PER_THREAD,
+    SHARED_READ_GATED_THREADS,
 };
 
 /// The two same-run benchmarks the snapshot-store relative check compares.
@@ -53,6 +64,13 @@ const RELATIVE_REFERENCE: &str = "cached_rebuild/centos7_fully_cached";
 const SHARED_READ_BATCH: &str = "shared_read/cycle_batch_8threads";
 const SHARED_READ_SINGLE: &str = "shared_read/per_cycle_1thread";
 const SHARED_READ_MAX_RATIO: f64 = 2.0;
+
+/// The two same-run benchmarks the farm-throughput check compares, and its
+/// fixed bound (ISSUE 7 acceptance: per-build cost of a 100%-overlap batch
+/// must stay *below* the standalone single-build cost — dedup has to win).
+const FARM_BATCH: &str = "farm/throughput_256x8_full_overlap";
+const FARM_SINGLE: &str = "farm/serial_single_build";
+const FARM_MAX_RATIO: f64 = 0.75;
 
 /// Per-instruction `many_tiny_run` time divided by the same-run
 /// `cached_rebuild` time. `None` if either bench is missing from the
@@ -73,7 +91,16 @@ fn shared_read_ratio(results: &BTreeMap<String, f64>) -> Option<f64> {
     Some((batch / total_cycles) / single.max(1.0))
 }
 
-/// Runs the relative gate (both same-run checks); returns the process exit
+/// Per-build cost of the full-overlap farm batch divided by the same-run
+/// standalone single-build cost. `None` if either bench is missing from
+/// the results.
+fn farm_ratio(results: &BTreeMap<String, f64>) -> Option<f64> {
+    let batch = results.get(FARM_BATCH)?;
+    let single = results.get(FARM_SINGLE)?;
+    Some((batch / FARM_GATED_BUILDS as f64) / single.max(1.0))
+}
+
+/// Runs the relative gate (all same-run checks); returns the process exit
 /// code.
 fn run_relative(current_path: &str, max_ratio: f64) -> ExitCode {
     let text = match std::fs::read_to_string(current_path) {
@@ -130,6 +157,29 @@ fn run_relative(current_path: &str, max_ratio: f64) -> ExitCode {
                 eprintln!(
                     "bench_gate: FAILED — contended shared-read per-cycle cost exceeded {}x the single-thread figure",
                     SHARED_READ_MAX_RATIO
+                );
+                failed = true;
+            }
+        }
+    }
+
+    match farm_ratio(&current) {
+        None => {
+            eprintln!(
+                "bench_gate: relative mode needs both {} and {} in {}",
+                FARM_BATCH, FARM_SINGLE, current_path
+            );
+            failed = true;
+        }
+        Some(ratio) => {
+            println!(
+                "relative gate: ({} / {} builds) / {} = {:.2} (max {:.2})",
+                FARM_BATCH, FARM_GATED_BUILDS, FARM_SINGLE, ratio, FARM_MAX_RATIO
+            );
+            if ratio > FARM_MAX_RATIO {
+                eprintln!(
+                    "bench_gate: FAILED — full-overlap farm per-build cost exceeded {}x the standalone single-build figure (cross-tenant dedup regressed)",
+                    FARM_MAX_RATIO
                 );
                 failed = true;
             }
@@ -345,6 +395,46 @@ mod tests {
         only_one.insert(SHARED_READ_BATCH.to_string(), 1000.0);
         assert_eq!(shared_read_ratio(&only_one), None);
         assert_eq!(shared_read_ratio(&BTreeMap::new()), None);
+    }
+
+    fn farm_results(batch_ns: f64, single_ns: f64) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert(FARM_BATCH.to_string(), batch_ns);
+        m.insert(FARM_SINGLE.to_string(), single_ns);
+        m
+    }
+
+    #[test]
+    fn farm_ratio_normalizes_per_build() {
+        // The batch costing exactly FARM_GATED_BUILDS standalone builds →
+        // no dedup benefit at all, ratio 1.0 (which would fail the 0.75 gate).
+        let r = farm_results(FARM_GATED_BUILDS as f64 * 150_000.0, 150_000.0);
+        assert!((farm_ratio(&r).unwrap() - 1.0).abs() < 1e-9);
+        assert!(farm_ratio(&r).unwrap() > FARM_MAX_RATIO);
+    }
+
+    #[test]
+    fn farm_ratio_is_runner_speed_invariant() {
+        let fast = farm_results(4_000_000.0, 150_000.0);
+        // The same machine 5x slower: both benches scale together.
+        let slow = farm_results(5.0 * 4_000_000.0, 5.0 * 150_000.0);
+        assert!((farm_ratio(&fast).unwrap() - farm_ratio(&slow).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn farm_ratio_passes_when_dedup_wins() {
+        // Dedup collapsing the batch to ~one miss set plus cheap cached
+        // adoptions: per-build cost a small fraction of a standalone build.
+        let r = farm_results(FARM_GATED_BUILDS as f64 * 15_000.0, 150_000.0);
+        assert!(farm_ratio(&r).unwrap() < FARM_MAX_RATIO);
+    }
+
+    #[test]
+    fn farm_ratio_requires_both_benches() {
+        let mut only_one = BTreeMap::new();
+        only_one.insert(FARM_BATCH.to_string(), 1000.0);
+        assert_eq!(farm_ratio(&only_one), None);
+        assert_eq!(farm_ratio(&BTreeMap::new()), None);
     }
 
     #[test]

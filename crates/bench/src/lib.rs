@@ -238,6 +238,20 @@ pub const SHARED_READ_GATED_THREADS: usize = 8;
 /// amortized to noise against the measured per-cycle cost.
 pub const SHARED_READ_CYCLES_PER_THREAD: usize = 512;
 
+/// Builds per iteration of the gated farm-throughput workload
+/// (`farm/throughput_256x8_full_overlap` in benches/farm_throughput.rs):
+/// this many byte-identical builds queued across [`FARM_GATED_TENANTS`]
+/// tenants and drained through one `hpcc_farm::BuildFarm`. Shared with
+/// `bench_gate --relative`, which normalizes the batch to per-build time
+/// before comparing it against the same-run `farm/serial_single_build`
+/// figure — both numbers come from one process on one runner, so the ratio
+/// only moves when cross-tenant dedup (or the scheduler) regresses, never
+/// with runner speed.
+pub const FARM_GATED_BUILDS: usize = 256;
+
+/// Tenants the gated farm-throughput workload spreads its builds across.
+pub const FARM_GATED_TENANTS: usize = 8;
+
 /// A pathological many-tiny-RUN single-stage Dockerfile with `instructions`
 /// total instructions, every `RUN` touching one small file. With the build
 /// cache enabled each instruction both stores a snapshot and immediately

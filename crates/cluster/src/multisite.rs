@@ -11,7 +11,10 @@
 //! then pull the variant matching their own CPUs — the problem that motivated
 //! building on Astra in the first place (§4.2) disappears.
 
-use hpcc_core::{build_multistage, push_to_oci, BuildOptions, Builder, LayerMode};
+use std::collections::HashMap;
+
+use hpcc_core::{push_to_oci, BuildOptions, LayerMode};
+use hpcc_farm::{BuildFarm, BuildRequest, FarmConfig, FarmResult};
 use hpcc_image::Digest;
 use hpcc_oci::{DistributionRegistry, Platform};
 use hpcc_runtime::Invoker;
@@ -83,12 +86,13 @@ pub struct MultiSiteReport {
 /// shared registry, and finally verifies that each site's compute nodes can
 /// pull their own architecture.
 ///
-/// Builds run concurrently on one thread per site (std scoped threads —
-/// each site's builder is independent), and within each site's build the
-/// stage graph runs independent stages of a multi-stage Dockerfile
-/// concurrently too (a single-stage Dockerfile is just a one-node graph).
-/// Registry pushes are serialized, as they would be by the registry service
-/// itself.
+/// Builds run concurrently through a [`BuildFarm`]: each site is one tenant
+/// (its CI user is the tenant's invoker), with one worker per site draining
+/// the queue. Stage tasks of a multi-stage Dockerfile are work-stolen across
+/// the pool, and sites sharing a launch identity *and* architecture dedup
+/// cached instruction prefixes; differing architectures partition the cache
+/// key, so no site ever adopts another architecture's tree. Registry pushes
+/// are serialized, as they would be by the registry service itself.
 pub fn multisite_ci(
     sites: &[Site],
     dockerfile_text: &str,
@@ -96,66 +100,68 @@ pub fn multisite_ci(
     repo: &str,
     tag: &str,
 ) -> MultiSiteReport {
-    // Phase 1: parallel unprivileged builds, one per site.
-    let built: Vec<(usize, String, String, Builder, bool, usize)> = std::thread::scope(|s| {
-        let handles: Vec<_> = sites
-            .iter()
-            .enumerate()
-            .map(|(i, site)| {
-                let df = dockerfile_text.to_string();
-                s.spawn(move || {
-                    let arch = site.arch();
-                    let mut builder = Builder::ch_image(site.invoker.clone());
-                    let report = build_multistage(
-                        &mut builder,
-                        &df,
-                        &BuildOptions::new(tag).with_force().with_arch(&arch),
-                        None,
-                    );
-                    let modified = report.stages.iter().map(|r| r.instructions_modified).sum();
-                    (
-                        i,
-                        site.name.clone(),
-                        arch,
-                        builder,
-                        report.success,
-                        modified,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("site build thread panicked"))
-            .collect()
-    });
+    // Phase 1: every site's CI job goes through one farm.
+    let farm = BuildFarm::new(FarmConfig::new(sites.len()));
+    for site in sites {
+        let request = BuildRequest::new(
+            &site.name,
+            dockerfile_text,
+            BuildOptions::new(tag).with_force().with_arch(&site.arch()),
+        )
+        .with_invoker(site.invoker.clone());
+        farm.try_submit(request)
+            .expect("default farm queue depth holds one build per site");
+    }
+    let mut by_site: HashMap<String, FarmResult> = farm
+        .drain()
+        .into_iter()
+        .map(|r| (r.tenant.clone(), r))
+        .collect();
 
     // Phase 2: serialized pushes into the shared registry, then per-site pull
     // verification from a compute node of the site's architecture.
     let mut results = Vec::with_capacity(sites.len());
-    let mut ordered = built;
-    ordered.sort_by_key(|r| r.0);
-    for (i, site_name, arch, builder, build_ok, modified) in ordered {
+    for site in sites {
+        let arch = site.arch();
+        let outcome = by_site.remove(&site.name);
+        let (build_ok, modified) = outcome
+            .as_ref()
+            .map(|r| {
+                (
+                    r.report.success,
+                    r.report
+                        .stages
+                        .iter()
+                        .map(|s| s.instructions_modified)
+                        .sum(),
+                )
+            })
+            .unwrap_or((false, 0));
         let mut manifest_digest = None;
         if build_ok {
-            manifest_digest = push_to_oci(
-                &builder,
-                tag,
-                registry,
-                repo,
-                tag,
-                LayerMode::SingleFlattened,
-            )
-            .ok()
-            .map(|r| r.manifest_digest);
+            if let Some(builder) = farm.tenant_builder(&site.name) {
+                let builder = builder
+                    .read()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                manifest_digest = push_to_oci(
+                    &builder,
+                    tag,
+                    registry,
+                    repo,
+                    tag,
+                    LayerMode::SingleFlattened,
+                )
+                .ok()
+                .map(|r| r.manifest_digest);
+            }
         }
         let platform = Platform::from_uname(&arch).unwrap_or_else(Platform::linux_amd64);
         let pull_ok = manifest_digest.is_some()
             && registry
-                .pull_for_platform(&sites[i].invoker.name, repo, tag, &platform)
+                .pull_for_platform(&site.invoker.name, repo, tag, &platform)
                 .is_ok();
         results.push(SiteBuildResult {
-            site: site_name,
+            site: site.name.clone(),
             arch,
             build_ok,
             instructions_modified: modified,

@@ -7,7 +7,8 @@
 //!   `--force` automatic injection of `fakeroot(1)` (paper §5).
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use hpcc_distro::{base_image, catalog_for, Catalog};
 use hpcc_fakeroot::LieDatabase;
@@ -16,7 +17,7 @@ use hpcc_kernel::{Credentials, Sysctl, UserNamespace};
 use hpcc_runtime::{Container, Invoker, PrivilegeType, StorageDriver, SubIdDb};
 use hpcc_vfs::{Actor, Filesystem, FsBackend};
 
-use crate::cache::ShardedBuildCache;
+use crate::cache::{lock_recover, ShardedBuildCache};
 use crate::error::BuildError;
 use crate::executor::run_graph;
 use crate::graph::BuildGraph;
@@ -220,16 +221,9 @@ pub struct Builder {
     /// their probes and stores on a single lock.
     pub(crate) cache: Arc<ShardedBuildCache>,
     store: HashMap<String, BuiltImage>,
-    /// Launched base-image environments memoized per `(reference, arch)`.
-    ///
-    /// Constructing a base tree, packaging it as an image, and launching a
-    /// build container is deterministic for a fixed builder kind, so cold
-    /// (instruction-cache-off) builds after the first adopt a CoW snapshot
-    /// of the launched rootfs instead of repeating the pack/unpack round
-    /// trip — the dominant cost of an uncached `FROM` (PERF.md §6). This is
-    /// the builder's local image storage, not the instruction cache:
-    /// `--no-cache` semantics (fresh instruction execution) are unaffected.
-    base_envs: Mutex<HashMap<(String, String), BaseEnvTemplate>>,
+    /// Launched base-image environments memoized per `(reference, arch)`,
+    /// shareable across builders (see [`BaseEnvMemo`]).
+    base_envs: Arc<BaseEnvMemo>,
 }
 
 /// Memoized result of launching a base image: the launched rootfs plus the
@@ -242,6 +236,191 @@ struct BaseEnvTemplate {
     base_reference: String,
 }
 
+/// Memo key: `(builder launch identity, base reference, arch)`. The identity
+/// component binds everything that shapes the launched environment —
+/// privilege type, invoker, subuid ranges — so builders with different
+/// privilege models sharing one memo can never adopt each other's
+/// credentials.
+type EnvKey = (String, String, String);
+
+/// One memo slot: derivation state plus a condvar waiters block on while the
+/// leader launches the base environment.
+struct EnvSlot {
+    state: Mutex<EnvSlotState>,
+    cv: Condvar,
+}
+
+enum EnvSlotState {
+    /// A leader is deriving; waiters block on the condvar.
+    Pending,
+    /// Derivation finished; every caller adopts this template.
+    Ready(Arc<BaseEnvTemplate>),
+    /// Derivation failed (or the leader panicked); waiters propagate the
+    /// message. The slot was removed from the map, so a later call retries.
+    Failed(String),
+}
+
+impl EnvSlot {
+    fn new() -> Self {
+        EnvSlot {
+            state: Mutex::new(EnvSlotState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Restores a memo slot to a sane state if the deriving leader panics:
+/// waiters are failed over instead of blocking forever on the condvar.
+struct LeaderGuard<'a> {
+    memo: &'a BaseEnvMemo,
+    key: &'a EnvKey,
+    slot: &'a Arc<EnvSlot>,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.memo.fail_slot(
+                self.key,
+                self.slot,
+                "error: base environment derivation panicked".to_string(),
+            );
+        }
+    }
+}
+
+/// Process-wide memo of launched base-image environments, keyed by
+/// `(reference, arch)`.
+///
+/// Constructing a base tree, packaging it as an image, and launching a build
+/// container is deterministic for a fixed builder kind, so cold
+/// (instruction-cache-off) builds after the first adopt a CoW snapshot of the
+/// launched rootfs instead of repeating the pack/unpack round trip — the
+/// dominant cost of an uncached `FROM` (PERF.md §6). Historically this memo
+/// lived per-[`Builder`], so concurrent tenants on a build farm re-derived
+/// identical base environments; it is now a shared handle
+/// ([`Builder::with_shared`]) with in-flight dedup: when N builders race on
+/// the same key, one leads the derivation and the rest block until the
+/// leader's template is ready, so the launch happens exactly once.
+///
+/// This is image-environment storage, not the instruction cache: `--no-cache`
+/// semantics (fresh instruction execution) are unaffected. All locks recover
+/// from poisoning, so a panicked build thread cannot wedge the memo for other
+/// tenants.
+#[derive(Default)]
+pub struct BaseEnvMemo {
+    slots: Mutex<HashMap<EnvKey, Arc<EnvSlot>>>,
+    derivations: AtomicU64,
+}
+
+impl BaseEnvMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        BaseEnvMemo::default()
+    }
+
+    /// Number of base environments actually derived (launched) through this
+    /// memo — concurrent requests for the same key count once.
+    pub fn derivations(&self) -> usize {
+        self.derivations.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of memoized (ready or in-flight) environments.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.slots).len()
+    }
+
+    /// Whether the memo holds no environments.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized environment. In-flight derivations complete on
+    /// their existing slots (waiters still see the result); the next request
+    /// for any key re-derives.
+    pub fn clear(&self) {
+        lock_recover(&self.slots).clear();
+    }
+
+    /// Returns the memoized template for `key`, deriving it via `derive` if
+    /// absent. Exactly one concurrent caller runs `derive`; the others block
+    /// until the leader finishes and then share the leader's template (or
+    /// propagate its error).
+    fn get_or_derive<F>(&self, key: &EnvKey, derive: F) -> Result<Arc<BaseEnvTemplate>, String>
+    where
+        F: FnOnce() -> Result<BaseEnvTemplate, String>,
+    {
+        let (slot, lead) = {
+            let mut slots = lock_recover(&self.slots);
+            match slots.get(key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(EnvSlot::new());
+                    slots.insert(key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if lead {
+            // Derive outside the map lock so unrelated keys proceed, with a
+            // drop guard so a panicking derivation fails waiters over
+            // instead of stranding them on the condvar.
+            let mut guard = LeaderGuard {
+                memo: self,
+                key,
+                slot: &slot,
+                armed: true,
+            };
+            let result = derive();
+            guard.armed = false;
+            drop(guard);
+            return match result {
+                Ok(template) => {
+                    let template = Arc::new(template);
+                    self.derivations.fetch_add(1, Ordering::Relaxed);
+                    *lock_recover(&slot.state) = EnvSlotState::Ready(Arc::clone(&template));
+                    slot.cv.notify_all();
+                    Ok(template)
+                }
+                Err(message) => {
+                    self.fail_slot(key, &slot, message.clone());
+                    Err(message)
+                }
+            };
+        }
+        let mut state = lock_recover(&slot.state);
+        while matches!(*state, EnvSlotState::Pending) {
+            state = slot
+                .cv
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        match &*state {
+            EnvSlotState::Ready(template) => Ok(Arc::clone(template)),
+            EnvSlotState::Failed(message) => Err(message.clone()),
+            EnvSlotState::Pending => unreachable!("condvar loop exits only on a settled slot"),
+        }
+    }
+
+    /// Marks a slot failed, removes it from the map (so later calls retry),
+    /// and wakes every waiter.
+    fn fail_slot(&self, key: &EnvKey, slot: &Arc<EnvSlot>, message: String) {
+        lock_recover(&self.slots).remove(key);
+        *lock_recover(&slot.state) = EnvSlotState::Failed(message);
+        slot.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for BaseEnvMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaseEnvMemo")
+            .field("len", &self.len())
+            .field("derivations", &self.derivations())
+            .finish()
+    }
+}
+
 /// The mutable environment a stage executes in.
 pub(crate) struct BuildEnv {
     pub(crate) fs: Filesystem,
@@ -252,15 +431,47 @@ pub(crate) struct BuildEnv {
 }
 
 impl Builder {
-    /// Creates a builder.
+    /// Creates a builder with its own private cache and base-env memo.
     pub fn new(kind: BuilderKind, invoker: Invoker) -> Self {
+        Builder::with_shared(
+            kind,
+            invoker,
+            Arc::new(ShardedBuildCache::new()),
+            Arc::new(BaseEnvMemo::new()),
+        )
+    }
+
+    /// Creates a builder over a *shared* instruction cache and base-env memo.
+    ///
+    /// This is the multi-tenant constructor: a build farm hands every
+    /// tenant's builder the same two `Arc`s, so identical instruction
+    /// prefixes dedup across tenants (same digest keys) and identical base
+    /// environments are derived once process-wide instead of once per
+    /// builder.
+    pub fn with_shared(
+        kind: BuilderKind,
+        invoker: Invoker,
+        cache: Arc<ShardedBuildCache>,
+        base_envs: Arc<BaseEnvMemo>,
+    ) -> Self {
         Builder {
             kind,
             invoker,
-            cache: Arc::new(ShardedBuildCache::new()),
+            cache,
             store: HashMap::new(),
-            base_envs: Mutex::new(HashMap::new()),
+            base_envs,
         }
+    }
+
+    /// The builder's instruction cache handle (shareable across builders).
+    pub fn shared_cache(&self) -> Arc<ShardedBuildCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// The builder's base-environment memo handle (shareable across
+    /// builders).
+    pub fn base_env_memo(&self) -> Arc<BaseEnvMemo> {
+        Arc::clone(&self.base_envs)
     }
 
     /// Convenience: a `ch-image` (Type III) builder for an unprivileged user.
@@ -312,10 +523,7 @@ impl Builder {
     /// environments.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
-        self.base_envs
-            .lock()
-            .expect("base env memo poisoned")
-            .clear();
+        self.base_envs.clear();
     }
 
     pub(crate) fn setup_from(&self, reference: &str, arch: &str) -> Result<BuildEnv, String> {
@@ -335,19 +543,54 @@ impl Builder {
         // Memoized launch: the second and later cold builds from the same
         // base adopt a CoW snapshot of the launched rootfs (a refcount bump)
         // instead of rebuilding the base tree and tar round-tripping it
-        // through a fresh container.
-        {
-            let memo = self.base_envs.lock().expect("base env memo poisoned");
-            if let Some(t) = memo.get(&(reference.to_string(), arch.to_string())) {
-                return Ok(BuildEnv {
-                    fs: t.fs.clone(),
-                    creds: t.creds.clone(),
-                    userns: t.userns.clone(),
-                    catalog: t.catalog.clone(),
-                    base_reference: t.base_reference.clone(),
-                });
+        // through a fresh container. The memo is shared across builders, so
+        // under a build farm the first tenant to reach a base leads the
+        // derivation and concurrent tenants wait and adopt.
+        let key = (
+            self.launch_identity(),
+            reference.to_string(),
+            arch.to_string(),
+        );
+        let template = self
+            .base_envs
+            .get_or_derive(&key, || self.derive_base_env(reference, arch))?;
+        Ok(BuildEnv {
+            fs: template.fs.clone(),
+            creds: template.creds.clone(),
+            userns: template.userns.clone(),
+            catalog: template.catalog.clone(),
+            base_reference: template.base_reference.clone(),
+        })
+    }
+
+    /// The launch-identity component of this builder's [`EnvKey`]s: privilege
+    /// type plus everything about the invoker that shapes the launched
+    /// credentials and user namespace. Two builders share memoized
+    /// environments only when a container launched by either would be
+    /// byte-identical.
+    pub(crate) fn launch_identity(&self) -> String {
+        match &self.kind {
+            BuilderKind::Docker => "type1".to_string(),
+            BuilderKind::RootlessPodman { subuid, .. } => {
+                let range = subuid.ranges_for(&self.invoker.name).first().copied();
+                format!(
+                    "type2|{}|{:?}|{:?}|{:?}",
+                    self.invoker.name,
+                    self.invoker.uid,
+                    self.invoker.gid,
+                    range.map(|r| (r.start, r.count))
+                )
+            }
+            BuilderKind::ChImage => {
+                format!("type3|{:?}|{:?}", self.invoker.uid, self.invoker.gid)
             }
         }
+    }
+
+    /// Derives a base environment from scratch: build the canonical base
+    /// tree, package it as an image, launch a build container under this
+    /// builder's privilege type, and capture the result as a template.
+    fn derive_base_env(&self, reference: &str, arch: &str) -> Result<BaseEnvTemplate, String> {
         let base = base_image(reference, arch)
             .ok_or_else(|| format!("error: no base image: {}", reference))?;
         // Package the canonical root-owned base tree as an image, then let
@@ -372,20 +615,7 @@ impl Builder {
             BuilderKind::ChImage => Container::launch_type3(&image, &self.invoker),
         }
         .map_err(|e| format!("error: cannot create build container: {}", e))?;
-        self.base_envs
-            .lock()
-            .expect("base env memo poisoned")
-            .insert(
-                (reference.to_string(), arch.to_string()),
-                BaseEnvTemplate {
-                    fs: container.rootfs.clone(),
-                    creds: container.creds.clone(),
-                    userns: container.userns.clone(),
-                    catalog: base.catalog.clone(),
-                    base_reference: reference.to_string(),
-                },
-            );
-        Ok(BuildEnv {
+        Ok(BaseEnvTemplate {
             fs: container.rootfs,
             creds: container.creds,
             userns: container.userns,
@@ -481,9 +711,11 @@ impl Builder {
         Self::plan_with_args(text, &BTreeMap::new())
     }
 
-    /// [`Builder::plan`] with `--build-arg`-style overrides applied during
-    /// IR lowering.
-    pub(crate) fn plan_with_args(
+    /// Front end + planner with `--build-arg`-style overrides applied during
+    /// IR lowering: parse to IR, lower to a validated stage DAG. Exposed so
+    /// external schedulers (the build farm) can plan a Dockerfile up front
+    /// and drive stage execution themselves.
+    pub fn plan_with_args(
         text: &str,
         build_args: &BTreeMap<String, String>,
     ) -> Result<(BuildIr, BuildGraph), BuildError> {
@@ -492,8 +724,10 @@ impl Builder {
         Ok((ir, graph))
     }
 
-    /// Stores a finished stage artifact as a locally tagged image.
-    pub(crate) fn store_artifact(
+    /// Stores a finished stage artifact as a locally tagged image. Exposed
+    /// so external schedulers (the build farm) can finalize builds whose
+    /// stages they executed themselves.
+    pub fn store_artifact(
         &mut self,
         tag: &str,
         arch: &str,
@@ -1008,6 +1242,117 @@ mod tests {
             .find(|e| e.path == "usr/libexec/openssh/ssh-keysign")
             .unwrap();
         assert_eq!(keysign.gid, 999);
+    }
+
+    #[test]
+    fn two_builders_sharing_a_memo_observe_one_derivation() {
+        let memo = Arc::new(BaseEnvMemo::new());
+        let cache = Arc::new(ShardedBuildCache::new());
+        let mut a = Builder::with_shared(
+            BuilderKind::ChImage,
+            alice(),
+            Arc::clone(&cache),
+            Arc::clone(&memo),
+        );
+        let mut b = Builder::with_shared(
+            BuilderKind::ChImage,
+            alice(),
+            Arc::clone(&cache),
+            Arc::clone(&memo),
+        );
+        let opts = BuildOptions::new("foo").with_force();
+        assert!(a.build(centos7_dockerfile(), &opts, None).success);
+        assert_eq!(memo.derivations(), 1);
+        // The second builder adopts the first's launched base environment —
+        // no second derivation.
+        assert!(b.build(centos7_dockerfile(), &opts, None).success);
+        assert_eq!(memo.derivations(), 1);
+        assert_eq!(memo.len(), 1);
+        // A different base is a different key.
+        let r = b.build(
+            debian10_fr_dockerfile(),
+            &BuildOptions::new("d10").with_arch("amd64"),
+            None,
+        );
+        assert!(r.success, "{}", r.transcript_text());
+        assert_eq!(memo.derivations(), 2);
+    }
+
+    #[test]
+    fn builders_with_different_invokers_do_not_share_base_envs() {
+        // The launched environment embeds the invoker's uid/gid (Type III),
+        // so a shared memo must key on launch identity — tenant bob must
+        // never adopt tenant alice's credentials.
+        let memo = Arc::new(BaseEnvMemo::new());
+        let cache = Arc::new(ShardedBuildCache::new());
+        let mut a = Builder::with_shared(
+            BuilderKind::ChImage,
+            alice(),
+            Arc::clone(&cache),
+            Arc::clone(&memo),
+        );
+        let mut b = Builder::with_shared(
+            BuilderKind::ChImage,
+            Invoker::user("bob", 1001, 1001),
+            Arc::clone(&cache),
+            Arc::clone(&memo),
+        );
+        assert!(
+            a.build(centos7_fr_dockerfile(), &BuildOptions::new("a"), None)
+                .success
+        );
+        assert!(
+            b.build(centos7_fr_dockerfile(), &BuildOptions::new("b"), None)
+                .success
+        );
+        assert_eq!(memo.derivations(), 2, "distinct invokers, distinct envs");
+    }
+
+    #[test]
+    fn concurrent_builders_dedup_one_base_env_derivation() {
+        let memo = Arc::new(BaseEnvMemo::new());
+        let cache = Arc::new(ShardedBuildCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let memo = Arc::clone(&memo);
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    let mut b = Builder::with_shared(BuilderKind::ChImage, alice(), cache, memo);
+                    let r = b.build(centos7_fr_dockerfile(), &BuildOptions::new("x"), None);
+                    assert!(r.success, "{}", r.transcript_text());
+                });
+            }
+        });
+        assert_eq!(
+            memo.derivations(),
+            1,
+            "one leader derived; three waiters adopted"
+        );
+    }
+
+    #[test]
+    fn failed_base_env_derivation_fails_over_and_retries() {
+        let memo = Arc::new(BaseEnvMemo::new());
+        let cache = Arc::new(ShardedBuildCache::new());
+        let mut b = Builder::with_shared(
+            BuilderKind::ChImage,
+            alice(),
+            Arc::clone(&cache),
+            Arc::clone(&memo),
+        );
+        let r = b.build(
+            "FROM alpine:3.14\nRUN echo hi\n",
+            &BuildOptions::new("x"),
+            None,
+        );
+        assert!(!r.success);
+        // The failed slot was removed, not memoized: the memo is empty and a
+        // later (valid) build is unaffected.
+        assert_eq!(memo.len(), 0);
+        assert!(
+            b.build(centos7_fr_dockerfile(), &BuildOptions::new("y"), None)
+                .success
+        );
     }
 
     #[test]

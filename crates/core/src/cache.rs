@@ -14,11 +14,24 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use hpcc_fakeroot::LieDatabase;
 use hpcc_image::{Digest, ImageConfig, Sha256};
 use hpcc_vfs::Filesystem;
+
+/// Locks a mutex, recovering from poisoning the way the VFS resolve cache
+/// does (`clear_poison` + `into_inner`). Every structure locked through this
+/// helper is self-consistent after any single interrupted operation (a map
+/// probe, a single-entry insert or remove), so one panicked build thread —
+/// a failed stage unwinding mid-store on a multi-tenant farm — must not
+/// wedge the shared cache for every other tenant.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
 
 /// A cached build state: the filesystem and metadata after executing an
 /// instruction.
@@ -190,6 +203,72 @@ impl BuildCache {
 /// Number of shards in a [`ShardedBuildCache`].
 pub const CACHE_SHARDS: usize = 16;
 
+/// One in-flight computation of a cache entry: the leader executes the
+/// instruction while waiters block on the condvar. `done` flips exactly once,
+/// when the leader stores its result (or aborts by dropping its guard).
+#[derive(Debug, Default)]
+struct FlightSlot {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Outcome of [`ShardedBuildCache::lookup_or_lead`].
+#[derive(Debug)]
+pub enum CacheOutcome<'a> {
+    /// The state was cached (or became cached while this caller waited on
+    /// the in-flight leader computing it): adopt the shared snapshot.
+    Hit(Arc<CachedState>),
+    /// This caller is the *leader* for the digest: no cached entry exists
+    /// and nobody else is computing one. Execute the instruction, then call
+    /// [`FlightGuard::complete`]; dropping the guard without completing
+    /// aborts the flight and promotes one waiter to leader.
+    Lead(FlightGuard<'a>),
+}
+
+/// Leadership of one in-flight cache computation (see
+/// [`ShardedBuildCache::lookup_or_lead`]). Dropping the guard without
+/// calling [`FlightGuard::complete`] — the instruction failed, or the
+/// executing thread panicked and is unwinding — releases the digest so a
+/// waiting tenant retries instead of blocking forever.
+#[derive(Debug)]
+pub struct FlightGuard<'a> {
+    cache: &'a ShardedBuildCache,
+    id: Digest,
+    finished: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Stores the computed state and wakes every waiter; they re-probe the
+    /// cache and take the entry as a hit.
+    pub fn complete(mut self, state: CachedState) {
+        debug_assert_eq!(
+            state.state_id, self.id,
+            "flight completed with foreign state"
+        );
+        self.cache.store(state);
+        self.finish();
+    }
+
+    /// Removes the flight slot and wakes waiters (who either hit the stored
+    /// entry or race to become the next leader).
+    fn finish(&mut self) {
+        self.finished = true;
+        let slot = lock_recover(&self.cache.flight).remove(&self.id);
+        if let Some(slot) = slot {
+            *lock_recover(&slot.done) = true;
+            slot.cv.notify_all();
+        }
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.finish();
+        }
+    }
+}
+
 /// A [`BuildCache`] sharded 16 ways by digest prefix.
 ///
 /// The stage executor shares one build cache across every concurrently
@@ -202,11 +281,29 @@ pub const CACHE_SHARDS: usize = 16;
 /// Hit/miss statistics live in `AtomicU64`s on the wrapper: reading them
 /// never takes a shard lock (the old implementation summed per-shard
 /// counters under all sixteen locks).
+///
+/// **In-flight deduplication** (multi-tenant build farm): when several
+/// builds execute the same instruction prefix concurrently, a plain
+/// lookup/store protocol computes the state once *per build* — every build
+/// misses before the first one stores. [`ShardedBuildCache::lookup_or_lead`]
+/// closes that window: exactly one caller per digest becomes the *leader*
+/// (a miss) and everyone else waits on the leader's [`FlightGuard`], then
+/// adopts the stored snapshot as a hit. Total misses for N concurrent
+/// identical builds equal those of a single build.
+///
+/// Shard and flight locks recover from poisoning (`clear_poison` +
+/// `into_inner`, the PR 6 resolve-cache pattern): a build thread panicking
+/// mid-probe must not wedge the cache shared by every other tenant.
 #[derive(Debug, Default)]
 pub struct ShardedBuildCache {
     shards: [Mutex<BuildCache>; CACHE_SHARDS],
+    /// Digests currently being computed by a leader.
+    flight: Mutex<HashMap<Digest, Arc<FlightSlot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Lookups that blocked on an in-flight leader and then adopted its
+    /// result — work that would have been duplicated without dedup.
+    deduped: AtomicU64,
 }
 
 impl ShardedBuildCache {
@@ -229,9 +326,7 @@ impl ShardedBuildCache {
     pub fn set_capacity(&self, capacity: Option<usize>) {
         let per_shard = capacity.map(|c| c.div_ceil(CACHE_SHARDS).max(1));
         for s in &self.shards {
-            s.lock()
-                .expect("build cache poisoned")
-                .set_capacity(per_shard);
+            lock_recover(s).set_capacity(per_shard);
         }
     }
 
@@ -242,11 +337,7 @@ impl ShardedBuildCache {
 
     /// Looks up a state in its shard, counting the hit or miss atomically.
     pub fn lookup(&self, id: &Digest) -> Option<Arc<CachedState>> {
-        let hit = self
-            .shard(id)
-            .lock()
-            .expect("build cache poisoned")
-            .probe(id);
+        let hit = lock_recover(self.shard(id)).probe(id);
         match hit.is_some() {
             true => self.hits.fetch_add(1, Ordering::Relaxed),
             false => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -254,20 +345,62 @@ impl ShardedBuildCache {
         hit
     }
 
+    /// Looks up a state with **in-flight deduplication**: a cached entry is
+    /// a hit as usual; on a miss, the first caller per digest becomes the
+    /// leader ([`CacheOutcome::Lead`], counted as the *only* miss) while
+    /// concurrent callers for the same digest block until the leader
+    /// completes, then adopt its stored snapshot as a hit. If the leader
+    /// aborts (instruction failed or thread panicked), one waiter is
+    /// promoted to leader and retries.
+    ///
+    /// Deadlock-free by construction: leadership is held only while
+    /// executing a single instruction, which never waits on another digest.
+    pub fn lookup_or_lead(&self, id: &Digest) -> CacheOutcome<'_> {
+        let mut waited = false;
+        loop {
+            if let Some(hit) = lock_recover(self.shard(id)).probe(id) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if waited {
+                    self.deduped.fetch_add(1, Ordering::Relaxed);
+                }
+                return CacheOutcome::Hit(hit);
+            }
+            let slot = {
+                let mut flight = lock_recover(&self.flight);
+                match flight.get(id) {
+                    Some(slot) => Arc::clone(slot),
+                    None => {
+                        flight.insert(*id, Arc::new(FlightSlot::default()));
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return CacheOutcome::Lead(FlightGuard {
+                            cache: self,
+                            id: *id,
+                            finished: false,
+                        });
+                    }
+                }
+            };
+            // Wait for the leader, then loop: either its result is now in
+            // the shard (hit) or it aborted (race for the next leadership).
+            let mut done = lock_recover(&slot.done);
+            while !*done {
+                done = slot
+                    .cv
+                    .wait(done)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            waited = true;
+        }
+    }
+
     /// Stores a state in its shard (evicting LRU entries past the cap).
     pub fn store(&self, state: CachedState) {
-        self.shard(&state.state_id)
-            .lock()
-            .expect("build cache poisoned")
-            .store(state);
+        lock_recover(self.shard(&state.state_id)).store(state);
     }
 
     /// Number of cached states across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("build cache poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_recover(s).len()).sum()
     }
 
     /// True if every shard is empty.
@@ -285,21 +418,29 @@ impl ShardedBuildCache {
         self.misses.load(Ordering::Relaxed) as usize
     }
 
+    /// Lookups that blocked on an in-flight leader and adopted its result
+    /// instead of recomputing (counted inside [`Self::hits`] too).
+    pub fn deduped(&self) -> usize {
+        self.deduped.load(Ordering::Relaxed) as usize
+    }
+
     /// Entries evicted so far, summed across shards.
     pub fn evictions(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("build cache poisoned").evictions())
+            .map(|s| lock_recover(s).evictions())
             .sum()
     }
 
-    /// Clears every shard (including statistics).
+    /// Clears every shard (including statistics). In-flight computations are
+    /// left to complete; their stores land in the cleared cache.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("build cache poisoned").clear();
+            lock_recover(s).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.deduped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -534,6 +675,119 @@ mod tests {
             .is_none());
         assert_eq!(cache.hits(), before_hits);
         assert!(cache.misses() >= 1);
+    }
+
+    #[test]
+    fn shard_locks_survive_poisoning() {
+        let cache = ShardedBuildCache::new();
+        let id = BuildCache::state_id(None, "FROM centos:7");
+        cache.store(dummy_state(id));
+        // Poison the shard the way a panicking build thread would: die while
+        // holding the shard guard.
+        let shard = cache.shard(&id);
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.lock().unwrap();
+            panic!("build thread dies while holding a cache shard lock");
+        }));
+        assert!(poison.is_err());
+        assert!(shard.is_poisoned());
+        // Every operation on the shard still works for other tenants…
+        assert!(cache.lookup(&id).is_some());
+        cache.store(dummy_state(BuildCache::state_id(Some(&id), "RUN x")));
+        assert_eq!(cache.len(), 2);
+        cache.set_capacity(Some(64));
+        assert_eq!(cache.evictions(), 0);
+        // …and recovery cleared the flag instead of paying the recovery
+        // branch on every later lock.
+        assert!(!shard.is_poisoned());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lookup_or_lead_dedups_concurrent_identical_misses() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = Arc::new(ShardedBuildCache::new());
+        let id = BuildCache::state_id(None, "RUN expensive step");
+        let computed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                scope.spawn(move || match cache.lookup_or_lead(&id) {
+                    CacheOutcome::Hit(state) => assert_eq!(state.state_id, id),
+                    CacheOutcome::Lead(guard) => {
+                        // Simulate instruction execution while 7 tenants wait.
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        guard.complete(dummy_state(id));
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one leader");
+        assert_eq!(cache.misses(), 1, "waiters are hits, not misses");
+        assert_eq!(cache.hits(), 7);
+        assert!(
+            cache.deduped() >= 1,
+            "at least one lookup blocked and deduped"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn aborted_leader_promotes_a_waiter() {
+        let cache = Arc::new(ShardedBuildCache::new());
+        let id = BuildCache::state_id(None, "RUN flaky step");
+        // First leader aborts by dropping its guard (failed instruction).
+        let CacheOutcome::Lead(first) = cache.lookup_or_lead(&id) else {
+            panic!("empty cache must elect a leader");
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.lookup_or_lead(&id) {
+                CacheOutcome::Hit(_) => panic!("abort must not produce a hit"),
+                CacheOutcome::Lead(guard) => {
+                    guard.complete(dummy_state(id));
+                    true
+                }
+            })
+        };
+        // Give the waiter time to block on the flight slot, then abort.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(first);
+        assert!(waiter.join().unwrap(), "waiter was promoted to leader");
+        assert!(
+            cache.lookup(&id).is_some(),
+            "promoted leader stored the state"
+        );
+        assert_eq!(cache.misses(), 2, "both leaderships count as misses");
+    }
+
+    #[test]
+    fn leader_panic_unblocks_waiters_via_guard_drop() {
+        let cache = Arc::new(ShardedBuildCache::new());
+        let id = BuildCache::state_id(None, "RUN panicking step");
+        std::thread::scope(|scope| {
+            let leader = {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    let outcome = cache.lookup_or_lead(&id);
+                    if let CacheOutcome::Lead(_guard) = outcome {
+                        panic!("stage executor dies mid-instruction");
+                    }
+                })
+            };
+            // The panicking leader's guard drop must wake this waiter and
+            // hand it leadership instead of deadlocking the farm.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            match cache.lookup_or_lead(&id) {
+                CacheOutcome::Hit(_) => panic!("no state was ever stored"),
+                CacheOutcome::Lead(guard) => guard.complete(dummy_state(id)),
+            }
+            assert!(leader.join().is_err(), "leader panicked as arranged");
+        });
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The stage executor: runs a planned [`BuildGraph`].
 //!
-//! Each stage executes through a [`StageCtx`] with one `execute_*` handler
+//! Each stage executes through a `StageCtx` with one `execute_*` handler
 //! per instruction kind — the per-instruction logic that used to live in the
 //! ~370-line monolithic `Builder::build` loop. Stages hand their results
 //! downstream as [`StageArtifact`]s: copy-on-write [`Filesystem`] snapshots,
@@ -37,7 +37,7 @@ use crate::ir::{BuildIr, IrStage};
 /// What a completed stage passes downstream: a CoW filesystem snapshot plus
 /// the metadata later stages or the final image need.
 #[derive(Debug, Clone)]
-pub(crate) struct StageArtifact {
+pub struct StageArtifact {
     /// Stage filesystem (copy-on-write snapshot; cloning is O(1)).
     pub fs: Filesystem,
     /// Image configuration accumulated by the stage.
@@ -84,6 +84,11 @@ struct StageCtx<'a> {
     parent: Option<Digest>,
     cache_hits: usize,
     cache_misses: usize,
+    /// The builder's launch identity, computed once per stage — cache keys
+    /// bind to it so tenants whose launched environments differ (uid/gid,
+    /// subuid ranges) can never adopt each other's cached trees through a
+    /// shared cache.
+    builder_identity: String,
 }
 
 impl<'a> StageCtx<'a> {
@@ -127,6 +132,7 @@ impl<'a> StageCtx<'a> {
             parent: None,
             cache_hits: 0,
             cache_misses: 0,
+            builder_identity: builder.launch_identity(),
         }
     }
 
@@ -192,11 +198,24 @@ impl<'a> StageCtx<'a> {
             None
         };
 
+        // In-flight dedup: either this thread is elected leader for the
+        // digest (and must store or abort via the guard), or another
+        // build's leader finishes first and this probe returns its result
+        // as a hit — two tenants racing on an identical prefix compute it
+        // exactly once.
+        let mut flight = None;
         if let Some(id) = state_id {
-            if let Some(hit) = self.cache_lookup(&id) {
-                self.adopt_cached(&display, instruction, &hit)?;
-                self.parent = Some(id);
-                return Ok(());
+            match self.builder.cache.lookup_or_lead(&id) {
+                crate::cache::CacheOutcome::Hit(hit) => {
+                    self.cache_hits += 1;
+                    self.adopt_cached(&display, instruction, &hit)?;
+                    self.parent = Some(id);
+                    return Ok(());
+                }
+                crate::cache::CacheOutcome::Lead(guard) => {
+                    self.cache_misses += 1;
+                    flight = Some(guard);
+                }
             }
         }
 
@@ -224,15 +243,24 @@ impl<'a> StageCtx<'a> {
 
         if let Some(id) = state_id {
             if let Some(env) = &self.env {
-                self.builder.cache.store(CachedState {
+                let state = CachedState {
                     fs: env.fs.clone(),
                     config: self.config.clone(),
                     fakeroot_db: self.fakeroot_db.clone(),
                     state_id: id,
-                });
+                };
+                match flight.take() {
+                    // Completing the flight stores the state and wakes every
+                    // waiter blocked on this digest.
+                    Some(guard) => guard.complete(state),
+                    None => self.builder.cache.store(state),
+                }
             }
             self.parent = Some(id);
         }
+        // An unconsumed guard (no env yet, or an error path unwound past us)
+        // drops here, aborting the flight so a waiter is promoted to leader.
+        drop(flight);
         Ok(())
     }
 
@@ -256,11 +284,8 @@ impl<'a> StageCtx<'a> {
             other => format!("{:?}", other),
         };
         let mut key = format!(
-            "{:?}|force={}|arch={}|{}",
-            self.builder.privilege_type(),
-            self.options.force,
-            self.options.arch,
-            canonical
+            "{}|force={}|arch={}|{}",
+            self.builder_identity, self.options.force, self.options.arch, canonical
         );
         if let Some(edge) = self.node.copy_from.iter().find(|e| e.instruction == idx) {
             key.push_str(&format!("|srcstage={}", edge.source_stage));
@@ -281,15 +306,6 @@ impl<'a> StageCtx<'a> {
             self.parent
         };
         BuildCache::state_id(parent.as_ref(), &key)
-    }
-
-    fn cache_lookup(&mut self, id: &Digest) -> Option<std::sync::Arc<CachedState>> {
-        let hit = self.builder.cache.lookup(id);
-        match hit.is_some() {
-            true => self.cache_hits += 1,
-            false => self.cache_misses += 1,
-        }
-        hit
     }
 
     /// A cache hit: adopt the snapshot (a refcount bump, not a deep copy).
@@ -667,7 +683,13 @@ pub(crate) fn display_instruction(n: usize, instruction: &Instruction) -> String
 }
 
 /// Runs one stage against its upstream artifacts.
-pub(crate) fn execute_stage(
+///
+/// Exposed so external schedulers (the build farm) can drive a planned
+/// [`BuildGraph`]'s stages at their own granularity — e.g. as work-stealing
+/// tasks across many concurrent builds — instead of going through
+/// `run_graph`'s per-build scheduler. `upstream` must hold an artifact for
+/// every dependency of `stage_index` recorded in the graph.
+pub fn execute_stage(
     builder: &Builder,
     ir: &BuildIr,
     graph: &BuildGraph,

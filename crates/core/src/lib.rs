@@ -33,7 +33,7 @@ pub mod builder;
 pub mod cache;
 pub mod dockerfile;
 pub mod error;
-mod executor;
+pub mod executor;
 pub mod force;
 pub mod graph;
 pub mod ir;
@@ -41,14 +41,18 @@ pub mod multistage;
 pub mod ocipush;
 
 pub use builder::{
-    default_subuid_for, BuildOptions, BuildReport, Builder, BuilderKind, BuiltImage, PushOwnership,
+    default_subuid_for, BaseEnvMemo, BuildOptions, BuildReport, Builder, BuilderKind, BuiltImage,
+    PushOwnership,
 };
-pub use cache::{BuildCache, CachedState, ShardedBuildCache, CACHE_SHARDS};
+pub use cache::{
+    BuildCache, CacheOutcome, CachedState, FlightGuard, ShardedBuildCache, CACHE_SHARDS,
+};
 pub use dockerfile::{
     centos7_dockerfile, centos7_fr_dockerfile, debian10_dockerfile, debian10_fr_dockerfile,
     Dockerfile, InstrSpan, Instruction, ParseError,
 };
 pub use error::BuildError;
+pub use executor::{execute_stage, StageArtifact};
 pub use force::{detect_config, ForceConfig, InitStep};
 pub use graph::{BuildGraph, CopyFromEdge, GraphNode, StageBase};
 pub use ir::{BuildIr, IrStage};

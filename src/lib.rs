@@ -23,6 +23,9 @@
 //!   helpers, storage drivers (paper §2.2, §3.1, §4.1).
 //! * [`core`] — the paper's contribution: Dockerfile builders with
 //!   `ch-image --force` fakeroot auto-injection (paper §5.3).
+//! * [`farm`] — multi-tenant build farm: work-stealing stage scheduler,
+//!   cross-tenant cache dedup, fairness and backpressure (paper §7's
+//!   shared-facility build service).
 //! * [`cluster`] — HPC cluster substrate and the Astra / LANL CI workflows
 //!   (Figure 6, §5.3.3).
 //!
@@ -56,6 +59,7 @@ pub use hpcc_cluster as cluster;
 pub use hpcc_core as core;
 pub use hpcc_distro as distro;
 pub use hpcc_fakeroot as fakeroot;
+pub use hpcc_farm as farm;
 pub use hpcc_fuseproto as fuseproto;
 pub use hpcc_image as image;
 pub use hpcc_kernel as kernel;
