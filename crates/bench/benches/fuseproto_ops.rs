@@ -9,7 +9,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use hpcc_fuseproto::{FsCreds, MemFs, OpenFlags, Operation, Reply, Request, Session};
+use hpcc_fuseproto::{Dispatch, FsCreds, MemFs, OpenFlags, Operation, Reply, Request, Session};
 use hpcc_kernel::{Credentials, Gid, Uid, UserNamespace};
 use hpcc_vfs::{Actor, Filesystem, Mode};
 
@@ -50,7 +50,7 @@ fn bench_op_dispatch(c: &mut Criterion) {
     // included) — the shape a network backend or FUSE channel delivers.
     group.bench_function("op_dispatch_read_queued", |b| {
         b.iter(|| {
-            match session.dispatch(Request::new(
+            match session.handle(Request::new(
                 cred.clone(),
                 Operation::Read {
                     fh,

@@ -1,0 +1,169 @@
+//! Wire-server loop overhead (ISSUE 8): the same operations dispatched
+//! directly through the [`Dispatch`] trait and as full wire round trips —
+//! request encoded to a FUSE-shaped frame, pushed through the in-memory
+//! transport, decoded and dispatched by the `Server`, reply framed back and
+//! decoded by the `Client` — on the same session in the same process.
+//!
+//! The gated pair: `wire/roundtrip_lookup_batch` vs
+//! `wire/direct_lookup_batch`, both running
+//! [`hpcc_bench::WIRE_OPS_PER_BATCH`] lookups of the same path component
+//! per iteration. `bench_gate --relative` divides the two means and
+//! requires the wire loop to cost at most 3× direct dispatch — the round
+//! trip adds two codecs, two channel hops, and unique-id matching on top
+//! of identical filesystem work, and lookup is the op a wire client issues
+//! per path component, so this is the walk-rate bound. The client and
+//! server run on one thread in lockstep (`send_request` → `serve_one` →
+//! `recv_reply`), the overhead-maximizing layout: nothing pipelines, every
+//! frame pays its full cost on the measured path. Getattr (the cheapest
+//! op, so the purest view of fixed overhead) and a 4 KiB read (payload
+//! copy into the frame each way) are recorded alongside for PERF.md §10.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hpcc_bench::WIRE_OPS_PER_BATCH;
+use hpcc_fuseproto::{
+    ChannelTransport, Client, Dispatch, FsCreds, MemFs, OpenFlags, Operation, Reply, Request,
+    Server, ServerEvent, Session,
+};
+use hpcc_kernel::{Gid, Uid, UserNamespace};
+use hpcc_vfs::{Filesystem, Mode};
+
+const PATH: &str = "/usr/lib/sysimage/rpm/db/Packages/index/data";
+
+fn bench_session() -> Session<MemFs> {
+    let mut fs = Filesystem::new_local();
+    fs.install_file(PATH, vec![7u8; 4096], Uid(0), Gid(0), Mode::FILE_644)
+        .unwrap();
+    Session::new(MemFs::new(fs, UserNamespace::initial()))
+}
+
+fn bench_wire_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let cred = FsCreds::root();
+
+    // Shared setup: resolve the target file and its parent directory before
+    // the session moves into the server.
+    let session = bench_session();
+    let ino = session.resolve_path(&cred, PATH, true).unwrap().ino;
+    let parent = session
+        .resolve_path(&cred, "/usr/lib/sysimage/rpm/db/Packages/index", true)
+        .unwrap()
+        .ino;
+
+    // Direct reference: the same getattr batch through Dispatch::handle,
+    // no wire in sight.
+    let mut direct = bench_session();
+    let getattr = Request::new(cred.clone(), Operation::Getattr { ino });
+    group.bench_function("direct_getattr_batch", |b| {
+        b.iter(|| {
+            let mut last = 0;
+            for _ in 0..WIRE_OPS_PER_BATCH {
+                match direct.handle(black_box(getattr.clone())) {
+                    Reply::Attr(a) => last = a.size,
+                    other => panic!("{other:?}"),
+                }
+            }
+            last
+        })
+    });
+
+    // Direct reference for the gated pair: the same lookup batch through
+    // Dispatch::handle. Lookup is the gated op (rather than getattr)
+    // because it exercises the codec's string path on both the request and
+    // the entry reply — the representative per-component cost of a path
+    // walk arriving over the wire.
+    let lookup = Request::new(
+        cred.clone(),
+        Operation::Lookup {
+            parent,
+            name: "data".into(),
+        },
+    );
+    group.bench_function("direct_lookup_batch", |b| {
+        b.iter(|| {
+            let mut last = 0;
+            for _ in 0..WIRE_OPS_PER_BATCH {
+                match direct.handle(black_box(lookup.clone())) {
+                    Reply::Entry(e) => last = e.ino,
+                    other => panic!("{other:?}"),
+                }
+            }
+            last
+        })
+    });
+
+    // The wire loop, client and server in lockstep on this thread.
+    let (server_end, client_end) = ChannelTransport::pair();
+    let mut server = Server::new(session, server_end);
+    let mut client = Client::new(client_end);
+    let mut roundtrip = |req: &Request| {
+        let pending = client.send_request(req).expect("send");
+        assert_eq!(server.serve_one().expect("serve"), ServerEvent::Served);
+        client.recv_reply(pending).expect("recv")
+    };
+
+    group.bench_function("roundtrip_getattr_batch", |b| {
+        b.iter(|| {
+            let mut last = 0;
+            for _ in 0..WIRE_OPS_PER_BATCH {
+                match roundtrip(black_box(&getattr)) {
+                    Reply::Attr(a) => last = a.size,
+                    other => panic!("{other:?}"),
+                }
+            }
+            last
+        })
+    });
+
+    // The gated wire side: the same lookup as full round trips. The 4 KiB
+    // read below (payload copy into the frame each way) is recorded for
+    // PERF.md §10.
+    group.bench_function("roundtrip_lookup_batch", |b| {
+        b.iter(|| {
+            let mut last = 0;
+            for _ in 0..WIRE_OPS_PER_BATCH {
+                match roundtrip(black_box(&lookup)) {
+                    Reply::Entry(e) => last = e.ino,
+                    other => panic!("{other:?}"),
+                }
+            }
+            last
+        })
+    });
+
+    let fh = match roundtrip(&Request::new(
+        cred.clone(),
+        Operation::Open {
+            ino,
+            flags: OpenFlags::RDONLY,
+        },
+    )) {
+        Reply::Opened(o) => o.fh,
+        other => panic!("{other:?}"),
+    };
+    let read = Request::new(
+        cred.clone(),
+        Operation::Read {
+            fh,
+            offset: 0,
+            size: 4096,
+        },
+    );
+    group.bench_function("roundtrip_read4k_batch", |b| {
+        b.iter(|| {
+            let mut last = 0;
+            for _ in 0..WIRE_OPS_PER_BATCH {
+                match roundtrip(black_box(&read)) {
+                    Reply::Data(d) => last = d.len(),
+                    other => panic!("{other:?}"),
+                }
+            }
+            last
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_loop);
+criterion_main!(benches);

@@ -45,13 +45,21 @@
 //!    runner-speed invariant for the same reason as the other checks, and
 //!    a single-core runner (which serializes the workers) still passes
 //!    because dedup removes the work itself, not just the wall-clock.
+//! 4. **Wire loop** (ISSUE 8): `wire/roundtrip_lookup_batch` against the
+//!    same-run `wire/direct_lookup_batch` figure, gated at a fixed 3× —
+//!    both batches run [`hpcc_bench::WIRE_OPS_PER_BATCH`] identical lookups
+//!    through the same `Dispatch` session, one side as full wire round
+//!    trips (encode → in-memory transport → decode → dispatch → reply frame
+//!    → decode), one side as direct calls, so the ratio is the wire
+//!    layer's own per-op overhead and nothing else. Same-op-count batches
+//!    mean the ratio needs no normalization constant.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use hpcc_bench::{
     FARM_GATED_BUILDS, MANY_TINY_INSTRUCTIONS, SHARED_READ_CYCLES_PER_THREAD,
-    SHARED_READ_GATED_THREADS,
+    SHARED_READ_GATED_THREADS, WIRE_OPS_PER_BATCH,
 };
 
 /// The two same-run benchmarks the snapshot-store relative check compares.
@@ -71,6 +79,15 @@ const SHARED_READ_MAX_RATIO: f64 = 2.0;
 const FARM_BATCH: &str = "farm/throughput_256x8_full_overlap";
 const FARM_SINGLE: &str = "farm/serial_single_build";
 const FARM_MAX_RATIO: f64 = 0.75;
+
+/// The two same-run benchmarks the wire-loop check compares, and its fixed
+/// bound (ISSUE 8 acceptance: a full wire round trip must cost at most 3×
+/// the same op dispatched directly). Both batches run
+/// [`WIRE_OPS_PER_BATCH`] ops, so the batch-mean ratio *is* the per-op
+/// ratio.
+const WIRE_ROUNDTRIP: &str = "wire/roundtrip_lookup_batch";
+const WIRE_DIRECT: &str = "wire/direct_lookup_batch";
+const WIRE_MAX_RATIO: f64 = 3.0;
 
 /// Per-instruction `many_tiny_run` time divided by the same-run
 /// `cached_rebuild` time. `None` if either bench is missing from the
@@ -98,6 +115,15 @@ fn farm_ratio(results: &BTreeMap<String, f64>) -> Option<f64> {
     let batch = results.get(FARM_BATCH)?;
     let single = results.get(FARM_SINGLE)?;
     Some((batch / FARM_GATED_BUILDS as f64) / single.max(1.0))
+}
+
+/// Wire round-trip batch time divided by the same-run direct-dispatch
+/// batch time (equal op counts, so no normalization). `None` if either
+/// bench is missing from the results.
+fn wire_ratio(results: &BTreeMap<String, f64>) -> Option<f64> {
+    let roundtrip = results.get(WIRE_ROUNDTRIP)?;
+    let direct = results.get(WIRE_DIRECT)?;
+    Some(roundtrip / direct.max(1.0))
 }
 
 /// Runs the relative gate (all same-run checks); returns the process exit
@@ -180,6 +206,29 @@ fn run_relative(current_path: &str, max_ratio: f64) -> ExitCode {
                 eprintln!(
                     "bench_gate: FAILED — full-overlap farm per-build cost exceeded {}x the standalone single-build figure (cross-tenant dedup regressed)",
                     FARM_MAX_RATIO
+                );
+                failed = true;
+            }
+        }
+    }
+
+    match wire_ratio(&current) {
+        None => {
+            eprintln!(
+                "bench_gate: relative mode needs both {} and {} in {}",
+                WIRE_ROUNDTRIP, WIRE_DIRECT, current_path
+            );
+            failed = true;
+        }
+        Some(ratio) => {
+            println!(
+                "relative gate: {} / {} = {:.2} (max {:.2}, {} ops per batch)",
+                WIRE_ROUNDTRIP, WIRE_DIRECT, ratio, WIRE_MAX_RATIO, WIRE_OPS_PER_BATCH
+            );
+            if ratio > WIRE_MAX_RATIO {
+                eprintln!(
+                    "bench_gate: FAILED — wire round-trip per-op cost exceeded {}x the same-run direct-dispatch figure",
+                    WIRE_MAX_RATIO
                 );
                 failed = true;
             }
@@ -435,6 +484,38 @@ mod tests {
         only_one.insert(FARM_BATCH.to_string(), 1000.0);
         assert_eq!(farm_ratio(&only_one), None);
         assert_eq!(farm_ratio(&BTreeMap::new()), None);
+    }
+
+    fn wire_results(roundtrip_ns: f64, direct_ns: f64) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert(WIRE_ROUNDTRIP.to_string(), roundtrip_ns);
+        m.insert(WIRE_DIRECT.to_string(), direct_ns);
+        m
+    }
+
+    #[test]
+    fn wire_ratio_is_the_plain_batch_quotient() {
+        // Equal op counts per batch: a round trip costing 2.6x direct is
+        // within the bound, 3.5x is not.
+        assert!((wire_ratio(&wire_results(74_000.0, 28_500.0)).unwrap() - 2.5965).abs() < 1e-3);
+        assert!(wire_ratio(&wire_results(74_000.0, 28_500.0)).unwrap() < WIRE_MAX_RATIO);
+        assert!(wire_ratio(&wire_results(100_000.0, 28_500.0)).unwrap() > WIRE_MAX_RATIO);
+    }
+
+    #[test]
+    fn wire_ratio_is_runner_speed_invariant() {
+        let fast = wire_results(74_000.0, 28_500.0);
+        // The same machine 5x slower: both benches scale together.
+        let slow = wire_results(5.0 * 74_000.0, 5.0 * 28_500.0);
+        assert!((wire_ratio(&fast).unwrap() - wire_ratio(&slow).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_ratio_requires_both_benches() {
+        let mut only_one = BTreeMap::new();
+        only_one.insert(WIRE_ROUNDTRIP.to_string(), 1000.0);
+        assert_eq!(wire_ratio(&only_one), None);
+        assert_eq!(wire_ratio(&BTreeMap::new()), None);
     }
 
     #[test]

@@ -252,6 +252,17 @@ pub const FARM_GATED_BUILDS: usize = 256;
 /// Tenants the gated farm-throughput workload spreads its builds across.
 pub const FARM_GATED_TENANTS: usize = 8;
 
+/// Operations per iteration of the gated wire-loop workloads
+/// (`wire/roundtrip_getattr_batch` and `wire/direct_getattr_batch` in
+/// benches/wire_loop.rs): each iteration runs this many getattr ops, either
+/// as full encode → transport → decode → dispatch → reply round trips or as
+/// direct `Dispatch::handle` calls on the same session. Shared with
+/// `bench_gate --relative`, which divides the two batch means — both sides
+/// run the identical op count in one process on one runner, so the ratio
+/// isolates the wire layer's own overhead (codec + framing + channel) from
+/// machine speed.
+pub const WIRE_OPS_PER_BATCH: usize = 256;
+
 /// A pathological many-tiny-RUN single-stage Dockerfile with `instructions`
 /// total instructions, every `RUN` touching one small file. With the build
 /// cache enabled each instruction both stores a snapshot and immediately

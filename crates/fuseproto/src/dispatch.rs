@@ -1,0 +1,384 @@
+//! The unified dispatch surface: one trait both session flavors implement.
+//!
+//! PR 5's [`Session`] dispatched queued requests through an inherent
+//! `&mut self` method while PR 6's [`ReaderSession`] exposed only `&self`
+//! typed ops — two incompatible surfaces, so a serving loop would have had
+//! to be written twice. [`Dispatch`] is the one contract a
+//! [`Server`](crate::Server) pumps requests into:
+//!
+//! * [`Session<B>`] routes each [`Request`] to its typed implementation,
+//!   exactly as the old `Session::dispatch` did;
+//! * [`ReaderSession`] routes read ops to its lock-free `&self`
+//!   implementations and answers every mutation with `EROFS`. A reader
+//!   authenticates **once** (like a mount), so requests carrying different
+//!   credentials than the session's are refused with `EACCES` rather than
+//!   silently re-authenticated;
+//! * `&ReaderSession` implements it too (all reader ops are `&self`), so a
+//!   server can serve a reader it merely borrows while other threads use the
+//!   same session directly;
+//! * `&mut D` forwards, so a server can borrow any dispatcher.
+
+use hpcc_vfs::Ino;
+
+use crate::errno::{Errno, OpResult};
+use crate::op::{Operation, Reply, Request};
+use crate::ops::FsOps;
+use crate::session::Session;
+use crate::shared::ReaderSession;
+
+/// A request dispatcher: anything a [`Server`](crate::Server) can serve.
+///
+/// `handle` takes `&mut self` because a read-write [`Session`] mutates its
+/// handle table; read-only dispatchers (`ReaderSession`, `&ReaderSession`)
+/// simply don't use the exclusivity.
+pub trait Dispatch {
+    /// Dispatches one request, encoding the result as a [`Reply`].
+    fn handle(&mut self, req: Request) -> Reply;
+
+    /// The root inode resolution starts from (`FUSE_ROOT_ID` on the wire).
+    fn root_ino(&self) -> Ino;
+
+    /// Number of currently open handles (files + directories).
+    fn open_handles(&self) -> usize;
+
+    /// The client is gone: drop every open handle, as a FUSE daemon does on
+    /// unmount. Called by the server on transport close and shutdown.
+    fn disconnect(&mut self);
+
+    /// Dispatches a queue of requests in order, one reply per request.
+    fn handle_all(&mut self, reqs: impl IntoIterator<Item = Request>) -> Vec<Reply>
+    where
+        Self: Sized,
+    {
+        reqs.into_iter().map(|r| self.handle(r)).collect()
+    }
+}
+
+fn reply(r: OpResult<Reply>) -> Reply {
+    r.unwrap_or_else(Reply::Err)
+}
+
+impl<B: FsOps> Dispatch for Session<B> {
+    fn handle(&mut self, req: Request) -> Reply {
+        let cred = req.cred;
+        match req.op {
+            Operation::Lookup { parent, name } => {
+                reply(self.lookup(&cred, parent, &name).map(Reply::Entry))
+            }
+            Operation::Getattr { ino } => reply(self.getattr(&cred, ino).map(Reply::Attr)),
+            Operation::Setattr { ino, changes } => {
+                reply(self.setattr(&cred, ino, &changes).map(Reply::Attr))
+            }
+            Operation::Readlink { ino } => reply(self.readlink(&cred, ino).map(Reply::Link)),
+            Operation::Open { ino, flags } => {
+                reply(self.open(&cred, ino, flags).map(Reply::Opened))
+            }
+            Operation::Create {
+                parent,
+                name,
+                mode,
+                flags,
+            } => reply(
+                self.create(&cred, parent, &name, mode, flags)
+                    .map(|(_, opened)| Reply::Opened(opened)),
+            ),
+            Operation::Read { fh, offset, size } => {
+                reply(self.read(&cred, fh, offset, size).map(Reply::Data))
+            }
+            Operation::Write { fh, offset, data } => {
+                reply(self.write(&cred, fh, offset, &data).map(Reply::Written))
+            }
+            Operation::Release { fh } => reply(self.release(fh).map(|()| Reply::Unit)),
+            Operation::Opendir { ino } => reply(self.opendir(&cred, ino).map(Reply::Opened)),
+            Operation::Readdir { fh, offset, max } => {
+                reply(self.readdir(&cred, fh, offset, max).map(Reply::Dir))
+            }
+            Operation::Releasedir { fh } => reply(self.releasedir(fh).map(|()| Reply::Unit)),
+            Operation::Mkdir { parent, name, mode } => {
+                reply(self.mkdir(&cred, parent, &name, mode).map(Reply::Entry))
+            }
+            Operation::Unlink { parent, name } => {
+                reply(self.unlink(&cred, parent, &name).map(|()| Reply::Unit))
+            }
+            Operation::Rmdir { parent, name } => {
+                reply(self.rmdir(&cred, parent, &name).map(|()| Reply::Unit))
+            }
+            Operation::Rename {
+                parent,
+                name,
+                new_parent,
+                new_name,
+            } => reply(
+                self.rename(&cred, parent, &name, new_parent, &new_name)
+                    .map(|()| Reply::Unit),
+            ),
+            Operation::Symlink {
+                parent,
+                name,
+                target,
+            } => reply(
+                self.symlink(&cred, parent, &name, &target)
+                    .map(Reply::Entry),
+            ),
+            Operation::Statfs => reply(self.statfs(&cred).map(Reply::Statfs)),
+            Operation::Getxattr { ino, name } => {
+                reply(self.getxattr(&cred, ino, &name).map(Reply::Xattr))
+            }
+            Operation::Setxattr { ino, name, value } => reply(
+                self.setxattr(&cred, ino, &name, &value)
+                    .map(|()| Reply::Unit),
+            ),
+            Operation::Listxattr { ino } => reply(self.listxattr(&cred, ino).map(Reply::Names)),
+        }
+    }
+
+    fn root_ino(&self) -> Ino {
+        Session::root_ino(self)
+    }
+
+    fn open_handles(&self) -> usize {
+        Session::open_handles(self)
+    }
+
+    fn disconnect(&mut self) {
+        self.release_all();
+    }
+}
+
+impl Dispatch for ReaderSession {
+    fn handle(&mut self, req: Request) -> Reply {
+        let mut borrowed: &ReaderSession = self;
+        Dispatch::handle(&mut borrowed, req)
+    }
+
+    fn root_ino(&self) -> Ino {
+        ReaderSession::root_ino(self)
+    }
+
+    fn open_handles(&self) -> usize {
+        ReaderSession::open_handles(self)
+    }
+
+    fn disconnect(&mut self) {
+        self.release_all();
+    }
+}
+
+/// Every reader op is `&self`, so a *borrowed* reader dispatches too — a
+/// server can serve a `ReaderSession` other threads are using directly.
+impl Dispatch for &ReaderSession {
+    fn handle(&mut self, req: Request) -> Reply {
+        let s: &ReaderSession = self;
+        // A reader authenticates once, at session creation; a request
+        // claiming different credentials is refused, not re-authenticated.
+        if req.cred != *s.cred() {
+            return Reply::Err(Errno::EACCES);
+        }
+        match req.op {
+            Operation::Lookup { parent, name } => reply(s.lookup(parent, &name).map(Reply::Entry)),
+            Operation::Getattr { ino } => reply(s.getattr(ino).map(Reply::Attr)),
+            Operation::Setattr { ino, changes } => reply(s.setattr(ino, &changes).map(Reply::Attr)),
+            Operation::Readlink { ino } => reply(s.readlink(ino).map(Reply::Link)),
+            Operation::Open { ino, flags } => reply(s.open(ino, flags).map(Reply::Opened)),
+            // Always EROFS on a shared image; the mapped reply variants are
+            // unreachable but keep each arm honest about its success shape.
+            Operation::Create {
+                parent,
+                name,
+                mode,
+                flags: _,
+            } => reply(s.create(parent, &name, mode).map(|_| Reply::Unit)),
+            Operation::Read { fh, offset, size } => {
+                reply(s.read(fh, offset, size).map(Reply::Data))
+            }
+            Operation::Write { fh, offset, data } => reply(
+                s.write(fh, offset, &data)
+                    .map(|size| Reply::Written(crate::op::Written { size })),
+            ),
+            Operation::Release { fh } => reply(s.release(fh).map(|()| Reply::Unit)),
+            Operation::Opendir { ino } => reply(s.opendir(ino).map(Reply::Opened)),
+            Operation::Readdir { fh, offset, max } => {
+                reply(s.readdir(fh, offset, max).map(Reply::Dir))
+            }
+            Operation::Releasedir { fh } => reply(s.releasedir(fh).map(|()| Reply::Unit)),
+            Operation::Mkdir { parent, name, mode } => {
+                reply(s.mkdir(parent, &name, mode).map(Reply::Entry))
+            }
+            Operation::Unlink { parent, name } => {
+                reply(s.unlink(parent, &name).map(|()| Reply::Unit))
+            }
+            Operation::Rmdir { parent, name } => {
+                reply(s.rmdir(parent, &name).map(|()| Reply::Unit))
+            }
+            Operation::Rename {
+                parent,
+                name,
+                new_parent,
+                new_name,
+            } => reply(
+                s.rename(parent, &name, new_parent, &new_name)
+                    .map(|()| Reply::Unit),
+            ),
+            Operation::Symlink {
+                parent,
+                name,
+                target,
+            } => reply(s.symlink(parent, &name, &target).map(Reply::Entry)),
+            Operation::Statfs => reply(s.statfs().map(Reply::Statfs)),
+            Operation::Getxattr { ino, name } => reply(s.getxattr(ino, &name).map(Reply::Xattr)),
+            Operation::Setxattr { ino, name, value } => {
+                reply(s.setxattr(ino, &name, &value).map(|()| Reply::Unit))
+            }
+            Operation::Listxattr { ino } => reply(s.listxattr(ino).map(Reply::Names)),
+        }
+    }
+
+    fn root_ino(&self) -> Ino {
+        ReaderSession::root_ino(self)
+    }
+
+    fn open_handles(&self) -> usize {
+        ReaderSession::open_handles(self)
+    }
+
+    fn disconnect(&mut self) {
+        self.release_all();
+    }
+}
+
+/// Forwarding impl: a server may borrow its dispatcher instead of owning it.
+impl<D: Dispatch> Dispatch for &mut D {
+    fn handle(&mut self, req: Request) -> Reply {
+        (**self).handle(req)
+    }
+
+    fn root_ino(&self) -> Ino {
+        (**self).root_ino()
+    }
+
+    fn open_handles(&self) -> usize {
+        (**self).open_handles()
+    }
+
+    fn disconnect(&mut self) {
+        (**self).disconnect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfs::MemFs;
+    use crate::op::{FsCreds, OpenFlags};
+    use crate::shared::SharedImage;
+    use hpcc_kernel::{Gid, Uid, UserNamespace};
+    use hpcc_vfs::{Filesystem, Mode};
+
+    fn fs() -> Filesystem {
+        let mut fs = Filesystem::new_local();
+        fs.install_file(
+            "/etc/hostname",
+            b"astra".to_vec(),
+            Uid(0),
+            Gid(0),
+            Mode::FILE_644,
+        )
+        .unwrap();
+        fs
+    }
+
+    /// The same request script produces the same replies through a
+    /// read-write `Session` and a read-only `ReaderSession` — the API the
+    /// generic server builds on.
+    #[test]
+    fn one_script_runs_through_both_dispatchers() {
+        let root = FsCreds::root();
+        let script = |root_ino: hpcc_vfs::Ino| {
+            [
+                Request::new(
+                    root.clone(),
+                    Operation::Lookup {
+                        parent: root_ino,
+                        name: "etc".into(),
+                    },
+                ),
+                Request::new(root.clone(), Operation::Statfs),
+            ]
+        };
+
+        let mut session = Session::new(MemFs::new(fs(), UserNamespace::initial()));
+        let a = session.handle_all(script(Dispatch::root_ino(&session)));
+
+        let mut reader = SharedImage::new(fs(), UserNamespace::initial()).reader(root.clone());
+        let b = reader.handle_all(script(Dispatch::root_ino(&reader)));
+
+        match (&a[0], &b[0]) {
+            (Reply::Entry(x), Reply::Entry(y)) => assert_eq!(x.ino, y.ino),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(a[1], Reply::Statfs(_)));
+        assert!(matches!(b[1], Reply::Statfs(st) if st.readonly));
+    }
+
+    #[test]
+    fn reader_dispatch_rejects_foreign_credentials() {
+        let img = SharedImage::new(fs(), UserNamespace::initial());
+        let mut reader = img.reader(FsCreds::root());
+        let alice = FsCreds::new(Uid(1000), Gid(1000), vec![Gid(1000)]);
+        let r = reader.handle(Request::new(
+            alice,
+            Operation::Getattr {
+                ino: Dispatch::root_ino(&reader),
+            },
+        ));
+        assert_eq!(r.err(), Some(Errno::EACCES));
+        // The session's own credentials still work.
+        let r = reader.handle(Request::new(
+            FsCreds::root(),
+            Operation::Getattr {
+                ino: Dispatch::root_ino(&reader),
+            },
+        ));
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn disconnect_releases_every_handle_on_both_flavors() {
+        let root = FsCreds::root();
+        let mut session = Session::new(MemFs::new(fs(), UserNamespace::initial()));
+        let host = session.resolve_path(&root, "/etc/hostname", true).unwrap();
+        session.open(&root, host.ino, OpenFlags::RDONLY).unwrap();
+        let etc = session.resolve_path(&root, "/etc", true).unwrap();
+        session.opendir(&root, etc.ino).unwrap();
+        assert_eq!(Dispatch::open_handles(&session), 2);
+        session.disconnect();
+        assert_eq!(Dispatch::open_handles(&session), 0);
+
+        let mut reader = SharedImage::new(fs(), UserNamespace::initial()).reader(root);
+        let host = reader.resolve_path("/etc/hostname", true).unwrap();
+        reader.open(host.ino, OpenFlags::RDONLY).unwrap();
+        let etc = reader.resolve_path("/etc", true).unwrap();
+        reader.opendir(etc.ino).unwrap();
+        assert_eq!(Dispatch::open_handles(&reader), 2);
+        reader.disconnect();
+        assert_eq!(Dispatch::open_handles(&reader), 0);
+    }
+
+    /// A borrowed reader dispatches while the owner keeps using it directly.
+    #[test]
+    fn borrowed_reader_dispatches() {
+        let img = SharedImage::new(fs(), UserNamespace::initial());
+        let reader = img.reader(FsCreds::root());
+        let mut borrowed = &reader;
+        let r = borrowed.handle(Request::new(
+            FsCreds::root(),
+            Operation::Lookup {
+                parent: reader.root_ino(),
+                name: "etc".into(),
+            },
+        ));
+        assert!(r.is_ok());
+        // Owner still has full access.
+        assert!(reader.resolve_path("/etc/hostname", true).is_ok());
+    }
+}

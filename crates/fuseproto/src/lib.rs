@@ -16,35 +16,55 @@
 //!   over the in-memory CoW filesystem, and the overlay-backed read-only
 //!   variant ([`ReadOnly`]);
 //! * a [`Session`] owning the open-handle table (flags, sequential offsets,
-//!   readdir cursors) and dispatching typed calls or a queue of
-//!   [`Request`]s.
+//!   readdir cursors), and the one [`Dispatch`] trait it shares with the
+//!   read-only [`ReaderSession`], so anything that pumps requests — a queue,
+//!   a wire server — is written once for both;
+//! * the **wire layer**: [`wire`] encodes requests and replies as
+//!   FUSE-kernel-ABI-shaped byte frames (opcodes, unique ids, negated
+//!   errnos), [`transport`] moves those frames over an in-memory channel,
+//!   any `Read + Write` pair, or a Unix socketpair, and [`server`] pumps any
+//!   transport into any dispatcher ([`Server`]) with a matching [`Client`]
+//!   for the far end.
 //!
 //! Reads are zero-copy end to end: `read` replies window the file's shared
 //! copy-on-write [`hpcc_vfs::FileBytes`] handle, so serving a built image
-//! never duplicates its content. `hpcc-runtime`'s `Container::mount`
-//! returns a `Session` serving the container's root filesystem, and
-//! `examples/fuse_mount.rs` drives a multi-stage build end to end through
-//! the protocol.
+//! never duplicates its content (a wire reply copies the windowed bytes
+//! once, into the output frame). `hpcc-runtime`'s `Container::mount`
+//! returns a `Session` serving the container's root filesystem,
+//! `Container::serve`/`serve_readonly` wrap one in a wire [`Server`], and
+//! `examples/fuse_mount.rs` / `examples/fuse_serve.rs` drive builds through
+//! the typed and wire surfaces respectively.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dispatch;
 pub mod errno;
 pub mod memfs;
 pub mod op;
 pub mod ops;
+pub mod server;
 pub mod session;
 pub mod shared;
+pub mod transport;
+pub mod wire;
 
+pub use dispatch::Dispatch;
 pub use errno::{Errno, OpResult};
 pub use memfs::{MemFs, ReadOnly};
 pub use op::{
-    Attr, DirEntry, Entry, FsCreds, OpenFlags, Opened, Operation, ReadReply, Reply, Request,
-    StatfsReply, Written,
+    Attr, DirEntry, Entry, FsCreds, OpenFlags, Opened, Operation, ReadReply, Reply, ReplyKind,
+    Request, StatfsReply, Written,
 };
 pub use ops::FsOps;
+pub use server::{Client, ClientError, ServeSummary, Server, ServerEvent, Shutdown};
 pub use session::Session;
 pub use shared::{ReaderSession, SharedImage};
+pub use transport::{ChannelTransport, StreamTransport, Transport, TransportError};
+pub use wire::{Incoming, WireError, FUSE_ROOT_ID};
+
+#[cfg(unix)]
+pub use transport::unix_pair;
 
 // Re-exported so protocol clients can build `Setattr` requests without
 // depending on hpcc-vfs directly.

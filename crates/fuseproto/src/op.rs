@@ -384,6 +384,70 @@ pub enum Operation {
     },
 }
 
+/// The reply shape an operation produces on success.
+///
+/// FUSE replies are not self-describing on the wire (a `fuse_out_header`
+/// carries only length, error, and the request's unique id), so a client must
+/// remember what shape it expects for each in-flight unique id.
+/// [`Operation::reply_kind`] is that mapping; the wire codec
+/// ([`crate::wire::decode_reply`]) takes it as the decode schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyKind {
+    /// [`Reply::Entry`].
+    Entry,
+    /// [`Reply::Attr`].
+    Attr,
+    /// [`Reply::Opened`].
+    Opened,
+    /// [`Reply::Data`].
+    Data,
+    /// [`Reply::Written`].
+    Written,
+    /// [`Reply::Dir`].
+    Dir,
+    /// [`Reply::Link`].
+    Link,
+    /// [`Reply::Statfs`].
+    Statfs,
+    /// [`Reply::Xattr`].
+    Xattr,
+    /// [`Reply::Names`].
+    Names,
+    /// [`Reply::Unit`].
+    Unit,
+}
+
+impl Operation {
+    /// The reply shape this operation produces on success.
+    ///
+    /// `Create` maps to [`ReplyKind::Opened`]: dispatch replies with the
+    /// handle half of the create, like `Session::dispatch` always has.
+    pub fn reply_kind(&self) -> ReplyKind {
+        match self {
+            Operation::Lookup { .. } | Operation::Mkdir { .. } | Operation::Symlink { .. } => {
+                ReplyKind::Entry
+            }
+            Operation::Getattr { .. } | Operation::Setattr { .. } => ReplyKind::Attr,
+            Operation::Open { .. } | Operation::Create { .. } | Operation::Opendir { .. } => {
+                ReplyKind::Opened
+            }
+            Operation::Read { .. } => ReplyKind::Data,
+            Operation::Write { .. } => ReplyKind::Written,
+            Operation::Readdir { .. } => ReplyKind::Dir,
+            Operation::Readlink { .. } => ReplyKind::Link,
+            Operation::Statfs => ReplyKind::Statfs,
+            Operation::Getxattr { .. } => ReplyKind::Xattr,
+            Operation::Listxattr { .. } => ReplyKind::Names,
+            Operation::Release { .. }
+            | Operation::Releasedir { .. }
+            | Operation::Unlink { .. }
+            | Operation::Rmdir { .. }
+            | Operation::Rename { .. }
+            | Operation::Setxattr { .. } => ReplyKind::Unit,
+        }
+    }
+}
+
 /// A complete request: credentials plus operation — what a queue of incoming
 /// FUSE messages decodes to.
 #[derive(Debug, Clone, PartialEq, Eq)]

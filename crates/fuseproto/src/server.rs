@@ -1,0 +1,529 @@
+//! The event-driven serve loop and its client: one generic [`Server`] pumps
+//! any [`Transport`] into any [`Dispatch`]er — a writable
+//! [`Session`](crate::Session) or a shared read-only
+//! [`ReaderSession`](crate::ReaderSession) alike.
+//!
+//! The loop mirrors a FUSE daemon's: read one request frame, decode,
+//! dispatch, write one reply frame, repeat until the client unmounts
+//! (`FUSE_DESTROY`) or disconnects. Malformed and oversized frames get a
+//! best-effort `EINVAL` reply addressed to the peeked request id — a broken
+//! client never panics the server — and on *any* exit the dispatcher's
+//! [`disconnect`](Dispatch::disconnect) runs, so handles the client leaked
+//! are reclaimed exactly as a real daemon reclaims them at unmount.
+
+use crate::dispatch::Dispatch;
+use crate::errno::Errno;
+use crate::op::{Reply, ReplyKind, Request};
+use crate::transport::{Transport, TransportError};
+use crate::wire::{
+    decode_reply, decode_request, encode_destroy, encode_reply, encode_request, peek_unique,
+    Incoming, WireError, MAX_REQUEST_FRAME,
+};
+
+/// What one [`Server::serve_one`] step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// A request (or a malformed frame) was answered; the loop continues.
+    Served,
+    /// The client sent `FUSE_DESTROY`: acknowledged, session over.
+    Shutdown,
+    /// The transport closed cleanly without a destroy — the client vanished.
+    Closed,
+}
+
+/// How a completed [`Server::serve`] loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shutdown {
+    /// The client unmounted politely with `FUSE_DESTROY`.
+    Destroyed,
+    /// The client disconnected without a destroy.
+    Disconnected,
+}
+
+/// Counters from a completed serve loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests dispatched (malformed frames not included).
+    pub requests: u64,
+    /// Frames that failed to decode and were answered `EINVAL`.
+    pub protocol_errors: u64,
+    /// How the session ended.
+    pub shutdown: Shutdown,
+}
+
+/// A wire-protocol filesystem server: one dispatcher, one transport, one
+/// client session.
+///
+/// The two buffers live for the server's lifetime, so a steady-state
+/// request/reply cycle performs no allocation beyond what the operation
+/// itself needs.
+pub struct Server<D, T> {
+    dispatcher: D,
+    transport: T,
+    in_buf: Vec<u8>,
+    out_buf: Vec<u8>,
+    requests: u64,
+    protocol_errors: u64,
+}
+
+impl<D: Dispatch, T: Transport> Server<D, T> {
+    /// Wraps a dispatcher and a transport into a serve loop.
+    pub fn new(dispatcher: D, transport: T) -> Self {
+        Server {
+            dispatcher,
+            transport,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            requests: 0,
+            protocol_errors: 0,
+        }
+    }
+
+    /// The dispatcher, for inspection (handle counts, op counters).
+    pub fn dispatcher(&self) -> &D {
+        &self.dispatcher
+    }
+
+    /// Frames answered `EINVAL` because they failed to decode.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors
+    }
+
+    /// Receives, dispatches, and answers one frame.
+    ///
+    /// On [`ServerEvent::Shutdown`] and [`ServerEvent::Closed`] the
+    /// dispatcher has been disconnected (open handles dropped). A transport
+    /// error also disconnects before propagating — the dispatcher is never
+    /// left holding a dead client's handles.
+    pub fn serve_one(&mut self) -> Result<ServerEvent, TransportError> {
+        let got = match self.transport.recv(&mut self.in_buf) {
+            Ok(got) => got,
+            Err(e) => {
+                self.dispatcher.disconnect();
+                return Err(e);
+            }
+        };
+        if !got {
+            self.dispatcher.disconnect();
+            return Ok(ServerEvent::Closed);
+        }
+        if self.in_buf.len() > MAX_REQUEST_FRAME {
+            return self.answer_malformed(WireError::Oversized {
+                len: self.in_buf.len() as u64,
+                max: MAX_REQUEST_FRAME as u64,
+            });
+        }
+        match decode_request(&self.in_buf) {
+            Ok(Incoming::Request { unique, req }) => {
+                self.requests += 1;
+                let reply = self.dispatcher.handle(req);
+                self.reply(unique, &reply)?;
+                Ok(ServerEvent::Served)
+            }
+            Ok(Incoming::Destroy { unique }) => {
+                self.reply(unique, &Reply::Unit)?;
+                self.dispatcher.disconnect();
+                Ok(ServerEvent::Shutdown)
+            }
+            Err(e) => self.answer_malformed(e),
+        }
+    }
+
+    /// Serves until destroy or disconnect, returning the session counters.
+    pub fn serve(&mut self) -> Result<ServeSummary, TransportError> {
+        loop {
+            match self.serve_one()? {
+                ServerEvent::Served => continue,
+                ServerEvent::Shutdown => return Ok(self.summary(Shutdown::Destroyed)),
+                ServerEvent::Closed => return Ok(self.summary(Shutdown::Disconnected)),
+            }
+        }
+    }
+
+    /// Tears the server down, returning the dispatcher and transport.
+    pub fn into_parts(self) -> (D, T) {
+        (self.dispatcher, self.transport)
+    }
+
+    fn summary(&self, shutdown: Shutdown) -> ServeSummary {
+        ServeSummary {
+            requests: self.requests,
+            protocol_errors: self.protocol_errors,
+            shutdown,
+        }
+    }
+
+    fn reply(&mut self, unique: u64, reply: &Reply) -> Result<(), TransportError> {
+        encode_reply(&mut self.out_buf, unique, reply);
+        self.transport.send(&self.out_buf)
+    }
+
+    /// Best-effort `EINVAL` for a frame that failed to decode, addressed to
+    /// whatever request id survives in the wreckage (0 if none). A send
+    /// failure here is ignored — the client may already be gone, and the
+    /// decode error is the interesting fact.
+    fn answer_malformed(&mut self, _err: WireError) -> Result<ServerEvent, TransportError> {
+        self.protocol_errors += 1;
+        let unique = peek_unique(&self.in_buf).unwrap_or(0);
+        encode_reply(&mut self.out_buf, unique, &Reply::Err(Errno::EINVAL));
+        let _ = self.transport.send(&self.out_buf);
+        Ok(ServerEvent::Served)
+    }
+}
+
+/// A request in flight: returned by [`Client::send_request`], redeemed by
+/// [`Client::recv_reply`]. Carries the id the reply must echo and the
+/// payload shape it decodes under.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingCall {
+    unique: u64,
+    kind: ReplyKind,
+}
+
+/// A client-side failure: the transport broke, a reply frame was malformed,
+/// or the server answered a different request than the one pending.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed or closed before the reply arrived.
+    Transport(TransportError),
+    /// The reply frame failed to decode.
+    Wire(WireError),
+    /// The reply echoed a different request id than the pending call's.
+    WrongUnique {
+        /// The id the client was waiting on.
+        expected: u64,
+        /// The id the reply carried.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "client transport: {e}"),
+            ClientError::Wire(e) => write!(f, "client decode: {e}"),
+            ClientError::WrongUnique { expected, got } => {
+                write!(f, "reply for request {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// The other end of the wire: encodes requests, matches replies by id.
+///
+/// `send_request`/`recv_reply` are split so a caller that owns both ends
+/// in one thread (benchmarks, lockstep tests) can interleave a server's
+/// [`Server::serve_one`] between them.
+pub struct Client<T> {
+    transport: T,
+    next_unique: u64,
+    out_buf: Vec<u8>,
+    in_buf: Vec<u8>,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps a transport whose peer is a [`Server`].
+    pub fn new(transport: T) -> Self {
+        Client {
+            transport,
+            next_unique: 1,
+            out_buf: Vec::new(),
+            in_buf: Vec::new(),
+        }
+    }
+
+    /// Encodes and sends one request, returning the pending call to redeem.
+    pub fn send_request(&mut self, req: &Request) -> Result<PendingCall, ClientError> {
+        let unique = self.next_unique;
+        self.next_unique += 1;
+        encode_request(&mut self.out_buf, unique, req);
+        self.transport.send(&self.out_buf)?;
+        Ok(PendingCall {
+            unique,
+            kind: req.op.reply_kind(),
+        })
+    }
+
+    /// Receives and decodes the reply for a pending call.
+    pub fn recv_reply(&mut self, pending: PendingCall) -> Result<Reply, ClientError> {
+        if !self.transport.recv(&mut self.in_buf)? {
+            return Err(ClientError::Transport(TransportError::Closed));
+        }
+        let (unique, reply) = decode_reply(&self.in_buf, pending.kind)?;
+        if unique != pending.unique {
+            return Err(ClientError::WrongUnique {
+                expected: pending.unique,
+                got: unique,
+            });
+        }
+        Ok(reply)
+    }
+
+    /// One full round trip: send, then wait for the reply.
+    pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        let pending = self.send_request(req)?;
+        self.recv_reply(pending)
+    }
+
+    /// Sends `FUSE_DESTROY` and waits for the acknowledgement, ending the
+    /// session politely.
+    pub fn destroy(&mut self) -> Result<(), ClientError> {
+        let unique = self.next_unique;
+        self.next_unique += 1;
+        encode_destroy(&mut self.out_buf, unique);
+        self.transport.send(&self.out_buf)?;
+        if !self.transport.recv(&mut self.in_buf)? {
+            return Err(ClientError::Transport(TransportError::Closed));
+        }
+        let (got, reply) = decode_reply(&self.in_buf, ReplyKind::Unit)?;
+        if got != unique {
+            return Err(ClientError::WrongUnique {
+                expected: unique,
+                got,
+            });
+        }
+        debug_assert_eq!(reply, Reply::Unit);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfs::MemFs;
+    use crate::op::{FsCreds, Operation};
+    use crate::session::Session;
+    use crate::transport::ChannelTransport;
+    use crate::wire::FUSE_ROOT_ID;
+    use hpcc_kernel::UserNamespace;
+    use hpcc_vfs::{Filesystem, Mode};
+
+    fn cred() -> FsCreds {
+        FsCreds::root()
+    }
+
+    fn memfs_session() -> Session<MemFs> {
+        Session::new(MemFs::new(
+            Filesystem::new_local(),
+            UserNamespace::initial(),
+        ))
+    }
+
+    fn served_session() -> (
+        Server<Session<MemFs>, ChannelTransport>,
+        Client<ChannelTransport>,
+    ) {
+        let (server_end, client_end) = ChannelTransport::pair();
+        (
+            Server::new(memfs_session(), server_end),
+            Client::new(client_end),
+        )
+    }
+
+    /// Pumps the server from the same thread: run after each client send.
+    fn pump<D: Dispatch, T: Transport>(server: &mut Server<D, T>) -> ServerEvent {
+        server.serve_one().unwrap()
+    }
+
+    #[test]
+    fn lockstep_mkdir_lookup_round_trip() {
+        let (mut server, mut client) = served_session();
+        let mk = Request::new(
+            cred(),
+            Operation::Mkdir {
+                parent: FUSE_ROOT_ID,
+                name: "etc".into(),
+                mode: Mode::DIR_755,
+            },
+        );
+        let pending = client.send_request(&mk).unwrap();
+        assert_eq!(pump(&mut server), ServerEvent::Served);
+        let reply = client.recv_reply(pending).unwrap();
+        let made = match reply {
+            Reply::Entry(e) => e,
+            other => panic!("{other:?}"),
+        };
+
+        let lk = Request::new(
+            cred(),
+            Operation::Lookup {
+                parent: FUSE_ROOT_ID,
+                name: "etc".into(),
+            },
+        );
+        let pending = client.send_request(&lk).unwrap();
+        assert_eq!(pump(&mut server), ServerEvent::Served);
+        match client.recv_reply(pending).unwrap() {
+            Reply::Entry(e) => assert_eq!(e.ino, made.ino),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_travel_as_errnos() {
+        let (mut server, mut client) = served_session();
+        let pending = client
+            .send_request(&Request::new(
+                cred(),
+                Operation::Lookup {
+                    parent: FUSE_ROOT_ID,
+                    name: "missing".into(),
+                },
+            ))
+            .unwrap();
+        pump(&mut server);
+        assert_eq!(
+            client.recv_reply(pending).unwrap(),
+            Reply::Err(Errno::ENOENT)
+        );
+    }
+
+    #[test]
+    fn destroy_acknowledges_and_shuts_down() {
+        let (mut server, client) = served_session();
+        let mut client = client;
+        // Open a handle, then destroy without releasing: the server must
+        // reclaim it.
+        let pending = client
+            .send_request(&Request::new(
+                cred(),
+                Operation::Opendir { ino: FUSE_ROOT_ID },
+            ))
+            .unwrap();
+        assert_eq!(pump(&mut server), ServerEvent::Served);
+        assert!(client.recv_reply(pending).unwrap().is_ok());
+        assert_eq!(server.dispatcher().open_handles(), 1);
+
+        std::thread::scope(|s| {
+            let h = s.spawn(|| client.destroy());
+            assert_eq!(server.serve_one().unwrap(), ServerEvent::Shutdown);
+            h.join().unwrap().unwrap();
+        });
+        assert_eq!(server.dispatcher().open_handles(), 0);
+    }
+
+    #[test]
+    fn client_disconnect_closes_and_reclaims_handles() {
+        let (mut server, mut client) = served_session();
+        let pending = client
+            .send_request(&Request::new(
+                cred(),
+                Operation::Opendir { ino: FUSE_ROOT_ID },
+            ))
+            .unwrap();
+        pump(&mut server);
+        assert!(client.recv_reply(pending).unwrap().is_ok());
+        assert_eq!(server.dispatcher().open_handles(), 1);
+        drop(client);
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Closed);
+        assert_eq!(server.dispatcher().open_handles(), 0);
+    }
+
+    #[test]
+    fn malformed_frames_get_einval_not_a_panic() {
+        let (server_end, mut client_end) = ChannelTransport::pair();
+        let mut server = Server::new(memfs_session(), server_end);
+
+        // Garbage with a peekable unique id at bytes 8..16.
+        let mut frame = vec![0u8; 20];
+        frame[0..4].copy_from_slice(&20u32.to_le_bytes());
+        frame[4..8].copy_from_slice(&777u32.to_le_bytes()); // bad opcode
+        frame[8..16].copy_from_slice(&55u64.to_le_bytes());
+        client_end.send(&frame).unwrap();
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+        assert_eq!(server.protocol_errors(), 1);
+
+        let mut buf = Vec::new();
+        assert!(client_end.recv(&mut buf).unwrap());
+        let (unique, reply) = decode_reply(&buf, ReplyKind::Unit).unwrap();
+        assert_eq!(unique, 55);
+        assert_eq!(reply, Reply::Err(Errno::EINVAL));
+
+        // An oversized frame gets the same treatment.
+        let mut big = vec![0u8; MAX_REQUEST_FRAME + 1];
+        big[0..4].copy_from_slice(&((MAX_REQUEST_FRAME + 1) as u32).to_le_bytes());
+        big[8..16].copy_from_slice(&56u64.to_le_bytes());
+        client_end.send(&big).unwrap();
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+        assert_eq!(server.protocol_errors(), 2);
+        assert!(client_end.recv(&mut buf).unwrap());
+        let (unique, reply) = decode_reply(&buf, ReplyKind::Unit).unwrap();
+        assert_eq!(unique, 56);
+        assert_eq!(reply, Reply::Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn full_serve_loop_runs_on_a_thread() {
+        let (server_end, client_end) = ChannelTransport::pair();
+        let mut server = Server::new(memfs_session(), server_end);
+        let handle = std::thread::spawn(move || {
+            let summary = server.serve().unwrap();
+            (server, summary)
+        });
+
+        let mut client = Client::new(client_end);
+        let made = match client
+            .call(&Request::new(
+                cred(),
+                Operation::Create {
+                    parent: FUSE_ROOT_ID,
+                    name: "hello.txt".into(),
+                    mode: Mode::FILE_644,
+                    flags: crate::op::OpenFlags::RDWR,
+                },
+            ))
+            .unwrap()
+        {
+            Reply::Opened(o) => o,
+            other => panic!("{other:?}"),
+        };
+        match client
+            .call(&Request::new(
+                cred(),
+                Operation::Write {
+                    fh: made.fh,
+                    offset: 0,
+                    data: b"over the wire".to_vec(),
+                },
+            ))
+            .unwrap()
+        {
+            Reply::Written(w) => assert_eq!(w.size, 13),
+            other => panic!("{other:?}"),
+        }
+        match client
+            .call(&Request::new(
+                cred(),
+                Operation::Read {
+                    fh: made.fh,
+                    offset: 0,
+                    size: 1024,
+                },
+            ))
+            .unwrap()
+        {
+            Reply::Data(d) => assert_eq!(d.as_slice(), b"over the wire"),
+            other => panic!("{other:?}"),
+        }
+        client.destroy().unwrap();
+        let (server, summary) = handle.join().unwrap();
+        assert_eq!(summary.shutdown, Shutdown::Destroyed);
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.protocol_errors, 0);
+        assert_eq!(server.dispatcher().open_handles(), 0);
+    }
+}

@@ -4,8 +4,8 @@
 //! keeps per mount: the file-handle table (flags and a sequential-read
 //! offset per handle) and readdir cursors (a stable snapshot of a
 //! directory's entries per `opendir`). Clients either call the typed
-//! methods directly or enqueue [`Request`] values and let
-//! [`Session::dispatch`] route them — both paths execute identically.
+//! methods directly or route [`crate::Request`] values through the
+//! [`Dispatch`](crate::Dispatch) trait — both paths execute identically.
 //!
 //! Reads are O(1) and zero-copy end to end: `open` checks access once (per
 //! POSIX), and each `read` windows the file's shared
@@ -14,13 +14,13 @@
 //! filesystem and the client.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use hpcc_vfs::{FileType, Ino, Mode, PathComponents, Setattr};
 
 use crate::errno::{Errno, OpResult};
 use crate::op::{
-    Attr, DirEntry, Entry, FsCreds, OpenFlags, Opened, Operation, ReadReply, Reply, Request,
-    StatfsReply, Written,
+    Attr, DirEntry, Entry, FsCreds, OpenFlags, Opened, ReadReply, StatfsReply, Written,
 };
 use crate::ops::FsOps;
 
@@ -60,7 +60,8 @@ pub struct Session<B> {
     backend: B,
     handles: HashMap<u64, Handle>,
     next_fh: u64,
-    ops_dispatched: u64,
+    /// Atomic so the pure (`&self`) ops can count themselves too.
+    ops_dispatched: AtomicU64,
 }
 
 impl<B: FsOps> Session<B> {
@@ -70,7 +71,7 @@ impl<B: FsOps> Session<B> {
             backend,
             handles: HashMap::new(),
             next_fh: 1,
-            ops_dispatched: 0,
+            ops_dispatched: AtomicU64::new(0),
         }
     }
 
@@ -105,13 +106,20 @@ impl<B: FsOps> Session<B> {
         }
     }
 
-    /// Total operations dispatched (typed calls and queued requests alike).
+    /// Total operations dispatched (typed calls and wire requests alike).
     pub fn ops_dispatched(&self) -> u64 {
-        self.ops_dispatched
+        self.ops_dispatched.load(Ordering::Relaxed)
     }
 
-    fn count(&mut self) {
-        self.ops_dispatched += 1;
+    fn count(&self) {
+        self.ops_dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every open handle, as a FUSE daemon does when its client
+    /// disconnects without releasing. Used by
+    /// [`Dispatch::disconnect`](crate::Dispatch::disconnect).
+    pub fn release_all(&mut self) {
+        self.handles.clear();
     }
 
     // ------------------------------------------------------------ resolution
@@ -170,15 +178,20 @@ impl<B: FsOps> Session<B> {
     }
 
     // ------------------------------------------------------------- typed ops
+    //
+    // Ops that never touch mutable session or backend state (pure lookups,
+    // statfs, the xattr reads, readdir paging over an already-open cursor)
+    // take `&self`; everything that mutates the backend or the handle table
+    // takes `&mut self`.
 
     /// `lookup`: one component under a parent directory.
-    pub fn lookup(&mut self, cred: &FsCreds, parent: Ino, name: &str) -> OpResult<Entry> {
+    pub fn lookup(&self, cred: &FsCreds, parent: Ino, name: &str) -> OpResult<Entry> {
         self.count();
         self.backend.lookup(cred, parent, name)
     }
 
     /// `getattr`.
-    pub fn getattr(&mut self, cred: &FsCreds, ino: Ino) -> OpResult<Attr> {
+    pub fn getattr(&self, cred: &FsCreds, ino: Ino) -> OpResult<Attr> {
         self.count();
         self.backend.getattr(cred, ino)
     }
@@ -190,7 +203,7 @@ impl<B: FsOps> Session<B> {
     }
 
     /// `readlink`.
-    pub fn readlink(&mut self, cred: &FsCreds, ino: Ino) -> OpResult<String> {
+    pub fn readlink(&self, cred: &FsCreds, ino: Ino) -> OpResult<String> {
         self.count();
         self.backend.readlink(cred, ino)
     }
@@ -313,7 +326,7 @@ impl<B: FsOps> Session<B> {
     /// `readdir`: up to `max` entries starting at cursor `offset`. An empty
     /// reply means end of stream.
     pub fn readdir(
-        &mut self,
+        &self,
         _cred: &FsCreds,
         fh: u64,
         offset: usize,
@@ -395,13 +408,13 @@ impl<B: FsOps> Session<B> {
     }
 
     /// `statfs`.
-    pub fn statfs(&mut self, cred: &FsCreds) -> OpResult<StatfsReply> {
+    pub fn statfs(&self, cred: &FsCreds) -> OpResult<StatfsReply> {
         self.count();
         self.backend.statfs(cred)
     }
 
     /// `getxattr`.
-    pub fn getxattr(&mut self, cred: &FsCreds, ino: Ino, name: &str) -> OpResult<Vec<u8>> {
+    pub fn getxattr(&self, cred: &FsCreds, ino: Ino, name: &str) -> OpResult<Vec<u8>> {
         self.count();
         self.backend.getxattr(cred, ino, name)
     }
@@ -413,91 +426,9 @@ impl<B: FsOps> Session<B> {
     }
 
     /// `listxattr`.
-    pub fn listxattr(&mut self, cred: &FsCreds, ino: Ino) -> OpResult<Vec<String>> {
+    pub fn listxattr(&self, cred: &FsCreds, ino: Ino) -> OpResult<Vec<String>> {
         self.count();
         self.backend.listxattr(cred, ino)
-    }
-
-    // -------------------------------------------------------------- dispatch
-
-    /// Dispatches one request to the typed implementation, encoding the
-    /// result as a [`Reply`].
-    pub fn dispatch(&mut self, req: Request) -> Reply {
-        let cred = req.cred;
-        match req.op {
-            Operation::Lookup { parent, name } => {
-                reply(self.lookup(&cred, parent, &name).map(Reply::Entry))
-            }
-            Operation::Getattr { ino } => reply(self.getattr(&cred, ino).map(Reply::Attr)),
-            Operation::Setattr { ino, changes } => {
-                reply(self.setattr(&cred, ino, &changes).map(Reply::Attr))
-            }
-            Operation::Readlink { ino } => reply(self.readlink(&cred, ino).map(Reply::Link)),
-            Operation::Open { ino, flags } => {
-                reply(self.open(&cred, ino, flags).map(Reply::Opened))
-            }
-            Operation::Create {
-                parent,
-                name,
-                mode,
-                flags,
-            } => reply(
-                self.create(&cred, parent, &name, mode, flags)
-                    .map(|(_, opened)| Reply::Opened(opened)),
-            ),
-            Operation::Read { fh, offset, size } => {
-                reply(self.read(&cred, fh, offset, size).map(Reply::Data))
-            }
-            Operation::Write { fh, offset, data } => {
-                reply(self.write(&cred, fh, offset, &data).map(Reply::Written))
-            }
-            Operation::Release { fh } => reply(self.release(fh).map(|()| Reply::Unit)),
-            Operation::Opendir { ino } => reply(self.opendir(&cred, ino).map(Reply::Opened)),
-            Operation::Readdir { fh, offset, max } => {
-                reply(self.readdir(&cred, fh, offset, max).map(Reply::Dir))
-            }
-            Operation::Releasedir { fh } => reply(self.releasedir(fh).map(|()| Reply::Unit)),
-            Operation::Mkdir { parent, name, mode } => {
-                reply(self.mkdir(&cred, parent, &name, mode).map(Reply::Entry))
-            }
-            Operation::Unlink { parent, name } => {
-                reply(self.unlink(&cred, parent, &name).map(|()| Reply::Unit))
-            }
-            Operation::Rmdir { parent, name } => {
-                reply(self.rmdir(&cred, parent, &name).map(|()| Reply::Unit))
-            }
-            Operation::Rename {
-                parent,
-                name,
-                new_parent,
-                new_name,
-            } => reply(
-                self.rename(&cred, parent, &name, new_parent, &new_name)
-                    .map(|()| Reply::Unit),
-            ),
-            Operation::Symlink {
-                parent,
-                name,
-                target,
-            } => reply(
-                self.symlink(&cred, parent, &name, &target)
-                    .map(Reply::Entry),
-            ),
-            Operation::Statfs => reply(self.statfs(&cred).map(Reply::Statfs)),
-            Operation::Getxattr { ino, name } => {
-                reply(self.getxattr(&cred, ino, &name).map(Reply::Xattr))
-            }
-            Operation::Setxattr { ino, name, value } => reply(
-                self.setxattr(&cred, ino, &name, &value)
-                    .map(|()| Reply::Unit),
-            ),
-            Operation::Listxattr { ino } => reply(self.listxattr(&cred, ino).map(Reply::Names)),
-        }
-    }
-
-    /// Dispatches a queue of requests in order, one reply per request.
-    pub fn dispatch_all(&mut self, reqs: impl IntoIterator<Item = Request>) -> Vec<Reply> {
-        reqs.into_iter().map(|r| self.dispatch(r)).collect()
     }
 
     /// Allocates a file-handle id. Wraparound-safe: after `u64::MAX` opens
@@ -519,14 +450,12 @@ impl<B: FsOps> Session<B> {
     }
 }
 
-fn reply(r: OpResult<Reply>) -> Reply {
-    r.unwrap_or_else(Reply::Err)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dispatch::Dispatch;
     use crate::memfs::MemFs;
+    use crate::op::{Operation, Reply, Request};
     use hpcc_kernel::{Gid, Uid, UserNamespace};
     use hpcc_vfs::Filesystem;
 
@@ -603,7 +532,7 @@ mod tests {
 
     #[test]
     fn resolve_path_follows_symlinks_through_ops() {
-        let mut s = session();
+        let s = session();
         let root = FsCreds::root();
         let direct = s.resolve_path(&root, "/etc/hostname", true).unwrap();
         let via_link = s.resolve_path(&root, "/etc/alias", true).unwrap();
@@ -693,7 +622,7 @@ mod tests {
     fn queue_dispatch_matches_typed_calls() {
         let mut s = session();
         let root = FsCreds::root();
-        let replies = s.dispatch_all([
+        let replies = s.handle_all([
             Request::new(
                 root.clone(),
                 Operation::Lookup {
@@ -719,7 +648,7 @@ mod tests {
             _ => unreachable!(),
         };
         let host = s.lookup(&root, etc, "hostname").unwrap();
-        let opened = match s.dispatch(Request::new(
+        let opened = match s.handle(Request::new(
             root.clone(),
             Operation::Open {
                 ino: host.ino,
@@ -729,7 +658,7 @@ mod tests {
             Reply::Opened(o) => o,
             other => panic!("{:?}", other),
         };
-        match s.dispatch(Request::new(
+        match s.handle(Request::new(
             root.clone(),
             Operation::Read {
                 fh: opened.fh,
@@ -741,7 +670,7 @@ mod tests {
             other => panic!("{:?}", other),
         }
         assert_eq!(
-            s.dispatch(Request::new(root, Operation::Release { fh: opened.fh })),
+            s.handle(Request::new(root, Operation::Release { fh: opened.fh })),
             Reply::Unit
         );
         assert_eq!(s.open_handles(), 0);

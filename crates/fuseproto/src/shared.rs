@@ -195,6 +195,12 @@ impl HandleTable {
             .map(|s| s.read().unwrap_or_else(|p| p.into_inner()).len())
             .sum()
     }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap_or_else(|p| p.into_inner()).clear();
+        }
+    }
 }
 
 /// One client's view of a [`SharedImage`]: fixed credentials, a private
@@ -243,6 +249,13 @@ impl ReaderSession {
 
     fn count(&self) {
         self.ops_dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every open handle, as a FUSE daemon does when its client
+    /// disconnects without releasing. Used by
+    /// [`Dispatch::disconnect`](crate::Dispatch::disconnect).
+    pub fn release_all(&self) {
+        self.handles.clear();
     }
 
     fn actor(&self) -> Actor<'_> {

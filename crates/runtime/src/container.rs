@@ -8,7 +8,7 @@
 
 use std::sync::OnceLock;
 
-use hpcc_fuseproto::{FsCreds, MemFs, ReaderSession, Session, SharedImage};
+use hpcc_fuseproto::{FsCreds, MemFs, ReaderSession, Server, Session, SharedImage, Transport};
 use hpcc_kernel::{Credentials, Errno, Gid, KResult, Sysctl, Uid, UserNamespace};
 use hpcc_vfs::{tar, Actor, Filesystem, FsBackend, Mode};
 
@@ -252,6 +252,24 @@ impl Container {
     /// syscalls would carry into a mount served by [`Container::mount`].
     pub fn fs_creds(&self) -> FsCreds {
         FsCreds::from_credentials(&self.creds)
+    }
+
+    /// Serves the container's rootfs over the wire protocol: a [`Server`]
+    /// pumping `transport` into a fresh read-write [`Container::mount`]
+    /// session. The far end drives it with a
+    /// [`Client`](hpcc_fuseproto::Client) on the transport's peer — the
+    /// daemon half of a `ch-mount`, minus the kernel.
+    pub fn serve<T: Transport>(&self, transport: T) -> Server<Session<MemFs>, T> {
+        Server::new(self.mount(), transport)
+    }
+
+    /// Like [`Container::serve`] but read-only over the shared frozen image:
+    /// each call hands out one [`Container::mount_readonly`] session, so
+    /// many servers on many transports share a single image in memory. The
+    /// same generic [`Server`] loop serves both flavors — the point of the
+    /// [`Dispatch`](hpcc_fuseproto::Dispatch) trait.
+    pub fn serve_readonly<T: Transport>(&self, transport: T) -> Server<ReaderSession, T> {
+        Server::new(self.mount_readonly(), transport)
     }
 
     /// True if the container's processes appear to be root inside the

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --example fuse_mount`
 
 use hpcc_repro::core::{build_multistage, BuildOptions, Builder};
-use hpcc_repro::fuseproto::{FsCreds, OpenFlags, Operation, Reply, Request};
+use hpcc_repro::fuseproto::{Dispatch, FsCreds, OpenFlags, Operation, Reply, Request};
 use hpcc_repro::image::{Image, ImageConfig};
 use hpcc_repro::runtime::{Container, Invoker};
 
@@ -111,7 +111,7 @@ fn main() {
 
     // 6. The same traffic as a queued request stream — what a network
     //    backend or real FUSE channel would deliver.
-    let replies = session.dispatch_all([
+    let replies = session.handle_all([
         Request::new(
             cred.clone(),
             Operation::Lookup {
