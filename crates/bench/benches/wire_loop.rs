@@ -18,12 +18,14 @@
 //! op, so the purest view of fixed overhead) and a 4 KiB read (payload
 //! copy into the frame each way) are recorded alongside for PERF.md §10.
 
+use std::time::Duration;
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use hpcc_bench::WIRE_OPS_PER_BATCH;
 use hpcc_fuseproto::{
-    ChannelTransport, Client, Dispatch, FsCreds, MemFs, OpenFlags, Operation, Reply, Request,
-    Server, ServerEvent, Session,
+    ChannelTransport, Client, Dispatch, FsCreds, MemFs, OpenFlags, Operation, RecvOutcome, Reply,
+    Request, RetryPolicy, Server, ServerEvent, Session, Transport, TransportError,
 };
 use hpcc_kernel::{Gid, Uid, UserNamespace};
 use hpcc_vfs::{Filesystem, Mode};
@@ -35,6 +37,35 @@ fn bench_session() -> Session<MemFs> {
     fs.install_file(PATH, vec![7u8; 4096], Uid(0), Gid(0), Mode::FILE_644)
         .unwrap();
     Session::new(MemFs::new(fs, UserNamespace::initial()))
+}
+
+/// A client transport that pumps its server inline on every send — the same
+/// lockstep layout as the `roundtrip` closure below, but packaged as a
+/// [`Transport`] so the policy-driven [`Client::call_with`] (which owns both
+/// halves of its round trip) measures on identical single-thread terms.
+struct Lockstep {
+    server: Server<Session<MemFs>, ChannelTransport>,
+    client_end: ChannelTransport,
+}
+
+impl Transport for Lockstep {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.client_end.send(frame)?;
+        assert_eq!(self.server.serve_one()?, ServerEvent::Served);
+        Ok(())
+    }
+
+    fn recv(&mut self, buf: &mut Vec<u8>) -> Result<bool, TransportError> {
+        self.client_end.recv(buf)
+    }
+
+    fn recv_timeout(
+        &mut self,
+        buf: &mut Vec<u8>,
+        timeout: Duration,
+    ) -> Result<RecvOutcome, TransportError> {
+        self.client_end.recv_timeout(buf, timeout)
+    }
 }
 
 fn bench_wire_loop(c: &mut Criterion) {
@@ -155,6 +186,47 @@ fn bench_wire_loop(c: &mut Criterion) {
             for _ in 0..WIRE_OPS_PER_BATCH {
                 match roundtrip(black_box(&read)) {
                     Reply::Data(d) => last = d.len(),
+                    other => panic!("{other:?}"),
+                }
+            }
+            last
+        })
+    });
+
+    // The retry-policy fast path (ISSUE 9 gate): the same lookups driven
+    // through `call_with` with the default policy over a fault-free
+    // lockstep transport. Every reply arrives on the first `recv_timeout`,
+    // so the policy machinery must stay off the measured path — no clock
+    // read, no deadline arithmetic, no jitter RNG. `bench_gate --relative`
+    // pins this at ≤1.2× `roundtrip_lookup_batch` (the bare round trip in
+    // the identical lockstep layout above).
+    let policy_session = bench_session();
+    let policy_parent = policy_session
+        .resolve_path(&cred, "/usr/lib/sysimage/rpm/db/Packages/index", true)
+        .unwrap()
+        .ino;
+    let (server_end, client_end) = ChannelTransport::pair();
+    let mut policy_client = Client::new(Lockstep {
+        server: Server::new(policy_session, server_end),
+        client_end,
+    });
+    let policy_lookup = Request::new(
+        cred.clone(),
+        Operation::Lookup {
+            parent: policy_parent,
+            name: "data".into(),
+        },
+    );
+    let policy = RetryPolicy::default();
+    group.bench_function("policy_lookup_batch", |b| {
+        b.iter(|| {
+            let mut last = 0;
+            for _ in 0..WIRE_OPS_PER_BATCH {
+                match policy_client
+                    .call_with(black_box(&policy_lookup), &policy)
+                    .expect("policy call")
+                {
+                    Reply::Entry(e) => last = e.ino,
                     other => panic!("{other:?}"),
                 }
             }

@@ -28,6 +28,9 @@ impl Errno {
     pub const EIO: Errno = Errno(5);
     /// Bad file descriptor (stale or foreign handle).
     pub const EBADF: Errno = Errno(9);
+    /// Resource temporarily unavailable — the typed busy answer an
+    /// overload-shedding server gives; retryable by policy.
+    pub const EAGAIN: Errno = Errno(11);
     /// Permission denied.
     pub const EACCES: Errno = Errno(13);
     /// File exists.

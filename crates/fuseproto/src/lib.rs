@@ -24,7 +24,14 @@
 //!   errnos), [`transport`] moves those frames over an in-memory channel,
 //!   any `Read + Write` pair, or a Unix socketpair, and [`server`] pumps any
 //!   transport into any dispatcher ([`Server`]) with a matching [`Client`]
-//!   for the far end.
+//!   for the far end;
+//! * the **fault layer**: [`fault`] wraps any transport in a deterministic,
+//!   seed-replayable fault schedule (drops, corruption, reordering, hard
+//!   disconnects), [`retry`] gives the client a per-call deadline with
+//!   backoff and idempotent retransmission, and the server's reply cache
+//!   plus overload shedding ([`ServeConfig`]) keep at-least-once delivery
+//!   exactly-once execution — the chaos suite in `tests/chaos_serve.rs`
+//!   holds those invariants over thousands of randomized schedules.
 //!
 //! Reads are zero-copy end to end: `read` replies window the file's shared
 //! copy-on-write [`hpcc_vfs::FileBytes`] handle, so serving a built image
@@ -40,9 +47,11 @@
 
 pub mod dispatch;
 pub mod errno;
+pub mod fault;
 pub mod memfs;
 pub mod op;
 pub mod ops;
+pub mod retry;
 pub mod server;
 pub mod session;
 pub mod shared;
@@ -51,16 +60,18 @@ pub mod wire;
 
 pub use dispatch::Dispatch;
 pub use errno::{Errno, OpResult};
+pub use fault::{Fault, FaultCounters, FaultPlan, FaultTransport};
 pub use memfs::{MemFs, ReadOnly};
 pub use op::{
     Attr, DirEntry, Entry, FsCreds, OpenFlags, Opened, Operation, ReadReply, Reply, ReplyKind,
     Request, StatfsReply, Written,
 };
 pub use ops::FsOps;
-pub use server::{Client, ClientError, ServeSummary, Server, ServerEvent, Shutdown};
+pub use retry::{CallError, RetryPolicy};
+pub use server::{Client, ClientError, ServeConfig, ServeSummary, Server, ServerEvent, Shutdown};
 pub use session::Session;
 pub use shared::{ReaderSession, SharedImage};
-pub use transport::{ChannelTransport, StreamTransport, Transport, TransportError};
+pub use transport::{ChannelTransport, RecvOutcome, StreamTransport, Transport, TransportError};
 pub use wire::{Incoming, WireError, FUSE_ROOT_ID};
 
 #[cfg(unix)]

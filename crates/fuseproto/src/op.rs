@@ -446,6 +446,39 @@ impl Operation {
             | Operation::Setxattr { .. } => ReplyKind::Unit,
         }
     }
+
+    /// Whether re-executing this operation could change server-side state —
+    /// the retransmission-safety split a retry policy needs. Pure reads
+    /// (lookup, getattr, read/readdir at explicit offsets, statfs, xattr
+    /// reads) are idempotent and retransmit freely; everything that writes
+    /// the filesystem *or* the session's handle table (open/release included:
+    /// re-executing an `Open` would allocate a second handle) counts as
+    /// mutating and relies on the server's reply cache to be resent safely.
+    pub fn mutates(&self) -> bool {
+        match self {
+            Operation::Lookup { .. }
+            | Operation::Getattr { .. }
+            | Operation::Readlink { .. }
+            | Operation::Read { .. }
+            | Operation::Readdir { .. }
+            | Operation::Statfs
+            | Operation::Getxattr { .. }
+            | Operation::Listxattr { .. } => false,
+            Operation::Setattr { .. }
+            | Operation::Symlink { .. }
+            | Operation::Mkdir { .. }
+            | Operation::Unlink { .. }
+            | Operation::Rmdir { .. }
+            | Operation::Rename { .. }
+            | Operation::Open { .. }
+            | Operation::Create { .. }
+            | Operation::Write { .. }
+            | Operation::Release { .. }
+            | Operation::Opendir { .. }
+            | Operation::Releasedir { .. }
+            | Operation::Setxattr { .. } => true,
+        }
+    }
 }
 
 /// A complete request: credentials plus operation — what a queue of incoming

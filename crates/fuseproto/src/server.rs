@@ -10,14 +10,29 @@
 //! client never panics the server — and on *any* exit the dispatcher's
 //! [`disconnect`](Dispatch::disconnect) runs, so handles the client leaked
 //! are reclaimed exactly as a real daemon reclaims them at unmount.
+//!
+//! Two [`ServeConfig`]-controlled mechanisms make the loop safe under a
+//! retransmitting client ([`Client::call_with`]) on a lossy transport:
+//!
+//! * a bounded **reply cache** keyed by unique id — a retransmitted request
+//!   (its id at or below the highest already dispatched) replays the cached
+//!   reply frame byte-for-byte instead of re-executing the operation, so
+//!   at-least-once delivery stays exactly-once execution;
+//! * **overload shedding** — when the transport reports more than
+//!   [`ServeConfig::max_backlog`] frames still queued behind the one just
+//!   received, the request is answered [`Errno::EAGAIN`] *before* decode or
+//!   dispatch (a typed, retryable promise of non-execution). `FUSE_DESTROY`
+//!   is never shed: graceful drain must always be reachable.
+
+use std::collections::VecDeque;
 
 use crate::dispatch::Dispatch;
 use crate::errno::Errno;
 use crate::op::{Reply, ReplyKind, Request};
 use crate::transport::{Transport, TransportError};
 use crate::wire::{
-    decode_reply, decode_request, encode_destroy, encode_reply, encode_request, peek_unique,
-    Incoming, WireError, MAX_REQUEST_FRAME,
+    decode_reply, decode_request, encode_destroy, encode_reply, encode_request, peek_is_destroy,
+    peek_unique, Incoming, WireError, MAX_REQUEST_FRAME,
 };
 
 /// What one [`Server::serve_one`] step did.
@@ -47,8 +62,41 @@ pub struct ServeSummary {
     pub requests: u64,
     /// Frames that failed to decode and were answered `EINVAL`.
     pub protocol_errors: u64,
+    /// Retransmitted requests answered from the reply cache — each one a
+    /// re-execution (a duplicated side effect) that did not happen.
+    pub replayed: u64,
+    /// Requests answered `EAGAIN` because the receive backlog was over the
+    /// configured cap.
+    pub shed: u64,
     /// How the session ended.
     pub shutdown: Shutdown,
+}
+
+/// Robustness knobs for a [`Server`]; [`ServeConfig::default`] matches what
+/// [`Server::new`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Reply-cache capacity in entries; `0` disables replay protection
+    /// (a retransmitted mutation would then re-execute). The cache must
+    /// cover the client's retransmission window: for the sequential
+    /// [`Client`], whose resends always carry its latest unique id, one
+    /// entry suffices — the default keeps a margin for injected duplicates
+    /// of older frames still in flight.
+    pub reply_cache: usize,
+    /// Shed (answer `EAGAIN`, skip execution) when more than this many
+    /// frames are still queued behind the one being served. `None` never
+    /// sheds; `Some(0)` sheds whenever any second request is waiting.
+    /// Only effective on transports that report a backlog.
+    pub max_backlog: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            reply_cache: 32,
+            max_backlog: None,
+        }
+    }
 }
 
 /// A wire-protocol filesystem server: one dispatcher, one transport, one
@@ -60,22 +108,43 @@ pub struct ServeSummary {
 pub struct Server<D, T> {
     dispatcher: D,
     transport: T,
+    config: ServeConfig,
     in_buf: Vec<u8>,
     out_buf: Vec<u8>,
+    /// Recent (unique id, encoded reply frame) pairs, oldest first — the
+    /// replay source for retransmitted requests.
+    cache: VecDeque<(u64, Vec<u8>)>,
+    /// Highest unique id successfully dispatched; anything at or below it
+    /// arriving again is a retransmission, never a fresh request (malformed
+    /// frames don't advance this, so a corrupt frame can't poison it).
+    max_unique: u64,
     requests: u64,
     protocol_errors: u64,
+    replayed: u64,
+    shed: u64,
 }
 
 impl<D: Dispatch, T: Transport> Server<D, T> {
-    /// Wraps a dispatcher and a transport into a serve loop.
+    /// Wraps a dispatcher and a transport into a serve loop with the default
+    /// [`ServeConfig`].
     pub fn new(dispatcher: D, transport: T) -> Self {
+        Server::with_config(dispatcher, transport, ServeConfig::default())
+    }
+
+    /// Like [`Server::new`] with explicit robustness knobs.
+    pub fn with_config(dispatcher: D, transport: T, config: ServeConfig) -> Self {
         Server {
             dispatcher,
             transport,
+            config,
             in_buf: Vec::new(),
             out_buf: Vec::new(),
+            cache: VecDeque::with_capacity(config.reply_cache),
+            max_unique: 0,
             requests: 0,
             protocol_errors: 0,
+            replayed: 0,
+            shed: 0,
         }
     }
 
@@ -89,6 +158,16 @@ impl<D: Dispatch, T: Transport> Server<D, T> {
         self.protocol_errors
     }
 
+    /// Retransmissions answered from the reply cache.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Requests answered `EAGAIN` under backlog pressure.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
     /// Receives, dispatches, and answers one frame.
     ///
     /// On [`ServerEvent::Shutdown`] and [`ServerEvent::Closed`] the
@@ -97,7 +176,11 @@ impl<D: Dispatch, T: Transport> Server<D, T> {
     /// left holding a dead client's handles.
     pub fn serve_one(&mut self) -> Result<ServerEvent, TransportError> {
         let got = match self.transport.recv(&mut self.in_buf) {
+            // A receiver cut off mid-wait (peer dropped while we blocked) is
+            // the same fact as a clean close from where the server stands:
+            // the client vanished between requests.
             Ok(got) => got,
+            Err(TransportError::Closed) => false,
             Err(e) => {
                 self.dispatcher.disconnect();
                 return Err(e);
@@ -113,15 +196,69 @@ impl<D: Dispatch, T: Transport> Server<D, T> {
                 max: MAX_REQUEST_FRAME as u64,
             });
         }
+        // Retransmission check, before decode: a unique id at or below the
+        // highest dispatched one was already answered — replay the cached
+        // reply frame rather than execute the operation a second time.
+        // (Only successfully dispatched requests advance `max_unique` or
+        // enter the cache, so malformed frames can't poison either.)
+        if let Some(unique) = peek_unique(&self.in_buf) {
+            if unique != 0 && unique <= self.max_unique {
+                if let Some(i) = self.cache.iter().position(|(u, _)| *u == unique) {
+                    self.replayed += 1;
+                    let frame = self.cache[i].1.clone();
+                    let sent = self.transport.send(&frame);
+                    return self.finish_send(sent);
+                }
+                // Aged out of the cache: fall through and re-execute. Only
+                // reachable when a duplicate outlives `reply_cache` newer
+                // requests — size the cache to the client's retransmission
+                // window to keep this path read-only in practice.
+            }
+        }
+        // Overload shedding, also before decode: EAGAIN promises the client
+        // the operation was not executed, so it must precede dispatch. A
+        // destroy is exempt — drain must stay reachable under pressure.
+        if let Some(cap) = self.config.max_backlog {
+            let over = self.transport.backlog().is_some_and(|b| b > cap);
+            if over && !peek_is_destroy(&self.in_buf) {
+                self.shed += 1;
+                let unique = peek_unique(&self.in_buf).unwrap_or(0);
+                encode_reply(&mut self.out_buf, unique, &Reply::Err(Errno::EAGAIN));
+                let sent = self.transport.send(&self.out_buf);
+                return self.finish_send(sent);
+            }
+        }
         match decode_request(&self.in_buf) {
             Ok(Incoming::Request { unique, req }) => {
                 self.requests += 1;
                 let reply = self.dispatcher.handle(req);
-                self.reply(unique, &reply)?;
-                Ok(ServerEvent::Served)
+                let sent = self.reply(unique, &reply);
+                let event = self.finish_send(sent)?;
+                if event == ServerEvent::Served {
+                    self.max_unique = self.max_unique.max(unique);
+                    if self.config.reply_cache > 0 {
+                        // Steady state recycles the evicted entry's buffer:
+                        // caching a reply costs one memcpy, no allocation —
+                        // this runs on the serving hot path the wire-loop
+                        // bench gate covers.
+                        let mut slot = if self.cache.len() == self.config.reply_cache {
+                            self.cache.pop_front().map(|(_, v)| v).unwrap_or_default()
+                        } else {
+                            Vec::with_capacity(self.out_buf.len())
+                        };
+                        slot.clear();
+                        slot.extend_from_slice(&self.out_buf);
+                        self.cache.push_back((unique, slot));
+                    }
+                }
+                Ok(event)
             }
             Ok(Incoming::Destroy { unique }) => {
-                self.reply(unique, &Reply::Unit)?;
+                // Graceful drain: flush the acknowledgement best-effort (the
+                // client may already be gone; the drain matters more than
+                // the ack), then always reclaim the session's handles.
+                encode_reply(&mut self.out_buf, unique, &Reply::Unit);
+                let _ = self.transport.send(&self.out_buf);
                 self.dispatcher.disconnect();
                 Ok(ServerEvent::Shutdown)
             }
@@ -149,6 +286,8 @@ impl<D: Dispatch, T: Transport> Server<D, T> {
         ServeSummary {
             requests: self.requests,
             protocol_errors: self.protocol_errors,
+            replayed: self.replayed,
+            shed: self.shed,
             shutdown,
         }
     }
@@ -156,6 +295,28 @@ impl<D: Dispatch, T: Transport> Server<D, T> {
     fn reply(&mut self, unique: u64, reply: &Reply) -> Result<(), TransportError> {
         encode_reply(&mut self.out_buf, unique, reply);
         self.transport.send(&self.out_buf)
+    }
+
+    /// Resolves the outcome of a reply send. A [`TransportError::Closed`] is
+    /// the client vanishing between our receive and our answer — a
+    /// disconnect, not a server failure — so it closes the session cleanly
+    /// (handles reclaimed) instead of surfacing an error; anything else
+    /// still disconnects first, then propagates.
+    fn finish_send(
+        &mut self,
+        sent: Result<(), TransportError>,
+    ) -> Result<ServerEvent, TransportError> {
+        match sent {
+            Ok(()) => Ok(ServerEvent::Served),
+            Err(TransportError::Closed) => {
+                self.dispatcher.disconnect();
+                Ok(ServerEvent::Closed)
+            }
+            Err(e) => {
+                self.dispatcher.disconnect();
+                Err(e)
+            }
+        }
     }
 
     /// Best-effort `EINVAL` for a frame that failed to decode, addressed to
@@ -229,10 +390,10 @@ impl From<WireError> for ClientError {
 /// in one thread (benchmarks, lockstep tests) can interleave a server's
 /// [`Server::serve_one`] between them.
 pub struct Client<T> {
-    transport: T,
-    next_unique: u64,
-    out_buf: Vec<u8>,
-    in_buf: Vec<u8>,
+    pub(crate) transport: T,
+    pub(crate) next_unique: u64,
+    pub(crate) out_buf: Vec<u8>,
+    pub(crate) in_buf: Vec<u8>,
 }
 
 impl<T: Transport> Client<T> {
@@ -244,6 +405,16 @@ impl<T: Transport> Client<T> {
             out_buf: Vec::new(),
             in_buf: Vec::new(),
         }
+    }
+
+    /// The underlying transport, for inspection (fault counters, backlog).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Tears the client down, returning its transport.
+    pub fn into_transport(self) -> T {
+        self.transport
     }
 
     /// Encodes and sends one request, returning the pending call to redeem.
@@ -304,6 +475,7 @@ impl<T: Transport> Client<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultPlan, FaultTransport};
     use crate::memfs::MemFs;
     use crate::op::{FsCreds, Operation};
     use crate::session::Session;
@@ -464,6 +636,232 @@ mod tests {
         let (unique, reply) = decode_reply(&buf, ReplyKind::Unit).unwrap();
         assert_eq!(unique, 56);
         assert_eq!(reply, Reply::Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn every_injector_wire_error_gets_einval_at_the_salvaged_unique() {
+        // The fault injector can damage a frame in exactly three decodable
+        // ways: a bit flip (BadChecksum), a cut that keeps the header
+        // (LengthMismatch), and a cut into the unique id itself (Truncated).
+        // Each must produce a best-effort EINVAL — at the salvaged unique
+        // where one survives, at 0 where it doesn't — and count once.
+        let (server_end, client_end) = ChannelTransport::pair();
+        let mut server = Server::new(memfs_session(), server_end);
+        let plan = FaultPlan::new()
+            .on_send(0, Fault::Corrupt(300)) // bit 300: body, past the unique
+            .on_send(1, Fault::Truncate(20)) // keeps header incl. unique
+            .on_send(2, Fault::Truncate(6)); // cuts into the unique id
+        let mut faulty = FaultTransport::new(client_end, plan);
+        let req = Request::new(
+            cred(),
+            Operation::Lookup {
+                parent: FUSE_ROOT_ID,
+                name: "x".into(),
+            },
+        );
+        let mut frame = Vec::new();
+        for unique in [7u64, 8, 9] {
+            encode_request(&mut frame, unique, &req);
+            faulty.send(&frame).unwrap();
+            assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+        }
+        assert_eq!(
+            server.protocol_errors(),
+            faulty.counters().total(),
+            "every injected fault surfaced as exactly one protocol error"
+        );
+        assert_eq!(server.protocol_errors(), 3);
+        assert_eq!(
+            server.replayed(),
+            0,
+            "corrupt frames never look like retransmits"
+        );
+        let mut buf = Vec::new();
+        for expect in [7u64, 8, 0] {
+            assert!(faulty.recv(&mut buf).unwrap());
+            let (unique, reply) = decode_reply(&buf, ReplyKind::Unit).unwrap();
+            assert_eq!(unique, expect);
+            assert_eq!(reply, Reply::Err(Errno::EINVAL));
+        }
+    }
+
+    #[test]
+    fn retransmitted_uniques_replay_cached_replies_without_re_executing() {
+        let (server_end, mut client_end) = ChannelTransport::pair();
+        let mut server = Server::new(memfs_session(), server_end);
+        let mk = Request::new(
+            cred(),
+            Operation::Mkdir {
+                parent: FUSE_ROOT_ID,
+                name: "once".into(),
+                mode: Mode::DIR_755,
+            },
+        );
+        let mut frame = Vec::new();
+        encode_request(&mut frame, 1, &mk);
+        client_end.send(&frame).unwrap();
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+        let mut first = Vec::new();
+        assert!(client_end.recv(&mut first).unwrap());
+
+        // The retransmission: same unique, same bytes. Re-execution would
+        // answer EEXIST; the cache must answer the original Entry instead.
+        client_end.send(&frame).unwrap();
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+        let mut second = Vec::new();
+        assert!(client_end.recv(&mut second).unwrap());
+        assert_eq!(first, second, "replayed reply is byte-identical");
+        assert_eq!(server.replayed(), 1);
+    }
+
+    #[test]
+    fn a_zero_entry_cache_disables_replay_protection() {
+        let (server_end, mut client_end) = ChannelTransport::pair();
+        let mut server = Server::with_config(
+            memfs_session(),
+            server_end,
+            ServeConfig {
+                reply_cache: 0,
+                max_backlog: None,
+            },
+        );
+        let mk = Request::new(
+            cred(),
+            Operation::Mkdir {
+                parent: FUSE_ROOT_ID,
+                name: "twice".into(),
+                mode: Mode::DIR_755,
+            },
+        );
+        let mut frame = Vec::new();
+        encode_request(&mut frame, 1, &mk);
+        let mut buf = Vec::new();
+        for _ in 0..2 {
+            client_end.send(&frame).unwrap();
+            assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+            assert!(client_end.recv(&mut buf).unwrap());
+        }
+        // The duplicate re-executed: the second answer is the duplicated
+        // side effect's EEXIST, not a replay.
+        let (unique, reply) = decode_reply(&buf, ReplyKind::Entry).unwrap();
+        assert_eq!(unique, 1);
+        assert_eq!(reply, Reply::Err(Errno::EEXIST));
+        assert_eq!(server.replayed(), 0);
+    }
+
+    #[test]
+    fn backlog_over_cap_sheds_with_eagain_before_execution() {
+        let (server_end, mut client_end) = ChannelTransport::pair();
+        let mut server = Server::with_config(
+            memfs_session(),
+            server_end,
+            ServeConfig {
+                max_backlog: Some(0),
+                ..ServeConfig::default()
+            },
+        );
+        let mk = |name: &str| {
+            Request::new(
+                cred(),
+                Operation::Mkdir {
+                    parent: FUSE_ROOT_ID,
+                    name: name.into(),
+                    mode: Mode::DIR_755,
+                },
+            )
+        };
+        let mut frame = Vec::new();
+        encode_request(&mut frame, 1, &mk("a"));
+        client_end.send(&frame).unwrap();
+        encode_request(&mut frame, 2, &mk("b"));
+        client_end.send(&frame).unwrap();
+
+        // Request 1 arrives with request 2 still queued behind it: shed.
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+        // Request 2 arrives with an empty backlog: executed.
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+        assert_eq!(server.shed(), 1);
+
+        let mut buf = Vec::new();
+        assert!(client_end.recv(&mut buf).unwrap());
+        let (unique, reply) = decode_reply(&buf, ReplyKind::Entry).unwrap();
+        assert_eq!((unique, reply), (1, Reply::Err(Errno::EAGAIN)));
+        assert!(client_end.recv(&mut buf).unwrap());
+        let (unique, reply) = decode_reply(&buf, ReplyKind::Entry).unwrap();
+        assert_eq!(unique, 2);
+        assert!(reply.is_ok());
+
+        // The shed request was really not executed: "a" does not exist.
+        encode_request(
+            &mut frame,
+            3,
+            &Request::new(
+                cred(),
+                Operation::Lookup {
+                    parent: FUSE_ROOT_ID,
+                    name: "a".into(),
+                },
+            ),
+        );
+        client_end.send(&frame).unwrap();
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+        assert!(client_end.recv(&mut buf).unwrap());
+        let (_, reply) = decode_reply(&buf, ReplyKind::Entry).unwrap();
+        assert_eq!(reply, Reply::Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn destroy_is_never_shed() {
+        let (server_end, mut client_end) = ChannelTransport::pair();
+        let mut server = Server::with_config(
+            memfs_session(),
+            server_end,
+            ServeConfig {
+                max_backlog: Some(0),
+                ..ServeConfig::default()
+            },
+        );
+        let mut frame = Vec::new();
+        encode_destroy(&mut frame, 1);
+        client_end.send(&frame).unwrap();
+        encode_request(
+            &mut frame,
+            2,
+            &Request::new(
+                cred(),
+                Operation::Lookup {
+                    parent: FUSE_ROOT_ID,
+                    name: "x".into(),
+                },
+            ),
+        );
+        client_end.send(&frame).unwrap();
+        // The destroy arrives under backlog pressure and still drains.
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Shutdown);
+        assert_eq!(server.shed(), 0);
+    }
+
+    #[test]
+    fn destroy_ack_to_a_dead_client_still_reclaims_handles() {
+        let (server_end, mut client_end) = ChannelTransport::pair();
+        let mut server = Server::new(memfs_session(), server_end);
+        let mut frame = Vec::new();
+        encode_request(
+            &mut frame,
+            1,
+            &Request::new(cred(), Operation::Opendir { ino: FUSE_ROOT_ID }),
+        );
+        client_end.send(&frame).unwrap();
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Served);
+        assert_eq!(server.dispatcher().open_handles(), 1);
+
+        // The destroy is queued, then the client dies before the ack can be
+        // delivered: the ack send fails silently, the drain still runs.
+        encode_destroy(&mut frame, 2);
+        client_end.send(&frame).unwrap();
+        drop(client_end);
+        assert_eq!(server.serve_one().unwrap(), ServerEvent::Shutdown);
+        assert_eq!(server.dispatcher().open_handles(), 0);
     }
 
     #[test]

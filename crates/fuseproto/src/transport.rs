@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::wire::{WireError, MAX_WIRE_FRAME};
 
@@ -57,6 +58,17 @@ impl From<WireError> for TransportError {
     }
 }
 
+/// Outcome of a timed receive ([`Transport::recv_timeout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// A frame arrived in the caller's buffer.
+    Frame,
+    /// Clean close at a frame boundary — the peer finished and went away.
+    Closed,
+    /// No frame within the timeout; the buffer's contents are unspecified.
+    TimedOut,
+}
+
 /// A bidirectional, ordered, frame-preserving byte channel.
 pub trait Transport {
     /// Sends one frame to the peer.
@@ -66,8 +78,35 @@ pub trait Transport {
     ///
     /// Returns `Ok(true)` when a frame arrived and `Ok(false)` on clean
     /// close — the peer finished sending and went away at a frame boundary.
-    /// A peer that vanishes *mid*-frame is an error, not a close.
+    /// A peer that vanishes *mid*-frame is an error, not a close. A peer
+    /// that vanishes while this receiver is *blocked waiting* is
+    /// [`TransportError::Closed`] — a typed wake-up, never a hang.
     fn recv(&mut self, buf: &mut Vec<u8>) -> Result<bool, TransportError>;
+
+    /// Like [`Transport::recv`] but gives up after `timeout` — what a
+    /// deadline-driven retrying client needs. The default implementation
+    /// ignores the timeout and blocks until a frame or close (transports
+    /// without timers still compile and work; a retry policy over one
+    /// degrades to blocking waits).
+    fn recv_timeout(
+        &mut self,
+        buf: &mut Vec<u8>,
+        timeout: Duration,
+    ) -> Result<RecvOutcome, TransportError> {
+        let _ = timeout;
+        Ok(if self.recv(buf)? {
+            RecvOutcome::Frame
+        } else {
+            RecvOutcome::Closed
+        })
+    }
+
+    /// Frames already queued on this end's receive side — the overload
+    /// signal a shedding server polls after each receive. `None` when the
+    /// transport cannot tell (byte streams).
+    fn backlog(&self) -> Option<usize> {
+        None
+    }
 }
 
 // ------------------------------------------------------- in-memory channel
@@ -83,6 +122,12 @@ struct PipeState {
     /// unconditional futex syscall in std; counting waiters lets the
     /// same-thread case (bench pumps, lockstep tests) skip it entirely.
     waiting: usize,
+    /// Receivers that were blocked in `wait` at the moment the pipe closed:
+    /// they get a typed [`TransportError::Closed`] wake-up instead of the
+    /// drain-then-clean-close a later (unblocked) receive observes. A
+    /// blocked waiter was waiting precisely because nothing was queued —
+    /// the peer vanished mid-conversation on them.
+    interrupted: usize,
 }
 
 struct Pipe {
@@ -98,6 +143,7 @@ impl Pipe {
                 free: Vec::new(),
                 closed: false,
                 waiting: 0,
+                interrupted: 0,
             }),
             cond: Condvar::new(),
         })
@@ -118,8 +164,18 @@ impl Pipe {
         Ok(())
     }
 
-    fn recv(&self, buf: &mut Vec<u8>) -> Result<bool, TransportError> {
+    /// The shared receive core: blocking (`timeout: None`) or timed.
+    fn recv_inner(
+        &self,
+        buf: &mut Vec<u8>,
+        timeout: Option<Duration>,
+    ) -> Result<RecvOutcome, TransportError> {
         let mut st = self.state.lock().unwrap();
+        // The deadline is materialized lazily, on the first actual wait —
+        // the fast path (frame already queued) reads no clock at all, which
+        // is what keeps a policy-wrapped fault-free call within noise of a
+        // bare one.
+        let mut deadline: Option<Instant> = None;
         loop {
             if let Some(mut frame) = st.frames.pop_front() {
                 std::mem::swap(buf, &mut frame);
@@ -128,14 +184,46 @@ impl Pipe {
                 if st.free.len() < 4 {
                     st.free.push(frame);
                 }
-                return Ok(true);
+                // A waiter marked interrupted that still came away with a
+                // frame (send raced the close) was not cut off after all.
+                if st.closed && st.interrupted > 0 {
+                    st.interrupted -= 1;
+                }
+                return Ok(RecvOutcome::Frame);
             }
             if st.closed {
-                return Ok(false);
+                if st.interrupted > 0 {
+                    st.interrupted -= 1;
+                    return Err(TransportError::Closed);
+                }
+                return Ok(RecvOutcome::Closed);
             }
-            st.waiting += 1;
-            st = self.cond.wait(st).unwrap();
-            st.waiting -= 1;
+            match timeout {
+                None => {
+                    st.waiting += 1;
+                    st = self.cond.wait(st).unwrap();
+                    st.waiting -= 1;
+                }
+                Some(t) => {
+                    let d = *deadline.get_or_insert_with(|| Instant::now() + t);
+                    let rem = d.saturating_duration_since(Instant::now());
+                    if rem.is_zero() {
+                        return Ok(RecvOutcome::TimedOut);
+                    }
+                    st.waiting += 1;
+                    let (guard, _) = self.cond.wait_timeout(st, rem).unwrap();
+                    st = guard;
+                    st.waiting -= 1;
+                }
+            }
+        }
+    }
+
+    fn recv(&self, buf: &mut Vec<u8>) -> Result<bool, TransportError> {
+        match self.recv_inner(buf, None)? {
+            RecvOutcome::Frame => Ok(true),
+            RecvOutcome::Closed => Ok(false),
+            RecvOutcome::TimedOut => unreachable!("blocking recv cannot time out"),
         }
     }
 
@@ -143,6 +231,9 @@ impl Pipe {
         let mut st = self.state.lock().unwrap();
         if !st.closed {
             st.closed = true;
+            // Everyone blocked right now is being cut off mid-wait; they
+            // wake with a typed Closed error rather than a clean close.
+            st.interrupted = st.waiting;
             if st.waiting > 0 {
                 self.cond.notify_all();
             }
@@ -152,9 +243,13 @@ impl Pipe {
 
 /// One endpoint of an in-memory duplex channel; see [`ChannelTransport::pair`].
 ///
-/// Dropping an endpoint closes both directions: the peer's pending `recv`s
+/// Dropping an endpoint closes both directions: the peer's later `recv`s
 /// drain queued frames, then report clean close, and its `send`s fail with
 /// [`TransportError::Closed`] — the semantics of a FUSE client unmounting.
+/// A receiver *blocked in `recv` at the moment of the drop* wakes with a
+/// typed [`TransportError::Closed`] error instead: it was mid-conversation
+/// (waiting on a frame that can now never come), which is a disconnect, not
+/// a quiet end-of-stream.
 pub struct ChannelTransport {
     tx: Arc<Pipe>,
     rx: Arc<Pipe>,
@@ -191,6 +286,18 @@ impl Transport for ChannelTransport {
     fn recv(&mut self, buf: &mut Vec<u8>) -> Result<bool, TransportError> {
         self.rx.recv(buf)
     }
+
+    fn recv_timeout(
+        &mut self,
+        buf: &mut Vec<u8>,
+        timeout: Duration,
+    ) -> Result<RecvOutcome, TransportError> {
+        self.rx.recv_inner(buf, Some(timeout))
+    }
+
+    fn backlog(&self) -> Option<usize> {
+        Some(self.rx.state.lock().unwrap().frames.len())
+    }
 }
 
 impl Drop for ChannelTransport {
@@ -225,9 +332,26 @@ impl<R: Read, W: Write> StreamTransport<R, W> {
 impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
     fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
         debug_assert!(frame.len() >= 4, "wire frames always carry a header");
-        self.writer.write_all(frame)?;
-        self.writer.flush()?;
-        Ok(())
+        // Hand-rolled write loop rather than `write_all`: a signal-interrupted
+        // or short write must never surface as a torn frame to the peer —
+        // anything less than the whole frame on the wire desynchronizes the
+        // length-prefix framing for the rest of the connection.
+        let mut sent = 0;
+        while sent < frame.len() {
+            match self.writer.write(&frame[sent..]) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => sent += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
+        loop {
+            match self.writer.flush() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
     }
 
     fn recv(&mut self, buf: &mut Vec<u8>) -> Result<bool, TransportError> {
@@ -236,7 +360,11 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
         // a clean close, a short read is a torn frame.
         let mut got = 0;
         while got < 4 {
-            let n = self.reader.read(&mut len_bytes[got..])?;
+            let n = match self.reader.read(&mut len_bytes[got..]) {
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            };
             if n == 0 {
                 if got == 0 {
                     return Ok(false);
@@ -378,6 +506,183 @@ mod tests {
             rx.recv(&mut buf),
             Err(TransportError::Frame(WireError::LengthMismatch { .. }))
         ));
+    }
+
+    #[test]
+    fn waiter_blocked_at_drop_time_gets_a_typed_closed_error() {
+        // Satellite: a receiver parked inside `recv` when the peer drops must
+        // wake with Err(Closed), not hang and not see a clean close.
+        let (a, b) = ChannelTransport::pair();
+        let pipe = Arc::clone(&b.rx);
+        let t = std::thread::spawn(move || {
+            let mut b = b;
+            let mut buf = Vec::new();
+            b.recv(&mut buf)
+        });
+        // Spin until the receiver is actually parked in the condvar — only a
+        // waiter blocked *at drop time* earns the typed error.
+        while pipe.state.lock().unwrap().waiting == 0 {
+            std::thread::yield_now();
+        }
+        drop(a);
+        assert!(matches!(t.join().unwrap(), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_delivers_then_closes() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        let mut buf = Vec::new();
+        assert_eq!(
+            b.recv_timeout(&mut buf, Duration::from_millis(1)).unwrap(),
+            RecvOutcome::TimedOut
+        );
+        a.send(&[5, 6]).unwrap();
+        assert_eq!(
+            b.recv_timeout(&mut buf, Duration::from_millis(1)).unwrap(),
+            RecvOutcome::Frame
+        );
+        assert_eq!(buf, [5, 6]);
+        drop(a);
+        assert_eq!(
+            b.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap(),
+            RecvOutcome::Closed,
+            "unqueued close after drop is clean, not an error"
+        );
+    }
+
+    #[test]
+    fn backlog_counts_queued_frames_on_channels_only() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        assert_eq!(b.backlog(), Some(0));
+        a.send(&[1]).unwrap();
+        a.send(&[2]).unwrap();
+        assert_eq!(b.backlog(), Some(2));
+        let mut buf = Vec::new();
+        b.recv(&mut buf).unwrap();
+        assert_eq!(b.backlog(), Some(1));
+        // Byte streams cannot see frame boundaries ahead of the reader.
+        let s = StreamTransport::new(std::io::empty(), std::io::sink());
+        assert_eq!(s.backlog(), None);
+    }
+
+    /// A writer that alternates short writes and `EINTR`, recording what
+    /// actually lands — the syscall behavior of a signal-heavy process.
+    struct FlakyWriter {
+        out: Vec<u8>,
+        step: usize,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.step += 1;
+            match self.step % 3 {
+                0 => Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "eintr",
+                )),
+                1 => {
+                    self.out.push(data[0]);
+                    Ok(1)
+                }
+                _ => {
+                    let n = data.len().div_ceil(2);
+                    self.out.extend_from_slice(&data[..n]);
+                    Ok(n)
+                }
+            }
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.step += 1;
+            if self.step.is_multiple_of(3) {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "eintr",
+                ))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn stream_send_survives_short_writes_and_eintr() {
+        // Satellite: no torn frames — the full frame must land byte-for-byte
+        // no matter how the writer fragments or interrupts the writes.
+        let mut frame = 10u32.to_le_bytes().to_vec();
+        frame.extend_from_slice(&[0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF]);
+        let mut tx = StreamTransport::new(
+            std::io::empty(),
+            FlakyWriter {
+                out: Vec::new(),
+                step: 0,
+            },
+        );
+        tx.send(&frame).unwrap();
+        assert_eq!(tx.writer.out, frame);
+    }
+
+    /// A writer whose pipe is gone: `write` returns `Ok(0)` forever.
+    struct DeadWriter;
+
+    impl Write for DeadWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Ok(0)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stream_send_maps_zero_length_writes_to_closed() {
+        let mut tx = StreamTransport::new(std::io::empty(), DeadWriter);
+        let frame = 5u32.to_le_bytes().to_vec();
+        assert!(matches!(tx.send(&frame), Err(TransportError::Closed)));
+    }
+
+    /// A reader that raises `EINTR` before every productive single-byte read.
+    struct FlakyReader {
+        data: Vec<u8>,
+        pos: usize,
+        interrupt_next: bool,
+    }
+
+    impl Read for FlakyReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "eintr",
+                ));
+            }
+            self.interrupt_next = true;
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            out[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn stream_recv_retries_interrupted_length_reads() {
+        let mut frame = 7u32.to_le_bytes().to_vec();
+        frame.extend_from_slice(&[1, 2, 3]);
+        let mut rx = StreamTransport::new(
+            FlakyReader {
+                data: frame.clone(),
+                pos: 0,
+                interrupt_next: true,
+            },
+            std::io::sink(),
+        );
+        let mut buf = Vec::new();
+        assert!(rx.recv(&mut buf).unwrap());
+        assert_eq!(buf, frame);
+        assert!(!rx.recv(&mut buf).unwrap(), "then clean EOF");
     }
 
     #[cfg(unix)]

@@ -8,7 +8,9 @@
 
 use std::sync::OnceLock;
 
-use hpcc_fuseproto::{FsCreds, MemFs, ReaderSession, Server, Session, SharedImage, Transport};
+use hpcc_fuseproto::{
+    FsCreds, MemFs, ReaderSession, ServeConfig, Server, Session, SharedImage, Transport,
+};
 use hpcc_kernel::{Credentials, Errno, Gid, KResult, Sysctl, Uid, UserNamespace};
 use hpcc_vfs::{tar, Actor, Filesystem, FsBackend, Mode};
 
@@ -263,6 +265,17 @@ impl Container {
         Server::new(self.mount(), transport)
     }
 
+    /// [`Container::serve`] with explicit robustness knobs — reply-cache
+    /// depth and overload shedding — for serving over lossy transports to
+    /// retransmitting clients.
+    pub fn serve_with<T: Transport>(
+        &self,
+        transport: T,
+        config: ServeConfig,
+    ) -> Server<Session<MemFs>, T> {
+        Server::with_config(self.mount(), transport, config)
+    }
+
     /// Like [`Container::serve`] but read-only over the shared frozen image:
     /// each call hands out one [`Container::mount_readonly`] session, so
     /// many servers on many transports share a single image in memory. The
@@ -270,6 +283,15 @@ impl Container {
     /// [`Dispatch`](hpcc_fuseproto::Dispatch) trait.
     pub fn serve_readonly<T: Transport>(&self, transport: T) -> Server<ReaderSession, T> {
         Server::new(self.mount_readonly(), transport)
+    }
+
+    /// [`Container::serve_readonly`] with explicit robustness knobs.
+    pub fn serve_readonly_with<T: Transport>(
+        &self,
+        transport: T,
+        config: ServeConfig,
+    ) -> Server<ReaderSession, T> {
+        Server::with_config(self.mount_readonly(), transport, config)
     }
 
     /// True if the container's processes appear to be root inside the
