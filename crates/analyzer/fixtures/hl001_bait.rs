@@ -1,0 +1,24 @@
+//! HL001 false-positive bait: call `.unwrap()` here and the pass must stay
+//! silent — every occurrence below is a comment, a string, a raw string, a
+//! `stringify!` token tree, a justified site, or test-gated code.
+
+pub fn describe() -> String {
+    let s = "call .unwrap() at your peril"; // .unwrap() in a string and a comment
+    let raw = r#"panic!("nope") and data[0]"#;
+    let tokens = stringify!(x.unwrap().expect("still just tokens"));
+    format!("{s} {raw} {tokens}")
+}
+
+pub fn justified(opt: Option<u8>) -> u8 {
+    // hpcc-lint: allow(panic) — fixture: the caller guarantees Some
+    opt.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u8];
+        assert_eq!(v[0], Some(1).unwrap());
+    }
+}

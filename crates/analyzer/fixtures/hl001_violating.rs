@@ -1,0 +1,16 @@
+//! HL001 fixture: every construct the no-panic pass must flag, one per
+//! line. Never compiled — lexed by `tests/fixtures.rs`.
+
+pub fn serve(data: &[u8], opt: Option<u8>) -> u8 {
+    let first = data[0]; // direct slice indexing
+    let v = opt.unwrap(); // unwrap
+    let w = opt.expect("present"); // expect
+    if first == 0 {
+        panic!("zero"); // panic!
+    }
+    match v {
+        1 => w,
+        2 => todo!(), // todo!
+        _ => unreachable!(), // unreachable!
+    }
+}

@@ -1,0 +1,32 @@
+//! HL002 fixture: a guard held across a blocking transport `.send(` — plus
+//! a cross-function case, where the lock is held around a call into a
+//! function that itself blocks.
+
+use std::sync::Mutex;
+
+pub struct Wire;
+
+impl Wire {
+    pub fn send(&mut self, _frame: &[u8]) {}
+}
+
+pub struct Sender {
+    state: Mutex<u32>,
+    wire: Wire,
+}
+
+impl Sender {
+    pub fn flush(&mut self, frame: &[u8]) {
+        let mut st = self.state.lock().unwrap();
+        *st += 1;
+        self.wire.send(frame); // guard `st` still held: finding
+    }
+
+    pub fn clean(&mut self, frame: &[u8]) {
+        {
+            let mut st = self.state.lock().unwrap();
+            *st += 1;
+        }
+        self.wire.send(frame); // guard dropped before the send: no finding
+    }
+}

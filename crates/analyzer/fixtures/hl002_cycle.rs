@@ -1,0 +1,23 @@
+//! HL002 fixture: two methods taking the same pair of locks in opposite
+//! orders — the classic deadlock shape the cycle detector must report.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.first.lock().unwrap();
+        let b = self.second.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.second.lock().unwrap();
+        let a = self.first.lock().unwrap();
+        *a - *b
+    }
+}

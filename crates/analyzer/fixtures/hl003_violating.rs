@@ -1,0 +1,31 @@
+//! HL003 fixture: a crate that defines a poison-recovery helper and then
+//! bypasses it with a bare `.lock().unwrap()` — plus bait the pass must
+//! ignore (the helper's own body, a justified site, test code).
+
+use std::sync::{Mutex, MutexGuard};
+
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+pub fn bypasses(counter: &Mutex<u32>) -> u32 {
+    *counter.lock().unwrap() // bare: the one expected finding
+}
+
+pub fn justified(counter: &Mutex<u32>) -> u32 {
+    // hpcc-lint: allow(poison) — fixture: single-threaded setup path
+    *counter.lock().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn bare_in_tests_is_fine() {
+        assert_eq!(*Mutex::new(3).lock().unwrap(), 3);
+    }
+}

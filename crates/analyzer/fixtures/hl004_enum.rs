@@ -1,0 +1,8 @@
+//! HL004 fixture: the enum side of a wire-surface cross-check.
+
+pub enum Operation {
+    Lookup { name: String },
+    Getattr,
+    Read { offset: u64, size: u32 },
+    Forget,
+}

@@ -1,0 +1,24 @@
+//! HL004 fixture: the wire-surface side. `FX_FORGET` is missing from the
+//! opcode table and `encode_request` lacks arms for `Read` and `Forget`;
+//! `reply_kind` is complete.
+
+pub const FX_LOOKUP: u32 = 1;
+pub const FX_GETATTR: u32 = 2;
+pub const FX_READ: u32 = 3;
+
+pub fn reply_kind(op: &Operation) -> u8 {
+    match op {
+        Operation::Lookup { .. } => 0,
+        Operation::Getattr => 1,
+        Operation::Read { .. } => 2,
+        Operation::Forget => 3,
+    }
+}
+
+pub fn encode_request(op: &Operation) -> u32 {
+    match op {
+        Operation::Lookup { .. } => FX_LOOKUP,
+        Operation::Getattr => FX_GETATTR,
+        _ => 0,
+    }
+}

@@ -1,0 +1,107 @@
+//! HL001 — no-panic serving path.
+//!
+//! In the designated no-panic modules, `unwrap()` / `expect(` / `panic!` /
+//! `unreachable!` / `todo!` / `unimplemented!` and direct slice indexing are
+//! forbidden outside `#[cfg(test)]` items, unless the site carries a
+//! `// hpcc-lint: allow(panic) — <reason>` marker on its line or the line
+//! above.
+
+use crate::lex::{SourceFile, TokKind};
+use crate::Finding;
+
+/// Identifiers that make a following `[` *not* an index expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "loop", "for", "in", "return", "break", "continue", "let",
+    "mut", "ref", "move", "as", "where", "impl", "fn", "pub", "use", "mod", "struct", "enum",
+    "trait", "type", "const", "static", "crate", "dyn", "unsafe", "async", "await", "box",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs HL001 over one file (the caller decides which files are no-panic
+/// modules).
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let tokens = &file.tokens;
+    let mut findings = Vec::new();
+    let mut report = |line: u32, msg: String| {
+        if !file.justified("panic", line) {
+            findings.push(Finding {
+                code: "HL001",
+                file: file.path.clone(),
+                line,
+                message: msg,
+                snippet: file.snippet(line),
+            });
+        }
+    };
+    let mut i = 0;
+    while i < tokens.len() {
+        if file.test_mask[i] {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        // `stringify!( … )` quotes its tokens; nothing inside can panic.
+        if t.is_ident("stringify") && tokens.get(i + 1).is_some_and(|n| n.is('!')) {
+            if let Some(open) = tokens[i..].iter().position(|u| u.is('(')) {
+                i = skip_group(tokens, i + open, '(', ')');
+                continue;
+            }
+        }
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && tokens.get(i + 1).is_some_and(|n| n.is('('))
+            && i > 0
+            && tokens[i - 1].is('.')
+        {
+            report(
+                t.line,
+                format!("panic-capable `.{}(...)` on the serving path", t.text),
+            );
+        } else if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is('!'))
+        {
+            report(t.line, format!("`{}!` on the serving path", t.text));
+        } else if t.is('[') && i > 0 && is_index_base(file, i - 1) {
+            report(
+                t.line,
+                "direct slice indexing on the serving path (use `get`/`get_mut` or a typed error)"
+                    .to_string(),
+            );
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// True when the token at `i` can be the base of an index expression:
+/// a non-keyword identifier, a literal, `)`, `]`, or `?`.
+fn is_index_base(file: &SourceFile, i: usize) -> bool {
+    let t = &file.tokens[i];
+    match t.kind {
+        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&t.text.as_str()),
+        TokKind::Literal => true,
+        TokKind::Punct => t.is(')') || t.is(']') || t.is('?'),
+        TokKind::Lifetime => false,
+    }
+}
+
+/// Skips a balanced `open … close` group starting at the `open` token,
+/// returning the index one past the matching close.
+fn skip_group(tokens: &[crate::lex::Token], start: usize, open: char, close: char) -> usize {
+    let mut depth = 0;
+    let mut i = start;
+    while i < tokens.len() {
+        if tokens[i].is(open) {
+            depth += 1;
+        } else if tokens[i].is(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}

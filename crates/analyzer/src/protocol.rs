@@ -1,0 +1,192 @@
+//! HL004 — protocol exhaustiveness.
+//!
+//! Rust's `match` exhaustiveness catches a missing arm *inside one
+//! function*, but the wire surface of an enum spans several functions, a
+//! constant table, and two crates: adding an `Operation` variant without an
+//! opcode constant, encode arm, decode arm, and `reply_kind` arm compiles
+//! fine and fails at runtime. This pass cross-checks every variant of a
+//! designated enum against each region of its wire surface and names the
+//! missing arm.
+
+use crate::lex::{functions, match_brace, SourceFile, TokKind};
+use crate::Finding;
+
+/// One region of a wire surface a variant must appear in.
+#[derive(Debug, Clone)]
+pub enum Region {
+    /// The variant identifier must appear inside the body of this function.
+    FnBody(&'static str),
+    /// A `const <PREFIX><VARIANT_UPPERCASED>` must be declared in the file.
+    ConstPrefix(&'static str),
+}
+
+/// A cross-check: `enum_name` in `enum_file` against regions in other files.
+#[derive(Debug)]
+pub struct EnumCheck<'a> {
+    /// The file the enum is defined in.
+    pub enum_file: &'a SourceFile,
+    /// The enum's name.
+    pub enum_name: &'static str,
+    /// `(file, region)` pairs every variant must be present in.
+    pub regions: Vec<(&'a SourceFile, Region)>,
+}
+
+/// Collects the variant names of `enum <name>` in `file`.
+pub fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, u32)> {
+    let tokens = &file.tokens;
+    let mut variants = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("enum") || !tokens.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            continue;
+        }
+        let Some(open_rel) = tokens[i..].iter().position(|t| t.is('{')) else {
+            continue;
+        };
+        let open = i + open_rel;
+        let close = match_brace(tokens, open);
+        let mut j = open + 1;
+        let mut expect_variant = true;
+        while j < close {
+            let t = &tokens[j];
+            if t.is('#') && tokens.get(j + 1).is_some_and(|n| n.is('[')) {
+                // Skip variant attributes.
+                let mut d = 0;
+                j += 1;
+                while j < close {
+                    if tokens[j].is('[') {
+                        d += 1;
+                    } else if tokens[j].is(']') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            } else if expect_variant && t.kind == TokKind::Ident {
+                variants.push((t.text.clone(), t.line));
+                expect_variant = false;
+            } else if t.is('{') || t.is('(') {
+                // Skip the variant's payload.
+                let (openc, closec) = if t.is('{') { ('{', '}') } else { ('(', ')') };
+                let mut d = 0;
+                while j < close {
+                    if tokens[j].is(openc) {
+                        d += 1;
+                    } else if tokens[j].is(closec) {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            } else if t.is(',') {
+                expect_variant = true;
+            }
+            j += 1;
+        }
+        return variants;
+    }
+    variants
+}
+
+/// The set of identifiers inside the body of `fn <name>` in `file`.
+fn fn_body_idents(file: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let f = functions(file).into_iter().find(|f| f.name == name)?;
+    Some(
+        file.tokens[f.body_start..=f.body_end]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect(),
+    )
+}
+
+/// Every `const <NAME>` declared in the file.
+fn const_names(file: &SourceFile) -> Vec<String> {
+    let tokens = &file.tokens;
+    let mut names = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("const") {
+            if let Some(n) = tokens.get(i + 1) {
+                if n.kind == TokKind::Ident {
+                    names.push(n.text.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Runs one enum cross-check, producing a finding per missing (variant,
+/// region) pair.
+pub fn check(check: &EnumCheck<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let variants = enum_variants(check.enum_file, check.enum_name);
+    if variants.is_empty() {
+        findings.push(Finding {
+            code: "HL004",
+            file: check.enum_file.path.clone(),
+            line: 1,
+            message: format!(
+                "enum `{}` not found in {} — the protocol cross-check spec is stale",
+                check.enum_name, check.enum_file.path
+            ),
+            snippet: String::new(),
+        });
+        return findings;
+    }
+    for (file, region) in &check.regions {
+        match region {
+            Region::FnBody(fn_name) => {
+                let Some(idents) = fn_body_idents(file, fn_name) else {
+                    findings.push(Finding {
+                        code: "HL004",
+                        file: file.path.clone(),
+                        line: 1,
+                        message: format!(
+                            "wire-surface function `{fn_name}` not found in {} — the protocol cross-check spec is stale",
+                            file.path
+                        ),
+                        snippet: String::new(),
+                    });
+                    continue;
+                };
+                for (v, line) in &variants {
+                    if !idents.iter().any(|i| i == v) {
+                        findings.push(Finding {
+                            code: "HL004",
+                            file: file.path.clone(),
+                            line: 1,
+                            message: format!(
+                                "`{}::{v}` ({}:{line}) has no arm in `{fn_name}` in {} — wire surface incomplete",
+                                check.enum_name, check.enum_file.path, file.path
+                            ),
+                            snippet: String::new(),
+                        });
+                    }
+                }
+            }
+            Region::ConstPrefix(prefix) => {
+                let consts = const_names(file);
+                for (v, line) in &variants {
+                    let want = format!("{prefix}{}", v.to_uppercase());
+                    if !consts.iter().any(|c| c == &want) {
+                        findings.push(Finding {
+                            code: "HL004",
+                            file: file.path.clone(),
+                            line: 1,
+                            message: format!(
+                                "`{}::{v}` ({}:{line}) has no `const {want}` in {} — opcode table incomplete",
+                                check.enum_name, check.enum_file.path, file.path
+                            ),
+                            snippet: String::new(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}

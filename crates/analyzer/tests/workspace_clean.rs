@@ -1,0 +1,24 @@
+//! The shipped tree itself must be clean: every serving-path panic site is
+//! fixed or justified, no lock-order cycles, no bare lock unwraps, and the
+//! wire surface is exhaustive. This is the same scan CI runs via
+//! `cargo run --release -p hpcc-analyzer -- --workspace`.
+
+use std::path::Path;
+
+#[test]
+fn shipped_tree_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyzer sits two levels below the workspace root");
+    let findings = hpcc_analyzer::run_workspace(root).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "analyzer findings on the shipped tree:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -212,11 +212,13 @@ pub fn astra_workflow(
                         detail: "unknown node".to_string(),
                     },
                 };
-                results.lock().unwrap().push(outcome);
+                crate::sync::lock_recover(results).push(outcome);
             });
         }
     });
-    launches = results.into_inner().unwrap();
+    launches = results
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     launches.sort_by(|a, b| a.node.cmp(&b.node));
     let all_ok = launches.iter().all(|l| l.success);
     for l in &launches {

@@ -761,7 +761,7 @@ fn stage_worker<'scope, 'e>(
         );
         let mut ready = Vec::new();
         {
-            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            let mut st = crate::cache::lock_recover(&shared.state);
             let ok = artifact.is_some();
             st.reports[stage] = Some(report);
             st.artifacts[stage] = artifact;
@@ -842,7 +842,10 @@ pub(crate) fn run_graph(
             }
             stage_worker(scope, &shared, first, HashMap::new());
         });
-        let st = shared.state.into_inner().expect("scheduler state poisoned");
+        let st = shared
+            .state
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         (st.reports, st.artifacts)
     } else {
         let mut reports: Vec<Option<BuildReport>> = (0..n).map(|_| None).collect();

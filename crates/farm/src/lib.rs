@@ -37,6 +37,7 @@ mod queue;
 mod request;
 mod scheduler;
 mod stats;
+mod sync;
 
 pub use request::{BuildRequest, FarmConfig, SubmitError};
 pub use scheduler::{BuildFarm, FarmResult};

@@ -26,6 +26,7 @@ use hpcc_vfs::Filesystem;
 use crate::queue::FarmQueue;
 use crate::request::{BuildRequest, FarmConfig, SubmitError};
 use crate::stats::FarmStats;
+use crate::sync::{lock_recover, read_recover, write_recover};
 
 /// The outcome of one submitted build.
 #[derive(Debug)]
@@ -268,9 +269,7 @@ impl BuildFarm {
                         failed: false,
                     }),
                 });
-                let mut deque = deques[me]
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                let mut deque = lock_recover(&deques[me]);
                 for root in roots {
                     deque.push_back((Arc::clone(&job), root));
                 }
@@ -335,10 +334,7 @@ impl BuildFarm {
                 .collect()
         };
         let (report, artifact) = {
-            let builder = job
-                .builder
-                .read()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let builder = read_recover(&job.builder);
             execute_stage(
                 &builder,
                 &job.ir,
@@ -371,9 +367,7 @@ impl BuildFarm {
                 && (progress.failed || progress.completed == job.graph.stage_count())
         };
         if !to_release.is_empty() {
-            let mut deque = deques[me]
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut deque = lock_recover(&deques[me]);
             for dependent in to_release {
                 deque.push_back((Arc::clone(&job), dependent));
             }
@@ -400,10 +394,7 @@ impl BuildFarm {
         let success = artifacts.iter().all(|a| a.is_some());
         if success {
             if let Some(artifact) = artifacts[stage_count - 1].take() {
-                let mut builder = job
-                    .builder
-                    .write()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                let mut builder = write_recover(&job.builder);
                 builder.store_artifact(&job.options.tag, &job.options.arch, artifact);
             }
         }
@@ -479,21 +470,13 @@ impl BuildFarm {
 /// has the hottest upstream snapshots), stealing from the front of others'
 /// deques (FIFO: the oldest, least-local work) when empty.
 fn next_task(me: usize, deques: &[Mutex<VecDeque<Task>>]) -> Option<Task> {
-    if let Some(task) = deques[me]
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-        .pop_back()
-    {
+    if let Some(task) = lock_recover(&deques[me]).pop_back() {
         return Some(task);
     }
     let n = deques.len();
     for offset in 1..n {
         let victim = (me + offset) % n;
-        if let Some(task) = deques[victim]
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .pop_front()
-        {
+        if let Some(task) = lock_recover(&deques[victim]).pop_front() {
             return Some(task);
         }
     }
@@ -501,28 +484,19 @@ fn next_task(me: usize, deques: &[Mutex<VecDeque<Task>>]) -> Option<Task> {
 }
 
 fn lock_queue(queue: &Mutex<FarmQueue>) -> std::sync::MutexGuard<'_, FarmQueue> {
-    queue
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    lock_recover(queue)
 }
 
 fn lock_progress(progress: &Mutex<JobProgress>) -> std::sync::MutexGuard<'_, JobProgress> {
-    progress
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    lock_recover(progress)
 }
 
 fn lock_recover_map<'a>(
     builders: &'a Mutex<HashMap<String, Arc<RwLock<Builder>>>>,
 ) -> std::sync::MutexGuard<'a, HashMap<String, Arc<RwLock<Builder>>>> {
-    builders
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    lock_recover(builders)
 }
 
 fn push_result(results: &Mutex<Vec<FarmResult>>, result: FarmResult) {
-    results
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-        .push(result);
+    lock_recover(results).push(result);
 }

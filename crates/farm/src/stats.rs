@@ -5,6 +5,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::sync::lock_recover;
+
 /// Atomic per-tenant counters, updated lock-free on the build path.
 #[derive(Debug, Default)]
 pub(crate) struct TenantStats {
@@ -92,19 +94,13 @@ pub struct FarmStats {
 impl FarmStats {
     /// The (shared) counter block for a tenant, created on first use.
     pub(crate) fn tenant(&self, name: &str) -> Arc<TenantStats> {
-        let mut tenants = self
-            .tenants
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut tenants = lock_recover(&self.tenants);
         Arc::clone(tenants.entry(name.to_string()).or_default())
     }
 
     /// Snapshots every tenant's counters, sorted by tenant name.
     pub fn snapshot(&self) -> BTreeMap<String, TenantSnapshot> {
-        let tenants = self
-            .tenants
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let tenants = lock_recover(&self.tenants);
         tenants
             .iter()
             .map(|(name, stats)| (name.clone(), stats.snapshot()))

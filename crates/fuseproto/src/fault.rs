@@ -217,15 +217,10 @@ impl<T: Transport> FaultTransport<T> {
 
     /// Sends held outgoing frames whose due index has passed.
     fn flush_due_sends(&mut self) -> Result<(), TransportError> {
-        let mut i = 0;
-        while i < self.held_send.len() {
-            if self.held_send[i].0 <= self.sent {
-                let (_, frame) = self.held_send.remove(i);
-                let inner = self.inner.as_mut().ok_or(TransportError::Closed)?;
-                inner.send(&frame)?;
-            } else {
-                i += 1;
-            }
+        while let Some(i) = self.held_send.iter().position(|(due, _)| *due <= self.sent) {
+            let (_, frame) = self.held_send.remove(i);
+            let inner = self.inner.as_mut().ok_or(TransportError::Closed)?;
+            inner.send(&frame)?;
         }
         Ok(())
     }
@@ -304,7 +299,9 @@ fn truncate(buf: &mut Vec<u8>, n: u16) {
 fn corrupt(buf: &mut [u8], n: u16) {
     if !buf.is_empty() {
         let bit = n as usize % (buf.len() * 8);
-        buf[bit / 8] ^= 1 << (bit % 8);
+        if let Some(byte) = buf.get_mut(bit / 8) {
+            *byte ^= 1 << (bit % 8);
+        }
     }
 }
 
@@ -317,7 +314,7 @@ impl<T: Transport> Transport for FaultTransport<T> {
         self.sent += 1;
         match self.plan.send.remove(&index) {
             None => {
-                let inner = self.inner.as_mut().expect("checked above");
+                let inner = self.inner.as_mut().ok_or(TransportError::Closed)?;
                 inner.send(frame)?;
             }
             Some(Fault::Drop) => {
@@ -327,17 +324,23 @@ impl<T: Transport> Transport for FaultTransport<T> {
                 self.counters.truncated += 1;
                 let mut cut = frame.to_vec();
                 truncate(&mut cut, n);
-                self.inner.as_mut().expect("checked above").send(&cut)?;
+                self.inner
+                    .as_mut()
+                    .ok_or(TransportError::Closed)?
+                    .send(&cut)?;
             }
             Some(Fault::Corrupt(n)) => {
                 self.counters.corrupted += 1;
                 let mut bad = frame.to_vec();
                 corrupt(&mut bad, n);
-                self.inner.as_mut().expect("checked above").send(&bad)?;
+                self.inner
+                    .as_mut()
+                    .ok_or(TransportError::Closed)?
+                    .send(&bad)?;
             }
             Some(Fault::Duplicate) => {
                 self.counters.duplicated += 1;
-                let inner = self.inner.as_mut().expect("checked above");
+                let inner = self.inner.as_mut().ok_or(TransportError::Closed)?;
                 inner.send(frame)?;
                 inner.send(frame)?;
             }
@@ -357,7 +360,10 @@ impl<T: Transport> Transport for FaultTransport<T> {
         match self.recv_inner(buf, None)? {
             RecvOutcome::Frame => Ok(true),
             RecvOutcome::Closed => Ok(false),
-            RecvOutcome::TimedOut => unreachable!("blocking recv cannot time out"),
+            RecvOutcome::TimedOut => {
+                // hpcc-lint: allow(panic) — recv_inner(None) blocks indefinitely and never reports TimedOut
+                unreachable!("blocking recv cannot time out")
+            }
         }
     }
 

@@ -48,6 +48,7 @@
 pub mod dispatch;
 pub mod errno;
 pub mod fault;
+mod lock;
 pub mod memfs;
 pub mod op;
 pub mod ops;

@@ -1,0 +1,101 @@
+//! Poison-recovering lock acquisition for the serving path.
+//!
+//! The serve loop must keep running after a panicking writer poisons a
+//! `Mutex`/`RwLock` (the protected state is either immutable or repaired by
+//! the next holder), so every acquisition in this crate routes through these
+//! helpers: they clear the poison flag and hand back the guard instead of
+//! propagating the panic to every later client. The workspace analyzer's
+//! HL003 pass enforces that no bare `.lock().unwrap()` bypasses them.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+use std::time::Duration;
+
+/// Locks a `Mutex`, clearing poison and recovering the guard if a previous
+/// holder panicked.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// Read-locks a `RwLock`, clearing poison and recovering the guard if a
+/// previous writer panicked.
+pub(crate) fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| {
+        lock.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// Write-locks a `RwLock`, clearing poison and recovering the guard if a
+/// previous writer panicked.
+pub(crate) fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|poisoned| {
+        lock.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// `Condvar::wait` with the same recovery: the mutex the guard came from is
+/// passed alongside so its poison flag can be cleared.
+pub(crate) fn wait_recover<'a, T>(
+    cond: &Condvar,
+    guard: MutexGuard<'a, T>,
+    mutex: &'a Mutex<T>,
+) -> MutexGuard<'a, T> {
+    cond.wait(guard).unwrap_or_else(|poisoned| {
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// `Condvar::wait_timeout` with poison recovery.
+pub(crate) fn wait_timeout_recover<'a, T>(
+    cond: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+    mutex: &'a Mutex<T>,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cond.wait_timeout(guard, dur).unwrap_or_else(|poisoned| {
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_recovers_after_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        assert!(!m.is_poisoned());
+    }
+
+    #[test]
+    fn rwlock_recovers_after_a_panicked_writer() {
+        let l = Arc::new(RwLock::new(1u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(l.is_poisoned());
+        assert_eq!(*read_recover(&l), 1);
+        *write_recover(&l) = 2;
+        assert_eq!(*read_recover(&l), 2);
+    }
+}

@@ -203,9 +203,9 @@ impl<D: Dispatch, T: Transport> Server<D, T> {
         // enter the cache, so malformed frames can't poison either.)
         if let Some(unique) = peek_unique(&self.in_buf) {
             if unique != 0 && unique <= self.max_unique {
-                if let Some(i) = self.cache.iter().position(|(u, _)| *u == unique) {
+                if let Some((_, cached)) = self.cache.iter().find(|(u, _)| *u == unique) {
                     self.replayed += 1;
-                    let frame = self.cache[i].1.clone();
+                    let frame = cached.clone();
                     let sent = self.transport.send(&frame);
                     return self.finish_send(sent);
                 }

@@ -34,6 +34,7 @@ use hpcc_kernel::{Credentials, UserNamespace};
 use hpcc_vfs::{Actor, Filesystem, FrozenResolver, Ino, Mode, OverlayFs, Setattr};
 
 use crate::errno::{Errno, OpResult};
+use crate::lock::{read_recover, write_recover};
 use crate::memfs::{derive_credentials, wire};
 use crate::op::{Attr, DirEntry, Entry, FsCreds, OpenFlags, Opened, ReadReply, StatfsReply};
 
@@ -159,16 +160,17 @@ impl HandleTable {
         }
     }
 
+    fn shard(&self, fh: u64) -> &RwLock<HashMap<u64, ReadHandle>> {
+        // hpcc-lint: allow(panic) — index is `fh % HANDLE_SHARDS`, always in bounds
+        &self.shards[(fh % HANDLE_SHARDS as u64) as usize]
+    }
+
     fn read_shard(&self, fh: u64) -> RwLockReadGuard<'_, HashMap<u64, ReadHandle>> {
-        self.shards[(fh % HANDLE_SHARDS as u64) as usize]
-            .read()
-            .unwrap_or_else(|p| p.into_inner())
+        read_recover(self.shard(fh))
     }
 
     fn write_shard(&self, fh: u64) -> RwLockWriteGuard<'_, HashMap<u64, ReadHandle>> {
-        self.shards[(fh % HANDLE_SHARDS as u64) as usize]
-            .write()
-            .unwrap_or_else(|p| p.into_inner())
+        write_recover(self.shard(fh))
     }
 
     /// Allocates an id and inserts the handle. Wraparound-safe and
@@ -183,22 +185,21 @@ impl HandleTable {
             }
             let mut shard = self.write_shard(fh);
             if let std::collections::hash_map::Entry::Vacant(slot) = shard.entry(fh) {
-                slot.insert(handle.take().expect("fh slot claimed once"));
-                return fh;
+                if let Some(h) = handle.take() {
+                    slot.insert(h);
+                    return fh;
+                }
             }
         }
     }
 
     fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().unwrap_or_else(|p| p.into_inner()).len())
-            .sum()
+        self.shards.iter().map(|s| read_recover(s).len()).sum()
     }
 
     fn clear(&self) {
         for shard in &self.shards {
-            shard.write().unwrap_or_else(|p| p.into_inner()).clear();
+            write_recover(shard).clear();
         }
     }
 }
@@ -423,7 +424,7 @@ impl ReaderSession {
             Some(ReadHandle::Dir { entries }) => {
                 let start = offset.min(entries.len());
                 let end = start.saturating_add(max).min(entries.len());
-                Ok(entries[start..end].to_vec())
+                Ok(entries.get(start..end).unwrap_or(&[]).to_vec())
             }
             Some(ReadHandle::File { .. }) => Err(Errno::ENOTDIR),
             None => Err(Errno::EBADF),

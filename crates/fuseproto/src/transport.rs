@@ -19,6 +19,8 @@
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::sync::{Arc, Condvar, Mutex};
+
+use crate::lock::{lock_recover, wait_recover, wait_timeout_recover};
 use std::time::{Duration, Instant};
 
 use crate::wire::{WireError, MAX_WIRE_FRAME};
@@ -150,7 +152,7 @@ impl Pipe {
     }
 
     fn send(&self, frame: &[u8], spare: &mut Vec<Vec<u8>>) -> Result<(), TransportError> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         if st.closed {
             return Err(TransportError::Closed);
         }
@@ -170,7 +172,7 @@ impl Pipe {
         buf: &mut Vec<u8>,
         timeout: Option<Duration>,
     ) -> Result<RecvOutcome, TransportError> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         // The deadline is materialized lazily, on the first actual wait —
         // the fast path (frame already queued) reads no clock at all, which
         // is what keeps a policy-wrapped fault-free call within noise of a
@@ -201,7 +203,7 @@ impl Pipe {
             match timeout {
                 None => {
                     st.waiting += 1;
-                    st = self.cond.wait(st).unwrap();
+                    st = wait_recover(&self.cond, st, &self.state);
                     st.waiting -= 1;
                 }
                 Some(t) => {
@@ -211,7 +213,7 @@ impl Pipe {
                         return Ok(RecvOutcome::TimedOut);
                     }
                     st.waiting += 1;
-                    let (guard, _) = self.cond.wait_timeout(st, rem).unwrap();
+                    let (guard, _) = wait_timeout_recover(&self.cond, st, rem, &self.state);
                     st = guard;
                     st.waiting -= 1;
                 }
@@ -223,12 +225,13 @@ impl Pipe {
         match self.recv_inner(buf, None)? {
             RecvOutcome::Frame => Ok(true),
             RecvOutcome::Closed => Ok(false),
+            // hpcc-lint: allow(panic) — recv_inner(None) blocks indefinitely and never reports TimedOut
             RecvOutcome::TimedOut => unreachable!("blocking recv cannot time out"),
         }
     }
 
     fn close(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         if !st.closed {
             st.closed = true;
             // Everyone blocked right now is being cut off mid-wait; they
@@ -296,7 +299,7 @@ impl Transport for ChannelTransport {
     }
 
     fn backlog(&self) -> Option<usize> {
-        Some(self.rx.state.lock().unwrap().frames.len())
+        Some(lock_recover(&self.rx.state).frames.len())
     }
 }
 
@@ -337,8 +340,8 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
         // anything less than the whole frame on the wire desynchronizes the
         // length-prefix framing for the rest of the connection.
         let mut sent = 0;
-        while sent < frame.len() {
-            match self.writer.write(&frame[sent..]) {
+        while let Some(rest) = frame.get(sent..).filter(|r| !r.is_empty()) {
+            match self.writer.write(rest) {
                 Ok(0) => return Err(TransportError::Closed),
                 Ok(n) => sent += n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -359,8 +362,8 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
         // Read the length field byte by frame boundary: zero bytes here is
         // a clean close, a short read is a torn frame.
         let mut got = 0;
-        while got < 4 {
-            let n = match self.reader.read(&mut len_bytes[got..]) {
+        while let Some(rest) = len_bytes.get_mut(got..).filter(|r| !r.is_empty()) {
+            let n = match self.reader.read(rest) {
                 Ok(n) => n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e.into()),
@@ -391,12 +394,11 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
         buf.clear();
         buf.extend_from_slice(&len_bytes);
         buf.resize(len, 0);
-        self.reader
-            .read_exact(&mut buf[4..])
-            .map_err(|e| match e.kind() {
-                std::io::ErrorKind::UnexpectedEof => WireError::Truncated.into(),
-                _ => TransportError::Io(e),
-            })?;
+        let body = buf.get_mut(4..).unwrap_or(&mut []);
+        self.reader.read_exact(body).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Truncated.into(),
+            _ => TransportError::Io(e),
+        })?;
         Ok(true)
     }
 }

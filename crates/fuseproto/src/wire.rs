@@ -230,7 +230,19 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 }
 
 fn wire_len(len: usize) -> u32 {
+    // hpcc-lint: allow(panic) — frames are capped at MAX_WIRE_FRAME, far below u32::MAX
     u32::try_from(len).expect("field too long for a u32 wire length")
+}
+
+/// Copies up to `N` leading bytes of `b` into a fixed array, zero-filling
+/// the rest — the infallible little-endian decode step (callers size `b`
+/// with `chunks_exact`/`take`, and a short slice still cannot panic here).
+fn le_array<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (o, v) in out.iter_mut().zip(b) {
+        *o = *v;
+    }
+    out
 }
 
 fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
@@ -264,30 +276,30 @@ fn frame_checksum(bytes: &[u8]) -> u32 {
     ];
     let mut blocks = bytes.chunks_exact(32);
     for b in &mut blocks {
-        for (i, lane) in lanes.iter_mut().enumerate() {
-            let v = u64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().unwrap());
+        for (c, lane) in b.chunks_exact(8).zip(lanes.iter_mut()) {
+            let v = u64::from_le_bytes(le_array(c));
             *lane = (*lane ^ v).wrapping_mul(M);
         }
     }
+    let [mut l0, l1, l2, l3] = lanes;
     // Tail: remaining whole chunks plus a zero-padded final chunk, fed
     // through lane 0 (serial, but at most three chunks plus padding).
     let mut chunks = blocks.remainder().chunks_exact(8);
     for c in &mut chunks {
-        let v = u64::from_le_bytes(c.try_into().unwrap());
-        lanes[0] = (lanes[0] ^ v).wrapping_mul(M);
+        let v = u64::from_le_bytes(le_array(c));
+        l0 = (l0 ^ v).wrapping_mul(M);
     }
     let rem = chunks.remainder();
     if !rem.is_empty() {
-        let mut pad = [0u8; 8];
-        pad[..rem.len()].copy_from_slice(rem);
-        lanes[0] = (lanes[0] ^ u64::from_le_bytes(pad)).wrapping_mul(M);
+        // `le_array` zero-fills past the tail: exactly the padded chunk.
+        l0 = (l0 ^ u64::from_le_bytes(le_array(rem))).wrapping_mul(M);
     }
     // Merge: rotations keep the lanes from cancelling symmetrically, the
     // multiplies diffuse each lane across the word before the 32-bit fold.
-    let mut h = lanes[0];
-    h = (h ^ lanes[1].rotate_left(1)).wrapping_mul(M);
-    h = (h ^ lanes[2].rotate_left(2)).wrapping_mul(M);
-    h = (h ^ lanes[3].rotate_left(3)).wrapping_mul(M);
+    let mut h = l0;
+    h = (h ^ l1.rotate_left(1)).wrapping_mul(M);
+    h = (h ^ l2.rotate_left(2)).wrapping_mul(M);
+    h = (h ^ l3.rotate_left(3)).wrapping_mul(M);
     h ^= h >> 29;
     (h ^ (h >> 32)) as u32
 }
@@ -296,7 +308,9 @@ fn frame_checksum(bytes: &[u8]) -> u32 {
 /// size (trailer included), then appends the checksum trailer.
 fn seal(buf: &mut Vec<u8>) {
     let len = wire_len(buf.len() + WIRE_TRAILER);
-    buf[0..4].copy_from_slice(&len.to_le_bytes());
+    if let Some(head) = buf.get_mut(0..4) {
+        head.copy_from_slice(&len.to_le_bytes());
+    }
     let sum = frame_checksum(buf);
     buf.extend_from_slice(&sum.to_le_bytes());
 }
@@ -309,7 +323,7 @@ fn check_frame(frame: &[u8]) -> Result<&[u8], WireError> {
     if frame.len() < 4 + WIRE_TRAILER {
         return Err(WireError::Truncated);
     }
-    let header_len = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+    let header_len = u32::from_le_bytes(le_array(frame));
     if header_len as usize != frame.len() {
         return Err(WireError::LengthMismatch {
             header: header_len,
@@ -317,7 +331,7 @@ fn check_frame(frame: &[u8]) -> Result<&[u8], WireError> {
         });
     }
     let (body, trailer) = frame.split_at(frame.len() - WIRE_TRAILER);
-    let got = u32::from_le_bytes(trailer.try_into().unwrap());
+    let got = u32::from_le_bytes(le_array(trailer));
     let expected = frame_checksum(body);
     if got != expected {
         return Err(WireError::BadChecksum { expected, got });
@@ -341,32 +355,30 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(le_array(self.take(2)?)))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(le_array(self.take(4)?)))
     }
 
     fn i32(&mut self) -> Result<i32, WireError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(i32::from_le_bytes(le_array(self.take(4)?)))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(le_array(self.take(8)?)))
     }
 
     fn bytes(&mut self) -> Result<&'a [u8], WireError> {
@@ -530,9 +542,7 @@ pub fn encode_destroy(buf: &mut Vec<u8>, unique: u64) {
 /// the server's best effort at addressing an error reply for a frame that
 /// failed to decode.
 pub fn peek_unique(frame: &[u8]) -> Option<u64> {
-    frame
-        .get(8..16)
-        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    frame.get(8..16).map(|b| u64::from_le_bytes(le_array(b)))
 }
 
 /// Whether the frame's opcode field (bytes 4..8) says `FUSE_DESTROY` — the
@@ -541,7 +551,7 @@ pub fn peek_unique(frame: &[u8]) -> Option<u64> {
 pub(crate) fn peek_is_destroy(frame: &[u8]) -> bool {
     frame
         .get(4..8)
-        .map(|b| u32::from_le_bytes(b.try_into().unwrap()) == FUSE_DESTROY)
+        .map(|b| u32::from_le_bytes(le_array(b)) == FUSE_DESTROY)
         .unwrap_or(false)
 }
 

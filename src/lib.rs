@@ -28,6 +28,9 @@
 //!   shared-facility build service).
 //! * [`cluster`] — HPC cluster substrate and the Astra / LANL CI workflows
 //!   (Figure 6, §5.3.3).
+//! * [`analyzer`] — the workspace's own static analysis passes (no-panic
+//!   serving path, lock order, poison hygiene, protocol exhaustiveness);
+//!   see `LINTS.md`.
 //!
 //! # Quick start
 //!
@@ -55,6 +58,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use hpcc_analyzer as analyzer;
 pub use hpcc_cluster as cluster;
 pub use hpcc_core as core;
 pub use hpcc_distro as distro;
